@@ -1,0 +1,39 @@
+"""Ablation: host<->device transfer time (which the paper excludes).
+
+"Note that the presented performance numbers do not take into account
+data transfer time between host and OpenCL device." (Section IV)
+"""
+
+from conftest import run_and_report
+
+
+def test_ablation_pcie(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "ablation_pcie")
+    table = result.tables[0]
+    rows = {
+        r[0]: {"kernel": float(r[2]), "impl": float(r[3]), "e2e": float(r[4]),
+               "share": float(r[5].rstrip("%")) / 100.0}
+        for r in table.rows
+    }
+
+    for device, row in rows.items():
+        # Each inclusion level only loses performance.
+        assert row["kernel"] >= row["impl"] >= row["e2e"], device
+
+    # Transfers take a large bite out of the discrete GPUs...
+    assert rows["tahiti"]["share"] > 0.15
+    assert rows["cayman"]["share"] > 0.15
+    # ...and almost nothing out of the CPUs (host memory is device memory).
+    assert rows["sandybridge"]["share"] < 0.05
+    assert rows["bulldozer"]["share"] < 0.05
+
+    # Amortisation: the end-to-end curve approaches the implementation
+    # curve as N grows (O(N^2) transfers vs O(N^3) compute).
+    figure = {s.name: s for s in result.figures[0]}
+    impl = figure["Implementation (no transfers)"]
+    e2e = figure["End-to-end (with PCIe)"]
+    ratio_small = e2e.y_at(512) / impl.y_at(512)
+    ratio_large = e2e.y_at(6144) / impl.y_at(6144)
+    assert ratio_large > ratio_small
+    assert ratio_small < 0.55  # transfers dominate small problems
+    assert ratio_large > 0.70

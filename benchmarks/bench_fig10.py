@@ -1,0 +1,29 @@
+"""Regenerate paper Fig. 10: Fermi/Kepler implementations vs CUBLAS/MAGMA."""
+
+from conftest import run_and_report
+
+
+def test_fig10(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "fig10")
+    assert len(result.figures) == 2
+
+    dgemm = {s.name: s for s in result.figures[0]}
+    sgemm = {s.name: s for s in result.figures[1]}
+
+    # "Our implementation in OpenCL is comparable to these in CUDA":
+    # within ~20% of CUBLAS at the largest size on both GPUs.
+    for panel in (dgemm, sgemm):
+        for device, cublas in (("fermi", "CUBLAS 4.1.28 (fermi)"),
+                               ("kepler", "CUBLAS 5.0 RC (kepler)")):
+            ours = panel[f"This study ({device})"]
+            ratio = ours.y_at(6144) / panel[cublas].y_at(6144)
+            assert 0.80 < ratio < 1.25, (device, ratio)
+
+    # DP: Fermi (16 SMs with 1/2-rate DP) far above Kepler (GK104).
+    assert dgemm["This study (fermi)"].max_y > 2.5 * dgemm["This study (kepler)"].max_y
+    # SP: Kepler above Fermi.
+    assert sgemm["This study (kepler)"].max_y > sgemm["This study (fermi)"].max_y
+
+    # MAGMA sits close to CUBLAS on the Fermi.
+    ratio = dgemm["MAGMA 1.2.1 (fermi)"].max_y / dgemm["CUBLAS 4.1.28 (fermi)"].max_y
+    assert 0.75 < ratio < 1.1

@@ -1,0 +1,27 @@
+"""Regenerate paper Fig. 11: Sandy Bridge DGEMM vs MKL and ATLAS."""
+
+from conftest import run_and_report
+
+
+def test_fig11(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "fig11")
+    figure = {s.name: s for s in result.figures[0]}
+    mkl = figure["Intel MKL 2011.10.319"]
+    atlas = figure["ATLAS 3.10.0"]
+    ours_2013 = figure["This study (Intel SDK 2013 beta)"]
+    ours_2012 = figure["This study (Intel SDK 2012)"]
+
+    # Ordering at large sizes: MKL > ATLAS > ours(2013) > ours(2012).
+    for n in (4096, 5120):
+        assert mkl.y_at(n) > atlas.y_at(n) > ours_2013.y_at(n) > ours_2012.y_at(n), n
+
+    # "Using the newer SDK improves the performance by around 20%."
+    gain = ours_2013.max_y / ours_2012.max_y
+    assert 1.10 < gain < 1.30, gain
+
+    # "The performance in OpenCL is twice or more times lower than MKL."
+    assert mkl.max_y / ours_2013.max_y >= 2.0
+
+    # "The performance by ATLAS is higher though both C and OpenCL are
+    # high-level languages."
+    assert atlas.max_y > ours_2013.max_y

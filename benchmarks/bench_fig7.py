@@ -1,0 +1,36 @@
+"""Regenerate paper Fig. 7: fastest kernel GFlop/s vs size, six devices."""
+
+from conftest import run_and_report
+
+from repro.perfmodel.calibration import PAPER_ANCHORS
+
+
+def test_fig7(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "fig7")
+
+    # Two panels: DGEMM and SGEMM.
+    assert len(result.figures) == 2
+    for figure, precision in zip(result.figures, ("d", "s")):
+        by_name = {s.name: s for s in figure}
+        # Device ordering at large size matches the paper: Tahiti >
+        # Cayman > (Kepler|Fermi per precision) > CPUs.
+        assert by_name["tahiti"].max_y > by_name["cayman"].max_y
+        assert by_name["cayman"].max_y > by_name["fermi"].max_y
+        assert min(by_name[d].max_y for d in ("tahiti", "cayman", "kepler", "fermi")) > \
+            max(by_name[d].max_y for d in ("sandybridge", "bulldozer"))
+        if precision == "d":
+            # DP: Fermi above Kepler (Kepler has almost no DP units).
+            assert by_name["fermi"].max_y > by_name["kepler"].max_y
+        else:
+            # SP: Kepler above Fermi.
+            assert by_name["kepler"].max_y > by_name["fermi"].max_y
+        # Curves rise with size: the largest point beats the smallest.
+        for series in figure:
+            assert series.points[-1][1] > series.points[0][1] * 0.9
+
+        # Peaks land near the paper's Table II maxima (±12%).
+        for device in ("tahiti", "cayman", "kepler", "fermi", "sandybridge", "bulldozer"):
+            anchor = PAPER_ANCHORS[(device, precision)]
+            assert abs(by_name[device].max_y - anchor) / anchor < 0.12, (
+                device, precision, by_name[device].max_y, anchor,
+            )

@@ -1,0 +1,44 @@
+"""Regenerate paper Fig. 8: relative performance of BA / PL / DB."""
+
+from conftest import run_and_report
+
+
+def _relatives(table):
+    out = {}
+    for row in table.rows:
+        device = row[0]
+        out[device] = {
+            alg: (float(cell) if cell != "-" else 0.0)
+            for alg, cell in zip(("BA", "PL", "DB"), row[1:])
+        }
+    return out
+
+
+def test_fig8(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "fig8")
+    dgemm = _relatives(result.tables[0])
+    sgemm = _relatives(result.tables[1])
+
+    # The paper's hard failure: Bulldozer PL DGEMM never executes.
+    assert dgemm["bulldozer"]["PL"] == 0.0
+    # ...but Bulldozer PL SGEMM runs fine.
+    assert sgemm["bulldozer"]["PL"] > 0.5
+
+    # Every algorithm is within 2x of the best on every device (the
+    # paper's bars all sit above ~0.4), except the hard failure.
+    for table in (dgemm, sgemm):
+        for device, by_alg in table.items():
+            for alg, rel in by_alg.items():
+                if (device, alg) == ("bulldozer", "PL") and table is dgemm:
+                    continue
+                assert 0.4 <= rel <= 1.0, (device, alg, rel)
+
+    # DB double-buffers local memory, whose barriers are expensive on
+    # Cayman: DB is its clearly worst algorithm (paper Fig. 8).
+    assert dgemm["cayman"]["DB"] < min(dgemm["cayman"]["BA"], dgemm["cayman"]["PL"])
+    assert sgemm["cayman"]["DB"] < min(sgemm["cayman"]["BA"], sgemm["cayman"]["PL"])
+
+    # CPU variation is comparatively small (paper: "Performance
+    # variations on the CPUs are relatively small").
+    for by_alg in (sgemm["sandybridge"], sgemm["bulldozer"]):
+        assert max(by_alg.values()) - min(by_alg.values()) < 0.25

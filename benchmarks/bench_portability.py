@@ -1,0 +1,37 @@
+"""Quantify the paper's motivation: performance is not portable.
+
+"However, performance is not always portable across different
+processors in OpenCL."  (Section I)
+"""
+
+from conftest import run_and_report
+
+
+def test_portability(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "portability")
+    table = result.tables[0]
+    devices = table.headers[1:]
+    matrix = {row[0]: dict(zip(devices, row[1:])) for row in table.rows}
+
+    # The diagonal is by definition 1.00.
+    for device in devices:
+        assert matrix[device][device] == "1.00"
+
+    # Off-diagonal entries lose performance or fail outright.
+    losses, fails = [], 0
+    for donor in devices:
+        for target in devices:
+            if donor == target:
+                continue
+            cell = matrix[donor][target]
+            if cell == "FAIL":
+                fails += 1
+            else:
+                losses.append(float(cell))
+    # At least one foreign kernel cannot even launch (resource limits)...
+    assert fails >= 1
+    # ...and the others retain clearly less than the tuned rate on average.
+    assert sum(losses) / len(losses) < 0.85
+    # CPU kernels transplanted to the Tahiti lose most of its performance.
+    assert matrix["sandybridge"]["tahiti"] == "FAIL" or \
+        float(matrix["sandybridge"]["tahiti"]) < 0.6

@@ -1,0 +1,12 @@
+"""The reproduction scorecard: every checked claim must PASS."""
+
+from conftest import run_and_report
+
+
+def test_scorecard(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "scorecard")
+    table = result.tables[0]
+    statuses = table.column("Status")
+    assert len(statuses) >= 12
+    failing = [row[0] for row in table.rows if row[2] != "PASS"]
+    assert not failing, f"claims failing: {failing}"

@@ -1,0 +1,14 @@
+"""The search machinery earns its keep at equal budget."""
+
+from conftest import run_and_report
+
+
+def test_search_strategies(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "search_strategies")
+    table = result.tables[0]
+    rates = [float(r[1]) for r in table.rows]
+    # random <= +seeds <= +refinement (monotone, allowing ties).
+    assert rates[0] <= rates[1] * 1.001
+    assert rates[1] <= rates[2] * 1.001
+    # The full engine clearly beats the pure random sample.
+    assert rates[2] > rates[0]

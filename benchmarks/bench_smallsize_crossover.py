@@ -1,0 +1,24 @@
+"""The paper's future work: copy-free small-size kernel + crossover."""
+
+from conftest import run_and_report
+
+
+def test_smallsize_crossover(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "smallsize_crossover")
+    figure = {s.name: s for s in result.figures[0]}
+    packed = dict(figure["Packed (copy + block-major kernel)"].points)
+    direct = dict(figure["Direct (copy-free row-major kernel)"].points)
+
+    # Direct wins at small sizes (the copy dominates)...
+    assert direct[64] > packed[64]
+    assert direct[128] > packed[128]
+    # ...packed wins at large sizes (the copy amortises).
+    assert packed[2048] > direct[2048]
+    assert packed[4096] > direct[4096]
+
+    # The reported crossover is consistent with the curves.
+    xover = int(result.tables[0].rows[0][1])
+    small = [n for n in packed if n < xover]
+    large = [n for n in packed if n >= xover]
+    assert all(direct[n] >= packed[n] for n in small)
+    assert all(packed[n] >= direct[n] * 0.97 for n in large)

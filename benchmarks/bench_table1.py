@@ -1,0 +1,19 @@
+"""Regenerate paper Table I: processor specifications."""
+
+from conftest import run_and_report
+
+
+def test_table1(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "table1")
+    table = result.tables[0]
+    assert table.headers == [
+        "Specification", "tahiti", "cayman", "kepler", "fermi",
+        "sandybridge", "bulldozer",
+    ]
+    # Spot-check the headline Table I cells.
+    peak_dp = table.column("tahiti")
+    assert "947" in " ".join(peak_dp)
+    local_types = dict(zip(table.column("Specification"), range(len(table.rows))))
+    row = table.rows[local_types["Local memory type"]]
+    assert row[1:5] == ["scratchpad"] * 4  # all four GPUs
+    assert row[5:] == ["global"] * 2  # both CPUs

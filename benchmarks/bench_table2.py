@@ -1,0 +1,42 @@
+"""Regenerate paper Table II: best kernel parameters and maxima."""
+
+from conftest import run_and_report
+
+from repro.devices import EVALUATED_DEVICES, get_device_spec
+from repro.perfmodel.calibration import PAPER_ANCHORS, PAPER_EFFICIENCIES
+
+
+def test_table2(benchmark, bench_report):
+    result = run_and_report(benchmark, bench_report, "table2")
+    assert len(result.tables) == 2
+
+    for table, precision in zip(result.tables, ("d", "s")):
+        labels = table.column("Parameter")
+        maxima = dict(zip(
+            EVALUATED_DEVICES, table.rows[labels.index("Max perf. [GFlop/s]")][1:]
+        ))
+        effs = dict(zip(
+            EVALUATED_DEVICES, table.rows[labels.index("Efficiency")][1:]
+        ))
+        for device in EVALUATED_DEVICES:
+            anchor = PAPER_ANCHORS[(device, precision)]
+            measured = float(maxima[device])
+            assert abs(measured - anchor) / anchor < 0.10, (device, measured, anchor)
+            eff_paper = PAPER_EFFICIENCIES[(device, precision)]
+            eff_measured = float(effs[device].rstrip("%")) / 100.0
+            assert abs(eff_measured - eff_paper) < 0.08, (device, eff_measured, eff_paper)
+
+        # Structural claims of Table II: block-major layouts everywhere.
+        layouts = table.rows[labels.index("Layout")][1:]
+        assert all("ROW" not in cell for cell in layouts), layouts
+
+    # Kepler's DGEMM efficiency exceeds 100% of the listed peak (boost clock).
+    d_table = result.tables[0]
+    labels = d_table.column("Parameter")
+    kepler_eff = d_table.rows[labels.index("Efficiency")][
+        1 + EVALUATED_DEVICES.index("kepler")
+    ]
+    assert float(kepler_eff.rstrip("%")) > 100.0
+
+    spec = get_device_spec("tahiti")
+    assert spec.peak_dp_gflops == 947.0

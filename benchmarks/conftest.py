@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark drivers.
+
+Every driver regenerates one paper table/figure through
+``repro.bench.run_experiment``, persists the rendered text under
+``benchmarks/output/``, and asserts the paper's qualitative claims
+(who wins, by roughly what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def bench_report():
+    """Persist and echo an ExperimentResult; returns the rendered text."""
+
+    def _write(result):
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (OUTPUT_DIR / f"{result.experiment_id}.txt").write_text(text)
+        print("\n" + text)
+        return text
+
+    return _write
+
+
+def run_and_report(benchmark, bench_report, experiment_id: str, quick: bool = False):
+    """Benchmark one experiment regeneration and persist its output."""
+    from repro.bench import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs={"quick": quick},
+        rounds=1, iterations=1,
+    )
+    bench_report(result)
+    return result

@@ -1,0 +1,74 @@
+"""Architecture what-if studies with the calibrated model.
+
+Hardware owners can only measure the machines they have; a calibrated
+simulator can ask counterfactuals.  This example probes three of the
+paper's causal claims by *changing the hardware* instead of the kernel:
+
+1. Cayman is slower with local memory "probably because the cost for
+   barrier synchronizations is too large" — so give Cayman cheap
+   barriers and watch local-memory kernels recover.
+2. Row-major layouts lose to block-major partly through coalescing — so
+   scale DRAM bandwidth and watch the row-major kernel (and only it)
+   respond.
+3. Kepler's >100% DGEMM efficiency is a boost-clock artifact — so pin
+   the boost to 1.0 and watch the efficiency fall below the peak.
+
+Run:  python examples/architecture_whatif.py
+"""
+
+from repro import get_device_spec, pretuned_params
+from repro.codegen import Layout
+from repro.perfmodel.roofline import roofline_point
+from repro.perfmodel.whatif import scaling_sweep, whatif
+
+
+def main() -> None:
+    # --- 1. Cayman barriers ---------------------------------------------------
+    from repro.codegen.params import KernelParams
+
+    local_kernel = KernelParams(
+        precision="s", mwg=64, nwg=64, kwg=16, mdimc=8, ndimc=8, kwi=2,
+        shared_a=True, shared_b=True,
+        layout_a=Layout.CBL, layout_b=Layout.CBL,
+    )
+    result = whatif("cayman", local_kernel, 768, 768, 768,
+                    barrier_cost_cycles=32.0)
+    print("1) Cayman with Tahiti-priced barriers, local-memory SGEMM kernel:")
+    print("  ", result.render())
+    print("   -> the paper's causal story checks out: cheap barriers recover",
+          f"{result.speedup - 1:.1%}\n")
+
+    # --- 2. bandwidth scaling, row-major vs block-major ------------------------
+    row = local_kernel.replace(shared_a=False, shared_b=False,
+                               layout_a=Layout.ROW, layout_b=Layout.ROW,
+                               mdima=0, ndimb=0)
+    blk = pretuned_params("tahiti", "s")
+    n = 2048  # a bank-conflict size for the row-major kernel
+    print("2) DRAM bandwidth scaling on Tahiti at N=2048:")
+    for label, params in (("row-major", row), ("block-major", blk)):
+        points = scaling_sweep("tahiti", params, "bandwidth_gbs",
+                               (1.0, 2.0, 4.0), n, n, n)
+        series = ", ".join(f"{s:g}x -> {g:7.1f}" for s, g in points)
+        print(f"   {label:12s} {series} GFlop/s")
+    print("   -> only the row-major kernel is bandwidth-limited\n")
+
+    # --- 3. Kepler boost ---------------------------------------------------------
+    params = pretuned_params("kepler", "d")
+    spec = get_device_spec("kepler")
+    n = params.lcm * (4096 // params.lcm)
+    result = whatif("kepler", params, n, n, n, boost_factor=1.0)
+    print("3) Kepler DGEMM with the boost clock pinned to base:")
+    print("  ", result.render())
+    eff_boosted = result.baseline_gflops / spec.peak_dp_gflops
+    eff_pinned = result.modified_gflops / spec.peak_dp_gflops
+    print(f"   efficiency vs listed peak: {eff_boosted:.0%} boosted "
+          f"-> {eff_pinned:.0%} pinned (the Table II >100% artifact)\n")
+
+    point = roofline_point("kepler", params, n, n, n)
+    print("   roofline position of that kernel:")
+    for line in point.render().splitlines():
+        print("   " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""GEMM as the building block of Level-3 BLAS and LAPACK.
+
+The paper opens with why GEMM performance matters: "it is a building
+block of LAPACK and other Level-3 BLAS routines".  This example makes
+that concrete on the simulated Tahiti GPU: it runs the GEMM-based SYRK,
+TRSM and a blocked Cholesky factorization (POTRF) on top of the tuned
+kernel, verifies them against numpy, and shows how much of each
+routine's simulated time flows through the GEMM path.
+
+Run:  python examples/lapack_building_block.py [device] [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import tuned_gemm
+from repro.blas3 import Blas3
+
+
+def main() -> None:
+    device = sys.argv[1] if len(sys.argv) > 1 else "tahiti"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 768
+
+    gemm = tuned_gemm(device, "d")
+    blas3 = Blas3(gemm)
+    print(f"device     : {gemm.device.name}")
+    print(f"GEMM kernel: {gemm.params.summary()}")
+    print(f"panel size : {blas3.block_size}\n")
+
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((n, n))
+    spd = m @ m.T + n * np.eye(n)
+    rhs = rng.standard_normal((n, 32))
+
+    # SYRK: the trailing-update shape of every dense factorization.
+    syrk = blas3.syrk("L", "N", -1.0, m, 1.0, spd)
+    full = spd - m @ m.T
+    assert np.allclose(np.tril(syrk.x), np.tril(full), atol=1e-8)
+    print(f"SYRK  {n}x{n}: {syrk.effective_gflops:7.1f} GFlop/s, "
+          f"{syrk.gemm_fraction:.0%} of time in GEMM "
+          f"({syrk.timings.gemm_calls} GEMM calls)")
+
+    # POTRF: blocked Cholesky A = L L^T.
+    chol = blas3.potrf(spd)
+    assert np.allclose(chol.x @ chol.x.T, spd, atol=1e-6 * n)
+    print(f"POTRF {n}x{n}: {chol.effective_gflops:7.1f} GFlop/s, "
+          f"{chol.gemm_fraction:.0%} of time in GEMM")
+
+    # TRSM: triangular solve against the Cholesky factor.
+    trsm = blas3.trsm("L", "L", "N", "N", 1.0, chol.x, rhs)
+    assert np.allclose(np.tril(chol.x) @ trsm.x, rhs, atol=1e-8)
+    print(f"TRSM  {n}x{32}: {trsm.effective_gflops:7.1f} GFlop/s, "
+          f"{trsm.gemm_fraction:.0%} of time in GEMM")
+
+    # Full SPD solve via Cholesky: L L^T x = b.
+    y = blas3.trsm("L", "L", "N", "N", 1.0, chol.x, rhs).x
+    x = blas3.trsm("L", "L", "T", "N", 1.0, chol.x, y).x
+    residual = np.abs(spd @ x - rhs).max()
+    print(f"\nSPD solve residual: {residual:.2e}")
+    print(
+        "\nThe bigger the problem, the more of the time lands in the GEMM\n"
+        "kernel — which is why auto-tuning GEMM tunes all of dense linear\n"
+        "algebra (the paper's opening argument)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Performance portability study across the paper's six processors.
+
+The paper's thesis: OpenCL gives *functional* portability, and
+auto-tuning restores *performance* portability.  This example quantifies
+that by running, on every device, (a) its own tuned kernel and (b) the
+kernel tuned for a different device (Tahiti's), and reporting how much
+performance the foreign kernel loses — the gap auto-tuning closes.
+
+Run:  python examples/multi_device_portability.py
+"""
+
+from repro import EVALUATED_DEVICES, get_device_spec, pretuned_params
+from repro.errors import CLError, ReproError
+from repro.perfmodel.model import estimate_kernel_time
+
+
+def rate(spec, params, size=3072) -> float:
+    n = max(params.lcm, (size // params.lcm) * params.lcm)
+    n = max(n, params.algorithm.min_k_iterations * params.kwg)
+    return estimate_kernel_time(spec, params, n, n, n).gflops
+
+
+def main() -> None:
+    precision = "s"
+    donor = "tahiti"
+    donor_params = pretuned_params(donor, precision)
+    print(f"SGEMM kernels, donor kernel = {donor}'s tuned parameters\n")
+    print(f"{'device':12s} {'own-tuned':>10s} {'donor':>10s} "
+          f"{'retained':>9s}  note")
+    print("-" * 60)
+
+    for device in EVALUATED_DEVICES:
+        spec = get_device_spec(device)
+        own = rate(spec, pretuned_params(device, precision))
+        try:
+            foreign = rate(spec, donor_params)
+            retained = foreign / own
+            note = "" if retained > 0.85 else "auto-tuning matters here"
+            print(f"{device:12s} {own:9.1f}  {foreign:9.1f}  {retained:8.0%}  {note}")
+        except (CLError, ReproError) as exc:
+            # The donor kernel may not even run (resource limits differ).
+            print(f"{device:12s} {own:9.1f}  {'fails':>9s}  {'-':>8s}  {exc}")
+
+    print(
+        "\nFunctional portability is not performance portability: the same\n"
+        "OpenCL kernel that is optimal on one processor leaves a large\n"
+        "fraction of another's peak unused (or does not launch at all).\n"
+        "The auto-tuner recovers it per device — the paper's central claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — reproduction of Matsumoto, Nakasato & Sedukhin (SC Companion 2012):
+"Performance Tuning of Matrix Multiplication in OpenCL on Different GPUs
+and CPUs".
+
+The package implements the paper's complete system from scratch:
+
+* :mod:`repro.codegen` — the GEMM code generator (blocking factors,
+  vector widths, stride modes, local-memory staging with work-item
+  reshape, CBL/RBL block-major layouts, and the BA/PL/DB algorithms);
+* :mod:`repro.clsim` — a pyopencl-style OpenCL simulator that executes
+  generated kernels functionally and charges time from an analytical
+  device model (:mod:`repro.perfmodel`) driven by the paper's Table I;
+* :mod:`repro.tuner` — the staged heuristic search engine;
+* :mod:`repro.gemm` — full GEMM routines (pack/pad/kernel/crop, all four
+  multiplication types, plus the paper's future-work direct kernel);
+* :mod:`repro.baselines` — vendor-library performance models;
+* :mod:`repro.bench` — regeneration targets for every paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import tuned_gemm
+
+    gemm = tuned_gemm("tahiti", precision="s")
+    a = np.random.rand(500, 300).astype(np.float32)
+    b = np.random.rand(300, 400).astype(np.float32)
+    result = gemm(a, b)
+    print(result.kernel_gflops, "GFlop/s (simulated)")
+"""
+
+from repro.api import autotune, tuned_gemm
+from repro.codegen import Algorithm, KernelParams, Layout, StrideMode
+from repro.devices import CATALOG, EVALUATED_DEVICES, DeviceSpec, get_device_spec
+from repro.errors import (
+    BuildError,
+    CLError,
+    LaunchError,
+    ParameterError,
+    ReproError,
+    ResourceError,
+    TuningError,
+    ValidationError,
+)
+from repro.gemm import GemmResult, GemmRoutine
+from repro.tuner import SearchEngine, TuningConfig, TuningResult, pretuned_params
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "autotune",
+    "tuned_gemm",
+    "Algorithm",
+    "KernelParams",
+    "Layout",
+    "StrideMode",
+    "CATALOG",
+    "EVALUATED_DEVICES",
+    "DeviceSpec",
+    "get_device_spec",
+    "GemmRoutine",
+    "GemmResult",
+    "SearchEngine",
+    "TuningConfig",
+    "TuningResult",
+    "pretuned_params",
+    "ReproError",
+    "ParameterError",
+    "CLError",
+    "BuildError",
+    "ResourceError",
+    "LaunchError",
+    "ValidationError",
+    "TuningError",
+]

@@ -1,0 +1,61 @@
+"""Convenience entry points for the most common workflows."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.codegen.params import KernelParams
+from repro.codegen.space import SpaceRestrictions
+from repro.devices.catalog import get_device_spec
+from repro.devices.specs import DeviceSpec
+from repro.gemm.routine import GemmRoutine
+from repro.tuner.pretuned import pretuned_params
+from repro.tuner.search import TuningConfig, TuningResult, tune
+
+__all__ = ["autotune", "tuned_gemm"]
+
+
+def autotune(
+    device: Union[str, DeviceSpec],
+    precision: str = "d",
+    budget: Optional[int] = 4000,
+    seed: int = 0,
+    restrictions: Optional[SpaceRestrictions] = None,
+) -> TuningResult:
+    """Run the staged kernel search for one device and precision.
+
+    ``budget=None`` explores the full heuristic space (tens of thousands
+    of candidates, as in the paper's five-hour runs — a few seconds on
+    the simulator).
+    """
+    config = TuningConfig(budget=budget, seed=seed)
+    return tune(device, precision, config, restrictions)
+
+
+def tuned_gemm(
+    device: Union[str, DeviceSpec],
+    precision: str = "d",
+    params: Optional[KernelParams] = None,
+    use_pretuned: bool = True,
+    **routine_kwargs,
+) -> GemmRoutine:
+    """A ready-to-call GEMM routine for a device.
+
+    Resolution order: explicit ``params`` if given; the shipped pretuned
+    parameters if ``use_pretuned``; otherwise a fresh (default-budget)
+    auto-tuning run.
+    """
+    spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+    if params is None:
+        if use_pretuned:
+            try:
+                params = pretuned_params(spec.codename, precision)
+            except KeyError:
+                params = None
+        if params is None:
+            params = autotune(spec, precision).best.params
+    if params.precision != precision:
+        raise ValueError(
+            f"params are for precision {params.precision!r}, requested {precision!r}"
+        )
+    return GemmRoutine(spec, params, **routine_kwargs)

@@ -1,0 +1,25 @@
+"""Vendor-library baselines for the paper's comparisons.
+
+The evaluation compares the auto-tuned kernels against clBLAS, CUBLAS,
+MAGMA, MKL, ACML and ATLAS, plus the authors' previous-generation
+implementation.  Functionally these libraries are all GEMM (the numpy
+reference); what distinguishes them is *performance*, which this package
+models as per-library performance curves digitised from the paper's own
+tables and figures (see DESIGN.md, "Substitutions").
+"""
+
+from repro.baselines.curves import PerfCurve
+from repro.baselines.vendors import (
+    VENDOR_LIBRARIES,
+    VendorLibrary,
+    get_library,
+    libraries_for_device,
+)
+
+__all__ = [
+    "PerfCurve",
+    "VendorLibrary",
+    "VENDOR_LIBRARIES",
+    "get_library",
+    "libraries_for_device",
+]

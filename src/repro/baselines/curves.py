@@ -1,0 +1,62 @@
+"""Piecewise-linear performance curves.
+
+A :class:`PerfCurve` maps problem size to GFlop/s by linear
+interpolation between control points, with a configurable ramp below the
+first point (library kernels have fixed launch/dispatch overheads, so
+their throughput rises with size and saturates).  The vendor-library
+control points are digitised from the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PerfCurve"]
+
+
+@dataclass(frozen=True)
+class PerfCurve:
+    """Monotone-size performance curve from (size, GFlop/s) control points."""
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise ValueError("a PerfCurve needs at least one control point")
+        sizes = [s for s, _ in self.points]
+        if any(b <= a for a, b in zip(sizes, sizes[1:])):
+            raise ValueError(f"control-point sizes must be increasing: {sizes}")
+        if any(g < 0 for _, g in self.points):
+            raise ValueError("GFlop/s control values must be non-negative")
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[float, float]]) -> "PerfCurve":
+        return cls(tuple((float(s), float(g)) for s, g in pairs))
+
+    def gflops(self, size: float) -> float:
+        """Interpolated GFlop/s at a square problem size."""
+        if size <= 0:
+            return 0.0
+        sizes = np.array([s for s, _ in self.points])
+        values = np.array([g for _, g in self.points])
+        if size < sizes[0]:
+            # Launch-overhead ramp: throughput roughly proportional to
+            # work per fixed overhead below the first control point.
+            return float(values[0] * (size / sizes[0]) ** 1.5)
+        return float(np.interp(size, sizes, values))
+
+    def peak(self) -> float:
+        """Maximum GFlop/s over the control points."""
+        return max(g for _, g in self.points)
+
+    def seconds(self, M: int, N: int, K: int) -> float:
+        """Modelled wall time of one GEMM call (uses the geometric-mean
+        size as the curve coordinate for non-square problems)."""
+        size = (M * N * K) ** (1.0 / 3.0)
+        rate = self.gflops(size)
+        if rate <= 0:
+            raise ZeroDivisionError("curve has zero throughput at this size")
+        return 2.0 * M * N * K / (rate * 1e9)

@@ -1,0 +1,23 @@
+"""Benchmark harness: one regeneration target per paper table and figure.
+
+:mod:`repro.bench.experiments` holds the registry; each experiment
+returns an :class:`~repro.bench.harness.ExperimentResult` whose rendered
+form prints the same rows/series the paper reports.  The pytest-benchmark
+drivers in ``benchmarks/`` wrap these and persist the rendered output.
+"""
+
+from repro.bench.tables import Table
+from repro.bench.figures import Series, render_series
+from repro.bench.harness import ExperimentResult, kernel_series, sweep_sizes
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "Table",
+    "Series",
+    "render_series",
+    "ExperimentResult",
+    "kernel_series",
+    "sweep_sizes",
+    "EXPERIMENTS",
+    "run_experiment",
+]

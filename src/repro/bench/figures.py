@@ -1,0 +1,129 @@
+"""Data series for figure regeneration.
+
+A figure is a set of (size -> GFlop/s) series; ``render_series`` prints
+them as one aligned block (sizes as rows, series as columns), which is
+the textual equivalent of the paper's performance-vs-size plots and is
+easy to diff or re-plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Series", "render_series", "ascii_plot"]
+
+#: Per-series plot markers, assigned in order.
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    """One named curve of (x, y) points."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.name!r} has no point at x={x}")
+
+    @property
+    def max_y(self) -> float:
+        if not self.points:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.ys())
+
+
+def render_series(
+    series: Sequence[Series],
+    x_label: str = "N",
+    y_label: str = "GFlop/s",
+    title: str = "",
+) -> str:
+    """Render several series as one aligned table keyed by x."""
+    all_x = sorted({x for s in series for x in s.xs()})
+    lookup: List[Dict[float, float]] = [dict(s.points) for s in series]
+
+    headers = [x_label] + [f"{s.name} [{y_label}]" for s in series]
+    widths = [max(len(headers[0]), 6)] + [
+        max(len(h), 9) for h in headers[1:]
+    ]
+
+    def row_cells(x: float) -> List[str]:
+        cells = [f"{x:g}"]
+        for points in lookup:
+            y = points.get(x)
+            cells.append("-" if y is None else f"{y:.1f}")
+        return cells
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for x in all_x:
+        lines.append(
+            "  ".join(c.rjust(w) for c, w in zip(row_cells(x), widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series: Sequence[Series],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "GFlop/s",
+) -> str:
+    """Render series as a terminal line plot (the figures, literally).
+
+    Linear axes, one marker character per series, y axis labelled on the
+    left, x ticks below, legend at the bottom.
+    """
+    points = [s.points for s in series if s.points]
+    if not points:
+        raise ValueError("nothing to plot: all series are empty")
+    xs = [x for pts in points for x, _ in pts]
+    ys = [y for pts in points for _, y in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_max = max(ys) or 1.0
+    y_min = 0.0
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in s.points:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            grid[row][col] = marker
+
+    label_width = max(len(f"{y_max:.0f}"), len(f"{y_min:.0f}")) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        y_value = y_max - r * y_span / (height - 1)
+        label = f"{y_value:.0f}".rjust(label_width) if r % 4 == 0 or r == height - 1 else " " * label_width
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * label_width + "-+" + "-" * width)
+    x_ticks = f"{x_min:g}".ljust(width // 2) + f"{x_max:g}".rjust(width - width // 2)
+    lines.append(" " * (label_width + 2) + x_ticks)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(f"[{y_label}]  " + legend)
+    return "\n".join(lines)

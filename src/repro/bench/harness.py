@@ -1,0 +1,115 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bench.figures import Series, render_series
+from repro.bench.tables import Table
+from repro.codegen.params import KernelParams
+from repro.devices.specs import DeviceSpec
+from repro.perfmodel.model import estimate_kernel_time
+
+__all__ = ["ExperimentResult", "sweep_sizes", "kernel_series", "implementation_series"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced, renderable as plain text."""
+
+    experiment_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    figures: List[List[Series]] = field(default_factory=list)
+    figure_titles: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        self.tables.append(table)
+        return table
+
+    def add_figure(self, series: List[Series], title: str = "") -> None:
+        self.figures.append(series)
+        self.figure_titles.append(title)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            parts.append(table.render())
+        for series, title in zip(self.figures, self.figure_titles):
+            parts.append(render_series(series, title=title))
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        return "\n\n".join(parts) + "\n"
+
+    def get_table(self, title_fragment: str) -> Table:
+        for table in self.tables:
+            if title_fragment in table.title:
+                return table
+        raise KeyError(f"no table matching {title_fragment!r} in {self.experiment_id}")
+
+    def get_series(self, name: str) -> Series:
+        for fig in self.figures:
+            for s in fig:
+                if s.name == name:
+                    return s
+        raise KeyError(f"no series named {name!r} in {self.experiment_id}")
+
+
+def sweep_sizes(params: KernelParams, max_size: int, points: int = 8) -> List[int]:
+    """Sizes in multiples of the kernel's LCM, spread up to ``max_size``."""
+    lcm = params.lcm
+    min_n = max(lcm, params.algorithm.min_k_iterations * params.kwg)
+    if max_size < min_n:
+        return [min_n]
+    sizes = []
+    for i in range(1, points + 1):
+        target = max_size * i / points
+        n = max(min_n, int(target // lcm) * lcm)
+        if n not in sizes:
+            sizes.append(n)
+    return sizes
+
+
+def kernel_series(
+    spec: DeviceSpec,
+    params: KernelParams,
+    name: str,
+    max_size: int = 6144,
+    points: int = 8,
+    noise: bool = True,
+) -> Series:
+    """Kernel-only GFlop/s versus square size (the Fig. 7 measurement)."""
+    series = Series(name)
+    for n in sweep_sizes(params, max_size, points):
+        bd = estimate_kernel_time(spec, params, n, n, n, noise=noise)
+        series.add(n, bd.gflops)
+    return series
+
+
+def implementation_series(
+    spec: DeviceSpec,
+    params: KernelParams,
+    name: str,
+    max_size: int = 6144,
+    points: int = 8,
+    sizes: Optional[List[int]] = None,
+    noise: bool = True,
+) -> Series:
+    """Implementation-level GFlop/s (kernel + copies) versus size.
+
+    Sizes need not be blocking multiples — padding is part of what is
+    being measured, as in the paper's Figs. 9-11.
+    """
+    from repro.gemm.routine import predict_implementation
+
+    series = Series(name)
+    for n in sizes or sweep_sizes(params, max_size, points):
+        t = predict_implementation(spec, params, n, n, n, noise=noise)
+        series.add(n, 2.0 * n**3 / t.total_s / 1e9)
+    return series

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A simple column-aligned text table."""
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has {len(self.headers)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self, indent: str = "") -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return indent + "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        out = []
+        if self.title:
+            out.append(indent + self.title)
+        out.append(line(self.headers))
+        out.append(indent + "  ".join("-" * w for w in widths))
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def column(self, header: str) -> List[str]:
+        """Extract one column's cells (for tests)."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell, float_digits: Optional[int] = 1) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)

@@ -1,0 +1,18 @@
+"""GEMM-based Level-3 BLAS (and a LAPACK-style factorization).
+
+The paper's opening motivation: GEMM "is a building block of LAPACK and
+other Level-3 BLAS routines", citing Kågström, Ling & Van Loan's
+GEMM-based Level-3 BLAS [3].  This package realises that claim on top of
+the tuned GEMM routine: SYMM, SYRK, TRMM and TRSM are blocked so that
+asymptotically all floating-point work flows through the simulated GEMM
+kernel, with only small diagonal-block operations handled directly; a
+blocked Cholesky factorization (POTRF) demonstrates the LAPACK layer.
+"""
+
+from repro.blas3.routines import (
+    Blas3,
+    Blas3Result,
+    Blas3Timings,
+)
+
+__all__ = ["Blas3", "Blas3Result", "Blas3Timings"]

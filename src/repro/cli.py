@@ -1,0 +1,229 @@
+"""Command-line interface: ``repro-gemm`` / ``python -m repro``.
+
+Subcommands
+-----------
+``info``    — list simulated devices (Table I) or show one device.
+``tune``    — run the staged auto-tuner for a device and precision.
+``gemm``    — run one GEMM call with the tuned kernel and report rates.
+``bench``   — regenerate one (or all) paper tables/figures.
+``emit``    — print the generated OpenCL C for the tuned kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gemm",
+        description=(
+            "Auto-tuned OpenCL GEMM (simulated) — reproduction of "
+            "Matsumoto et al., SC Companion 2012."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="list or show simulated devices")
+    p_info.add_argument("device", nargs="?", help="codename (omit to list all)")
+
+    p_tune = sub.add_parser("tune", help="run the staged kernel search")
+    p_tune.add_argument("device")
+    p_tune.add_argument("--precision", choices=["s", "d"], default="d")
+    p_tune.add_argument(
+        "--budget", default="4000",
+        help="stage-1 candidate budget, or 'full' for the whole space",
+    )
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--shape", nargs=3, type=int, metavar=("M", "N", "K"),
+                        help="tune for a rectangular target shape")
+    p_tune.add_argument("--images", action="store_true",
+                        help="restrict the search to image-object kernels")
+    p_tune.add_argument("--guarded", action="store_true",
+                        help="restrict the search to bounds-checked kernels")
+    p_tune.add_argument("--no-refine", action="store_true",
+                        help="disable hill climbing (the paper's pure search)")
+    p_tune.add_argument("--save", metavar="DB.json",
+                        help="store the winner in a tuned-kernel database")
+
+    p_gemm = sub.add_parser("gemm", help="run one GEMM with the tuned kernel")
+    p_gemm.add_argument("device")
+    p_gemm.add_argument("--precision", choices=["s", "d"], default="d")
+    p_gemm.add_argument("--size", type=int, default=1024, help="square M=N=K")
+    p_gemm.add_argument("--transa", choices=["N", "T"], default="N")
+    p_gemm.add_argument("--transb", choices=["N", "T"], default="N")
+
+    p_bench = sub.add_parser("bench", help="regenerate paper tables/figures")
+    p_bench.add_argument("experiment", nargs="?", default="all",
+                         help="experiment id or 'all'")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="reduced tuning budgets")
+    p_bench.add_argument("--plot", action="store_true",
+                         help="render figures as terminal line plots")
+
+    p_analyze = sub.add_parser(
+        "analyze", help="explain a tuned kernel (cost factors, sensitivity)"
+    )
+    p_analyze.add_argument("device")
+    p_analyze.add_argument("--precision", choices=["s", "d"], default="d")
+
+    p_report = sub.add_parser(
+        "report", help="run all experiments and write a reproduction report"
+    )
+    p_report.add_argument("--output", default="REPORT.md")
+    p_report.add_argument("--quick", action="store_true")
+    p_report.add_argument("--plot", action="store_true",
+                          help="embed terminal line plots in the report")
+
+    p_emit = sub.add_parser("emit", help="print generated OpenCL C source")
+    p_emit.add_argument("device")
+    p_emit.add_argument("--precision", choices=["s", "d"], default="d")
+    return parser
+
+
+def _cmd_info(args) -> int:
+    from repro.bench.experiments import table1
+    from repro.devices import CATALOG, get_device_spec
+
+    if args.device:
+        spec = get_device_spec(args.device)
+        print(f"{spec.codename}: {spec.vendor} {spec.product_name}")
+        print(f"  type              : {spec.device_type.value}")
+        print(f"  clock             : {spec.clock_ghz} GHz x {spec.compute_units} CUs")
+        print(f"  peak DP / SP      : {spec.peak_dp_gflops} / {spec.peak_sp_gflops} GFlop/s")
+        print(f"  memory bandwidth  : {spec.bandwidth_gbs} GB/s")
+        print(f"  local memory      : {spec.local_mem_kb} kB ({spec.local_mem_type.value})")
+        print(f"  OpenCL SDK        : {spec.opencl_sdk}")
+    else:
+        print(table1().render())
+        extras = sorted(set(CATALOG) - {"tahiti", "cayman", "kepler", "fermi",
+                                        "sandybridge", "bulldozer"})
+        print(f"additional devices: {', '.join(extras)}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.codegen.space import SpaceRestrictions
+    from repro.devices import get_device_spec
+    from repro.tuner.results import ResultsDatabase
+    from repro.tuner.search import SearchEngine, TuningConfig
+
+    budget = None if args.budget == "full" else int(args.budget)
+    config = TuningConfig(
+        budget=budget,
+        seed=args.seed,
+        problem_shape=tuple(args.shape) if args.shape else None,
+        refine_rounds=0 if args.no_refine else 1,
+    )
+    restrictions = SpaceRestrictions(
+        forced_images=True if args.images else None,
+        forced_guarded=True if args.guarded else None,
+    )
+    result = SearchEngine(args.device, args.precision, config, restrictions).run()
+    spec = get_device_spec(args.device)
+    print(f"device        : {result.device}")
+    print(f"precision     : {result.precision}")
+    print(f"best kernel   : {result.best.params.summary()}")
+    print(f"best rate     : {result.best_gflops:.1f} GFlop/s "
+          f"({result.efficiency(spec) * 100:.0f}% of peak) at N={result.best.size}")
+    print(f"stats         : {result.stats.as_dict()}")
+    if args.save:
+        db = ResultsDatabase(args.save)
+        db.put_result(result)
+        db.save()
+        print(f"saved         : {args.save}")
+    return 0
+
+
+def _cmd_gemm(args) -> int:
+    from repro.api import tuned_gemm
+    from repro.gemm.reference import reference_gemm, relative_error
+
+    routine = tuned_gemm(args.device, args.precision)
+    n = args.size
+    rng = np.random.default_rng(0)
+    shape_a = (n, n)
+    a = rng.standard_normal(shape_a).astype(routine.dtype)
+    b = rng.standard_normal((n, n)).astype(routine.dtype)
+    result = routine(a, b, transa=args.transa, transb=args.transb)
+    err = relative_error(
+        result.c, reference_gemm(args.transa, args.transb, 1.0, a, b, 0.0)
+    )
+    print(f"{args.transa}{args.transb} {n}x{n}x{n} on {args.device} "
+          f"({'SGEMM' if args.precision == 's' else 'DGEMM'})")
+    print(f"  kernel    : {result.kernel_gflops:8.1f} GFlop/s (simulated)")
+    print(f"  effective : {result.effective_gflops:8.1f} GFlop/s incl. copies")
+    print(f"  max error : {err:.2e} vs numpy reference")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import EXPERIMENTS, run_experiment
+    from repro.bench.figures import ascii_plot
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for eid in ids:
+        result = run_experiment(eid, quick=args.quick)
+        print(result.render())
+        if args.plot:
+            for series, title in zip(result.figures, result.figure_titles):
+                print(ascii_plot(series, title=title))
+                print()
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.perfmodel.roofline import roofline_point
+    from repro.tuner.analysis import analyze_kernel
+    from repro.tuner.pretuned import pretuned_params
+
+    params = pretuned_params(args.device, args.precision)
+    analysis = analyze_kernel(args.device, params)
+    print(analysis.render())
+    print()
+    n = analysis.size
+    print(roofline_point(args.device, params, n, n, n).render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.report import generate_report
+
+    generate_report(args.output, quick=args.quick, plots=args.plot)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_emit(args) -> int:
+    from repro.codegen.emitter import emit_kernel_source
+    from repro.tuner.pretuned import pretuned_params
+
+    params = pretuned_params(args.device, args.precision)
+    print(emit_kernel_source(params))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "tune": _cmd_tune,
+    "gemm": _cmd_gemm,
+    "bench": _cmd_bench,
+    "analyze": _cmd_analyze,
+    "report": _cmd_report,
+    "emit": _cmd_emit,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

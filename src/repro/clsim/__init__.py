@@ -1,0 +1,55 @@
+"""A pyopencl-style OpenCL platform/runtime simulator.
+
+This package stands in for the OpenCL runtimes of the paper's testbeds
+(AMD APP, NVIDIA CUDA, Intel SDK).  It executes generated GEMM kernels
+*functionally* — numerically correct results computed through the exact
+blocking / ownership / layout structure of the kernel plan — and charges
+*simulated time* from :mod:`repro.perfmodel`, so auto-tuning behaves as
+it would on hardware (see DESIGN.md, "Substitutions").
+
+The API intentionally mirrors pyopencl::
+
+    import repro.clsim as cl
+
+    device = cl.get_device("tahiti")
+    ctx = cl.Context([device])
+    queue = cl.CommandQueue(ctx, device, profiling=True)
+    prog = cl.Program(ctx, kernel_source).build()
+    kern = prog.gemm_atb
+    kern.set_args(M, N, K, alpha, beta, a_buf, b_buf, c_buf)
+    evt = cl.enqueue_nd_range_kernel(queue, kern, gsize, lsize)
+    evt.wait()
+    elapsed_s = evt.profile.duration * 1e-9
+"""
+
+from repro.clsim.platform import Platform, get_platforms
+from repro.clsim.device import Device, get_device
+from repro.clsim.context import Context
+from repro.clsim.memory import Buffer, Image2D, MemFlags
+from repro.clsim.program import Program
+from repro.clsim.kernel import Kernel
+from repro.clsim.queue import (
+    CommandQueue,
+    Event,
+    ExecutionMode,
+    enqueue_copy,
+    enqueue_nd_range_kernel,
+)
+
+__all__ = [
+    "Platform",
+    "get_platforms",
+    "Device",
+    "get_device",
+    "Context",
+    "Buffer",
+    "Image2D",
+    "MemFlags",
+    "Program",
+    "Kernel",
+    "CommandQueue",
+    "Event",
+    "ExecutionMode",
+    "enqueue_copy",
+    "enqueue_nd_range_kernel",
+]

@@ -1,0 +1,61 @@
+"""Simulated OpenCL contexts with global-memory accounting."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.clsim.device import Device
+from repro.errors import CLError
+
+__all__ = ["Context"]
+
+
+class Context:
+    """An OpenCL context (``cl_context`` analogue) over one or more devices.
+
+    Tracks buffer allocations against the smallest device's global
+    memory, raising ``CLError`` on exhaustion — real tuners do hit
+    out-of-memory on 1 GB boards (the paper's Cayman) at large N.
+    """
+
+    def __init__(self, devices: Sequence[Device]):
+        if not devices:
+            raise CLError("a context needs at least one device")
+        if not all(isinstance(d, Device) for d in devices):
+            raise CLError("Context devices must be clsim.Device instances")
+        self.devices: List[Device] = list(devices)
+        self._allocated_bytes = 0
+        self._buffers: set = set()
+
+    @property
+    def device(self) -> Device:
+        """The first device (convenience for single-device contexts)."""
+        return self.devices[0]
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated_bytes
+
+    @property
+    def global_mem_capacity(self) -> int:
+        return min(d.global_mem_size for d in self.devices)
+
+    # -- allocation accounting (used by Buffer) --------------------------
+    def _register_allocation(self, buf) -> None:
+        if self._allocated_bytes + buf.size > self.global_mem_capacity:
+            raise CLError(
+                f"global memory exhausted: {self._allocated_bytes + buf.size} B "
+                f"requested of {self.global_mem_capacity} B "
+                f"on {self.device.codename}"
+            )
+        self._allocated_bytes += buf.size
+        self._buffers.add(id(buf))
+
+    def _unregister_allocation(self, buf) -> None:
+        if id(buf) in self._buffers:
+            self._buffers.discard(id(buf))
+            self._allocated_bytes -= buf.size
+
+    def __repr__(self) -> str:
+        names = ",".join(d.codename for d in self.devices)
+        return f"<Context [{names}] {self._allocated_bytes} B allocated>"

@@ -1,0 +1,95 @@
+"""Simulated OpenCL devices."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.catalog import get_device_spec
+from repro.devices.specs import DeviceSpec, DeviceType, LocalMemType
+
+__all__ = ["Device", "get_device"]
+
+
+class Device:
+    """An OpenCL device (``cl_device_id`` analogue) wrapping a spec.
+
+    Exposes the subset of ``clGetDeviceInfo`` queries the GEMM stack
+    uses, with pyopencl-style property names.
+    """
+
+    def __init__(self, spec: DeviceSpec, platform: Optional[object] = None):
+        self.spec = spec
+        self._platform = platform
+
+    # -- clGetDeviceInfo analogues ---------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.product_name
+
+    @property
+    def vendor(self) -> str:
+        return self.spec.vendor
+
+    @property
+    def type(self) -> DeviceType:
+        return self.spec.device_type
+
+    @property
+    def max_compute_units(self) -> int:
+        return self.spec.compute_units
+
+    @property
+    def max_clock_frequency(self) -> int:
+        """MHz, as OpenCL reports it."""
+        return int(self.spec.clock_ghz * 1000)
+
+    @property
+    def max_work_group_size(self) -> int:
+        return self.spec.model.max_workgroup_size
+
+    @property
+    def local_mem_size(self) -> int:
+        return self.spec.local_mem_bytes
+
+    @property
+    def local_mem_type(self) -> LocalMemType:
+        return self.spec.local_mem_type
+
+    @property
+    def global_mem_size(self) -> int:
+        return int(self.spec.global_mem_gb * (1 << 30))
+
+    @property
+    def double_fp_config(self) -> bool:
+        """Whether cl_khr_fp64 is supported (all catalog devices)."""
+        return True
+
+    @property
+    def platform(self):
+        if self._platform is None:
+            from repro.clsim.platform import get_platforms
+
+            for plat in get_platforms():
+                if any(d.spec.codename == self.spec.codename for d in plat.get_devices()):
+                    self._platform = plat
+                    break
+        return self._platform
+
+    # ---------------------------------------------------------------------
+    @property
+    def codename(self) -> str:
+        return self.spec.codename
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Device) and other.spec == self.spec
+
+    def __hash__(self) -> int:
+        return hash(self.spec.codename)
+
+    def __repr__(self) -> str:
+        return f"<Device {self.spec.codename!r} ({self.spec.product_name})>"
+
+
+def get_device(name: str) -> Device:
+    """Convenience lookup of a simulated device by catalog codename."""
+    return Device(get_device_spec(name))

@@ -1,0 +1,58 @@
+"""Simulated OpenCL platforms.
+
+One platform per vendor SDK in the catalog, each exposing its devices —
+matching how ``clGetPlatformIDs`` presents AMD APP, NVIDIA CUDA and the
+Intel SDK as separate platforms on a multi-vendor host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.catalog import CATALOG
+
+__all__ = ["Platform", "get_platforms"]
+
+
+class Platform:
+    """A vendor OpenCL platform (``cl_platform_id`` analogue)."""
+
+    def __init__(self, name: str, vendor: str, version: str, device_names: List[str]):
+        self.name = name
+        self.vendor = vendor
+        self.version = version
+        self._device_names = list(device_names)
+
+    def get_devices(self) -> List["Device"]:
+        """All devices of this platform (``clGetDeviceIDs`` analogue)."""
+        from repro.clsim.device import Device
+
+        return [Device(CATALOG[name], platform=self) for name in self._device_names]
+
+    def __repr__(self) -> str:
+        return f"<Platform {self.name!r} ({len(self._device_names)} devices)>"
+
+
+def _build_platforms() -> List[Platform]:
+    by_sdk: Dict[str, List[str]] = {}
+    for name, spec in CATALOG.items():
+        by_sdk.setdefault(spec.opencl_sdk.split()[0], []).append(name)
+    platforms = []
+    vendor_of = {"AMD": "Advanced Micro Devices, Inc.",
+                 "CUDA": "NVIDIA Corporation",
+                 "Intel": "Intel(R) Corporation"}
+    for sdk, names in sorted(by_sdk.items()):
+        platforms.append(
+            Platform(
+                name=f"{sdk} (simulated)",
+                vendor=vendor_of.get(sdk, sdk),
+                version="OpenCL 1.2 (repro-sim)",
+                device_names=sorted(names),
+            )
+        )
+    return platforms
+
+
+def get_platforms() -> List[Platform]:
+    """Enumerate simulated platforms (``clGetPlatformIDs`` analogue)."""
+    return _build_platforms()

@@ -1,0 +1,171 @@
+"""Program objects: the simulator's "OpenCL compiler".
+
+``Program(context, source).build()`` plays the role of
+``clBuildProgram``: it parses the generator's metadata header, constructs
+and verifies the executable plan for the kernel kind it finds (the GEMM
+kernel of :mod:`repro.codegen.emitter` or the pack/transpose kernels of
+:mod:`repro.codegen.packers`), checks the kernel against every device
+resource limit, and applies the device-specific quirks the paper
+reports.  Kernels that fail here are exactly the candidates the paper's
+tuner "does not count".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.clsim.context import Context
+from repro.codegen.emitter import KERNEL_NAME, parse_any_meta
+from repro.codegen.packers import PACK_KERNEL_NAME, PACK_TILE, PackPlan
+from repro.codegen.params import KernelParams
+from repro.codegen.plan import KernelPlan, build_plan
+from repro.errors import BuildError, ParameterError, ResourceError
+from repro.perfmodel.model import check_resources
+
+__all__ = ["Program"]
+
+
+class Program:
+    """A program object (``cl_program`` analogue)."""
+
+    def __init__(self, context: Context, source: str, from_binary: bool = False):
+        self.context = context
+        self.source = source
+        #: Programs re-created from binaries carry only the metadata
+        #: "blob", not compilable source; the linter does not apply.
+        self.from_binary = from_binary
+        self._built = False
+        self._kernels: Dict[str, object] = {}
+        self._params: Optional[KernelParams] = None
+        self._plan: Optional[KernelPlan] = None
+        self._pack_plan: Optional[PackPlan] = None
+        self.build_log = ""
+
+    # -- metadata exposed after build -------------------------------------
+    @property
+    def params(self) -> KernelParams:
+        if self._params is None:
+            raise BuildError("program is not built (or is not a GEMM program)")
+        return self._params
+
+    @property
+    def plan(self) -> KernelPlan:
+        if self._plan is None:
+            raise BuildError("program is not built (or is not a GEMM program)")
+        return self._plan
+
+    @property
+    def pack_plan(self) -> PackPlan:
+        if self._pack_plan is None:
+            raise BuildError("program is not built (or is not a pack program)")
+        return self._pack_plan
+
+    @property
+    def kernel_kind(self) -> str:
+        """'gemm' or 'pack' (after a successful build)."""
+        if self._plan is not None:
+            return "gemm"
+        if self._pack_plan is not None:
+            return "pack"
+        raise BuildError("program is not built")
+
+    # ----------------------------------------------------------------------
+    def build(self, options: str = "") -> "Program":
+        """Compile the source for every context device.
+
+        Raises :class:`~repro.errors.BuildError` (or its subclass
+        :class:`~repro.errors.ResourceError`) with a populated
+        ``build_log`` on failure, mirroring ``CL_BUILD_PROGRAM_FAILURE``.
+        """
+        log_lines = [f"build options: {options!r}" if options else "build options: none"]
+        try:
+            meta = parse_any_meta(self.source)
+        except BuildError as exc:
+            self.build_log = "\n".join(log_lines + [str(exc)])
+            raise
+        from repro.codegen.lint import lint_source
+
+        diagnostics = [] if self.from_binary else lint_source(self.source)
+        if diagnostics:
+            err = BuildError(
+                "source failed structural checks: " + "; ".join(diagnostics)
+            )
+            self.build_log = "\n".join(log_lines + [str(err)])
+            raise err
+        kind = meta.get("kernel")
+        try:
+            if kind == KERNEL_NAME:
+                self._build_gemm(meta, log_lines)
+            elif kind == PACK_KERNEL_NAME:
+                self._build_pack(meta, log_lines)
+            else:
+                raise BuildError(f"unknown generated kernel kind {kind!r}")
+        except BuildError as exc:
+            self.build_log = "\n".join(log_lines + [str(exc)])
+            raise
+        self._built = True
+        self.build_log = "\n".join(log_lines)
+        return self
+
+    def _build_gemm(self, meta: dict, log_lines: list) -> None:
+        from repro.clsim.kernel import Kernel
+
+        try:
+            params = KernelParams.from_dict(meta["params"])
+            plan = build_plan(params)
+        except (ParameterError, KeyError, TypeError) as exc:
+            raise BuildError(f"plan verification failed: {exc}") from exc
+        for device in self.context.devices:
+            spec = device.spec
+            if params.precision == "d" and not device.double_fp_config:
+                raise BuildError(f"{spec.codename} does not support cl_khr_fp64")
+            occ = check_resources(spec, params)  # may raise ResourceError
+            log_lines.append(
+                f"{spec.codename}: ok ({occ.workgroups_per_cu} work-group(s)/CU, "
+                f"limited by {occ.limited_by})"
+            )
+        self._params = params
+        self._plan = plan
+        self._kernels[KERNEL_NAME] = Kernel(self, KERNEL_NAME)
+
+    def _build_pack(self, meta: dict, log_lines: list) -> None:
+        from repro.clsim.kernel import PackKernel
+
+        try:
+            pack_plan = PackPlan.from_dict(meta["pack"])
+        except (ParameterError, KeyError, TypeError, ValueError) as exc:
+            raise BuildError(f"pack plan verification failed: {exc}") from exc
+        wg = PACK_TILE * PACK_TILE
+        for device in self.context.devices:
+            spec = device.spec
+            if pack_plan.precision == "d" and not device.double_fp_config:
+                raise BuildError(f"{spec.codename} does not support cl_khr_fp64")
+            if wg > spec.model.max_workgroup_size:
+                raise ResourceError(
+                    f"pack work-group size {wg} exceeds device limit "
+                    f"{spec.model.max_workgroup_size} on {spec.codename}"
+                )
+            log_lines.append(f"{spec.codename}: ok (pack kernel)")
+        self._pack_plan = pack_plan
+        self._kernels[PACK_KERNEL_NAME] = PackKernel(self, PACK_KERNEL_NAME)
+
+    # ----------------------------------------------------------------------
+    def get_kernel(self, name: str):
+        if not self._built:
+            raise BuildError("program must be built before creating kernels")
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise BuildError(
+                f"no kernel {name!r} in program (have {sorted(self._kernels)})"
+            ) from None
+
+    def __getattr__(self, name: str):
+        # pyopencl style: program.gemm_atb / program.pack_operand
+        if not name.startswith("_") and self._built and name in self._kernels:
+            return self._kernels[name]
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:
+        state = "built" if self._built else "unbuilt"
+        return f"<Program {state}, {len(self.source)} chars>"

@@ -1,0 +1,151 @@
+"""Command tracing and profiling reports.
+
+A :class:`CommandTracer` attaches to a :class:`~repro.clsim.queue.CommandQueue`
+and records every enqueued command with its simulated timestamps —
+the simulator's counterpart of an OpenCL profiler (AMD's sprofile /
+NVIDIA's nvprof era tools).  The collected trace renders as a timeline
+and an aggregate profile, which is how one *sees* the copy-vs-kernel
+split the paper discusses for the full GEMM implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clsim.queue import CommandQueue, Event
+
+__all__ = ["TraceRecord", "CommandTracer", "attach_tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced command."""
+
+    index: int
+    command: str
+    start_ns: int
+    end_ns: int
+    label: str = ""
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns * 1e-6
+
+
+class CommandTracer:
+    """Records the commands of one queue.
+
+    Use :func:`attach_tracer` (or the constructor) and read
+    ``records``/``profile()``/``render()`` afterwards::
+
+        tracer = attach_tracer(queue)
+        ... enqueue work ...
+        print(tracer.render())
+    """
+
+    def __init__(self, queue: CommandQueue):
+        self.queue = queue
+        self.records: List[TraceRecord] = []
+        self._original_advance = queue._advance
+        self._pending_label: Optional[str] = None
+        queue._advance = self._traced_advance  # type: ignore[method-assign]
+        self._active = True
+        # The command name is known to the queue methods, not _advance;
+        # wrap the public entry points to capture it.
+        self._wrap(queue)
+
+    # ------------------------------------------------------------------
+    def _wrap(self, queue: CommandQueue) -> None:
+        original_launch = queue.launch
+        original_copy = queue.copy
+
+        def launch(kernel, global_size, local_size, wait_for=None):
+            self._pending_label = getattr(kernel, "name", type(kernel).__name__)
+            try:
+                return original_launch(kernel, global_size, local_size,
+                                       wait_for=wait_for)
+            finally:
+                self._pending_label = None
+
+        def copy(dest, src, wait_for=None):
+            self._pending_label = "copy"
+            try:
+                return original_copy(dest, src, wait_for=wait_for)
+            finally:
+                self._pending_label = None
+
+        queue.launch = launch  # type: ignore[method-assign]
+        queue.copy = copy  # type: ignore[method-assign]
+        self._original_launch = original_launch
+        self._original_copy = original_copy
+
+    def _traced_advance(self, seconds: float, engine: str = "compute",
+                        wait_for=None):
+        start, end = self._original_advance(seconds, engine, wait_for)
+        if self._active:
+            self.records.append(
+                TraceRecord(
+                    index=len(self.records),
+                    command=self._pending_label or "command",
+                    start_ns=start,
+                    end_ns=end,
+                )
+            )
+        return start, end
+
+    def detach(self) -> None:
+        """Stop tracing and restore the queue's original methods."""
+        self._active = False
+        self.queue._advance = self._original_advance  # type: ignore[method-assign]
+        self.queue.launch = self._original_launch  # type: ignore[method-assign]
+        self.queue.copy = self._original_copy  # type: ignore[method-assign]
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def total_ns(self) -> int:
+        if not self.records:
+            return 0
+        return self.records[-1].end_ns - self.records[0].start_ns
+
+    def profile(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate time per command kind."""
+        agg: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            entry = agg.setdefault(record.command, {"calls": 0, "ns": 0})
+            entry["calls"] += 1
+            entry["ns"] += record.duration_ns
+        total = sum(e["ns"] for e in agg.values()) or 1
+        for entry in agg.values():
+            entry["share"] = entry["ns"] / total
+        return agg
+
+    def render(self, max_rows: int = 40) -> str:
+        """Timeline plus aggregate profile as text."""
+        lines = ["simulated command timeline:"]
+        for record in self.records[:max_rows]:
+            lines.append(
+                f"  [{record.start_ns / 1e6:10.3f} ms .. {record.end_ns / 1e6:10.3f} ms] "
+                f"{record.command:14s} {record.duration_ms:9.3f} ms"
+            )
+        if len(self.records) > max_rows:
+            lines.append(f"  ... {len(self.records) - max_rows} more commands")
+        lines.append("")
+        lines.append("profile by command kind:")
+        for command, entry in sorted(
+            self.profile().items(), key=lambda kv: -kv[1]["ns"]
+        ):
+            lines.append(
+                f"  {command:14s} {int(entry['calls']):4d} calls  "
+                f"{entry['ns'] / 1e6:10.3f} ms  {entry['share']:6.1%}"
+            )
+        return "\n".join(lines)
+
+
+def attach_tracer(queue: CommandQueue) -> CommandTracer:
+    """Attach a tracer to a queue; call ``tracer.detach()`` when done."""
+    return CommandTracer(queue)

@@ -1,0 +1,35 @@
+"""GEMM code generator (paper Section III).
+
+Given a :class:`~repro.codegen.params.KernelParams` vector, the generator
+produces an OpenCL C kernel computing ``C <- alpha * A^T B + beta * C``
+(:mod:`repro.codegen.emitter`) together with an executable
+:class:`~repro.codegen.plan.KernelPlan` the OpenCL simulator runs.
+:mod:`repro.codegen.space` enumerates the heuristic search space the
+auto-tuner explores.
+"""
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.layouts import Layout
+from repro.codegen.params import KernelParams, StrideMode
+from repro.codegen.emitter import emit_kernel_source, parse_meta_header
+from repro.codegen.plan import KernelPlan, build_plan
+from repro.codegen.space import (
+    SpaceRestrictions,
+    enumerate_space,
+    seed_candidates,
+    space_size_estimate,
+)
+
+__all__ = [
+    "Algorithm",
+    "Layout",
+    "KernelParams",
+    "StrideMode",
+    "emit_kernel_source",
+    "parse_meta_header",
+    "KernelPlan",
+    "build_plan",
+    "SpaceRestrictions",
+    "enumerate_space",
+    "space_size_estimate",
+]

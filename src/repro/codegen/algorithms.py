@@ -1,0 +1,62 @@
+"""The three GEMM algorithms the generator can emit (paper Section III-E).
+
+* **BA** — the basic algorithm (paper Fig. 4), similar to Volkov & Demmel's
+  SC'08 kernel: stage tiles, barrier, unrolled inner multiply-add loop.
+* **PL** — software pipelining (paper Fig. 5), after Nath/Tomov/Dongarra's
+  MAGMA Fermi kernel: the loop body prefetches the *next* tiles from global
+  memory into private registers while computing on the current tiles, then
+  commits the prefetch to local memory.  Hides global-memory latency at the
+  cost of extra private memory (registers).
+* **DB** — double buffering (paper Fig. 6), a variant of Tan et al.'s SC'11
+  DGEMM: two half-sized local-memory buffers alternate between being
+  loaded and being computed on.  Needs less private memory than PL but
+  twice the local-memory space.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Algorithm"]
+
+
+class Algorithm(enum.Enum):
+    """GEMM kernel algorithm selector (a code-generator parameter)."""
+
+    BA = "BA"
+    PL = "PL"
+    DB = "DB"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+    @property
+    def local_buffer_copies(self) -> int:
+        """How many copies of each staged tile live in local memory."""
+        return 2 if self is Algorithm.DB else 1
+
+    @property
+    def uses_private_staging(self) -> bool:
+        """PL stages the next global tile in private memory (registers)."""
+        return self is Algorithm.PL
+
+    @property
+    def requires_local_memory(self) -> bool:
+        """DB double-buffers *local* tiles, so it needs at least one
+        matrix staged through local memory; BA and PL degrade gracefully
+        to direct global->private loads."""
+        return self is Algorithm.DB
+
+    @property
+    def min_k_iterations(self) -> int:
+        """PL and DB peel a prologue/epilogue, so they need at least two
+        work-group k-iterations (``K >= 2 * Kwg``)."""
+        return 2 if self in (Algorithm.PL, Algorithm.DB) else 1
+
+
+_DESCRIPTIONS = {
+    Algorithm.BA: "basic algorithm (Volkov & Demmel style; paper Fig. 4)",
+    Algorithm.PL: "software pipelining (MAGMA Fermi style; paper Fig. 5)",
+    Algorithm.DB: "double buffering in local memory (Tan et al. style; paper Fig. 6)",
+}

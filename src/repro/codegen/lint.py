@@ -1,0 +1,85 @@
+"""Structural linting of generated OpenCL C.
+
+A real OpenCL compiler front-end parses the source; the simulator's
+compiler reconstructs the plan from metadata, so a generator bug could
+in principle emit source that disagrees with the plan.  This linter
+closes that gap with structural checks the test-suite and
+``Program.build`` run over every emitted kernel: balanced delimiters,
+unique macro definitions, macro-use-before-definition, barrier/local
+consistency, and the presence of the advertised kernel entry point.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["lint_source"]
+
+_DELIMS = {"{": "}", "(": ")", "[": "]"}
+_CLOSERS = {v: k for k, v in _DELIMS.items()}
+_DEFINE_RE = re.compile(r"^\s*#define\s+([A-Za-z_][A-Za-z_0-9]*)")
+_MACRO_CALL_RE = re.compile(r"\b(READ_[AB])\s*\(")
+
+
+def _strip_comments_and_strings(source: str) -> str:
+    source = re.sub(r"/\*.*?\*/", " ", source, flags=re.DOTALL)
+    source = re.sub(r"//[^\n]*", " ", source)
+    source = re.sub(r'"(?:[^"\\]|\\.)*"', '""', source)
+    return source
+
+
+def lint_source(source: str) -> List[str]:
+    """Return a list of diagnostics; an empty list means clean."""
+    diagnostics: List[str] = []
+    code = _strip_comments_and_strings(source)
+
+    # 1. balanced delimiters
+    stack: List[str] = []
+    for ch in code:
+        if ch in _DELIMS:
+            stack.append(ch)
+        elif ch in _CLOSERS:
+            if not stack or stack[-1] != _CLOSERS[ch]:
+                diagnostics.append(f"unbalanced delimiter {ch!r}")
+                stack = []  # avoid cascading reports
+                break
+            stack.pop()
+    if stack:
+        diagnostics.append(f"unclosed delimiter {stack[-1]!r}")
+
+    # 2. unique #define names
+    defined = []
+    for line in code.splitlines():
+        m = _DEFINE_RE.match(line)
+        if m:
+            name = m.group(1)
+            if name in defined:
+                diagnostics.append(f"duplicate #define {name}")
+            defined.append(name)
+
+    # 3. READ_A/READ_B used only after definition
+    define_pos = {
+        name: code.find(f"#define {name}") for name in ("READ_A", "READ_B")
+    }
+    for m in _MACRO_CALL_RE.finditer(code):
+        name = m.group(1)
+        pos = define_pos.get(name, -1)
+        if pos < 0:
+            diagnostics.append(f"{name} used but never defined")
+            break
+        if m.start() < pos:
+            diagnostics.append(f"{name} used before its definition")
+            break
+
+    # 4. barriers imply local memory (and a sampler implies images)
+    if "barrier(CLK_LOCAL_MEM_FENCE)" in code and "__local" not in code:
+        diagnostics.append("barrier without any __local declaration")
+    if "read_image" in code and "sampler_t" not in code:
+        diagnostics.append("image read without a sampler")
+
+    # 5. a kernel entry point exists
+    if "__kernel" not in code:
+        diagnostics.append("no __kernel entry point")
+
+    return diagnostics

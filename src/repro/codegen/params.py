@@ -1,0 +1,373 @@
+"""Kernel parameter vector (the code generator's input; paper Section III).
+
+A :class:`KernelParams` instance fully determines one generated
+``C <- alpha * A^T B + beta * C`` kernel:
+
+====================  =====================================================
+``mwg, nwg, kwg``     work-group blocking factors (Fig. 1)
+``mdimc, ndimc``      work-group shape; the work-item blocking factors are
+                      derived: ``mwi = mwg/mdimc``, ``nwi = nwg/ndimc``
+``kwi``               unroll depth of the innermost loop (a blocking factor:
+                      ``kwg % kwi == 0``)
+``mdima, ndimb``      reshaped work-item assignment for staging A and B into
+                      local memory (Section III-C); the companion dimensions
+                      are derived: ``kdima = mdimc*ndimc/mdima``,
+                      ``kdimb = mdimc*ndimc/ndimb``
+``vw``                vector width of generated vector variables (III-B)
+``stride_m/stride_n`` non-unit-stride C ownership per direction (III-B)
+``shared_a/shared_b`` stage A / B tiles through local memory (III-C)
+``layout_a/layout_b`` packed data layout per operand (III-D; Fig. 3)
+``algorithm``         BA, PL or DB (III-E; Figs. 4-6)
+``precision``         's' (SGEMM) or 'd' (DGEMM)
+``use_images``        read operands through image objects / texture cache
+                      (an extension; Section III-F notes the paper's
+                      generator does not use images)
+====================  =====================================================
+
+Construction validates every structural constraint; invalid combinations
+raise :class:`~repro.errors.ParameterError`, which the auto-tuner counts
+as "failed in code generation".
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.layouts import Layout
+from repro.errors import ParameterError
+
+__all__ = ["KernelParams", "StrideMode", "VALID_VECTOR_WIDTHS", "PRECISION_SIZES"]
+
+VALID_VECTOR_WIDTHS = (1, 2, 4, 8)
+PRECISION_SIZES: Dict[str, int] = {"s": 4, "d": 8}
+
+
+@dataclass(frozen=True)
+class StrideMode:
+    """Which C-ownership directions use non-unit (interleaved) stride.
+
+    With unit stride a work-item owns an adjacent ``mwi x nwi`` sub-block
+    of the C tile (paper Fig. 2a); with non-unit stride its elements are
+    interleaved across the work-group with stride ``mdimc`` (``ndimc``)
+    in the M (N) direction (Fig. 2b).  When vector variables are used the
+    interleaving granularity is ``vw`` elements.
+    """
+
+    m: bool = False
+    n: bool = False
+
+    def label(self) -> str:
+        parts = [d for d, on in (("M", self.m), ("N", self.n)) if on]
+        return ",".join(parts) if parts else "-"
+
+    @classmethod
+    def from_label(cls, label: str) -> "StrideMode":
+        label = label.strip().upper()
+        if label in ("", "-", "NONE"):
+            return cls()
+        parts = {p.strip() for p in label.split(",")}
+        bad = parts - {"M", "N"}
+        if bad:
+            raise ParameterError(f"unknown stride directions {sorted(bad)}")
+        return cls(m="M" in parts, n="N" in parts)
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ParameterError(message)
+
+
+@dataclass(frozen=True)
+class KernelParams:
+    """A validated point in the code generator's parameter space."""
+
+    precision: str
+    mwg: int
+    nwg: int
+    kwg: int
+    mdimc: int
+    ndimc: int
+    kwi: int = 1
+    vw: int = 1
+    stride: StrideMode = field(default_factory=StrideMode)
+    shared_a: bool = False
+    shared_b: bool = False
+    mdima: int = 0  # 0 means "same as mdimc" (no reshape)
+    ndimb: int = 0  # 0 means "same as ndimc"
+    layout_a: Layout = Layout.ROW
+    layout_b: Layout = Layout.ROW
+    algorithm: Algorithm = Algorithm.BA
+    #: Read A and B through image objects (texture cache) instead of
+    #: buffers.  An extension beyond the paper's generator ("image
+    #: objects ... are not used currently", Section III-F), modelled on
+    #: Nakasato's texture-based kernels [18].
+    use_images: bool = False
+    #: Emit bounds checks so the kernel handles problem sizes that are
+    #: not blocking multiples (the alternative to the paper's zero
+    #: padding, and what its proposed copy-free small-size kernel
+    #: needs).  Guarded kernels read operands in their original row-major
+    #: storage.
+    guard_edges: bool = False
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        _require(self.precision in PRECISION_SIZES, f"precision must be 's' or 'd', got {self.precision!r}")
+        for name in ("mwg", "nwg", "kwg", "mdimc", "ndimc", "kwi"):
+            _require(getattr(self, name) >= 1, f"{name} must be >= 1")
+        _require(self.vw in VALID_VECTOR_WIDTHS, f"vector width {self.vw} not in {VALID_VECTOR_WIDTHS}")
+        _require(self.mwg % self.mdimc == 0, f"mwg={self.mwg} not divisible by mdimc={self.mdimc}")
+        _require(self.nwg % self.ndimc == 0, f"nwg={self.nwg} not divisible by ndimc={self.ndimc}")
+        _require(self.kwg % self.kwi == 0, f"kwg={self.kwg} not divisible by kwi={self.kwi}")
+
+        # Canonicalise the staging reshape parameters: they only exist for
+        # matrices staged through local memory.
+        if not self.shared_a:
+            object.__setattr__(self, "mdima", 0)
+        if not self.shared_b:
+            object.__setattr__(self, "ndimb", 0)
+
+        mwi, nwi = self.mwi, self.nwi
+        if self.vw > 1:
+            _require(mwi % self.vw == 0, f"mwi={mwi} not divisible by vector width {self.vw}")
+            _require(nwi % self.vw == 0, f"nwi={nwi} not divisible by vector width {self.vw}")
+
+        wg = self.workgroup_size
+        if self.shared_a:
+            mdima = self.effective_mdima
+            _require(wg % mdima == 0, f"work-group size {wg} not divisible by mdima={mdima}")
+            kdima = wg // mdima
+            _require(self.mwg % mdima == 0, f"mwg={self.mwg} not divisible by mdima={mdima}")
+            _require(self.kwg % kdima == 0, f"kwg={self.kwg} not divisible by kdima={kdima}")
+        if self.shared_b:
+            ndimb = self.effective_ndimb
+            _require(wg % ndimb == 0, f"work-group size {wg} not divisible by ndimb={ndimb}")
+            kdimb = wg // ndimb
+            _require(self.nwg % ndimb == 0, f"nwg={self.nwg} not divisible by ndimb={ndimb}")
+            _require(self.kwg % kdimb == 0, f"kwg={self.kwg} not divisible by kdimb={kdimb}")
+
+        if self.use_images:
+            # Image objects are addressed by 2-D texel coordinates, so
+            # block-major host layouts are meaningless for them.
+            _require(
+                self.layout_a is Layout.ROW and self.layout_b is Layout.ROW,
+                "image-object kernels address operands as 2-D textures; "
+                "layouts must be ROW",
+            )
+        if self.guard_edges:
+            # Partial tiles cannot be block-major packed: guarded kernels
+            # read the operands as the user stored them.
+            _require(
+                self.layout_a is Layout.ROW and self.layout_b is Layout.ROW,
+                "edge-guarded kernels read unpacked operands; layouts must be ROW",
+            )
+
+        if self.algorithm is Algorithm.DB:
+            _require(
+                self.shared_a or self.shared_b,
+                "DB algorithm double-buffers local memory; at least one matrix must be shared",
+            )
+            half = self.kwg // 2
+            _require(self.kwg % 2 == 0, "DB requires an even kwg (two half-buffers)")
+            _require(half % self.kwi == 0, f"DB half-buffer kwg/2={half} not divisible by kwi={self.kwi}")
+            if self.shared_a:
+                kdima = self.workgroup_size // self.effective_mdima
+                _require(
+                    (half % kdima == 0),
+                    "DB requires each half tile of A to be loadable by the work-group "
+                    f"(kwg/2={half} not divisible by kdima={kdima})",
+                )
+            if self.shared_b:
+                kdimb = self.workgroup_size // self.effective_ndimb
+                _require(
+                    (half % kdimb == 0),
+                    "DB requires each half tile of B to be loadable by the work-group "
+                    f"(kwg/2={half} not divisible by kdimb={kdimb})",
+                )
+
+    # -- derived quantities (paper notation) ----------------------------
+    @property
+    def mwi(self) -> int:
+        """Work-item blocking factor in M: ``Mwi = Mwg / MdimC``."""
+        return self.mwg // self.mdimc
+
+    @property
+    def nwi(self) -> int:
+        """Work-item blocking factor in N: ``Nwi = Nwg / NdimC``."""
+        return self.nwg // self.ndimc
+
+    @property
+    def workgroup_size(self) -> int:
+        return self.mdimc * self.ndimc
+
+    @property
+    def effective_mdima(self) -> int:
+        """Staging grid width for A (``MdimA``); defaults to ``MdimC``."""
+        return self.mdima if self.mdima else self.mdimc
+
+    @property
+    def effective_ndimb(self) -> int:
+        """Staging grid width for B (``NdimB``); defaults to ``NdimC``."""
+        return self.ndimb if self.ndimb else self.ndimc
+
+    @property
+    def kdima(self) -> int:
+        """``KdimA = (MdimC * NdimC) / MdimA`` (Section III-C)."""
+        return self.workgroup_size // self.effective_mdima
+
+    @property
+    def kdimb(self) -> int:
+        """``KdimB = (MdimC * NdimC) / NdimB`` (Section III-C)."""
+        return self.workgroup_size // self.effective_ndimb
+
+    @property
+    def mwia(self) -> int:
+        """Per-work-item A-staging tile width: ``MwiA = Mwg / MdimA``."""
+        return self.mwg // self.effective_mdima
+
+    @property
+    def kwia(self) -> int:
+        """Per-work-item A-staging tile height: ``KwiA = Kwg / KdimA``."""
+        return self.kwg // self.kdima
+
+    @property
+    def kwib(self) -> int:
+        """Per-work-item B-staging tile height: ``KwiB = Kwg / KdimB``."""
+        return self.kwg // self.kdimb
+
+    @property
+    def nwib(self) -> int:
+        """Per-work-item B-staging tile width: ``NwiB = Nwg / NdimB``."""
+        return self.nwg // self.effective_ndimb
+
+    @property
+    def element_size(self) -> int:
+        return PRECISION_SIZES[self.precision]
+
+    @property
+    def lcm(self) -> int:
+        """Least common multiple of the work-group blocking factors.
+
+        The tuner measures at problem sizes that are multiples of this
+        (paper Section III-F); the GEMM routine zero-pads to it.
+        """
+        return math.lcm(self.mwg, self.nwg, self.kwg)
+
+    # -- resource footprints --------------------------------------------
+    def local_memory_bytes(self) -> int:
+        """Local-memory footprint of one work-group."""
+        copies = self.algorithm.local_buffer_copies
+        total = 0
+        if self.shared_a:
+            total += self.mwg * self.kwg
+        if self.shared_b:
+            total += self.nwg * self.kwg
+        return total * self.element_size * copies
+
+    def private_elements(self) -> int:
+        """Per-work-item private-memory footprint in matrix elements.
+
+        Counts the C accumulators, the *live* A/B fragments of the inner
+        loop (compilers recycle fragment registers across the unrolled
+        ``Kwi`` steps, so at most ~2 k-slices are live at once), and —
+        for PL — the prefetch staging registers, which must all stay
+        live across the whole inner loop.
+        """
+        acc = self.mwi * self.nwi
+        kwi_live = min(self.kwi, 2)
+        frags = self.mwi * kwi_live + kwi_live * self.nwi
+        staging = 0
+        if self.algorithm.uses_private_staging:
+            if self.shared_a:
+                staging += self.mwia * self.kwia
+            if self.shared_b:
+                staging += self.kwib * self.nwib
+        return acc + frags + staging
+
+    def private_bytes(self) -> int:
+        """Per-work-item private footprint in bytes (plus address overhead)."""
+        scalar_overhead = 16 * 4  # loop counters, base pointers, ids
+        return self.private_elements() * self.element_size + scalar_overhead
+
+    def flops_per_workgroup_iteration(self) -> int:
+        """FP operations one work-group performs per ``Kwg`` step."""
+        return 2 * self.mwg * self.nwg * self.kwg
+
+    # -- (de)serialisation -----------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        d = asdict(self)
+        d["stride"] = self.stride.label()
+        d["layout_a"] = self.layout_a.value
+        d["layout_b"] = self.layout_b.value
+        d["algorithm"] = self.algorithm.value
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "KernelParams":
+        d = dict(d)
+        d["stride"] = StrideMode.from_label(str(d.get("stride", "-")))
+        d["layout_a"] = Layout(d.get("layout_a", "ROW"))
+        d["layout_b"] = Layout(d.get("layout_b", "ROW"))
+        d["algorithm"] = Algorithm(d.get("algorithm", "BA"))
+        return cls(**d)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "KernelParams":
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes) -> "KernelParams":
+        """Return a validated copy with fields replaced."""
+        return replace(self, **changes)
+
+    # -- presentation ------------------------------------------------------
+    def shared_label(self) -> str:
+        parts = [m for m, on in (("A", self.shared_a), ("B", self.shared_b)) if on]
+        return ",".join(parts) if parts else "-"
+
+    def summary(self) -> str:
+        """One-line summary in the style of the paper's Table II rows."""
+        return (
+            f"{self.precision}gemm "
+            f"wg={self.mwg},{self.nwg},{self.kwg} "
+            f"wi={self.mwi},{self.nwi},{self.kwi} "
+            f"dimC={self.mdimc},{self.ndimc} "
+            f"dimA={self.effective_mdima},{self.kdima} "
+            f"dimB={self.kdimb},{self.effective_ndimb} "
+            f"vw={self.vw} stride={self.stride.label()} "
+            f"shared={self.shared_label()} "
+            f"layout={self.layout_a.value},{self.layout_b.value} "
+            f"alg={self.algorithm.value}"
+            + (" img" if self.use_images else "")
+            + (" guarded" if self.guard_edges else "")
+        )
+
+    def table2_cells(self) -> Dict[str, str]:
+        """Cells for a Table II style report column."""
+        return {
+            "Mwg,Nwg,Kwg": f"{self.mwg},{self.nwg},{self.kwg}",
+            "Mwi,Nwi,Kwi": f"{self.mwi},{self.nwi},{self.kwi}",
+            "MdimC,NdimC": f"{self.mdimc},{self.ndimc}",
+            "MdimA,KdimA": f"{self.effective_mdima},{self.kdima}",
+            "KdimB,NdimB": f"{self.kdimb},{self.effective_ndimb}",
+            "Vector": str(self.vw),
+            "Stride": self.stride.label(),
+            "Shared": self.shared_label(),
+            "Layout": f"{self.layout_a.value},{self.layout_b.value}",
+            "Algorithm": self.algorithm.value,
+        }
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity for result databases."""
+        return (
+            self.precision, self.mwg, self.nwg, self.kwg, self.mdimc,
+            self.ndimc, self.kwi, self.vw, self.stride.m, self.stride.n,
+            self.shared_a, self.shared_b, self.mdima, self.ndimb,
+            self.layout_a.value, self.layout_b.value, self.algorithm.value,
+            self.use_images, self.guard_edges,
+        )

@@ -1,0 +1,27 @@
+"""Device catalog: the processors evaluated in the paper.
+
+This package provides :class:`~repro.devices.specs.DeviceSpec` — a structured
+description of an OpenCL device combining the paper's Table I specification
+rows with the microarchitectural parameters the performance model needs —
+and a catalog of the six evaluated processors (plus the AMD Cypress and the
+GeForce GTX 680 referenced in Section IV-C).
+"""
+
+from repro.devices.specs import DeviceModelParams, DeviceSpec, DeviceType, LocalMemType
+from repro.devices.catalog import (
+    CATALOG,
+    EVALUATED_DEVICES,
+    get_device_spec,
+    list_device_names,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "DeviceModelParams",
+    "DeviceType",
+    "LocalMemType",
+    "CATALOG",
+    "EVALUATED_DEVICES",
+    "get_device_spec",
+    "list_device_names",
+]

@@ -1,0 +1,482 @@
+"""Catalog of the processors evaluated in the paper.
+
+The six primary devices are the rows of the paper's Table I.  Two more
+devices referenced in Section IV-C are included: the AMD Cypress
+(Radeon HD 5870), on which the paper's tuner reaches 495 GFlop/s DGEMM,
+and the GeForce GTX 680 used by Kurzak et al.'s Kepler study.
+
+Published specification values come straight from Table I.  Model
+parameters (register file, wavefront width, barrier cost, ...) are public
+microarchitectural facts; calibration multipliers were fitted once so the
+tuned kernels land on the paper's measured GFlop/s (see
+``repro/perfmodel/calibration.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.specs import (
+    DeviceModelParams,
+    DeviceSpec,
+    DeviceType,
+    LocalMemType,
+)
+
+__all__ = ["CATALOG", "EVALUATED_DEVICES", "get_device_spec", "list_device_names"]
+
+
+TAHITI = DeviceSpec(
+    codename="tahiti",
+    product_name="Radeon HD 7970",
+    vendor="AMD",
+    device_type=DeviceType.GPU,
+    clock_ghz=0.925,
+    compute_units=32,
+    dp_ops_per_clock=1024,
+    sp_ops_per_clock=4096,
+    peak_dp_gflops=947.0,
+    peak_sp_gflops=3789.0,
+    global_mem_gb=3.0,
+    bandwidth_gbs=264.0,
+    l3_cache_kb=0.0,
+    l2_cache_kb=768.0,
+    l1_cache_kb=16.0,
+    local_mem_kb=64.0,
+    local_mem_type=LocalMemType.SCRATCHPAD,
+    opencl_sdk="AMD APP 2.6",
+    driver_version="Catalyst 12.3",
+    model=DeviceModelParams(
+        registers_per_cu_kb=256.0,
+        wavefront_size=64,
+        max_workgroup_size=256,
+        max_workgroups_per_cu=16,
+        simd_width_sp=1,
+        simd_width_dp=2,
+        coalesce_bytes=64,
+        local_bw_bytes_per_clock_cu=128.0,
+        barrier_cost_cycles=32.0,
+        latency_hiding_occupancy=4.0,
+        cache_effective_kb=16.0,
+        # Staging through LDS pays on GCN: the paper's Tahiti SGEMM
+        # gained 2646 -> 3047 GFlop/s by staging both matrices.
+        nolocal_alu_factor=0.932,
+        # GCN prefers LDS staging over texture reads.
+        texture_read_factor=0.94,
+        max_private_bytes_per_workitem=1024.0,
+        # GCN sustains near-peak DP issue; SP caps ~85% (paper: 80% achieved).
+        compiler_efficiency_sp=0.85,
+        compiler_efficiency_dp=0.96,
+        unit_stride_bonus=1.0,
+        nonunit_stride_bonus=0.96,
+        launch_overhead_us=8.0,
+        calibration_sp=0.974,
+        calibration_dp=0.973,
+    ),
+)
+
+CAYMAN = DeviceSpec(
+    codename="cayman",
+    product_name="Radeon HD 6970",
+    vendor="AMD",
+    device_type=DeviceType.GPU,
+    clock_ghz=0.88,
+    compute_units=24,
+    dp_ops_per_clock=768,
+    sp_ops_per_clock=3072,
+    peak_dp_gflops=676.0,
+    peak_sp_gflops=2703.0,
+    global_mem_gb=1.0,
+    bandwidth_gbs=176.0,
+    l3_cache_kb=0.0,
+    l2_cache_kb=512.0,
+    l1_cache_kb=8.0,
+    local_mem_kb=32.0,
+    local_mem_type=LocalMemType.SCRATCHPAD,
+    opencl_sdk="AMD APP 2.6",
+    driver_version="Catalyst 11.11",
+    model=DeviceModelParams(
+        registers_per_cu_kb=256.0,
+        wavefront_size=64,
+        max_workgroup_size=256,
+        max_workgroups_per_cu=16,
+        # VLIW4: packed vector operations are required for ALU utilisation.
+        simd_width_sp=4,
+        simd_width_dp=2,
+        coalesce_bytes=64,
+        local_bw_bytes_per_clock_cu=128.0,
+        # The paper: "The Cayman runs slower when the local memory is
+        # utilized, probably because the cost for barrier synchronizations
+        # is too large."
+        barrier_cost_cycles=768.0,
+        latency_hiding_occupancy=4.0,
+        # Texture/L1 caches serve A/B reuse well enough without LDS.
+        cache_effective_kb=24.0,
+        cache_hit_bw_factor=6.0,
+        nolocal_alu_factor=1.0,
+        # VLIW texture caches stream operands nearly for free.
+        texture_read_factor=0.97,
+        max_private_bytes_per_workitem=1024.0,
+        # VLIW4 packing limits sustained issue (paper: 86% DP, 80% SP).
+        compiler_efficiency_sp=0.88,
+        compiler_efficiency_dp=0.92,
+        unit_stride_bonus=1.0,
+        nonunit_stride_bonus=0.96,
+        launch_overhead_us=8.0,
+        quirks=frozenset({"expensive_barrier"}),
+        calibration_sp=0.903,
+        calibration_dp=0.921,
+    ),
+)
+
+KEPLER = DeviceSpec(
+    codename="kepler",
+    product_name="GeForce GTX 670 OC",
+    vendor="NVIDIA",
+    device_type=DeviceType.GPU,
+    clock_ghz=1.085,
+    compute_units=7,
+    dp_ops_per_clock=112,
+    sp_ops_per_clock=2688,
+    peak_dp_gflops=122.0,
+    peak_sp_gflops=2916.0,
+    global_mem_gb=2.0,
+    bandwidth_gbs=192.0,
+    l3_cache_kb=0.0,
+    l2_cache_kb=512.0,
+    l1_cache_kb=16.0,
+    local_mem_kb=48.0,
+    local_mem_type=LocalMemType.SCRATCHPAD,
+    opencl_sdk="CUDA 5.0 RC",
+    driver_version="304.33",
+    model=DeviceModelParams(
+        registers_per_cu_kb=256.0,
+        wavefront_size=32,
+        max_workgroup_size=1024,
+        max_workgroups_per_cu=16,
+        simd_width_sp=2,
+        simd_width_dp=1,
+        coalesce_bytes=128,
+        local_bw_bytes_per_clock_cu=256.0,
+        barrier_cost_cycles=48.0,
+        # SMX needs many resident warps; static-issue scheduling limits
+        # achievable SGEMM efficiency (~49% in the paper).
+        latency_hiding_occupancy=10.0,
+        cache_effective_kb=12.0,
+        # Without shared-memory staging Kepler SGEMM drops 1440 -> 1150
+        # GFlop/s (Section IV-A); its L1 recovers little reuse.
+        nolocal_alu_factor=0.894,
+        texture_read_factor=0.90,
+        max_private_bytes_per_workitem=1024.0,
+        # SMX static dual-issue limits compiled SGEMM (~49% in the paper); the few DP units saturate easily.
+        compiler_efficiency_sp=0.55,
+        compiler_efficiency_dp=1.0,
+        unit_stride_bonus=0.96,
+        nonunit_stride_bonus=1.0,
+        launch_overhead_us=7.0,
+        # GPU Boost raises the core clock above the listed base clock, so
+        # DGEMM efficiency against the listed peak exceeds 100% (Table II).
+        boost_factor=1.10,
+        calibration_sp=0.858,
+        calibration_dp=0.959,
+    ),
+)
+
+FERMI = DeviceSpec(
+    codename="fermi",
+    product_name="Tesla M2090",
+    vendor="NVIDIA",
+    device_type=DeviceType.GPU,
+    clock_ghz=1.3,
+    compute_units=16,
+    dp_ops_per_clock=512,
+    sp_ops_per_clock=1024,
+    peak_dp_gflops=665.0,
+    peak_sp_gflops=1331.0,
+    global_mem_gb=6.0,
+    bandwidth_gbs=177.0,
+    l3_cache_kb=0.0,
+    l2_cache_kb=768.0,
+    l1_cache_kb=16.0,
+    local_mem_kb=48.0,
+    local_mem_type=LocalMemType.SCRATCHPAD,
+    opencl_sdk="CUDA 4.1.28",
+    driver_version="285.05",
+    model=DeviceModelParams(
+        registers_per_cu_kb=128.0,
+        wavefront_size=32,
+        max_workgroup_size=1024,
+        max_workgroups_per_cu=8,
+        simd_width_sp=2,
+        simd_width_dp=1,
+        coalesce_bytes=128,
+        local_bw_bytes_per_clock_cu=128.0,
+        barrier_cost_cycles=64.0,
+        latency_hiding_occupancy=6.0,
+        cache_effective_kb=12.0,
+        nolocal_alu_factor=0.92,
+        # 63 x 32-bit registers per thread: large private tiles spill,
+        # which is why Fermi's best kernels use small Mwi x Nwi blocks.
+        texture_read_factor=0.92,
+        max_private_bytes_per_workitem=320.0,
+        # Section III-B: "a non-unit stride memory access is utilized for
+        # performance optimization on Fermi GPUs".
+        # Tan et al.: >70% DP utilisation impossible from CUDA C/PTX; 'also valid for OpenCL'.
+        compiler_efficiency_sp=0.74,
+        compiler_efficiency_dp=0.62,
+        unit_stride_bonus=0.92,
+        nonunit_stride_bonus=1.0,
+        launch_overhead_us=7.0,
+        calibration_sp=0.929,
+        calibration_dp=0.929,
+    ),
+)
+
+SANDY_BRIDGE = DeviceSpec(
+    codename="sandybridge",
+    product_name="Core i7 3960X",
+    vendor="Intel",
+    device_type=DeviceType.CPU,
+    clock_ghz=3.3,
+    compute_units=6,
+    dp_ops_per_clock=48,
+    sp_ops_per_clock=96,
+    peak_dp_gflops=158.4,
+    peak_sp_gflops=316.8,
+    global_mem_gb=16.0,
+    bandwidth_gbs=51.2,
+    l3_cache_kb=15 * 1024.0,
+    l2_cache_kb=256.0,
+    l1_cache_kb=32.0,
+    local_mem_kb=32.0,
+    local_mem_type=LocalMemType.GLOBAL,
+    opencl_sdk="Intel SDK 2013 beta",
+    driver_version="-",
+    model=DeviceModelParams(
+        registers_per_cu_kb=1.0,  # 16 AVX ymm registers per core
+        wavefront_size=1,
+        max_workgroup_size=1024,
+        max_workgroups_per_cu=1,
+        simd_width_sp=8,
+        simd_width_dp=4,
+        coalesce_bytes=64,
+        local_bw_bytes_per_clock_cu=32.0,
+        barrier_cost_cycles=400.0,
+        latency_hiding_occupancy=1.0,
+        cache_effective_kb=256.0,
+        cache_hit_bw_factor=12.0,
+        # Big L2/L3 caches recover reuse without local-memory staging, so
+        # "a prominent performance difference can not be seen on the CPUs
+        # depending on the local memory usage" (Section IV-A).
+        nolocal_alu_factor=1.0,
+        # Images are software-emulated on CPUs.
+        texture_read_factor=0.80,
+        max_private_bytes_per_workitem=1024.0,
+        # "current OpenCL compilers for CPUs are not as mature as for GPUs"
+        compiler_efficiency_sp=0.50,
+        compiler_efficiency_dp=0.46,
+        unit_stride_bonus=1.0,
+        nonunit_stride_bonus=0.97,
+        launch_overhead_us=25.0,
+        # No PCIe hop: the "device" is the host CPU itself.
+        pcie_bandwidth_gbs=20.0,
+        pcie_latency_us=0.5,
+        calibration_sp=0.889,
+        calibration_dp=0.875,
+    ),
+)
+
+BULLDOZER = DeviceSpec(
+    codename="bulldozer",
+    product_name="FX-8150",
+    vendor="AMD",
+    device_type=DeviceType.CPU,
+    clock_ghz=3.6,
+    compute_units=8,
+    dp_ops_per_clock=32,
+    sp_ops_per_clock=64,
+    peak_dp_gflops=115.2,
+    peak_sp_gflops=230.4,
+    global_mem_gb=16.0,
+    bandwidth_gbs=25.6,
+    l3_cache_kb=8 * 1024.0,
+    l2_cache_kb=2048.0,
+    l1_cache_kb=16.0,
+    local_mem_kb=32.0,
+    local_mem_type=LocalMemType.GLOBAL,
+    opencl_sdk="AMD APP 2.7",
+    driver_version="-",
+    model=DeviceModelParams(
+        registers_per_cu_kb=1.0,
+        wavefront_size=1,
+        max_workgroup_size=1024,
+        max_workgroups_per_cu=1,
+        simd_width_sp=4,
+        simd_width_dp=2,
+        coalesce_bytes=64,
+        local_bw_bytes_per_clock_cu=32.0,
+        barrier_cost_cycles=500.0,
+        latency_hiding_occupancy=1.0,
+        cache_effective_kb=256.0,
+        cache_hit_bw_factor=10.0,
+        nolocal_alu_factor=1.0,
+        texture_read_factor=0.80,
+        max_private_bytes_per_workitem=1024.0,
+        compiler_efficiency_sp=0.44,
+        compiler_efficiency_dp=0.38,
+        unit_stride_bonus=1.0,
+        nonunit_stride_bonus=0.97,
+        launch_overhead_us=25.0,
+        # No PCIe hop: the "device" is the host CPU itself.
+        pcie_bandwidth_gbs=12.0,
+        pcie_latency_us=0.5,
+        # Paper, Section IV-A: "DGEMM kernels with PL algorithm always
+        # fail to execute on the Bulldozer."
+        quirks=frozenset({"pl_dgemm_fails"}),
+        calibration_sp=0.856,
+        calibration_dp=0.85,
+    ),
+)
+
+CYPRESS = DeviceSpec(
+    codename="cypress",
+    product_name="Radeon HD 5870",
+    vendor="AMD",
+    device_type=DeviceType.GPU,
+    clock_ghz=0.85,
+    compute_units=20,
+    dp_ops_per_clock=640,
+    sp_ops_per_clock=3200,
+    peak_dp_gflops=544.0,
+    peak_sp_gflops=2720.0,
+    global_mem_gb=1.0,
+    bandwidth_gbs=153.6,
+    l3_cache_kb=0.0,
+    l2_cache_kb=512.0,
+    l1_cache_kb=8.0,
+    local_mem_kb=32.0,
+    local_mem_type=LocalMemType.SCRATCHPAD,
+    opencl_sdk="AMD APP 2.5",
+    driver_version="-",
+    model=DeviceModelParams(
+        registers_per_cu_kb=256.0,
+        wavefront_size=64,
+        max_workgroup_size=256,
+        max_workgroups_per_cu=16,
+        simd_width_sp=4,  # VLIW5
+        simd_width_dp=2,
+        coalesce_bytes=64,
+        local_bw_bytes_per_clock_cu=128.0,
+        barrier_cost_cycles=512.0,
+        latency_hiding_occupancy=4.0,
+        cache_effective_kb=20.0,
+        cache_hit_bw_factor=6.0,
+        nolocal_alu_factor=0.97,
+        # Nakasato's image-based kernels match buffer kernels here.
+        texture_read_factor=0.975,
+        max_private_bytes_per_workitem=1024.0,
+        # VLIW5; Nakasato's IL kernel reaches 92% DP, OpenCL slightly below.
+        compiler_efficiency_sp=0.8,
+        compiler_efficiency_dp=0.95,
+        unit_stride_bonus=1.0,
+        nonunit_stride_bonus=0.96,
+        launch_overhead_us=8.0,
+        quirks=frozenset({"expensive_barrier"}),
+        calibration_sp=1.0,
+        calibration_dp=1.007,
+    ),
+)
+
+GTX680 = DeviceSpec(
+    codename="gtx680",
+    product_name="GeForce GTX 680",
+    vendor="NVIDIA",
+    device_type=DeviceType.GPU,
+    clock_ghz=1.006,
+    compute_units=8,
+    dp_ops_per_clock=128,
+    sp_ops_per_clock=3072,
+    peak_dp_gflops=128.8,
+    peak_sp_gflops=3090.0,
+    global_mem_gb=2.0,
+    bandwidth_gbs=192.3,
+    l3_cache_kb=0.0,
+    l2_cache_kb=512.0,
+    l1_cache_kb=16.0,
+    local_mem_kb=48.0,
+    local_mem_type=LocalMemType.SCRATCHPAD,
+    opencl_sdk="CUDA 5.0 RC",
+    driver_version="-",
+    model=DeviceModelParams(
+        registers_per_cu_kb=256.0,
+        wavefront_size=32,
+        max_workgroup_size=1024,
+        max_workgroups_per_cu=16,
+        simd_width_sp=2,
+        simd_width_dp=1,
+        coalesce_bytes=128,
+        local_bw_bytes_per_clock_cu=256.0,
+        barrier_cost_cycles=48.0,
+        latency_hiding_occupancy=10.0,
+        cache_effective_kb=12.0,
+        nolocal_alu_factor=0.894,
+        texture_read_factor=0.90,
+        max_private_bytes_per_workitem=1024.0,
+        # GTX 680 SMX, as GTX 670 (Kurzak et al. reach ~37% SP in CUDA).
+        compiler_efficiency_sp=0.47,
+        compiler_efficiency_dp=1.0,
+        unit_stride_bonus=0.96,
+        nonunit_stride_bonus=1.0,
+        launch_overhead_us=7.0,
+        boost_factor=1.06,
+        calibration_sp=0.858,
+        calibration_dp=0.959,
+    ),
+)
+
+
+#: All known devices, keyed by codename.
+CATALOG: Dict[str, DeviceSpec] = {
+    spec.codename: spec
+    for spec in (
+        TAHITI,
+        CAYMAN,
+        KEPLER,
+        FERMI,
+        SANDY_BRIDGE,
+        BULLDOZER,
+        CYPRESS,
+        GTX680,
+    )
+}
+
+#: The six processors of the paper's main evaluation, in Table I order.
+EVALUATED_DEVICES: List[str] = [
+    "tahiti",
+    "cayman",
+    "kepler",
+    "fermi",
+    "sandybridge",
+    "bulldozer",
+]
+
+
+def get_device_spec(name: str) -> DeviceSpec:
+    """Look up a device by codename (case-insensitive).
+
+    Raises ``KeyError`` with the list of known names on a miss.
+    """
+    key = name.strip().lower()
+    try:
+        return CATALOG[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known devices: {sorted(CATALOG)}"
+        ) from None
+
+
+def list_device_names(evaluated_only: bool = False) -> List[str]:
+    """Return catalog codenames, optionally only the paper's six."""
+    if evaluated_only:
+        return list(EVALUATED_DEVICES)
+    return sorted(CATALOG)

@@ -1,0 +1,255 @@
+"""Device specification dataclasses.
+
+A :class:`DeviceSpec` carries two groups of information:
+
+* the *published specification* — the rows of the paper's Table I
+  (clock speed, compute units, peak throughput, memory sizes, SDK), and
+* the *model parameters* (:class:`DeviceModelParams`) — microarchitectural
+  quantities the analytical performance model needs (register file size,
+  wavefront width, coalescing granularity, barrier cost, ...).  These are
+  not in Table I but are public knowledge for each microarchitecture.
+
+All sizes are stored in explicit units named in the attribute
+(``*_kb``, ``*_gb``, ``*_ghz``, ``*_gbs``) to avoid ambiguity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet
+
+__all__ = ["DeviceType", "LocalMemType", "DeviceModelParams", "DeviceSpec"]
+
+
+class DeviceType(enum.Enum):
+    """Kind of OpenCL device (``CL_DEVICE_TYPE_*`` analogue)."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+class LocalMemType(enum.Enum):
+    """OpenCL ``CL_DEVICE_LOCAL_MEM_TYPE``.
+
+    ``SCRATCHPAD`` corresponds to ``CL_LOCAL`` (dedicated on-chip memory);
+    ``GLOBAL`` means local memory is emulated in (cached) global memory,
+    which is the case on both evaluated CPUs (Table I, "Local memory type").
+    """
+
+    SCRATCHPAD = "scratchpad"
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class DeviceModelParams:
+    """Microarchitectural parameters consumed by :mod:`repro.perfmodel`.
+
+    Attributes
+    ----------
+    registers_per_cu_kb:
+        Size of the per-compute-unit register file available to kernels.
+    wavefront_size:
+        Hardware SIMD execution width in work-items (AMD wavefront = 64,
+        NVIDIA warp = 32; CPUs execute work-items in software loops, 1).
+    max_workgroup_size:
+        ``CL_DEVICE_MAX_WORK_GROUP_SIZE``.
+    max_workgroups_per_cu:
+        Scheduler limit on concurrently resident work-groups per CU.
+    simd_width_sp / simd_width_dp:
+        Native per-lane vector width the ALUs prefer, in elements.  Used
+        to score how well a kernel's vector width ``vw`` maps onto the
+        hardware (e.g. Cayman's VLIW4 wants packed 4-wide operations;
+        AVX CPUs want 8-wide SP / 4-wide DP).
+    coalesce_bytes:
+        Memory-transaction granularity for global accesses.
+    local_bw_bytes_per_clock_cu:
+        Local (LDS / shared) memory bandwidth per compute unit.
+    barrier_cost_cycles:
+        Cost of one work-group barrier.  Cayman's is large — the paper
+        attributes its slowdown with local memory to barrier cost.
+    latency_hiding_occupancy:
+        Number of resident wavefronts per CU needed to fully overlap
+        memory latency with computation.
+    cache_effective_kb:
+        Effective per-CU read cache capacity serving global-memory reuse
+        when local memory staging is *not* used.
+    cache_hit_bw_factor:
+        Bandwidth amplification of a cache hit relative to DRAM.
+    nolocal_alu_factor:
+        Issue-efficiency multiplier applied once per operand that is
+        *not* staged through local memory: inner-loop loads then come
+        straight from global memory, whose latency and address arithmetic
+        steal issue slots from the MAD stream.  1.0 on devices whose
+        cache/clause hierarchy streams global reads for free (Cayman's
+        VLIW clauses, CPUs), below 1.0 where LDS staging measurably pays
+        (paper Section IV-A: Tahiti SGEMM 2646 -> 3047 and Kepler SGEMM
+        1150 -> 1440 once local memory is used).  This is what makes
+        local memory worth its barriers on some devices and not others.
+    texture_read_factor:
+        Issue-efficiency multiplier per operand read through an *image
+        object* (texture cache) instead of a buffer.  The paper's
+        generator "does not use image objects currently" (Section
+        III-F); this parameter powers the image-path extension, whose
+        reference point is Nakasato's texture-based Cypress kernels
+        (Section IV-C) that essentially match buffer kernels there.
+    max_private_bytes_per_workitem:
+        Per-work-item register allocation cap (e.g. 63 x 32-bit registers
+        on Fermi).  Private footprints beyond it spill with a performance
+        penalty; footprints beyond twice it fail to build.
+    compiler_efficiency_sp / compiler_efficiency_dp:
+        Ceiling on achievable ALU utilisation imposed by the OpenCL
+        compiler stack and the instruction-issue limits of the ISA.  Low
+        on CPUs ("current OpenCL compilers for CPUs are not as mature as
+        for GPUs" — Section IV-B); below 1.0 on GPUs whose schedulers
+        cannot sustain peak issue from compiled kernels (e.g. Fermi:
+        Tan et al. argue >70% utilisation is impossible from CUDA C or
+        PTX, which the paper says "is also valid for OpenCL").
+    boost_factor:
+        Dynamic-clock headroom relative to the listed base clock; the
+        Kepler board's boost lets measured efficiency exceed 100% of the
+        listed peak (Section IV, Table II footnote discussion).
+    launch_overhead_us:
+        Fixed kernel-launch cost in microseconds.
+    unit_stride_bonus / nonunit_stride_bonus:
+        Relative efficiency of the two C-ownership stride modes
+        (Section III-B; Fermi-class GPUs favour non-unit stride).
+    quirks:
+        Free-form behavioural flags, e.g. ``"pl_dgemm_fails"`` reproduces
+        the paper's "DGEMM kernels with PL algorithm always fail to
+        execute on the Bulldozer".
+    calibration_sp / calibration_dp:
+        Final multiplicative calibration of modelled throughput so the
+        tuned maxima land on the paper's measured GFlop/s.
+    """
+
+    registers_per_cu_kb: float
+    wavefront_size: int
+    max_workgroup_size: int
+    max_workgroups_per_cu: int = 8
+    simd_width_sp: int = 1
+    simd_width_dp: int = 1
+    coalesce_bytes: int = 64
+    local_bw_bytes_per_clock_cu: float = 128.0
+    barrier_cost_cycles: float = 64.0
+    latency_hiding_occupancy: float = 4.0
+    cache_effective_kb: float = 16.0
+    cache_hit_bw_factor: float = 4.0
+    nolocal_alu_factor: float = 0.95
+    texture_read_factor: float = 0.93
+    max_private_bytes_per_workitem: float = 1024.0
+    compiler_efficiency_sp: float = 1.0
+    compiler_efficiency_dp: float = 1.0
+    boost_factor: float = 1.0
+    launch_overhead_us: float = 8.0
+    #: Host<->device interconnect bandwidth.  PCIe 2.0 x16 for the era's
+    #: GPUs (~6 GB/s effective); CPUs share the host's memory, so their
+    #: "transfer" is a cache-speed copy.
+    pcie_bandwidth_gbs: float = 6.0
+    pcie_latency_us: float = 10.0
+    unit_stride_bonus: float = 1.0
+    nonunit_stride_bonus: float = 1.0
+    quirks: FrozenSet[str] = field(default_factory=frozenset)
+    calibration_sp: float = 1.0
+    calibration_dp: float = 1.0
+
+    def has_quirk(self, name: str) -> bool:
+        """Return whether a behavioural quirk flag is set."""
+        return name in self.quirks
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Full description of an OpenCL device (paper Table I + model params)."""
+
+    # -- identity ---------------------------------------------------------
+    codename: str
+    product_name: str
+    vendor: str
+    device_type: DeviceType
+
+    # -- Table I rows ------------------------------------------------------
+    clock_ghz: float
+    compute_units: int
+    dp_ops_per_clock: int
+    sp_ops_per_clock: int
+    peak_dp_gflops: float
+    peak_sp_gflops: float
+    global_mem_gb: float
+    bandwidth_gbs: float
+    l3_cache_kb: float
+    l2_cache_kb: float
+    l1_cache_kb: float
+    local_mem_kb: float
+    local_mem_type: LocalMemType
+    opencl_sdk: str
+    driver_version: str
+
+    # -- model ------------------------------------------------------------
+    model: DeviceModelParams = field(
+        default_factory=lambda: DeviceModelParams(
+            registers_per_cu_kb=256.0, wavefront_size=64, max_workgroup_size=256
+        )
+    )
+
+    # ----------------------------------------------------------------------
+    def peak_gflops(self, precision: str) -> float:
+        """Peak throughput for ``precision`` in {'s', 'd'} (GFlop/s)."""
+        if precision == "s":
+            return self.peak_sp_gflops
+        if precision == "d":
+            return self.peak_dp_gflops
+        raise ValueError(f"unknown precision {precision!r} (expected 's' or 'd')")
+
+    def ops_per_clock(self, precision: str) -> int:
+        """Device-wide floating-point operations per clock cycle."""
+        return self.sp_ops_per_clock if precision == "s" else self.dp_ops_per_clock
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.device_type is DeviceType.GPU
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.device_type is DeviceType.CPU
+
+    @property
+    def local_mem_bytes(self) -> int:
+        return int(self.local_mem_kb * 1024)
+
+    @property
+    def registers_per_cu_bytes(self) -> int:
+        return int(self.model.registers_per_cu_kb * 1024)
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_gbs * 1e9
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def with_model(self, **overrides) -> "DeviceSpec":
+        """Return a copy with some model parameters replaced.
+
+        Used by calibration and by ablation experiments (e.g. swapping the
+        Sandy Bridge compiler-efficiency to the older Intel SDK 2012 level
+        for Figure 11).
+        """
+        return replace(self, model=replace(self.model, **overrides))
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency of the published numbers."""
+        if self.clock_ghz <= 0 or self.compute_units <= 0:
+            raise ValueError(f"{self.codename}: non-positive clock or CU count")
+        for prec in ("s", "d"):
+            derived = self.clock_ghz * self.ops_per_clock(prec)
+            listed = self.peak_gflops(prec)
+            # Allow ~15% slack: some boards list boost-clock or rounded peaks.
+            if listed > 0 and abs(derived - listed) / listed > 0.15:
+                raise ValueError(
+                    f"{self.codename}: peak {prec.upper()}GEMM {listed} GFlop/s "
+                    f"inconsistent with clock*ops/clk = {derived:.1f}"
+                )
+        if self.local_mem_kb < 0 or self.bandwidth_gbs <= 0:
+            raise ValueError(f"{self.codename}: bad memory specification")

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+The hierarchy mirrors the failure classes an OpenCL-based auto-tuner
+observes in practice (paper, Section III-F: "kernels which are failed in
+code generation, compilation or testing are not counted").  Generation
+failures are :class:`ParameterError`, compilation failures are
+:class:`BuildError` (typically a :class:`ResourceError` from the resource
+checker), and testing failures are :class:`LaunchError` /
+:class:`ValidationError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "CLError",
+    "BuildError",
+    "ResourceError",
+    "LaunchError",
+    "ValidationError",
+    "TuningError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An invalid kernel parameter combination (code-generation failure).
+
+    Raised when a :class:`~repro.codegen.params.KernelParams` instance
+    violates a structural constraint (divisibility, overlay coverage,
+    vector-width alignment, ...).  The auto-tuner treats these candidates
+    as "failed in code generation".
+    """
+
+
+class CLError(ReproError):
+    """Base class for errors raised by the OpenCL simulator (clsim)."""
+
+
+class BuildError(CLError):
+    """Program compilation failed (the paper's "failed in compilation")."""
+
+    def __init__(self, message: str, build_log: str = "") -> None:
+        super().__init__(message)
+        #: Compiler diagnostics, mirroring ``clGetProgramBuildInfo``.
+        self.build_log = build_log or message
+
+
+class ResourceError(BuildError):
+    """A device resource limit was exceeded (local memory, registers,
+    work-group size).  A subclass of :class:`BuildError` because OpenCL
+    compilers reject such kernels at build or launch time."""
+
+
+class LaunchError(CLError):
+    """Kernel launch failed (bad ND-range, arguments, or a device-specific
+    execution fault such as the Bulldozer PL-DGEMM failure the paper
+    reports)."""
+
+
+class ValidationError(ReproError):
+    """A kernel produced numerically wrong results during tuner testing."""
+
+
+class TuningError(ReproError):
+    """The search engine could not produce a result (e.g. empty space)."""

@@ -1,0 +1,41 @@
+"""High-level GEMM routines built on the fast ``A^T B`` kernel.
+
+The paper's implementation strategy (Section III / IV-B): copy the user
+matrices into padded, block-major buffers — transposing as required by
+the multiplication type — and run the tuned ``C <- alpha A^T B + beta C``
+kernel.  This package provides that routine for all four types
+(NN/NT/TN/TT), both precisions, row- and column-major user data, plus
+the paper's proposed *future work*: a copy-free direct kernel for small
+sizes and a crossover dispatcher.
+"""
+
+from repro.gemm.packing import (
+    PackedOperand,
+    pack_operand,
+    pad_to_multiple,
+    required_padding,
+)
+from repro.gemm.reference import reference_gemm
+from repro.gemm.routine import GemmResult, GemmRoutine, GemmTimings
+from repro.gemm.direct import DirectGemmRoutine, select_routine
+from repro.gemm.dispatch import KernelSelector
+from repro.gemm.batched import BatchedGemm, BatchedGemmResult
+from repro.gemm.multidev import MultiDeviceGemm, MultiDeviceResult
+
+__all__ = [
+    "PackedOperand",
+    "pack_operand",
+    "pad_to_multiple",
+    "required_padding",
+    "reference_gemm",
+    "GemmRoutine",
+    "GemmResult",
+    "GemmTimings",
+    "DirectGemmRoutine",
+    "select_routine",
+    "KernelSelector",
+    "BatchedGemm",
+    "BatchedGemmResult",
+    "MultiDeviceGemm",
+    "MultiDeviceResult",
+]

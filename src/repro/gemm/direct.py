@@ -1,0 +1,123 @@
+"""Copy-free GEMM for small problems (the paper's proposed future work).
+
+"For small sizes, an overhead for the copying is relatively large;
+therefore, the implementation does not run fast.  One possible solution
+for such sizes is to use another GEMM kernel without the matrix copying.
+A future work is to implement the kernel and combine it with the current
+implementation."  (paper Section V)
+
+This module implements both halves of that future work:
+
+* :class:`DirectGemmRoutine` — a GEMM routine whose kernel reads the
+  operands in their original row-major storage (transposing on the fly),
+  so no packing copy is charged.  The kernel itself is slower: row-major
+  access coalesces worse (modelled in :mod:`repro.perfmodel.memory`) and
+  on-the-fly bounds/transpose handling costs issue slots.
+* :func:`select_routine` — the crossover dispatcher that picks the
+  direct routine below a model-predicted break-even size and the packed
+  routine above it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import repro.clsim as cl
+from repro.codegen.layouts import Layout
+from repro.codegen.params import KernelParams
+from repro.devices.specs import DeviceSpec
+from repro.gemm.routine import GemmRoutine
+from repro.perfmodel.model import estimate_kernel_time
+
+__all__ = ["DirectGemmRoutine", "select_routine", "direct_params"]
+
+
+def direct_params(params: KernelParams) -> KernelParams:
+    """Derive the copy-free kernel's parameters from a tuned set.
+
+    The direct kernel must read the operands as the user stored them
+    (ROW layouts) and bounds-check its edges (``guard_edges``) since no
+    padding pass runs; everything else (blocking, vectors, algorithm)
+    is inherited.  The guard cost is part of the performance model.
+    """
+    return params.replace(
+        layout_a=Layout.ROW, layout_b=Layout.ROW, guard_edges=True
+    )
+
+
+class DirectGemmRoutine(GemmRoutine):
+    """GEMM without the packing copy (for small problem sizes).
+
+    The real direct kernel reads the user's row-major storage in place;
+    in the simulator the operand still has to reach a device buffer, so
+    staging happens functionally on the host but **no pack-kernel time
+    is charged**, and the GEMM kernel pays the on-the-fly
+    transpose/bounds overhead instead.
+    """
+
+    def __init__(self, device, params: KernelParams, **kwargs):
+        super().__init__(device, direct_params(params), **kwargs)
+
+    def _prepare_operand(self, mat, transpose, k_padded, x_padded, block_x, layout):
+        import numpy as np
+
+        import repro.clsim as cl
+
+        # The guarded kernel reads the exact K x X row-major operand: no
+        # padding, no repack, no charged time.  (Transposition is the
+        # host handing over the already-transposed orientation; the real
+        # kernel would fold it into READ_A's index expression.)
+        kx = mat.T if transpose else mat
+        buf = cl.Buffer(
+            self.context, cl.MemFlags.READ_ONLY,
+            hostbuf=np.ascontiguousarray(kx, dtype=self.dtype),
+        )
+        return buf, 0.0
+
+
+def predict_times(
+    spec: DeviceSpec, params: KernelParams, M: int, N: int, K: int
+) -> Tuple[float, float]:
+    """Model-predicted total seconds of (packed, direct) for one problem."""
+    from repro.gemm.routine import predict_implementation
+
+    t_packed = predict_implementation(spec, params, M, N, K, noise=False).total_s
+
+    dparams = direct_params(params)
+    direct_kernel = estimate_kernel_time(spec, dparams, M, N, K, noise=False)
+    return t_packed, direct_kernel.total_seconds
+
+
+def select_routine(
+    device: Union[str, cl.Device, DeviceSpec],
+    params: KernelParams,
+    M: int,
+    N: int,
+    K: int,
+    **kwargs,
+) -> GemmRoutine:
+    """Crossover dispatch: the faster of packed vs direct for this size."""
+    dev = device if isinstance(device, cl.Device) else (
+        cl.Device(device) if isinstance(device, DeviceSpec) else cl.get_device(device)
+    )
+    t_packed, t_direct = predict_times(dev.spec, params, M, N, K)
+    if t_direct < t_packed:
+        return DirectGemmRoutine(dev, params, **kwargs)
+    return GemmRoutine(dev, params, **kwargs)
+
+
+def crossover_size(
+    spec: DeviceSpec, params: KernelParams, max_size: int = 4096
+) -> int:
+    """Smallest square size at which the packed routine wins.
+
+    Returns ``max_size`` if the packed routine never wins below it.
+    """
+    lcm = params.lcm
+    n = lcm
+    while n <= max_size:
+        t_packed, t_direct = predict_times(spec, params, n, n, n)
+        if t_packed <= t_direct:
+            return n
+        n += lcm
+    return max_size

@@ -1,0 +1,215 @@
+"""Per-size kernel selection (a dispatch table over tuned kernels).
+
+The paper tunes one kernel per device and precision at large sizes and
+notes its weakness at small ones (copy overhead, tail waves).  Vendor
+libraries solve this with a *selection table*: several tuned kernels,
+each owning a size range.  :class:`KernelSelector` builds such a table
+from tuning results — measuring every finalist across the size grid and
+keeping, for each size band, whichever kernel (packed or the copy-free
+direct variant) the model predicts fastest — and dispatches GEMM calls
+through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.codegen.params import KernelParams
+from repro.devices.catalog import get_device_spec
+from repro.devices.specs import DeviceSpec
+from repro.errors import CLError, ReproError
+from repro.gemm.direct import direct_params
+from repro.gemm.routine import GemmResult, GemmRoutine, predict_implementation
+from repro.gemm.direct import DirectGemmRoutine
+from repro.perfmodel.model import estimate_kernel_time
+from repro.tuner.search import TuningResult
+
+__all__ = ["DispatchEntry", "KernelSelector"]
+
+
+@dataclass(frozen=True)
+class DispatchEntry:
+    """One row of the selection table: a size band and its kernel."""
+
+    max_size: int  # inclusive upper bound of the band (geometric-mean size)
+    params: KernelParams
+    direct: bool  # use the copy-free routine for this band
+
+    def describe(self) -> str:
+        kind = "direct" if self.direct else "packed"
+        return f"<= {self.max_size:5d}: {kind} {self.params.summary()}"
+
+
+def _predict_total(spec: DeviceSpec, params: KernelParams, n: int,
+                   direct: bool) -> float:
+    if direct:
+        dparams = direct_params(params)
+        t = estimate_kernel_time(spec, dparams, n, n, n, noise=False)
+        return t.total_seconds
+    return predict_implementation(spec, params, n, n, n, noise=False).total_s
+
+
+class KernelSelector:
+    """Builds and dispatches through a per-size kernel table."""
+
+    #: Default size-band boundaries (geometric-mean problem size).
+    DEFAULT_BANDS = (128, 256, 512, 1024, 2048, 4096, 1 << 30)
+
+    def __init__(
+        self,
+        device: Union[str, DeviceSpec],
+        candidates: Sequence[KernelParams],
+        bands: Sequence[int] = DEFAULT_BANDS,
+        include_direct: bool = True,
+        **routine_kwargs,
+    ):
+        self.spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+        candidates = list(candidates)
+        if not candidates:
+            raise ReproError("KernelSelector needs at least one candidate kernel")
+        precisions = {p.precision for p in candidates}
+        if len(precisions) != 1:
+            raise ReproError(f"candidates mix precisions: {sorted(precisions)}")
+        self.precision = precisions.pop()
+        self._routine_kwargs = routine_kwargs
+        self._routines: Dict[Tuple, GemmRoutine] = {}
+        self.table = self._build_table(candidates, list(bands), include_direct)
+
+    @classmethod
+    def from_tuning_result(
+        cls, device: Union[str, DeviceSpec], result: TuningResult,
+        max_candidates: int = 8, **kwargs,
+    ) -> "KernelSelector":
+        """Build the table from a search's leading finalists."""
+        candidates = [mk.params for mk in result.finalists[:max_candidates]]
+        return cls(device, candidates, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _build_table(
+        self,
+        candidates: List[KernelParams],
+        bands: List[int],
+        include_direct: bool,
+    ) -> List[DispatchEntry]:
+        table: List[DispatchEntry] = []
+        for band in sorted(bands):
+            probe = min(band, 8192)  # model probe size for the open band
+            best: Optional[Tuple[float, KernelParams, bool]] = None
+            for params in candidates:
+                options = [(False, params)]
+                if include_direct:
+                    options.append((True, params))
+                for direct, p in options:
+                    try:
+                        t = _predict_total(self.spec, p, probe, direct)
+                    except (CLError, ReproError):
+                        continue
+                    if best is None or t < best[0]:
+                        best = (t, p, direct)
+            if best is None:
+                raise ReproError(
+                    f"no candidate kernel is viable on {self.spec.codename}"
+                )
+            table.append(DispatchEntry(band, best[1], best[2]))
+        # Merge adjacent bands that picked the same configuration.
+        merged: List[DispatchEntry] = []
+        for entry in table:
+            if merged and merged[-1].params == entry.params \
+                    and merged[-1].direct == entry.direct:
+                merged[-1] = DispatchEntry(entry.max_size, entry.params, entry.direct)
+            else:
+                merged.append(entry)
+        return merged
+
+    def entry_for(self, M: int, N: int, K: int) -> DispatchEntry:
+        """The table row owning a problem (by geometric-mean size)."""
+        size = (M * N * K) ** (1.0 / 3.0)
+        for entry in self.table:
+            if size <= entry.max_size:
+                return entry
+        return self.table[-1]
+
+    def _routine(self, entry: DispatchEntry) -> GemmRoutine:
+        key = (entry.params.cache_key(), entry.direct)
+        if key not in self._routines:
+            cls = DirectGemmRoutine if entry.direct else GemmRoutine
+            self._routines[key] = cls(self.spec, entry.params, **self._routine_kwargs)
+        return self._routines[key]
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: Optional[np.ndarray] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        transa: str = "N",
+        transb: str = "N",
+    ) -> GemmResult:
+        """GEMM through whichever kernel owns this problem's size band."""
+        transa, transb = transa.upper(), transb.upper()
+        M = a.shape[0] if transa == "N" else a.shape[1]
+        N = b.shape[1] if transb == "N" else b.shape[0]
+        K = a.shape[1] if transa == "N" else a.shape[0]
+        entry = self.entry_for(M, N, K)
+        routine = self._routine(entry)
+        return routine(a, b, c, alpha=alpha, beta=beta, transa=transa, transb=transb)
+
+    def describe(self) -> str:
+        """The selection table as text."""
+        lines = [f"kernel selection table for {self.spec.codename} "
+                 f"({'SGEMM' if self.precision == 's' else 'DGEMM'}):"]
+        lines.extend("  " + entry.describe() for entry in self.table)
+        return "\n".join(lines)
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Write the selection table to JSON (how a library would ship it)."""
+        import json
+
+        payload = {
+            "format": "repro-kernel-selector/1",
+            "device": self.spec.codename,
+            "precision": self.precision,
+            "table": [
+                {
+                    "max_size": entry.max_size,
+                    "direct": entry.direct,
+                    "params": entry.params.to_dict(),
+                }
+                for entry in self.table
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        return path
+
+    @classmethod
+    def load(cls, path: str, **routine_kwargs) -> "KernelSelector":
+        """Re-create a selector from a saved table (no re-tuning)."""
+        import json
+
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("format") != "repro-kernel-selector/1":
+            raise ReproError(f"{path} is not a kernel-selector table")
+        self = cls.__new__(cls)
+        self.spec = get_device_spec(payload["device"])
+        self.precision = payload["precision"]
+        self._routine_kwargs = routine_kwargs
+        self._routines = {}
+        self.table = [
+            DispatchEntry(
+                max_size=int(entry["max_size"]),
+                params=KernelParams.from_dict(entry["params"]),
+                direct=bool(entry["direct"]),
+            )
+            for entry in payload["table"]
+        ]
+        if not self.table:
+            raise ReproError(f"{path} holds an empty selection table")
+        return self

@@ -1,0 +1,185 @@
+"""Data-parallel GEMM across several simulated devices (extension).
+
+OpenCL's portability makes heterogeneous fleets natural (the paper's
+Table I machine hosts GPUs *and* CPUs); this module splits one GEMM's N
+dimension across devices, proportionally to each device's tuned
+throughput, runs the slices on per-device routines, and models the wall
+time as the slowest device plus the PCIe distribution/collection.
+
+Functionally exact: the concatenated slices equal the single-device
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.codegen.params import KernelParams
+from repro.devices.catalog import get_device_spec
+from repro.devices.specs import DeviceSpec
+from repro.errors import ReproError
+from repro.gemm.routine import GemmRoutine
+from repro.perfmodel.model import estimate_kernel_time, estimate_transfer_time
+from repro.tuner.pretuned import pretuned_params
+
+__all__ = ["DeviceShare", "MultiDeviceResult", "MultiDeviceGemm"]
+
+
+@dataclass(frozen=True)
+class DeviceShare:
+    """One device's slice of the batch: columns owned and timings."""
+
+    device: str
+    columns: Tuple[int, int]  # [start, stop) of N owned by this device
+    compute_seconds: float
+    transfer_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.transfer_seconds
+
+    @property
+    def width(self) -> int:
+        return self.columns[1] - self.columns[0]
+
+
+@dataclass(frozen=True)
+class MultiDeviceResult:
+    """Combined result of one multi-device GEMM."""
+
+    c: np.ndarray
+    shares: Tuple[DeviceShare, ...]
+    M: int
+    N: int
+    K: int
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.M * self.N * self.K
+
+    @property
+    def wall_seconds(self) -> float:
+        """Devices run concurrently: wall time is the slowest share."""
+        return max(share.total_seconds for share in self.shares)
+
+    @property
+    def effective_gflops(self) -> float:
+        return self.flops / self.wall_seconds / 1e9
+
+    def share_of(self, device: str) -> DeviceShare:
+        for share in self.shares:
+            if share.device == device:
+                return share
+        raise KeyError(f"device {device!r} has no share in this result")
+
+
+class MultiDeviceGemm:
+    """Splits GEMMs across a fleet of simulated devices."""
+
+    def __init__(
+        self,
+        devices: Sequence[Union[str, DeviceSpec]],
+        precision: str = "d",
+        params: Optional[Dict[str, KernelParams]] = None,
+        **routine_kwargs,
+    ):
+        if not devices:
+            raise ReproError("MultiDeviceGemm needs at least one device")
+        self.specs: List[DeviceSpec] = [
+            d if isinstance(d, DeviceSpec) else get_device_spec(d) for d in devices
+        ]
+        if len({s.codename for s in self.specs}) != len(self.specs):
+            raise ReproError("duplicate devices in the fleet")
+        self.precision = precision
+        self.routines: Dict[str, GemmRoutine] = {}
+        self._weights: Dict[str, float] = {}
+        for spec in self.specs:
+            p = (params or {}).get(spec.codename) or pretuned_params(
+                spec.codename, precision
+            )
+            self.routines[spec.codename] = GemmRoutine(spec, p, **routine_kwargs)
+            # Load-balancing weight: tuned throughput at the base size.
+            base = 4096 if spec.is_gpu else 1536
+            n = max(p.lcm, (base // p.lcm) * p.lcm)
+            self._weights[spec.codename] = estimate_kernel_time(
+                spec, p, n, n, n, noise=False
+            ).gflops
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """Tuned-throughput weights the column split follows."""
+        return dict(self._weights)
+
+    def partition(self, N: int) -> List[Tuple[str, int, int]]:
+        """Split the N columns proportionally to device throughput."""
+        total = sum(self._weights.values())
+        bounds: List[Tuple[str, int, int]] = []
+        start = 0
+        for i, spec in enumerate(self.specs):
+            if i == len(self.specs) - 1:
+                stop = N
+            else:
+                stop = start + int(round(N * self._weights[spec.codename] / total))
+                stop = min(max(stop, start), N)
+            bounds.append((spec.codename, start, stop))
+            start = stop
+        return bounds
+
+    def __call__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: Optional[np.ndarray] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> MultiDeviceResult:
+        """``alpha A B + beta C`` split by columns of B/C (NN only)."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ReproError(
+                f"incompatible operands for NN GEMM: {a.shape} x {b.shape}"
+            )
+        M, K = a.shape
+        N = b.shape[1]
+        if beta != 0.0 and c is None:
+            raise ReproError("beta != 0 requires a C operand")
+
+        out = np.empty((M, N), dtype=self.routines[self.specs[0].codename].dtype)
+        shares: List[DeviceShare] = []
+        esize = out.dtype.itemsize
+        for device, start, stop in self.partition(N):
+            if stop == start:
+                shares.append(DeviceShare(device, (start, stop), 0.0, 0.0))
+                continue
+            routine = self.routines[device]
+            b_slice = np.ascontiguousarray(b[:, start:stop])
+            c_slice = (
+                np.ascontiguousarray(c[:, start:stop]) if c is not None else None
+            )
+            result = routine(a, b_slice, c_slice, alpha=alpha, beta=beta)
+            out[:, start:stop] = result.c
+            # Distribution: full A + the B slice in; collection: C slice out.
+            spec = routine.device.spec
+            xfer = estimate_transfer_time(
+                spec, float((M * K + K * (stop - start)) * esize)
+            ) + estimate_transfer_time(spec, float(M * (stop - start) * esize))
+            shares.append(
+                DeviceShare(device, (start, stop), result.timings.total_s, xfer)
+            )
+        return MultiDeviceResult(out, tuple(shares), M, N, K)
+
+    def describe(self) -> str:
+        lines = [f"fleet of {len(self.specs)} devices "
+                 f"({'SGEMM' if self.precision == 's' else 'DGEMM'}):"]
+        total = sum(self._weights.values())
+        for spec in self.specs:
+            w = self._weights[spec.codename]
+            lines.append(
+                f"  {spec.codename:12s} weight {w:8.1f} GFlop/s "
+                f"({w / total:.0%} of columns)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Reference GEMM (the BLAS definition, computed with numpy).
+
+Used as ground truth by the test suite and by the tuner's kernel
+verification stage ("failed in ... testing" candidates are discarded).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reference_gemm", "relative_error"]
+
+_VALID_OPS = {"N", "T"}
+
+
+def reference_gemm(
+    transa: str,
+    transb: str,
+    alpha: float,
+    a: np.ndarray,
+    b: np.ndarray,
+    beta: float,
+    c: np.ndarray | None = None,
+) -> np.ndarray:
+    """``C <- alpha * op(A) op(B) + beta * C`` (BLAS GEMM semantics).
+
+    ``a`` and ``b`` are 2-D arrays already oriented so that ``op`` is a
+    plain transpose flag; ``c`` may be None when ``beta == 0``.
+    """
+    transa, transb = transa.upper(), transb.upper()
+    if transa not in _VALID_OPS or transb not in _VALID_OPS:
+        raise ValueError(f"transa/transb must be 'N' or 'T', got {transa}/{transb}")
+    opa = a.T if transa == "T" else a
+    opb = b.T if transb == "T" else b
+    if opa.shape[1] != opb.shape[0]:
+        raise ValueError(
+            f"inner dimensions disagree: op(A) is {opa.shape}, op(B) is {opb.shape}"
+        )
+    out = alpha * (opa @ opb)
+    if beta != 0.0:
+        if c is None:
+            raise ValueError("beta != 0 requires a C operand")
+        if c.shape != out.shape:
+            raise ValueError(f"C has shape {c.shape}, expected {out.shape}")
+        out += beta * c
+    return out.astype(a.dtype, copy=False)
+
+
+def relative_error(result: np.ndarray, reference: np.ndarray) -> float:
+    """Max elementwise error relative to the reference's magnitude."""
+    scale = max(float(np.abs(reference).max()), 1e-30)
+    return float(np.abs(result - reference).max()) / scale

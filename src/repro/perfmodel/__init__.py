@@ -1,0 +1,43 @@
+"""Analytical device performance model.
+
+The OpenCL simulator charges kernel execution time from this model, which
+plays the role real hardware plays for the paper's auto-tuner.  See
+DESIGN.md ("Substitutions") for why this preserves the paper's result
+shapes: every qualitative finding (layout effects, local-memory
+trade-offs, algorithm selection, CPU efficiency gaps) is an emergent
+consequence of the same mechanisms the paper identifies, driven by the
+Table I device specifications.
+"""
+
+from repro.perfmodel.occupancy import OccupancyInfo, compute_occupancy
+from repro.perfmodel.memory import (
+    MemoryTraffic,
+    global_traffic_bytes,
+    local_traffic_bytes,
+    memory_efficiency,
+)
+from repro.perfmodel.model import (
+    KernelCostBreakdown,
+    alu_efficiency,
+    estimate_kernel_time,
+    estimate_copy_time,
+)
+from repro.perfmodel.calibration import (
+    PAPER_ANCHORS,
+    sdk2012_variant,
+)
+
+__all__ = [
+    "OccupancyInfo",
+    "compute_occupancy",
+    "MemoryTraffic",
+    "global_traffic_bytes",
+    "local_traffic_bytes",
+    "memory_efficiency",
+    "KernelCostBreakdown",
+    "alu_efficiency",
+    "estimate_kernel_time",
+    "estimate_copy_time",
+    "PAPER_ANCHORS",
+    "sdk2012_variant",
+]

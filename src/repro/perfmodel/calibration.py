@@ -1,0 +1,80 @@
+"""Calibration anchors and SDK variants.
+
+``PAPER_ANCHORS`` records, for every device and precision, the maximum
+kernel performance the paper measured (Table II) — the targets the
+calibrated model must land near.  The per-device ``calibration_sp/dp``
+multipliers in the catalog were fitted once (scripts in
+``benchmarks/``) so that the *tuner-selected best kernel* reproduces
+these numbers; the qualitative structure (which parameters win and why)
+comes from the mechanistic model, not from the calibration.
+
+``sdk2012_variant`` derives the older Intel OpenCL SDK 2012 compiler for
+the Figure 11 experiment: the paper measured "around 20%" improvement
+from SDK 2012 to the 2013 beta on Sandy Bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.devices.specs import DeviceSpec
+
+__all__ = ["PAPER_ANCHORS", "sdk2012_variant", "anchor_efficiency"]
+
+#: (device codename, precision) -> paper's maximum kernel GFlop/s (Table II).
+PAPER_ANCHORS: Dict[Tuple[str, str], float] = {
+    ("tahiti", "d"): 863.0,
+    ("tahiti", "s"): 3047.0,
+    ("cayman", "d"): 580.0,
+    ("cayman", "s"): 2167.0,
+    ("kepler", "d"): 128.0,
+    ("kepler", "s"): 1440.0,
+    ("fermi", "d"): 370.0,
+    ("fermi", "s"): 896.0,
+    ("sandybridge", "d"): 64.0,
+    ("sandybridge", "s"): 140.0,
+    ("bulldozer", "d"): 37.0,
+    ("bulldozer", "s"): 87.0,
+    # Section IV-C: the tuner reaches 495 GFlop/s DGEMM on Cypress.
+    ("cypress", "d"): 495.0,
+}
+
+#: Paper Table II efficiency rows (fraction of listed peak).
+PAPER_EFFICIENCIES: Dict[Tuple[str, str], float] = {
+    ("tahiti", "d"): 0.91,
+    ("tahiti", "s"): 0.80,
+    ("cayman", "d"): 0.86,
+    ("cayman", "s"): 0.80,
+    ("kepler", "d"): 1.05,
+    ("kepler", "s"): 0.49,
+    ("fermi", "d"): 0.56,
+    ("fermi", "s"): 0.67,
+    ("sandybridge", "d"): 0.40,
+    ("sandybridge", "s"): 0.44,
+    ("bulldozer", "d"): 0.32,
+    ("bulldozer", "s"): 0.38,
+}
+
+#: Measured SDK 2013-beta over SDK 2012 speedup on Sandy Bridge (Fig. 11).
+SDK2013_OVER_SDK2012 = 1.20
+
+
+def sdk2012_variant(spec: DeviceSpec) -> DeviceSpec:
+    """Return a Sandy Bridge spec compiled with the older Intel SDK 2012.
+
+    Only meaningful for CPU devices; the older compiler's efficiency
+    ceiling is ~20% lower (Fig. 11: "Using the newer SDK improves the
+    performance by around 20%").
+    """
+    if not spec.is_cpu:
+        raise ValueError(f"SDK 2012 variant only applies to CPUs, not {spec.codename}")
+    scale = 1.0 / SDK2013_OVER_SDK2012
+    return spec.with_model(
+        compiler_efficiency_sp=spec.model.compiler_efficiency_sp * scale,
+        compiler_efficiency_dp=spec.model.compiler_efficiency_dp * scale,
+    )
+
+
+def anchor_efficiency(codename: str, precision: str) -> float:
+    """Paper Table II efficiency for a device/precision pair."""
+    return PAPER_EFFICIENCIES[(codename, precision)]

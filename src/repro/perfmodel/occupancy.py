@@ -1,0 +1,74 @@
+"""Work-group occupancy model.
+
+On GPUs the number of work-groups concurrently resident on a compute unit
+is limited by the register file, the local-memory capacity and a
+scheduler cap; the resulting number of in-flight wavefronts determines
+how well memory latency can be hidden ("If the number of work-groups is
+not enough, processors cannot hide memory access latencies" — paper
+Section III-E, discussing why DB can beat PL).
+
+On CPUs work-items of a work-group are executed as software loops by one
+core, so residency is not register-limited; register pressure instead
+shows up as spill cost, which :mod:`repro.perfmodel.model` charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.params import KernelParams
+from repro.devices.specs import DeviceSpec
+
+__all__ = ["OccupancyInfo", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyInfo:
+    """Residency and latency-hiding summary for one kernel on one device."""
+
+    workgroups_per_cu: int
+    waves_per_cu: float
+    #: 0..1: fraction of the latency-hiding requirement satisfied.
+    occupancy: float
+    #: Which resource bound residency: 'registers', 'local_memory',
+    #: 'scheduler', or 'n/a' (CPU).
+    limited_by: str
+
+    @property
+    def resident(self) -> bool:
+        """Whether at least one work-group fits on a compute unit."""
+        return self.workgroups_per_cu >= 1
+
+
+def compute_occupancy(spec: DeviceSpec, params: KernelParams) -> OccupancyInfo:
+    """Residency of ``params``'s work-groups on ``spec``'s compute units.
+
+    Returns ``workgroups_per_cu == 0`` when the kernel cannot be resident
+    at all (local memory or register file exceeded); the simulator's
+    program builder turns that into a :class:`~repro.errors.ResourceError`.
+    """
+    model = spec.model
+    wg_size = params.workgroup_size
+
+    if spec.is_cpu:
+        # One work-group per core at a time; work-items are a software
+        # loop, so there is no latency-hiding requirement to satisfy.
+        lmem = params.local_memory_bytes()
+        if lmem > spec.local_mem_bytes:
+            return OccupancyInfo(0, 0.0, 0.0, "local_memory")
+        return OccupancyInfo(model.max_workgroups_per_cu, float(wg_size), 1.0, "n/a")
+
+    limits = {"scheduler": model.max_workgroups_per_cu}
+
+    lmem = params.local_memory_bytes()
+    if lmem > 0:
+        limits["local_memory"] = spec.local_mem_bytes // lmem
+
+    wg_register_bytes = params.private_bytes() * wg_size
+    limits["registers"] = spec.registers_per_cu_bytes // wg_register_bytes
+
+    limited_by = min(limits, key=lambda k: limits[k])
+    wg_per_cu = max(0, limits[limited_by])
+    waves = wg_per_cu * wg_size / model.wavefront_size
+    occupancy = min(1.0, waves / model.latency_hiding_occupancy)
+    return OccupancyInfo(int(wg_per_cu), waves, occupancy, limited_by)

@@ -1,0 +1,97 @@
+"""Roofline analysis of modelled kernels.
+
+The classic performance-analysis frame: a kernel's attainable rate is
+``min(peak_compute, operational_intensity * peak_bandwidth)``.  This
+module positions a generated GEMM kernel on its device's roofline —
+operational intensity from the modelled DRAM traffic, attained rate from
+the timing model — and renders the comparison, which makes the paper's
+compute-bound/memory-bound discussions concrete (e.g. why block-major
+layouts matter exactly when the kernel sits near the memory roof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.codegen.params import KernelParams
+from repro.devices.catalog import get_device_spec
+from repro.devices.specs import DeviceSpec
+from repro.perfmodel.memory import global_traffic_bytes
+from repro.perfmodel.model import estimate_kernel_time
+
+__all__ = ["RooflinePoint", "roofline_point"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position relative to its device's roofline."""
+
+    device: str
+    precision: str
+    #: FLOPs per DRAM byte actually moved (model traffic, not ideal).
+    operational_intensity: float
+    #: GFlop/s the timing model attains.
+    attained_gflops: float
+    #: The device's compute roof for this precision (boosted peak).
+    compute_roof_gflops: float
+    #: Bandwidth roof at this intensity: OI * peak bandwidth.
+    bandwidth_roof_gflops: float
+
+    @property
+    def roof_gflops(self) -> float:
+        return min(self.compute_roof_gflops, self.bandwidth_roof_gflops)
+
+    @property
+    def utilization(self) -> float:
+        """Attained fraction of the binding roof."""
+        return self.attained_gflops / self.roof_gflops
+
+    @property
+    def regime(self) -> str:
+        """'compute-bound' or 'memory-bound' by which roof binds."""
+        return (
+            "compute-bound"
+            if self.compute_roof_gflops <= self.bandwidth_roof_gflops
+            else "memory-bound"
+        )
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the two roofs meet (flops/byte)."""
+        return self.compute_roof_gflops / (self.bandwidth_roof_gflops /
+                                           self.operational_intensity)
+
+    def render(self) -> str:
+        return (
+            f"roofline({self.device}, {'SGEMM' if self.precision == 's' else 'DGEMM'}):\n"
+            f"  operational intensity : {self.operational_intensity:8.2f} flop/byte\n"
+            f"  compute roof          : {self.compute_roof_gflops:8.1f} GFlop/s\n"
+            f"  bandwidth roof        : {self.bandwidth_roof_gflops:8.1f} GFlop/s\n"
+            f"  attained              : {self.attained_gflops:8.1f} GFlop/s "
+            f"({self.utilization:.0%} of the {self.regime} roof)"
+        )
+
+
+def roofline_point(
+    device: Union[str, DeviceSpec],
+    params: KernelParams,
+    M: int,
+    N: int,
+    K: int,
+) -> RooflinePoint:
+    """Place one kernel execution on its device's roofline."""
+    spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+    breakdown = estimate_kernel_time(spec, params, M, N, K, noise=False)
+    traffic = global_traffic_bytes(spec, params, M, N, K)
+    intensity = breakdown.flops / traffic.total
+    compute_roof = spec.peak_gflops(params.precision) * spec.model.boost_factor
+    bandwidth_roof = intensity * spec.bandwidth_gbs
+    return RooflinePoint(
+        device=spec.codename,
+        precision=params.precision,
+        operational_intensity=intensity,
+        attained_gflops=breakdown.gflops,
+        compute_roof_gflops=compute_roof,
+        bandwidth_roof_gflops=bandwidth_roof,
+    )

@@ -1,0 +1,128 @@
+"""What-if device exploration.
+
+Because the devices are specifications, counterfactual hardware is one
+``with_model``/``replace`` away: *what if Tahiti had twice the
+bandwidth — would row-major layouts stop mattering?  What if Fermi had
+a GCN-sized register file?*  This module runs a tuned kernel on such
+variants and reports the response — the kind of question an
+architecture-aware tuning paper invites but hardware owners cannot ask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Tuple, Union
+
+from repro.codegen.params import KernelParams
+from repro.devices.catalog import get_device_spec
+from repro.devices.specs import DeviceSpec
+from repro.errors import CLError, ReproError
+from repro.perfmodel.model import estimate_kernel_time
+
+__all__ = ["WhatIfResult", "whatif", "scaling_sweep"]
+
+#: DeviceSpec top-level fields what-if scenarios may scale.
+_SPEC_FIELDS = {
+    "bandwidth_gbs", "clock_ghz", "local_mem_kb",
+    "peak_dp_gflops", "peak_sp_gflops",
+}
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Baseline vs counterfactual performance of one kernel."""
+
+    device: str
+    changes: Dict[str, float]
+    baseline_gflops: float
+    modified_gflops: float
+
+    @property
+    def speedup(self) -> float:
+        return self.modified_gflops / self.baseline_gflops
+
+    def render(self) -> str:
+        changed = ", ".join(f"{k}={v:g}" for k, v in sorted(self.changes.items()))
+        return (
+            f"what-if({self.device}: {changed}): "
+            f"{self.baseline_gflops:.1f} -> {self.modified_gflops:.1f} GFlop/s "
+            f"({self.speedup:.2f}x)"
+        )
+
+
+def _variant(spec: DeviceSpec, changes: Dict[str, float]) -> DeviceSpec:
+    spec_changes = {k: v for k, v in changes.items() if k in _SPEC_FIELDS}
+    model_changes = {k: v for k, v in changes.items() if k not in _SPEC_FIELDS}
+    unknown = [k for k in model_changes if not hasattr(spec.model, k)]
+    if unknown:
+        raise ReproError(f"unknown what-if fields: {unknown}")
+    # The listed peaks are clock-derived: a clock change scales them too
+    # (unless the scenario pins them explicitly).
+    if "clock_ghz" in spec_changes:
+        ratio = spec_changes["clock_ghz"] / spec.clock_ghz
+        spec_changes.setdefault("peak_dp_gflops", spec.peak_dp_gflops * ratio)
+        spec_changes.setdefault("peak_sp_gflops", spec.peak_sp_gflops * ratio)
+    out = dc_replace(spec, **spec_changes) if spec_changes else spec
+    if model_changes:
+        out = out.with_model(**model_changes)
+    return out
+
+
+def whatif(
+    device: Union[str, DeviceSpec],
+    params: KernelParams,
+    M: int,
+    N: int,
+    K: int,
+    **changes: float,
+) -> WhatIfResult:
+    """Run one kernel on a counterfactual variant of a device.
+
+    Keyword arguments name either a :class:`DeviceSpec` field
+    (``bandwidth_gbs``, ``clock_ghz``, ``local_mem_kb``, the peaks) or
+    any :class:`DeviceModelParams` field, set to its new value.
+    """
+    spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+    if not changes:
+        raise ReproError("whatif needs at least one changed field")
+    baseline = estimate_kernel_time(spec, params, M, N, K, noise=False)
+    modified_spec = _variant(spec, changes)
+    modified = estimate_kernel_time(modified_spec, params, M, N, K, noise=False)
+    return WhatIfResult(
+        device=spec.codename,
+        changes=dict(changes),
+        baseline_gflops=baseline.gflops,
+        modified_gflops=modified.gflops,
+    )
+
+
+def scaling_sweep(
+    device: Union[str, DeviceSpec],
+    params: KernelParams,
+    field: str,
+    scales: Tuple[float, ...],
+    M: int,
+    N: int,
+    K: int,
+) -> List[Tuple[float, float]]:
+    """Sweep one field across multiples of its current value.
+
+    Returns (scale, GFlop/s) pairs; scales whose variant cannot host the
+    kernel (e.g. local memory shrunk below the tile) are skipped.
+    """
+    spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+    if field in _SPEC_FIELDS:
+        base_value = getattr(spec, field)
+    elif hasattr(spec.model, field):
+        base_value = getattr(spec.model, field)
+    else:
+        raise ReproError(f"unknown what-if field {field!r}")
+    points: List[Tuple[float, float]] = []
+    for scale in scales:
+        try:
+            variant = _variant(spec, {field: base_value * scale})
+            bd = estimate_kernel_time(variant, params, M, N, K, noise=False)
+        except (CLError, ReproError, ValueError):
+            continue
+        points.append((scale, bd.gflops))
+    return points

@@ -1,0 +1,131 @@
+"""Public test utilities for downstream users.
+
+Anything that computes with this library should be able to verify
+itself; this module packages the generators and assertions the internal
+test-suite uses so that downstream code can do the same::
+
+    from repro.testing import make_problem, assert_gemm_close
+
+    problem = make_problem(200, 150, 80, precision="s", seed=7)
+    result = my_routine(problem.a, problem.b, problem.c,
+                        alpha=problem.alpha, beta=problem.beta)
+    assert_gemm_close(result.c, problem.expected, "s")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.codegen.params import KernelParams
+from repro.devices.specs import DeviceSpec
+from repro.gemm.reference import reference_gemm, relative_error
+
+__all__ = [
+    "GemmProblem",
+    "make_problem",
+    "assert_gemm_close",
+    "tolerance_for",
+    "random_params",
+]
+
+#: Relative-error tolerances by precision for a verified GEMM result.
+TOLERANCES = {"s": 5e-4, "d": 1e-10}
+
+
+def tolerance_for(precision: str) -> float:
+    """The acceptance tolerance the tuner's verification stage uses."""
+    try:
+        return TOLERANCES[precision]
+    except KeyError:
+        raise ValueError(f"precision must be 's' or 'd', got {precision!r}") from None
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """One reproducible GEMM problem with its reference answer."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: Optional[np.ndarray]
+    alpha: float
+    beta: float
+    transa: str
+    transb: str
+    expected: np.ndarray
+
+    @property
+    def shape(self):
+        return self.expected.shape
+
+
+def make_problem(
+    M: int,
+    N: int,
+    K: int,
+    precision: str = "d",
+    alpha: float = 1.5,
+    beta: float = -0.5,
+    transa: str = "N",
+    transb: str = "N",
+    seed: int = 0,
+) -> GemmProblem:
+    """A reproducible random GEMM problem plus its numpy reference."""
+    rng = np.random.default_rng(seed)
+    dtype = np.float64 if precision == "d" else np.float32
+    transa, transb = transa.upper(), transb.upper()
+    a = rng.standard_normal((M, K) if transa == "N" else (K, M)).astype(dtype)
+    b = rng.standard_normal((K, N) if transb == "N" else (N, K)).astype(dtype)
+    c = rng.standard_normal((M, N)).astype(dtype) if beta != 0.0 else None
+    expected = reference_gemm(transa, transb, alpha, a, b, beta, c)
+    return GemmProblem(a, b, c, alpha, beta, transa, transb, expected)
+
+
+def assert_gemm_close(
+    result: np.ndarray,
+    expected: np.ndarray,
+    precision: str = "d",
+    context: str = "",
+) -> None:
+    """Assert a GEMM result matches its reference within precision."""
+    if result.shape != expected.shape:
+        raise AssertionError(
+            f"shape mismatch: {result.shape} vs {expected.shape}"
+            + (f" ({context})" if context else "")
+        )
+    error = relative_error(result, expected)
+    tol = tolerance_for(precision)
+    if error > tol:
+        raise AssertionError(
+            f"GEMM result off by {error:.3e} (tolerance {tol:.1e})"
+            + (f" ({context})" if context else "")
+        )
+
+
+def random_params(
+    device: DeviceSpec,
+    precision: str = "d",
+    seed: int = 0,
+    count: int = 1,
+):
+    """Structurally valid random kernel parameter vectors for a device.
+
+    A runtime counterpart of the hypothesis strategies: drawn from the
+    same heuristic space the tuner searches, so every vector builds and
+    runs on ``device``.
+    """
+    from repro.codegen.space import enumerate_space
+
+    out = []
+    for params in enumerate_space(
+        device, precision, seed=seed, include_seeds=False, limit=max(count * 7, 50)
+    ):
+        out.append(params)
+    if len(out) < count:
+        raise ValueError(f"could not draw {count} candidates for {device.codename}")
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(out), size=count, replace=False)
+    chosen = [out[i] for i in picks]
+    return chosen[0] if count == 1 else chosen

@@ -1,0 +1,38 @@
+"""The auto-tuning search engine (paper Section III-F).
+
+The staged procedure mirrors the paper's:
+
+1. measure every heuristically-generated candidate at a base size
+   (``N = floor(4096 / LCM) * LCM`` on GPUs, ``floor(1536 / LCM) * LCM``
+   on CPUs, where LCM is the least common multiple of the work-group
+   blocking factors);
+2. re-measure the fastest ``top_k`` (paper: 50) candidates across sizes
+   up to 8192 in multiples of their LCM;
+3. select the overall fastest, after functionally verifying the
+   finalists against a reference GEMM ("failed in ... testing" kernels
+   are not counted).
+"""
+
+from repro.tuner.search import (
+    MeasuredKernel,
+    SearchEngine,
+    TuningConfig,
+    TuningResult,
+    TuningStats,
+    tune,
+)
+from repro.tuner.results import ResultsDatabase, TunedKernelRecord
+from repro.tuner.pretuned import pretuned_params, PRETUNED
+
+__all__ = [
+    "SearchEngine",
+    "TuningConfig",
+    "TuningResult",
+    "TuningStats",
+    "MeasuredKernel",
+    "tune",
+    "ResultsDatabase",
+    "TunedKernelRecord",
+    "pretuned_params",
+    "PRETUNED",
+]

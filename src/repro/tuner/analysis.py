@@ -1,0 +1,164 @@
+"""Post-tuning analysis: which parameters matter, and why.
+
+The paper spends its Section IV-A discussing which generator parameters
+drive performance on which device (local memory on Kepler, layouts on
+AMD, algorithms on Cayman, ...).  This module turns one tuned kernel
+into exactly that analysis: a one-at-a-time sensitivity sweep around the
+winner, a model cost decomposition, and a rendered report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.codegen.params import KernelParams
+from repro.devices.catalog import get_device_spec
+from repro.devices.specs import DeviceSpec
+from repro.errors import CLError, ReproError
+from repro.perfmodel.model import estimate_kernel_time
+from repro.tuner.refine import neighbors
+
+__all__ = ["ParameterSensitivity", "KernelAnalysis", "analyze_kernel"]
+
+
+@dataclass(frozen=True)
+class ParameterSensitivity:
+    """Effect of perturbing one parameter family away from the winner."""
+
+    family: str
+    #: Best GFlop/s among the family's one-step variations.
+    best_variant_gflops: float
+    #: Worst viable variation (how badly one can lose inside one step).
+    worst_variant_gflops: float
+    #: Number of viable one-step variations tried.
+    variants: int
+
+    def loss(self, reference: float) -> float:
+        """Fraction of performance lost by the best one-step change.
+
+        Near 0: the optimum is flat along this family.  Large: the
+        winner's value of this parameter is load-bearing.
+        """
+        if reference <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.best_variant_gflops / reference)
+
+
+#: Which KernelParams fields belong to which report family.
+_FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "blocking": ("mwg", "nwg", "kwg"),
+    "workgroup shape": ("mdimc", "ndimc"),
+    "unrolling": ("kwi",),
+    "vector width": ("vw",),
+    "stride mode": ("stride",),
+    "local memory": ("shared_a", "shared_b", "mdima", "ndimb"),
+    "layouts": ("layout_a", "layout_b"),
+    "algorithm": ("algorithm",),
+    "memory objects": ("use_images",),
+}
+
+
+def _family_of(base: KernelParams, variant: KernelParams) -> Optional[str]:
+    changed = {
+        name
+        for name in (
+            "mwg", "nwg", "kwg", "mdimc", "ndimc", "kwi", "vw", "stride",
+            "shared_a", "shared_b", "mdima", "ndimb", "layout_a", "layout_b",
+            "algorithm", "use_images",
+        )
+        if getattr(base, name) != getattr(variant, name)
+    }
+    for family, fields in _FAMILIES.items():
+        if changed and changed <= set(fields):
+            return family
+    return None  # multi-family change (e.g. shared toggle resetting mdima)
+
+
+@dataclass
+class KernelAnalysis:
+    """Sensitivity + cost decomposition of one kernel on one device."""
+
+    device: str
+    params: KernelParams
+    size: int
+    gflops: float
+    efficiency: float
+    bound: str
+    cost_factors: Dict[str, float]
+    sensitivities: List[ParameterSensitivity] = field(default_factory=list)
+
+    def ranked_sensitivities(self) -> List[ParameterSensitivity]:
+        return sorted(
+            self.sensitivities, key=lambda s: s.loss(self.gflops), reverse=True
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"kernel analysis on {self.device} (N={self.size})",
+            f"  {self.params.summary()}",
+            f"  modelled rate : {self.gflops:.1f} GFlop/s "
+            f"({self.efficiency:.0%} of peak), {self.bound}-bound",
+            "",
+            "  issue-efficiency factors (multiplicative):",
+        ]
+        for name, value in sorted(self.cost_factors.items(), key=lambda kv: kv[1]):
+            lines.append(f"    {name:12s} {value:6.3f}")
+        lines.append("")
+        lines.append("  parameter sensitivity (loss from the best one-step change):")
+        for s in self.ranked_sensitivities():
+            lines.append(
+                f"    {s.family:16s} loss {s.loss(self.gflops):6.1%}   "
+                f"(best neighbour {s.best_variant_gflops:8.1f}, "
+                f"worst {s.worst_variant_gflops:8.1f}, {s.variants} variants)"
+            )
+        return "\n".join(lines)
+
+
+def analyze_kernel(
+    device: Union[str, DeviceSpec],
+    params: KernelParams,
+    size: Optional[int] = None,
+) -> KernelAnalysis:
+    """Analyse one kernel: cost factors and parameter sensitivities."""
+    spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+    if size is None:
+        base = 4096 if spec.is_gpu else 1536
+        size = max(params.lcm, (base // params.lcm) * params.lcm)
+        size = max(size, params.algorithm.min_k_iterations * params.kwg)
+
+    breakdown = estimate_kernel_time(spec, params, size, size, size, noise=False)
+    reference = breakdown.gflops
+
+    per_family: Dict[str, List[float]] = {}
+    for variant in neighbors(params, spec):
+        family = _family_of(params, variant)
+        if family is None:
+            continue
+        n = max(variant.lcm, (size // variant.lcm) * variant.lcm)
+        n = max(n, variant.algorithm.min_k_iterations * variant.kwg)
+        try:
+            bd = estimate_kernel_time(spec, variant, n, n, n, noise=False)
+        except (CLError, ReproError):
+            continue
+        per_family.setdefault(family, []).append(bd.gflops)
+
+    sensitivities = [
+        ParameterSensitivity(
+            family=family,
+            best_variant_gflops=max(values),
+            worst_variant_gflops=min(values),
+            variants=len(values),
+        )
+        for family, values in per_family.items()
+    ]
+    return KernelAnalysis(
+        device=spec.codename,
+        params=params,
+        size=size,
+        gflops=reference,
+        efficiency=reference / spec.peak_gflops(params.precision),
+        bound=breakdown.bound,
+        cost_factors=dict(breakdown.alu_factors),
+        sensitivities=sensitivities,
+    )

@@ -1,0 +1,54 @@
+"""Pre-tuned kernel parameters shipped with the package.
+
+Full searches take a while (the paper's ran for hours); examples,
+benchmarks and downstream users normally start from these frozen results
+of a full-budget search (``budget=None``) per device and precision, the
+way clBLAS and ATLAS ship tuned parameter stores.  Regenerate with::
+
+    python -m repro tune --device all --budget full --freeze
+
+(placeholder values are replaced by the freeze step; see
+``repro.cli``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.codegen.params import KernelParams
+
+__all__ = ["PRETUNED", "pretuned_params"]
+
+#: (device codename, precision) -> winning parameter dict from a frozen
+#: full-budget search run.
+_PRETUNED_RAW: Dict[Tuple[str, str], Dict] = {
+    ('bulldozer', 'd'): {"precision": "d", "mwg": 32, "nwg": 96, "kwg": 48, "mdimc": 8, "ndimc": 16, "kwi": 24, "vw": 2, "stride": "-", "shared_a": True, "shared_b": False, "mdima": 32, "ndimb": 0, "layout_a": "RBL", "layout_b": "CBL", "algorithm": "DB"},
+    ('bulldozer', 's'): {"precision": "s", "mwg": 16, "nwg": 96, "kwg": 192, "mdimc": 4, "ndimc": 24, "kwi": 24, "vw": 4, "stride": "-", "shared_a": False, "shared_b": False, "mdima": 0, "ndimb": 0, "layout_a": "RBL", "layout_b": "CBL", "algorithm": "PL"},
+    ('cayman', 'd'): {"precision": "d", "mwg": 64, "nwg": 48, "kwg": 48, "mdimc": 8, "ndimc": 8, "kwi": 24, "vw": 2, "stride": "-", "shared_a": False, "shared_b": False, "mdima": 0, "ndimb": 0, "layout_a": "CBL", "layout_b": "CBL", "algorithm": "PL"},
+    ('cayman', 's'): {"precision": "s", "mwg": 64, "nwg": 128, "kwg": 48, "mdimc": 16, "ndimc": 8, "kwi": 24, "vw": 4, "stride": "-", "shared_a": False, "shared_b": False, "mdima": 0, "ndimb": 0, "layout_a": "RBL", "layout_b": "CBL", "algorithm": "BA"},
+    ('cypress', 'd'): {"precision": "d", "mwg": 128, "nwg": 96, "kwg": 48, "mdimc": 8, "ndimc": 24, "kwi": 24, "vw": 2, "stride": "-", "shared_a": False, "shared_b": False, "mdima": 0, "ndimb": 0, "layout_a": "CBL", "layout_b": "RBL", "algorithm": "PL"},
+    ('cypress', 's'): {"precision": "s", "mwg": 96, "nwg": 128, "kwg": 48, "mdimc": 24, "ndimc": 8, "kwi": 16, "vw": 4, "stride": "-", "shared_a": False, "shared_b": False, "mdima": 0, "ndimb": 0, "layout_a": "CBL", "layout_b": "CBL", "algorithm": "PL"},
+    ('fermi', 'd'): {"precision": "d", "mwg": 96, "nwg": 48, "kwg": 32, "mdimc": 32, "ndimc": 16, "kwi": 16, "vw": 1, "stride": "M,N", "shared_a": True, "shared_b": True, "mdima": 16, "ndimb": 16, "layout_a": "CBL", "layout_b": "RBL", "algorithm": "BA"},
+    ('fermi', 's'): {"precision": "s", "mwg": 96, "nwg": 128, "kwg": 48, "mdimc": 24, "ndimc": 16, "kwi": 8, "vw": 2, "stride": "M,N", "shared_a": True, "shared_b": True, "mdima": 32, "ndimb": 8, "layout_a": "RBL", "layout_b": "RBL", "algorithm": "BA"},
+    ('kepler', 'd'): {"precision": "d", "mwg": 128, "nwg": 48, "kwg": 32, "mdimc": 16, "ndimc": 16, "kwi": 16, "vw": 1, "stride": "M,N", "shared_a": True, "shared_b": True, "mdima": 16, "ndimb": 16, "layout_a": "CBL", "layout_b": "CBL", "algorithm": "PL"},
+    ('kepler', 's'): {"precision": "s", "mwg": 128, "nwg": 96, "kwg": 16, "mdimc": 8, "ndimc": 16, "kwi": 8, "vw": 2, "stride": "M,N", "shared_a": True, "shared_b": True, "mdima": 32, "ndimb": 32, "layout_a": "CBL", "layout_b": "CBL", "algorithm": "BA"},
+    ('sandybridge', 'd'): {"precision": "d", "mwg": 64, "nwg": 96, "kwg": 192, "mdimc": 16, "ndimc": 8, "kwi": 24, "vw": 4, "stride": "-", "shared_a": False, "shared_b": False, "mdima": 0, "ndimb": 0, "layout_a": "RBL", "layout_b": "CBL", "algorithm": "PL"},
+    ('sandybridge', 's'): {"precision": "s", "mwg": 64, "nwg": 32, "kwg": 16, "mdimc": 8, "ndimc": 4, "kwi": 16, "vw": 8, "stride": "-", "shared_a": False, "shared_b": False, "mdima": 0, "ndimb": 0, "layout_a": "RBL", "layout_b": "CBL", "algorithm": "PL"},
+    ('tahiti', 'd'): {"precision": "d", "mwg": 48, "nwg": 96, "kwg": 48, "mdimc": 8, "ndimc": 16, "kwi": 16, "vw": 2, "stride": "-", "shared_a": True, "shared_b": True, "mdima": 16, "ndimb": 16, "layout_a": "CBL", "layout_b": "CBL", "algorithm": "PL"},
+    ('tahiti', 's'): {"precision": "s", "mwg": 96, "nwg": 128, "kwg": 32, "mdimc": 8, "ndimc": 16, "kwi": 8, "vw": 1, "stride": "-", "shared_a": True, "shared_b": True, "mdima": 8, "ndimb": 16, "layout_a": "RBL", "layout_b": "RBL", "algorithm": "PL"},
+}
+
+
+def pretuned_params(device: str, precision: str) -> KernelParams:
+    """The shipped tuned parameters for a device/precision pair."""
+    try:
+        raw = _PRETUNED_RAW[(device, precision)]
+    except KeyError:
+        raise KeyError(
+            f"no pretuned kernel for ({device!r}, {precision!r}); "
+            f"available: {sorted(_PRETUNED_RAW)}"
+        ) from None
+    return KernelParams.from_dict(raw)
+
+
+PRETUNED = _PRETUNED_RAW

@@ -1,0 +1,114 @@
+"""Persistence of tuning results.
+
+Auto-tuning is expensive (the paper's full searches run "more than five
+hours" per GEMM type per device), so tuned parameters are stored in a
+JSON database keyed by (device, precision) and reloaded on demand — the
+same pattern ATLAS and clBLAS use for their tuned parameter stores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.codegen.params import KernelParams
+from repro.tuner.search import TuningResult
+
+__all__ = ["TunedKernelRecord", "ResultsDatabase"]
+
+
+@dataclass(frozen=True)
+class TunedKernelRecord:
+    """One tuned kernel: the winning parameters and their measurement."""
+
+    device: str
+    precision: str
+    params: KernelParams
+    gflops: float
+    size: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "device": self.device,
+            "precision": self.precision,
+            "params": self.params.to_dict(),
+            "gflops": self.gflops,
+            "size": self.size,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "TunedKernelRecord":
+        return cls(
+            device=str(d["device"]),
+            precision=str(d["precision"]),
+            params=KernelParams.from_dict(d["params"]),
+            gflops=float(d["gflops"]),
+            size=int(d["size"]),
+        )
+
+    @classmethod
+    def from_result(cls, result: TuningResult) -> "TunedKernelRecord":
+        return cls(
+            device=result.device,
+            precision=result.precision,
+            params=result.best.params,
+            gflops=result.best.gflops,
+            size=result.best.size,
+        )
+
+
+class ResultsDatabase:
+    """JSON-backed store of tuned kernels, keyed by (device, precision)."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._records: Dict[Tuple[str, str], TunedKernelRecord] = {}
+        if path and os.path.exists(path):
+            self.load(path)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._records
+
+    def put(self, record: TunedKernelRecord) -> None:
+        self._records[(record.device, record.precision)] = record
+
+    def put_result(self, result: TuningResult) -> TunedKernelRecord:
+        record = TunedKernelRecord.from_result(result)
+        self.put(record)
+        return record
+
+    def get(self, device: str, precision: str) -> Optional[TunedKernelRecord]:
+        return self._records.get((device, precision))
+
+    def records(self):
+        return list(self._records.values())
+
+    # -- persistence -----------------------------------------------------
+    def save(self, path: Optional[str] = None) -> str:
+        path = path or self.path
+        if not path:
+            raise ValueError("no path given and database has no default path")
+        payload = {
+            "format": "repro-tuned-kernels/1",
+            "records": [r.to_dict() for r in self._records.values()],
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+        self.path = path
+        return path
+
+    def load(self, path: str) -> None:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("format") != "repro-tuned-kernels/1":
+            raise ValueError(f"{path} is not a tuned-kernel database")
+        for entry in payload["records"]:
+            self.put(TunedKernelRecord.from_dict(entry))
+        self.path = path

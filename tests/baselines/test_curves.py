@@ -1,0 +1,60 @@
+"""Performance-curve interpolation."""
+
+import pytest
+
+from repro.baselines.curves import PerfCurve
+
+
+@pytest.fixture
+def curve():
+    return PerfCurve.from_pairs([(1024, 100.0), (2048, 180.0), (4096, 200.0)])
+
+
+class TestValidation:
+    def test_needs_points(self):
+        with pytest.raises(ValueError, match="control point"):
+            PerfCurve(())
+
+    def test_sizes_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            PerfCurve.from_pairs([(2048, 100), (1024, 120)])
+
+    def test_rates_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PerfCurve.from_pairs([(1024, -5.0)])
+
+
+class TestInterpolation:
+    def test_exact_points(self, curve):
+        assert curve.gflops(1024) == 100.0
+        assert curve.gflops(4096) == 200.0
+
+    def test_linear_between_points(self, curve):
+        assert curve.gflops(1536) == pytest.approx(140.0)
+
+    def test_flat_beyond_last_point(self, curve):
+        assert curve.gflops(8192) == 200.0
+
+    def test_ramp_below_first_point(self, curve):
+        # Launch-overhead ramp: rising and below the first control value.
+        small = curve.gflops(256)
+        smaller = curve.gflops(128)
+        assert 0 < smaller < small < 100.0
+
+    def test_zero_size(self, curve):
+        assert curve.gflops(0) == 0.0
+
+    def test_peak(self, curve):
+        assert curve.peak() == 200.0
+
+
+class TestSeconds:
+    def test_square_problem(self, curve):
+        t = curve.seconds(2048, 2048, 2048)
+        assert t == pytest.approx(2 * 2048**3 / (180.0 * 1e9))
+
+    def test_nonsquare_uses_geometric_mean(self, curve):
+        # A 1024x4096x1024 problem should be timed at the ~1625 rate.
+        t = curve.seconds(1024, 4096, 1024)
+        size = (1024 * 4096 * 1024) ** (1 / 3)
+        assert t == pytest.approx(2 * 1024 * 4096 * 1024 / (curve.gflops(size) * 1e9))

@@ -1,0 +1,80 @@
+"""Vendor-library baselines: lookups and Table III data."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vendors import (
+    VENDOR_LIBRARIES,
+    get_library,
+    libraries_for_device,
+)
+
+
+class TestLookup:
+    def test_get_library(self):
+        lib = get_library("clblas", "tahiti")
+        assert lib.label.startswith("AMD APPML clBLAS")
+        assert lib.device == "tahiti"
+
+    def test_lookup_case_insensitive(self):
+        assert get_library("CLBLAS", "TAHITI") is get_library("clblas", "tahiti")
+
+    def test_unknown_library(self):
+        with pytest.raises(KeyError, match="available"):
+            get_library("openblas", "tahiti")
+
+    def test_libraries_for_device(self):
+        fermi_libs = {lib.name for lib in libraries_for_device("fermi")}
+        assert fermi_libs == {"NVIDIA CUBLAS", "MAGMA"}
+        tahiti_libs = {lib.name for lib in libraries_for_device("tahiti")}
+        assert "AMD APPML clBLAS" in tahiti_libs
+
+
+class TestTableIIIData:
+    @pytest.mark.parametrize("lib,device,prec,trans,expected", [
+        ("clblas", "tahiti", "d", "NN", 647.0),
+        ("clblas", "tahiti", "d", "NT", 731.0),
+        ("clblas", "tahiti", "s", "TN", 1476.0),
+        ("cublas", "fermi", "d", "TN", 408.0),
+        ("cublas", "kepler", "s", "NT", 1417.0),
+        ("mkl", "sandybridge", "d", "NN", 138.0),
+        ("acml", "bulldozer", "s", "NN", 103.0),
+    ])
+    def test_paper_maxima(self, lib, device, prec, trans, expected):
+        assert get_library(lib, device).max_gflops(prec, trans) == expected
+
+    def test_max_falls_back_to_curve_peak(self):
+        magma = get_library("magma", "fermi")  # no Table III row
+        assert magma.max_gflops("d") == magma.curves["d"].peak()
+
+    def test_type_scaling_follows_table(self):
+        clblas = get_library("clblas", "tahiti")
+        # TN is clBLAS's weak type: scaled below NN at the same size.
+        assert clblas.gflops("s", 4096, "TN") < clblas.gflops("s", 4096, "NN")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="type"):
+            get_library("clblas", "tahiti").gflops("d", 1024, "XX")
+
+
+class TestBehaviour:
+    def test_curves_rise_with_size(self):
+        for lib in VENDOR_LIBRARIES.values():
+            for precision, curve in lib.curves.items():
+                assert curve.gflops(4096) > curve.gflops(256), lib.label
+
+    def test_seconds_positive(self):
+        lib = get_library("cublas", "kepler")
+        assert lib.seconds("s", 1024, 1024, 1024) > 0
+
+    def test_functional_gemm_is_reference(self, rng):
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 6))
+        out = get_library("mkl", "sandybridge").compute("N", "N", 1.0, a, b, 0.0)
+        np.testing.assert_allclose(out, a @ b)
+
+    def test_paper_comparison_anchors(self):
+        """Section IV-C numbers: Nakasato 498, Du et al. 308 on Cypress."""
+        assert get_library("nakasato_il", "cypress").max_gflops("d") == 498.0
+        assert get_library("du_opencl", "cypress").max_gflops("d") == 308.0
+        assert get_library("kurzak_cuda", "gtx680").max_gflops("s") == 1150.0

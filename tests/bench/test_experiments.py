@@ -1,0 +1,90 @@
+"""Every registered experiment runs (quick mode) and keeps its shape.
+
+The full-budget shape assertions live in ``benchmarks/``; these quick
+checks keep the registry honest inside the unit-test run.
+"""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, run_experiment
+
+EXPECTED_IDS = {
+    "table1", "fig7", "table2", "fig8", "table3", "fig9", "fig10", "fig11",
+    "cypress", "kepler_kurzak", "ablation_generator", "ablation_local", "ablation_layout",
+    "ablation_images", "ablation_pcie", "portability",
+    "smallsize_crossover", "ablation_guards", "scorecard",
+    "search_strategies",
+}
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(EXPERIMENTS) == EXPECTED_IDS
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="available"):
+        run_experiment("fig99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))
+def test_experiment_runs_and_renders(experiment_id):
+    result = run_experiment(experiment_id, quick=True)
+    assert result.experiment_id == experiment_id
+    text = result.render()
+    assert len(text) > 100
+    assert result.tables or result.figures
+
+
+class TestQuickShapes:
+    """Cheap shape checks that hold even at quick budgets."""
+
+    def test_table1_lists_six_devices(self):
+        table = run_experiment("table1", quick=True).tables[0]
+        assert len(table.headers) == 7
+
+    def test_fig7_has_both_precisions_and_all_devices(self):
+        result = run_experiment("fig7", quick=True)
+        assert len(result.figures) == 2
+        for figure in result.figures:
+            assert {s.name for s in figure} == {
+                "tahiti", "cayman", "kepler", "fermi", "sandybridge", "bulldozer",
+            }
+
+    def test_table3_has_ours_and_vendor_rows(self):
+        result = run_experiment("table3", quick=True)
+        for table in result.tables:
+            impls = table.column("Impl.")
+            assert impls.count("Ours") == 6
+
+    def test_cypress_matches_handwritten_kernel(self):
+        table = run_experiment("cypress", quick=True).tables[0]
+        rates = {row[0]: float(row[1]) for row in table.rows}
+        ours = rates["Ours (OpenCL, auto-tuned)"]
+        assert abs(ours - 495.0) / 495.0 < 0.08
+
+    def test_fig11_sdk_ordering(self):
+        result = run_experiment("fig11", quick=True)
+        figure = {s.name: s for s in result.figures[0]}
+        assert (
+            figure["This study (Intel SDK 2013 beta)"].max_y
+            > figure["This study (Intel SDK 2012)"].max_y
+        )
+
+
+class TestReportGenerator:
+    def test_generates_selected_sections(self, tmp_path):
+        from repro.bench.report import generate_report
+
+        path = str(tmp_path / "REPORT.md")
+        text = generate_report(path, quick=True,
+                               experiments=["table1", "fig11"], plots=True)
+        assert "# Reproduction report" in text
+        assert "## table1" in text and "## fig11" in text
+        assert "[GFlop/s]" in text  # the embedded plot legend
+        assert open(path).read() == text
+
+    def test_unknown_experiment_rejected_up_front(self):
+        from repro.bench.report import generate_report
+
+        with pytest.raises(KeyError, match="fig99"):
+            generate_report(experiments=["fig99"])

@@ -1,0 +1,78 @@
+"""Experiment plumbing: size sweeps, series builders, result container."""
+
+import pytest
+
+from repro.bench.figures import Series
+from repro.bench.harness import (
+    ExperimentResult,
+    implementation_series,
+    kernel_series,
+    sweep_sizes,
+)
+from repro.bench.tables import Table
+from repro.tuner.pretuned import pretuned_params
+
+from tests.conftest import make_params
+
+
+class TestSweepSizes:
+    def test_sizes_are_lcm_multiples(self):
+        p = make_params(mwg=96, nwg=32, kwg=48)
+        sizes = sweep_sizes(p, 6144)
+        assert sizes
+        assert all(n % p.lcm == 0 for n in sizes)
+        assert max(sizes) <= 6144
+
+    def test_min_size_respects_pipelined_prologue(self):
+        from repro.codegen.algorithms import Algorithm
+
+        p = make_params(algorithm=Algorithm.PL, shared_b=True, kwg=8)
+        sizes = sweep_sizes(p, 64)
+        assert min(sizes) >= 2 * p.kwg
+
+    def test_tiny_cap_returns_minimum(self):
+        p = make_params()
+        assert sweep_sizes(p, 8) == [16]
+
+
+class TestSeriesBuilders:
+    def test_kernel_series(self, tahiti):
+        p = pretuned_params("tahiti", "d")
+        series = kernel_series(tahiti, p, "tahiti", max_size=2048, points=4)
+        assert series.name == "tahiti"
+        assert all(y > 0 for y in series.ys())
+
+    def test_implementation_below_kernel(self, tahiti):
+        p = pretuned_params("tahiti", "d")
+        kern = kernel_series(tahiti, p, "k", max_size=2048, points=3, noise=False)
+        impl = implementation_series(
+            tahiti, p, "i", sizes=kern.xs(), noise=False
+        )
+        for x in kern.xs():
+            assert impl.y_at(x) < kern.y_at(x)  # copies always cost something
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        result = ExperimentResult("exp1", "A title")
+        t = Table(["a"], title="my table")
+        t.add_row("x")
+        result.add_table(t)
+        result.add_figure([Series("curve", [(1, 2.0)])], title="my figure")
+        result.note("a note")
+        text = result.render()
+        for fragment in ("exp1", "A title", "my table", "my figure", "curve",
+                         "a note"):
+            assert fragment in text
+
+    def test_get_table_and_series(self):
+        result = ExperimentResult("exp", "t")
+        t = Table(["a"], title="findme")
+        result.add_table(t)
+        result.add_figure([Series("s1", [(1, 1.0)])])
+        assert result.get_table("findme") is t
+        assert result.get_series("s1").name == "s1"
+        with pytest.raises(KeyError):
+            result.get_table("nope")
+        with pytest.raises(KeyError):
+            result.get_series("nope")

@@ -1,0 +1,111 @@
+"""Rendering primitives of the benchmark harness."""
+
+import pytest
+
+from repro.bench.figures import Series, render_series
+from repro.bench.tables import Table
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(["Name", "Value"], title="demo")
+        t.add_row("alpha", 1.0)
+        t.add_row("beta-long-name", 2.5)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Name" in lines[1] and "Value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "beta-long-name" in text
+
+    def test_floats_formatted(self):
+        t = Table(["x"])
+        t.add_row(3.14159)
+        assert t.rows[0][0] == "3.1"
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row("only-one")
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_column_extraction(self):
+        t = Table(["k", "v"])
+        t.add_row("one", "1")
+        t.add_row("two", "2")
+        assert t.column("v") == ["1", "2"]
+        with pytest.raises(ValueError):
+            t.column("missing")
+
+
+class TestSeries:
+    def test_add_and_query(self):
+        s = Series("demo")
+        s.add(1, 10.0)
+        s.add(2, 30.0)
+        assert s.xs() == [1, 2]
+        assert s.max_y == 30.0
+        assert s.y_at(2) == 30.0
+
+    def test_y_at_missing(self):
+        s = Series("demo", [(1.0, 1.0)])
+        with pytest.raises(KeyError):
+            s.y_at(99)
+
+    def test_empty_series_max_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            _ = Series("demo").max_y
+
+
+class TestRenderSeries:
+    def test_merges_x_values(self):
+        a = Series("a", [(1, 10.0), (2, 20.0)])
+        b = Series("b", [(2, 5.0), (3, 7.0)])
+        text = render_series([a, b], title="merged")
+        lines = text.splitlines()
+        assert lines[0] == "merged"
+        # All three x values appear as rows; missing cells render as '-'.
+        assert sum(1 for line in lines if line.strip() and line.lstrip()[0].isdigit()) == 3
+        assert "-" in text
+
+    def test_header_names_series(self):
+        a = Series("mylib", [(1, 1.0)])
+        assert "mylib [GFlop/s]" in render_series([a]).splitlines()[0]
+
+
+class TestAsciiPlot:
+    def _series(self):
+        from repro.bench.figures import Series
+
+        return [
+            Series("alpha", [(0, 0.0), (50, 50.0), (100, 100.0)]),
+            Series("beta", [(0, 100.0), (100, 0.0)]),
+        ]
+
+    def test_plot_contains_markers_axes_legend(self):
+        from repro.bench.figures import ascii_plot
+
+        text = ascii_plot(self._series(), title="demo")
+        assert text.splitlines()[0] == "demo"
+        assert "o" in text and "x" in text  # one marker per series
+        assert "o alpha" in text and "x beta" in text
+        assert "[GFlop/s]" in text
+
+    def test_extreme_points_land_on_plot_corners(self):
+        from repro.bench.figures import ascii_plot
+
+        text = ascii_plot(self._series(), width=40, height=10)
+        body = [line for line in text.splitlines() if "|" in line]
+        # alpha's maximum (100 at x=100) is in the top row, right edge.
+        assert body[0].rstrip().endswith("o")
+        # beta starts at (0, 100): also top row, left edge after the axis.
+        assert body[0].split("|")[1][0] == "x"
+
+    def test_empty_series_rejected(self):
+        from repro.bench.figures import Series, ascii_plot
+
+        with pytest.raises(ValueError, match="empty"):
+            ascii_plot([Series("void")])

@@ -1,0 +1,116 @@
+"""Program binaries and the compile cache."""
+
+import numpy as np
+import pytest
+
+import repro.clsim as cl
+from repro.clsim.binary import BinaryCache, get_program_binary, program_from_binary
+from repro.codegen.emitter import emit_kernel_source
+from repro.codegen.packers import PackPlan, emit_pack_source
+from repro.codegen.layouts import Layout
+from repro.errors import BuildError
+
+from tests.conftest import make_params
+
+
+@pytest.fixture
+def ctx():
+    return cl.Context([cl.get_device("tahiti")])
+
+
+class TestBinaryRoundTrip:
+    def test_gemm_program_round_trips(self, ctx):
+        source = emit_kernel_source(make_params(shared_b=True))
+        program = cl.Program(ctx, source).build()
+        binary = get_program_binary(program)
+        restored = program_from_binary(ctx, binary)
+        assert restored.params == program.params
+        assert restored.kernel_kind == "gemm"
+
+    def test_pack_program_round_trips(self, ctx):
+        plan = PackPlan(precision="d", transpose=True, layout=Layout.CBL,
+                        block_k=8, block_x=16)
+        program = cl.Program(ctx, emit_pack_source(plan)).build()
+        restored = program_from_binary(ctx, get_program_binary(program))
+        assert restored.pack_plan == plan
+
+    def test_restored_program_executes(self, ctx, rng):
+        params = make_params()
+        program = cl.Program(ctx, emit_kernel_source(params)).build()
+        restored = program_from_binary(ctx, get_program_binary(program))
+        kernel = restored.gemm_atb
+        n = 16
+        at = rng.standard_normal((n, n))
+        abuf = cl.Buffer(ctx, hostbuf=at)
+        cbuf = cl.Buffer(ctx, hostbuf=np.zeros((n, n)))
+        kernel.set_args(n, n, n, 1.0, 0.0, abuf, abuf, cbuf)
+        queue = cl.CommandQueue(ctx)
+        queue.launch(kernel, kernel.expected_global_size(), (4, 4))
+        np.testing.assert_allclose(cbuf.read().reshape(n, n), at.T @ at,
+                                   rtol=1e-12)
+
+    def test_unbuilt_program_has_no_binary(self, ctx):
+        program = cl.Program(ctx, emit_kernel_source(make_params()))
+        with pytest.raises(BuildError, match="built"):
+            get_program_binary(program)
+
+    def test_corrupt_binary_rejected(self, ctx):
+        program = cl.Program(ctx, emit_kernel_source(make_params())).build()
+        binary = bytearray(get_program_binary(program))
+        binary[10] ^= 0x55
+        with pytest.raises(BuildError, match="invalid binary"):
+            program_from_binary(ctx, bytes(binary))
+
+    def test_garbage_rejected(self, ctx):
+        with pytest.raises(BuildError, match="invalid binary"):
+            program_from_binary(ctx, b"not a binary at all")
+
+
+class TestBinaryCache:
+    def test_miss_then_hit(self, ctx):
+        cache = BinaryCache()
+        source = emit_kernel_source(make_params())
+        p1 = cache.get_or_build(ctx, source)
+        p2 = cache.get_or_build(ctx, source)
+        assert cache.misses == 1 and cache.hits == 1
+        assert p1.params == p2.params
+
+    def test_distinct_sources_are_distinct_entries(self, ctx):
+        cache = BinaryCache()
+        cache.get_or_build(ctx, emit_kernel_source(make_params()))
+        cache.get_or_build(ctx, emit_kernel_source(make_params(vw=2)))
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_cache_is_device_keyed(self, ctx):
+        cache = BinaryCache()
+        source = emit_kernel_source(make_params())
+        cache.get_or_build(ctx, source)
+        other = cl.Context([cl.get_device("fermi")])
+        cache.get_or_build(other, source)
+        assert cache.misses == 2  # per-device compilation, like real drivers
+
+    def test_on_disk_persistence(self, ctx, tmp_path):
+        source = emit_kernel_source(make_params())
+        cache1 = BinaryCache(str(tmp_path))
+        cache1.get_or_build(ctx, source)
+        # A fresh cache instance over the same directory hits the disk.
+        cache2 = BinaryCache(str(tmp_path))
+        cache2.get_or_build(ctx, source)
+        assert cache2.hits == 1 and cache2.misses == 0
+
+
+class TestRoutineIntegration:
+    def test_gemm_routine_uses_the_cache(self, ctx, rng):
+        from repro.gemm.routine import GemmRoutine
+
+        cache = BinaryCache()
+        r1 = GemmRoutine("tahiti", make_params(), binary_cache=cache)
+        a = rng.standard_normal((16, 16))
+        r1(a, a)  # builds the two pack kernels on first use
+        misses_after_first = cache.misses
+        assert misses_after_first >= 3  # gemm + 2 pack kernels
+
+        r2 = GemmRoutine("tahiti", make_params(), binary_cache=cache)
+        r2(a, a)
+        assert cache.misses == misses_after_first  # all hits now
+        assert cache.hits >= 3

@@ -1,0 +1,145 @@
+"""A CTS-flavoured conformance suite for the simulated OpenCL runtime.
+
+Each test codifies one semantic rule of the OpenCL execution model the
+simulator must honour, independent of GEMM specifics.
+"""
+
+import numpy as np
+import pytest
+
+import repro.clsim as cl
+from repro.codegen.emitter import emit_kernel_source
+from repro.errors import BuildError, CLError, LaunchError
+
+from tests.conftest import make_params
+
+
+@pytest.fixture
+def env():
+    dev = cl.get_device("tahiti")
+    ctx = cl.Context([dev])
+    queue = cl.CommandQueue(ctx, dev)
+    return dev, ctx, queue
+
+
+def _bound_kernel(ctx, n=16, params=None):
+    params = params or make_params()
+    rng = np.random.default_rng(0)
+    at = rng.standard_normal((n, n))
+    abuf = cl.Buffer(ctx, hostbuf=at)
+    cbuf = cl.Buffer(ctx, hostbuf=np.zeros((n, n)))
+    prog = cl.Program(ctx, emit_kernel_source(params)).build()
+    k = prog.gemm_atb
+    k.set_args(n, n, n, 1.0, 0.0, abuf, abuf, cbuf)
+    return k, at, cbuf
+
+
+class TestExecutionModel:
+    def test_in_order_queue_serialises_all_commands(self, env):
+        dev, ctx, queue = env
+        k, _, _ = _bound_kernel(ctx)
+        events = [queue.launch(k, k.expected_global_size(), (4, 4))
+                  for _ in range(4)]
+        for prev, nxt in zip(events, events[1:]):
+            assert nxt.profile.start >= prev.profile.end
+
+    def test_profiling_timestamps_are_well_ordered(self, env):
+        dev, ctx, queue = env
+        k, _, _ = _bound_kernel(ctx)
+        e = queue.launch(k, k.expected_global_size(), (4, 4))
+        p = e.profile
+        assert p.queued <= p.submit <= p.start < p.end
+        assert p.duration == p.end - p.start
+
+    def test_kernel_arguments_persist_across_launches(self, env):
+        dev, ctx, queue = env
+        k, at, cbuf = _bound_kernel(ctx)
+        queue.launch(k, k.expected_global_size(), (4, 4))
+        first = cbuf.read().copy()
+        queue.launch(k, k.expected_global_size(), (4, 4))  # same args rebound
+        np.testing.assert_allclose(cbuf.read(), first)  # beta=0: idempotent
+
+    def test_results_identical_across_queues(self, env):
+        """Execution is deterministic: two queues, same commands, same
+        buffers contents."""
+        dev, ctx, _ = env
+        outs = []
+        for _ in range(2):
+            queue = cl.CommandQueue(ctx, dev)
+            k, _, cbuf = _bound_kernel(ctx)
+            queue.launch(k, k.expected_global_size(), (4, 4))
+            outs.append(cbuf.read())
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+
+class TestObjectLifecycles:
+    def test_build_is_required_before_kernel_creation(self, env):
+        dev, ctx, _ = env
+        prog = cl.Program(ctx, emit_kernel_source(make_params()))
+        with pytest.raises(BuildError):
+            prog.get_kernel("gemm_atb")
+
+    def test_build_log_available_after_failure(self, env):
+        dev, ctx, _ = env
+        prog = cl.Program(ctx, "not opencl at all")
+        with pytest.raises(BuildError):
+            prog.build()
+        assert prog.build_log  # clGetProgramBuildInfo still works
+
+    def test_released_buffer_frees_its_allocation(self, env):
+        dev, ctx, _ = env
+        before = ctx.allocated_bytes
+        buf = cl.Buffer(ctx, size=4096, dtype=np.float32)
+        assert ctx.allocated_bytes == before + 4096
+        buf.release()
+        assert ctx.allocated_bytes == before
+
+    def test_context_capacity_is_enforced(self):
+        ctx = cl.Context([cl.get_device("cayman")])  # 1 GB
+        with pytest.raises(CLError, match="exhausted"):
+            cl.Buffer(ctx, size=2 << 30, dtype=np.float32)
+
+
+class TestLaunchValidation:
+    def test_global_size_must_match_reqd_workgroup_multiple(self, env):
+        dev, ctx, queue = env
+        k, _, _ = _bound_kernel(ctx)
+        with pytest.raises(LaunchError):
+            queue.launch(k, (5, 4), (4, 4))
+
+    def test_local_size_must_match_reqd_attribute(self, env):
+        dev, ctx, queue = env
+        k, _, _ = _bound_kernel(ctx)
+        gs = k.expected_global_size()
+        with pytest.raises(LaunchError, match="reqd_work_group_size"):
+            queue.launch(k, gs, (2, 8))
+
+    def test_device_must_belong_to_context(self):
+        ctx = cl.Context([cl.get_device("tahiti")])
+        with pytest.raises(CLError, match="not part"):
+            cl.CommandQueue(ctx, cl.get_device("cayman"))
+
+
+class TestMemoryConsistency:
+    def test_copy_round_trip_preserves_bits(self, env):
+        dev, ctx, queue = env
+        data = np.random.default_rng(1).standard_normal(256)
+        buf = cl.Buffer(ctx, size=data.nbytes, dtype=np.float64)
+        cl.enqueue_copy(queue, buf, data)
+        out = np.empty_like(data)
+        cl.enqueue_copy(queue, out, buf)
+        np.testing.assert_array_equal(out, data)
+
+    def test_kernel_writes_visible_to_subsequent_reads(self, env):
+        dev, ctx, queue = env
+        k, at, cbuf = _bound_kernel(ctx)
+        queue.launch(k, k.expected_global_size(), (4, 4))
+        np.testing.assert_allclose(cbuf.read().reshape(16, 16), at.T @ at,
+                                   rtol=1e-12)
+
+    def test_distinct_buffers_do_not_alias(self, env):
+        dev, ctx, _ = env
+        a = cl.Buffer(ctx, hostbuf=np.zeros(16))
+        b = cl.Buffer(ctx, hostbuf=np.zeros(16))
+        a.array[:] = 7.0
+        assert b.array.sum() == 0.0

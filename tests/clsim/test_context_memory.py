@@ -1,0 +1,91 @@
+"""Contexts, buffers and global-memory accounting."""
+
+import numpy as np
+import pytest
+
+import repro.clsim as cl
+from repro.errors import CLError
+
+
+@pytest.fixture
+def ctx():
+    return cl.Context([cl.get_device("cayman")])  # 1 GB board
+
+
+class TestContext:
+    def test_requires_devices(self):
+        with pytest.raises(CLError, match="at least one"):
+            cl.Context([])
+
+    def test_rejects_non_device_objects(self):
+        with pytest.raises(CLError, match="Device"):
+            cl.Context(["tahiti"])
+
+    def test_capacity_is_smallest_device(self):
+        small = cl.get_device("cayman")  # 1 GB
+        big = cl.get_device("fermi")  # 6 GB
+        ctx = cl.Context([big, small])
+        assert ctx.global_mem_capacity == small.global_mem_size
+
+
+class TestBuffer:
+    def test_create_from_hostbuf_copies(self, ctx):
+        host = np.arange(16, dtype=np.float64)
+        buf = cl.Buffer(ctx, cl.MemFlags.COPY_HOST_PTR, hostbuf=host)
+        host[0] = 99.0
+        assert buf.array[0] == 0.0  # COPY_HOST_PTR snapshots
+        assert buf.size == 128
+        assert buf.dtype == np.float64
+
+    def test_create_by_size(self, ctx):
+        buf = cl.Buffer(ctx, size=256, dtype=np.float32)
+        assert buf.array.shape == (64,)
+        assert np.all(buf.array == 0)
+
+    def test_size_must_be_dtype_multiple(self, ctx):
+        with pytest.raises(CLError, match="multiple"):
+            cl.Buffer(ctx, size=10, dtype=np.float64)
+
+    def test_needs_size_or_hostbuf(self, ctx):
+        with pytest.raises(CLError, match="size"):
+            cl.Buffer(ctx)
+
+    def test_read_returns_copy(self, ctx):
+        buf = cl.Buffer(ctx, hostbuf=np.ones(4))
+        out = buf.read()
+        out[0] = 7.0
+        assert buf.array[0] == 1.0
+
+    def test_write_validates_size(self, ctx):
+        buf = cl.Buffer(ctx, hostbuf=np.ones(4))
+        with pytest.raises(CLError, match="B"):
+            buf.write(np.ones(5))
+        buf.write(np.full(4, 3.0))
+        assert np.all(buf.array == 3.0)
+
+
+class TestAllocationAccounting:
+    def test_allocations_are_tracked(self, ctx):
+        buf = cl.Buffer(ctx, size=1024, dtype=np.float32)
+        assert ctx.allocated_bytes == 1024
+        buf.release()
+        assert ctx.allocated_bytes == 0
+
+    def test_double_release_is_idempotent(self, ctx):
+        buf = cl.Buffer(ctx, size=1024, dtype=np.float32)
+        buf.release()
+        buf.release()
+        assert ctx.allocated_bytes == 0
+
+    def test_out_of_memory_raises(self, ctx):
+        # Cayman has 1 GB: three 400 MB buffers cannot coexist.
+        mb400 = 400 * (1 << 20)
+        a = cl.Buffer(ctx, size=mb400, dtype=np.float32)
+        b = cl.Buffer(ctx, size=mb400, dtype=np.float32)
+        with pytest.raises(CLError, match="exhausted"):
+            cl.Buffer(ctx, size=mb400, dtype=np.float32)
+        a.release()
+        # After releasing, the allocation fits.
+        c = cl.Buffer(ctx, size=mb400, dtype=np.float32)
+        for buf in (b, c):
+            buf.release()

@@ -1,0 +1,133 @@
+"""Image2D memory objects and image-path kernels."""
+
+import numpy as np
+import pytest
+
+import repro.clsim as cl
+from repro.codegen.emitter import emit_kernel_source
+from repro.errors import CLError, LaunchError
+
+from tests.conftest import make_params
+
+
+@pytest.fixture
+def ctx():
+    return cl.Context([cl.get_device("cypress")])
+
+
+class TestImage2D:
+    def test_create_from_hostbuf(self, ctx):
+        host = np.arange(12.0).reshape(3, 4)
+        img = cl.Image2D(ctx, width=4, height=3, dtype=np.float64, hostbuf=host)
+        np.testing.assert_array_equal(img.array, host)
+        assert img.flat_array.shape == (12,)
+        assert img.size == 96
+
+    def test_zero_initialised_without_hostbuf(self, ctx):
+        img = cl.Image2D(ctx, width=8, height=2)
+        assert img.array.shape == (2, 8)
+        assert img.array.sum() == 0
+        assert img.dtype == np.float32
+
+    def test_dimension_validation(self, ctx):
+        with pytest.raises(CLError, match="positive"):
+            cl.Image2D(ctx, width=0, height=4)
+
+    def test_hostbuf_size_validation(self, ctx):
+        with pytest.raises(CLError, match="elements"):
+            cl.Image2D(ctx, width=4, height=4, hostbuf=np.zeros(5))
+
+    def test_element_type_validation(self, ctx):
+        with pytest.raises(CLError, match="element type"):
+            cl.Image2D(ctx, width=4, height=4, dtype=np.int32)
+
+    def test_allocation_accounting(self, ctx):
+        before = ctx.allocated_bytes
+        img = cl.Image2D(ctx, width=16, height=16, dtype=np.float64)
+        assert ctx.allocated_bytes == before + 16 * 16 * 8
+        img.release()
+        assert ctx.allocated_bytes == before
+
+
+class TestImageKernels:
+    def _run(self, precision, ctx):
+        params = make_params(precision=precision, use_images=True)
+        dtype = np.float64 if precision == "d" else np.float32
+        rng = np.random.default_rng(7)
+        n = 32
+        at = rng.standard_normal((n, n)).astype(dtype)
+        b = rng.standard_normal((n, n)).astype(dtype)
+        c = rng.standard_normal((n, n)).astype(dtype)
+        queue = cl.CommandQueue(ctx, ctx.device)
+        aimg = cl.Image2D(ctx, width=n, height=n, dtype=dtype, hostbuf=at)
+        bimg = cl.Image2D(ctx, width=n, height=n, dtype=dtype, hostbuf=b)
+        cbuf = cl.Buffer(ctx, hostbuf=c.copy())
+        program = cl.Program(ctx, emit_kernel_source(params)).build()
+        kernel = program.gemm_atb
+        kernel.set_args(n, n, n, 2.0, -1.0, aimg, bimg, cbuf)
+        queue.launch(kernel, kernel.expected_global_size(), kernel.plan.local_size())
+        return cbuf.read().reshape(n, n), 2.0 * (at.T @ b) - c
+
+    @pytest.mark.parametrize("precision", ["s", "d"])
+    def test_image_kernel_computes_gemm(self, precision, ctx):
+        got, expected = self._run(precision, ctx)
+        tol = 1e-12 if precision == "d" else 5e-4
+        np.testing.assert_allclose(got, expected, rtol=tol, atol=tol)
+
+    def test_image_kernel_rejects_buffer_operands(self, ctx):
+        params = make_params(use_images=True)
+        program = cl.Program(ctx, emit_kernel_source(params)).build()
+        kernel = program.gemm_atb
+        buf = cl.Buffer(ctx, hostbuf=np.zeros(16 * 16))
+        cbuf = cl.Buffer(ctx, hostbuf=np.zeros(16 * 16))
+        with pytest.raises(LaunchError, match="Image2D"):
+            kernel.set_args(16, 16, 16, 1.0, 0.0, buf, buf, cbuf)
+
+    def test_buffer_kernel_rejects_image_operands(self, ctx):
+        params = make_params()
+        program = cl.Program(ctx, emit_kernel_source(params)).build()
+        kernel = program.gemm_atb
+        img = cl.Image2D(ctx, width=16, height=16, dtype=np.float64)
+        cbuf = cl.Buffer(ctx, hostbuf=np.zeros(16 * 16))
+        with pytest.raises(LaunchError, match="Buffer"):
+            kernel.set_args(16, 16, 16, 1.0, 0.0, img, img, cbuf)
+
+
+class TestImageSource:
+    def test_double_uses_imageui_idiom(self):
+        src = emit_kernel_source(make_params(precision="d", use_images=True))
+        assert "__read_only image2d_t" in src
+        assert "as_double(read_imageui" in src
+        assert "sampler_t" in src
+
+    def test_single_uses_imagef(self):
+        src = emit_kernel_source(make_params(precision="s", use_images=True))
+        assert "read_imagef" in src
+
+    def test_buffer_kernel_has_no_image_calls(self):
+        src = emit_kernel_source(make_params())
+        assert "image2d_t" not in src and "read_image" not in src
+
+
+class TestImageModel:
+    def test_texture_factor_replaces_nolocal_factor(self):
+        from repro.devices import get_device_spec
+        from repro.perfmodel.model import alu_efficiency
+
+        spec = get_device_spec("cypress")
+        buffer_params = make_params()
+        image_params = make_params(use_images=True)
+        buf_staging = alu_efficiency(spec, buffer_params)[1]["staging"]
+        img_staging = alu_efficiency(spec, image_params)[1]["staging"]
+        assert buf_staging == pytest.approx(spec.model.nolocal_alu_factor ** 2)
+        assert img_staging == pytest.approx(spec.model.texture_read_factor ** 2)
+
+    def test_images_immune_to_bank_conflicts(self):
+        from repro.devices import get_device_spec
+        from repro.perfmodel.memory import memory_efficiency
+
+        spec = get_device_spec("tahiti")
+        row = make_params(mwg=64, nwg=64, kwg=64, mdimc=16, ndimc=16)
+        img = row.replace(use_images=True)
+        n = 4096  # a bank-conflict size for row-major buffers
+        assert memory_efficiency(spec, img, n, n, n) > memory_efficiency(spec, row, n, n, n)

@@ -1,0 +1,85 @@
+"""Out-of-order queues, engines and event wait lists."""
+
+import numpy as np
+import pytest
+
+import repro.clsim as cl
+from repro.codegen.emitter import emit_kernel_source
+
+from tests.conftest import make_params
+
+
+def _gemm_setup(queue_kwargs=None, n=16):
+    dev = cl.get_device("tahiti")
+    ctx = cl.Context([dev])
+    queue = cl.CommandQueue(ctx, dev, **(queue_kwargs or {}))
+    params = make_params()
+    rng = np.random.default_rng(0)
+    at = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    abuf = cl.Buffer(ctx, hostbuf=at)
+    bbuf = cl.Buffer(ctx, hostbuf=b)
+    cbuf = cl.Buffer(ctx, hostbuf=np.zeros((n, n)))
+    program = cl.Program(ctx, emit_kernel_source(params)).build()
+    kernel = program.gemm_atb
+    kernel.set_args(n, n, n, 1.0, 0.0, abuf, bbuf, cbuf)
+    return ctx, queue, kernel
+
+
+class TestInOrderSemantics:
+    def test_commands_serialise(self):
+        ctx, queue, kernel = _gemm_setup()
+        e1 = queue.launch(kernel, kernel.expected_global_size(), (4, 4))
+        data = np.zeros(1024, dtype=np.float32)
+        buf = cl.Buffer(ctx, size=data.nbytes, dtype=np.float32)
+        e2 = queue.copy(buf, data)
+        # In-order: the copy starts only after the kernel completes, even
+        # though they run on different engines.
+        assert e2.profile.start >= e1.profile.end
+
+
+class TestOutOfOrderSemantics:
+    def test_independent_engines_overlap(self):
+        ctx, queue, kernel = _gemm_setup({"out_of_order": True}, n=64)
+        e_kernel = queue.launch(kernel, kernel.expected_global_size(), (4, 4))
+        data = np.zeros(1 << 20, dtype=np.float32)  # 4 MB: a long DMA
+        buf = cl.Buffer(ctx, size=data.nbytes, dtype=np.float32)
+        e_copy = queue.copy(buf, data)
+        # Unordered commands on different engines start together.
+        assert e_copy.profile.start < e_kernel.profile.end
+        assert e_copy.profile.start == 0
+
+    def test_wait_list_orders_across_engines(self):
+        ctx, queue, kernel = _gemm_setup({"out_of_order": True}, n=64)
+        e_kernel = queue.launch(kernel, kernel.expected_global_size(), (4, 4))
+        data = np.zeros(1024, dtype=np.float32)
+        buf = cl.Buffer(ctx, size=data.nbytes, dtype=np.float32)
+        e_copy = queue.copy(buf, data, wait_for=(e_kernel,))
+        assert e_copy.profile.start >= e_kernel.profile.end
+
+    def test_same_engine_still_serialises(self):
+        ctx, queue, kernel = _gemm_setup({"out_of_order": True})
+        e1 = queue.launch(kernel, kernel.expected_global_size(), (4, 4))
+        e2 = queue.launch(kernel, kernel.expected_global_size(), (4, 4))
+        # One compute engine: kernels cannot overlap each other.
+        assert e2.profile.start >= e1.profile.end
+
+    def test_finish_time_covers_all_engines(self):
+        ctx, queue, kernel = _gemm_setup({"out_of_order": True}, n=64)
+        e_kernel = queue.launch(kernel, kernel.expected_global_size(), (4, 4))
+        data = np.zeros(1 << 22, dtype=np.float32)  # 16 MB DMA outlives kernel
+        buf = cl.Buffer(ctx, size=data.nbytes, dtype=np.float32)
+        e_copy = queue.copy(buf, data)
+        queue.finish()
+        assert queue.simulated_clock_ns == max(e_kernel.profile.end,
+                                               e_copy.profile.end)
+
+    def test_free_functions_accept_wait_for(self):
+        ctx, queue, kernel = _gemm_setup({"out_of_order": True})
+        e1 = cl.enqueue_nd_range_kernel(
+            queue, kernel, kernel.expected_global_size(), (4, 4)
+        )
+        e2 = cl.enqueue_nd_range_kernel(
+            queue, kernel, kernel.expected_global_size(), (4, 4), wait_for=(e1,)
+        )
+        assert e2.profile.start >= e1.profile.end

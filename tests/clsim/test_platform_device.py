@@ -1,0 +1,55 @@
+"""Platform and device enumeration."""
+
+import pytest
+
+import repro.clsim as cl
+from repro.devices import CATALOG, DeviceType, LocalMemType
+
+
+class TestPlatforms:
+    def test_one_platform_per_vendor_sdk(self):
+        platforms = cl.get_platforms()
+        names = {p.name for p in platforms}
+        # AMD APP, CUDA and Intel SDKs are distinct platforms.
+        assert len(platforms) == 3
+        assert any("AMD" in n for n in names)
+        assert any("CUDA" in n for n in names)
+        assert any("Intel" in n for n in names)
+
+    def test_platforms_cover_the_whole_catalog(self):
+        seen = set()
+        for platform in cl.get_platforms():
+            for device in platform.get_devices():
+                seen.add(device.codename)
+        assert seen == set(CATALOG)
+
+    def test_device_knows_its_platform(self):
+        device = cl.get_device("tahiti")
+        assert "AMD" in device.platform.name
+
+
+class TestDeviceInfo:
+    def test_info_properties_mirror_spec(self):
+        device = cl.get_device("tahiti")
+        spec = device.spec
+        assert device.name == "Radeon HD 7970"
+        assert device.vendor == "AMD"
+        assert device.type is DeviceType.GPU
+        assert device.max_compute_units == 32
+        assert device.max_clock_frequency == 925  # MHz, OpenCL convention
+        assert device.max_work_group_size == 256
+        assert device.local_mem_size == spec.local_mem_bytes
+        assert device.local_mem_type is LocalMemType.SCRATCHPAD
+        assert device.global_mem_size == 3 * (1 << 30)
+        assert device.double_fp_config
+
+    def test_equality_and_hash(self):
+        a = cl.get_device("fermi")
+        b = cl.get_device("fermi")
+        c = cl.get_device("kepler")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            cl.get_device("unobtainium")

@@ -1,0 +1,80 @@
+"""Command tracing and profiling reports."""
+
+import numpy as np
+import pytest
+
+import repro.clsim as cl
+from repro.clsim.trace import CommandTracer, attach_tracer
+from repro.gemm.routine import GemmRoutine
+
+from tests.conftest import make_params
+
+
+@pytest.fixture
+def traced_routine():
+    routine = GemmRoutine("tahiti", make_params())
+    tracer = attach_tracer(routine.queue)
+    return routine, tracer
+
+
+class TestTracer:
+    def test_records_pack_and_gemm_commands(self, traced_routine, rng):
+        routine, tracer = traced_routine
+        a = rng.standard_normal((32, 16))
+        b = rng.standard_normal((16, 32))
+        routine(a, b)
+        commands = [r.command for r in tracer.records]
+        assert commands.count("pack_operand") == 2
+        assert commands.count("gemm_atb") == 1
+
+    def test_timestamps_are_monotone_and_disjoint(self, traced_routine, rng):
+        routine, tracer = traced_routine
+        a = rng.standard_normal((16, 16))
+        routine(a, a)
+        routine(a, a)
+        for prev, nxt in zip(tracer.records, tracer.records[1:]):
+            assert prev.end_ns <= nxt.start_ns
+            assert prev.duration_ns > 0
+
+    def test_profile_aggregates(self, traced_routine, rng):
+        routine, tracer = traced_routine
+        a = rng.standard_normal((16, 16))
+        routine(a, a)
+        profile = tracer.profile()
+        assert profile["pack_operand"]["calls"] == 2
+        assert profile["gemm_atb"]["calls"] == 1
+        assert sum(e["share"] for e in profile.values()) == pytest.approx(1.0)
+
+    def test_render_contains_timeline_and_profile(self, traced_routine, rng):
+        routine, tracer = traced_routine
+        a = rng.standard_normal((16, 16))
+        routine(a, a)
+        text = tracer.render()
+        assert "timeline" in text
+        assert "gemm_atb" in text
+        assert "%" in text
+
+    def test_detach_stops_recording(self, traced_routine, rng):
+        routine, tracer = traced_routine
+        a = rng.standard_normal((16, 16))
+        routine(a, a)
+        n = len(tracer.records)
+        tracer.detach()
+        routine(a, a)
+        assert len(tracer.records) == n
+
+    def test_copy_commands_traced(self):
+        dev = cl.get_device("tahiti")
+        ctx = cl.Context([dev])
+        queue = cl.CommandQueue(ctx, dev)
+        tracer = CommandTracer(queue)
+        data = np.ones(64, dtype=np.float32)
+        buf = cl.Buffer(ctx, size=data.nbytes, dtype=np.float32)
+        queue.copy(buf, data)
+        assert tracer.records[0].command == "copy"
+
+    def test_total_time_spans_trace(self, traced_routine, rng):
+        routine, tracer = traced_routine
+        a = rng.standard_normal((16, 16))
+        routine(a, a)
+        assert tracer.total_ns == tracer.records[-1].end_ns - tracer.records[0].start_ns

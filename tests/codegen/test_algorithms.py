@@ -1,0 +1,37 @@
+"""Algorithm enum properties."""
+
+from repro.codegen.algorithms import Algorithm
+
+
+def test_three_algorithms():
+    assert {a.value for a in Algorithm} == {"BA", "PL", "DB"}
+
+
+def test_db_doubles_local_buffers():
+    assert Algorithm.DB.local_buffer_copies == 2
+    assert Algorithm.BA.local_buffer_copies == 1
+    assert Algorithm.PL.local_buffer_copies == 1
+
+
+def test_only_pl_stages_in_private_memory():
+    assert Algorithm.PL.uses_private_staging
+    assert not Algorithm.BA.uses_private_staging
+    assert not Algorithm.DB.uses_private_staging
+
+
+def test_only_db_requires_local_memory():
+    assert Algorithm.DB.requires_local_memory
+    assert not Algorithm.BA.requires_local_memory
+    assert not Algorithm.PL.requires_local_memory
+
+
+def test_pipelined_algorithms_need_two_k_iterations():
+    assert Algorithm.BA.min_k_iterations == 1
+    assert Algorithm.PL.min_k_iterations == 2
+    assert Algorithm.DB.min_k_iterations == 2
+
+
+def test_descriptions_cite_their_sources():
+    assert "Fig. 4" in Algorithm.BA.description
+    assert "Fig. 5" in Algorithm.PL.description
+    assert "Fig. 6" in Algorithm.DB.description

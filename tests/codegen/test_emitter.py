@@ -1,0 +1,165 @@
+"""Structural and semantic tests of the OpenCL C emitter."""
+
+import json
+import re
+
+import pytest
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.emitter import (
+    KERNEL_NAME,
+    META_PREFIX,
+    emit_kernel_source,
+    parse_meta_header,
+)
+from repro.codegen.emitter import _offset_expr  # white-box: address arithmetic
+from repro.codegen.layouts import Layout, element_offsets
+from repro.codegen.params import StrideMode
+from repro.errors import BuildError
+
+from tests.conftest import PARAM_MATRIX, make_params
+
+
+class TestMetaHeader:
+    @pytest.mark.parametrize("params", PARAM_MATRIX, ids=lambda p: p.summary()[:40])
+    def test_round_trip(self, params):
+        source = emit_kernel_source(params)
+        assert parse_meta_header(source) == params
+
+    def test_header_is_first_line(self):
+        source = emit_kernel_source(make_params())
+        assert source.splitlines()[0].startswith(META_PREFIX)
+
+    def test_rejects_foreign_source(self):
+        with pytest.raises(BuildError, match="GEMMGEN"):
+            parse_meta_header("__kernel void foo() {}")
+
+    def test_rejects_corrupt_header(self):
+        with pytest.raises(BuildError, match="corrupt"):
+            parse_meta_header(META_PREFIX + "{not json")
+
+
+class TestStructure:
+    def test_kernel_signature(self):
+        source = emit_kernel_source(make_params())
+        assert f"void {KERNEL_NAME}(" in source
+        assert "reqd_work_group_size(MDIMC, NDIMC, 1)" in source
+        assert "__global" in source
+
+    def test_blocking_defines(self):
+        p = make_params(mwg=32, nwg=16, kwg=8, mdimc=8, ndimc=4)
+        source = emit_kernel_source(p)
+        for define in ("#define MWG 32", "#define NWG 16", "#define KWG 8",
+                       "#define MDIMC 8", "#define NDIMC 4"):
+            assert define in source
+
+    def test_fp64_pragma_only_for_double(self):
+        assert "cl_khr_fp64" in emit_kernel_source(make_params(precision="d"))
+        assert "cl_khr_fp64" not in emit_kernel_source(
+            make_params(precision="s")
+        )
+
+    def test_barriers_iff_local_memory(self):
+        no_local = emit_kernel_source(make_params())
+        assert "barrier(" not in no_local
+        assert "__local" not in no_local
+        with_local = emit_kernel_source(make_params(shared_b=True))
+        assert "barrier(CLK_LOCAL_MEM_FENCE)" in with_local
+        assert "__local" in with_local
+
+    def test_vector_types_iff_vw_gt_one(self):
+        scalar = emit_kernel_source(make_params(precision="s"))
+        assert "float2" not in scalar and "vload" not in scalar
+        vector = emit_kernel_source(
+            make_params(precision="s", vw=4, mwg=32, nwg=32, mdimc=8, ndimc=8)
+        )
+        assert "float4" in vector
+        assert "vload4" in vector and "vstore4" in vector
+
+    def test_unroll_pragma_present(self):
+        assert "#pragma unroll" in emit_kernel_source(make_params())
+
+    def test_mad_in_inner_loop(self):
+        assert "mad(" in emit_kernel_source(make_params())
+
+    def test_alpha_beta_in_merge(self):
+        source = emit_kernel_source(make_params())
+        assert re.search(r"alpha \* cpm\[.*\] \+ beta \* cgm", source)
+
+
+class TestAlgorithmStructure:
+    def test_ba_single_loop(self):
+        source = emit_kernel_source(make_params(shared_a=True, shared_b=True))
+        assert "prologue" not in source
+        assert source.count("barrier(CLK_LOCAL_MEM_FENCE);") >= 2
+
+    def test_pl_has_prologue_prefetch_epilogue(self):
+        source = emit_kernel_source(
+            make_params(algorithm=Algorithm.PL, shared_a=True, shared_b=True)
+        )
+        assert "prologue" in source
+        assert "PL prefetch" in source
+        assert "epilogue" in source
+        assert "apm0" in source and "bpm0" in source
+
+    def test_pl_without_local_degenerates_to_ba(self):
+        source = emit_kernel_source(make_params(algorithm=Algorithm.PL))
+        assert "apm0" not in source
+        assert "prologue" not in source
+
+    def test_db_has_double_buffers(self):
+        source = emit_kernel_source(
+            make_params(algorithm=Algorithm.DB, shared_a=True, shared_b=True)
+        )
+        for buf in ("alm0", "alm1", "blm0", "blm1"):
+            assert buf in source
+        assert "KWG / 2" in source
+
+    def test_db_shared_b_only_has_no_a_buffers(self):
+        source = emit_kernel_source(
+            make_params(algorithm=Algorithm.DB, shared_b=True)
+        )
+        assert "blm0" in source and "blm1" in source
+        assert "alm0" not in source
+
+
+class TestStrideEmission:
+    def test_unit_stride_merge_indexing(self):
+        source = emit_kernel_source(make_params())
+        assert "i0 * MWI + (a)" in source
+
+    def test_nonunit_stride_merge_indexing(self):
+        source = emit_kernel_source(make_params(stride=StrideMode(m=True)))
+        assert "(VW * MDIMC)" in source
+
+
+class TestOffsetExpressions:
+    """The emitted address arithmetic must equal the packing functions.
+
+    The C expressions use only integer +, *, / and % on non-negative
+    operands, so translating '/' to '//' makes them valid Python.
+    """
+
+    @pytest.mark.parametrize("layout", list(Layout))
+    def test_expression_matches_element_offsets(self, layout):
+        K, M, bk, bm = 16, 24, 8, 8
+        expr = _offset_expr(layout, "k", "m", "K", "M", bk, bm)
+        py_expr = expr.replace("/", "//").replace("%", "%")
+        for k in range(K):
+            for m in range(M):
+                got = eval(py_expr, {}, {"k": k, "m": m, "K": K, "M": M})
+                want = int(element_offsets(layout, k, m, K, M, bk, bm))
+                assert got == want, (layout, k, m)
+
+
+class TestDeterminism:
+    def test_emission_is_deterministic(self):
+        p = make_params(shared_a=True, shared_b=True, algorithm=Algorithm.DB)
+        assert emit_kernel_source(p) == emit_kernel_source(p)
+
+    def test_meta_is_valid_json(self):
+        source = emit_kernel_source(make_params())
+        header = source.splitlines()[0][len(META_PREFIX):]
+        meta = json.loads(header)
+        assert meta["kernel"] == KERNEL_NAME
+        assert "params" in meta and "generator" in meta

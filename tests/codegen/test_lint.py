@@ -1,0 +1,74 @@
+"""The OpenCL source linter."""
+
+import pytest
+
+from repro.codegen.emitter import emit_kernel_source
+from repro.codegen.lint import lint_source
+from repro.codegen.packers import PackPlan, emit_pack_source
+from repro.codegen.layouts import Layout
+
+from tests.conftest import PARAM_MATRIX, make_params
+
+
+class TestCleanSources:
+    @pytest.mark.parametrize("params", PARAM_MATRIX,
+                             ids=lambda p: p.summary()[:40])
+    def test_every_emitted_kernel_is_clean(self, params):
+        assert lint_source(emit_kernel_source(params)) == []
+
+    def test_image_kernels_are_clean(self):
+        assert lint_source(
+            emit_kernel_source(make_params(use_images=True))
+        ) == []
+
+    def test_pack_kernels_are_clean(self):
+        plan = PackPlan(precision="d", transpose=True, layout=Layout.RBL,
+                        block_k=8, block_x=16)
+        assert lint_source(emit_pack_source(plan)) == []
+
+
+class TestDetections:
+    def test_unbalanced_braces(self):
+        assert any("delimiter" in d
+                   for d in lint_source("__kernel void f() { if (1) { }"))
+
+    def test_duplicate_define(self):
+        src = "#define MWG 16\n#define MWG 32\n__kernel void f() {}"
+        assert any("duplicate" in d for d in lint_source(src))
+
+    def test_macro_used_before_definition(self):
+        src = ("__kernel void f() { float x = READ_A(0, 0); }\n"
+               "#define READ_A(k, m) agm[(k) + (m)]")
+        assert any("before its definition" in d for d in lint_source(src))
+
+    def test_undefined_macro(self):
+        src = "__kernel void f() { float x = READ_B(0, 0); }"
+        assert any("never defined" in d for d in lint_source(src))
+
+    def test_barrier_without_local(self):
+        src = "__kernel void f() { barrier(CLK_LOCAL_MEM_FENCE); }"
+        assert any("__local" in d for d in lint_source(src))
+
+    def test_image_read_without_sampler(self):
+        src = "__kernel void f(__read_only image2d_t img) { read_imagef(img); }"
+        assert any("sampler" in d for d in lint_source(src))
+
+    def test_missing_kernel_entry_point(self):
+        assert any("__kernel" in d for d in lint_source("void f() {}"))
+
+    def test_comments_and_strings_ignored(self):
+        src = ('__kernel void f() { /* unbalanced { in comment */ '
+               'const char* s = "}"; }')
+        assert lint_source(src) == []
+
+
+class TestBuildIntegration:
+    def test_build_rejects_structurally_broken_source(self):
+        import repro.clsim as cl
+        from repro.errors import BuildError
+
+        source = emit_kernel_source(make_params())
+        broken = source + "\n}\n"  # stray closing brace after the kernel
+        ctx = cl.Context([cl.get_device("tahiti")])
+        with pytest.raises(BuildError, match="structural"):
+            cl.Program(ctx, broken).build()

@@ -1,0 +1,142 @@
+"""Generated pack/transpose kernels."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.layouts import Layout, unpack_matrix
+from repro.codegen.packers import (
+    PACK_KERNEL_NAME,
+    PackPlan,
+    emit_pack_source,
+    parse_pack_meta,
+)
+from repro.errors import BuildError, LaunchError, ParameterError
+
+
+def _plan(**overrides):
+    defaults = dict(precision="d", transpose=False, layout=Layout.CBL,
+                    block_k=8, block_x=16)
+    defaults.update(overrides)
+    return PackPlan(**defaults)
+
+
+class TestPackPlan:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            _plan(precision="x")
+        with pytest.raises(ParameterError):
+            _plan(block_k=0)
+
+    def test_dict_round_trip(self):
+        plan = _plan(transpose=True, layout=Layout.RBL)
+        assert PackPlan.from_dict(plan.to_dict()) == plan
+
+    def test_dtype(self):
+        assert _plan(precision="s").dtype == np.float32
+        assert _plan(precision="d").dtype == np.float64
+
+    def test_launch_geometry(self):
+        plan = _plan()
+        assert plan.local_size() == (16, 16)
+        assert plan.global_size(24, 33) == (32, 48)
+
+    def test_destination_alignment_checked(self):
+        with pytest.raises(LaunchError, match="block_x"):
+            _plan().check_destination(16, 20)
+        with pytest.raises(LaunchError, match="RBL"):
+            _plan(layout=Layout.RBL).check_destination(12, 16)
+
+
+class TestExecute:
+    @pytest.mark.parametrize("layout", list(Layout))
+    @pytest.mark.parametrize("transpose", [False, True])
+    def test_matches_host_packing(self, layout, transpose, rng):
+        plan = _plan(layout=layout, transpose=transpose, block_k=4, block_x=4)
+        src = rng.standard_normal((6, 10))
+        rows, cols = src.shape
+        K, X = (cols, rows) if transpose else (rows, cols)
+        kp, xp = 12, 12  # covers both orientations
+        flat = plan.execute(src.reshape(-1), rows, cols, kp, xp)
+        recovered = unpack_matrix(flat, layout, kp, xp, 4, 4)
+        expected = src.T if transpose else src
+        np.testing.assert_array_equal(recovered[:K, :X], expected)
+        # Padding is zero-filled.
+        assert recovered[K:, :].sum() == 0 and recovered[:, X:].sum() == 0
+
+    def test_rejects_oversized_source(self):
+        plan = _plan(block_k=4, block_x=4)
+        with pytest.raises(LaunchError, match="larger"):
+            plan.execute(np.zeros(20 * 4), 20, 4, 8, 8)
+
+
+class TestSource:
+    def test_meta_round_trip(self):
+        plan = _plan(transpose=True, layout=Layout.RBL)
+        assert parse_pack_meta(emit_pack_source(plan)) == plan
+
+    def test_structure(self):
+        src = emit_pack_source(_plan())
+        assert f"void {PACK_KERNEL_NAME}(" in src
+        assert "reqd_work_group_size(16, 16, 1)" in src
+        assert "cl_khr_fp64" in src
+        assert "return;" in src  # bounds guard
+
+    def test_fp32_has_no_fp64_pragma(self):
+        assert "cl_khr_fp64" not in emit_pack_source(_plan(precision="s"))
+
+    def test_rejects_gemm_source(self):
+        from repro.codegen.emitter import emit_kernel_source
+        from tests.conftest import make_params
+
+        with pytest.raises(BuildError, match="not a pack kernel"):
+            parse_pack_meta(emit_kernel_source(make_params()))
+
+
+class TestThroughSimulator:
+    def test_pack_kernel_end_to_end(self, rng):
+        import repro.clsim as cl
+
+        plan = _plan(transpose=True, layout=Layout.CBL, block_k=8, block_x=16)
+        dev = cl.get_device("tahiti")
+        ctx = cl.Context([dev])
+        queue = cl.CommandQueue(ctx, dev)
+        program = cl.Program(ctx, emit_pack_source(plan)).build()
+        assert program.kernel_kind == "pack"
+        kernel = program.get_kernel(PACK_KERNEL_NAME)
+
+        src_host = rng.standard_normal((10, 12))  # M x K, to transpose
+        src = cl.Buffer(ctx, hostbuf=src_host)
+        kp, xp = 16, 16
+        dst = cl.Buffer(ctx, size=kp * xp * 8, dtype=np.float64)
+        kernel.set_args(10, 12, kp, xp, src, dst)
+        event = queue.launch(kernel, kernel.expected_global_size(), (16, 16))
+        assert event.command == "pack_kernel"
+        assert event.profile.duration > 0
+        recovered = unpack_matrix(dst.read(), Layout.CBL, kp, xp, 8, 16)
+        np.testing.assert_array_equal(recovered[:12, :10], src_host.T)
+
+    def test_arg_validation(self, rng):
+        import repro.clsim as cl
+
+        plan = _plan()
+        dev = cl.get_device("tahiti")
+        ctx = cl.Context([dev])
+        program = cl.Program(ctx, emit_pack_source(plan)).build()
+        kernel = program.get_kernel(PACK_KERNEL_NAME)
+        src = cl.Buffer(ctx, hostbuf=np.zeros(4))
+        dst = cl.Buffer(ctx, size=16 * 16 * 8, dtype=np.float64)
+        with pytest.raises(LaunchError, match="smaller"):
+            kernel.set_args(10, 12, 16, 16, src, dst)
+        with pytest.raises(LaunchError, match="positive"):
+            kernel.set_args(0, 12, 16, 16, src, dst)
+
+    def test_gemm_program_rejects_pack_queries(self):
+        import repro.clsim as cl
+        from repro.codegen.emitter import emit_kernel_source
+        from tests.conftest import make_params
+
+        ctx = cl.Context([cl.get_device("tahiti")])
+        program = cl.Program(ctx, emit_kernel_source(make_params())).build()
+        assert program.kernel_kind == "gemm"
+        with pytest.raises(BuildError, match="pack"):
+            _ = program.pack_plan

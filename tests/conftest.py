@@ -1,0 +1,98 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.layouts import Layout
+from repro.codegen.params import KernelParams, StrideMode
+from repro.devices.catalog import get_device_spec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tahiti():
+    return get_device_spec("tahiti")
+
+
+@pytest.fixture
+def cayman():
+    return get_device_spec("cayman")
+
+
+@pytest.fixture
+def bulldozer():
+    return get_device_spec("bulldozer")
+
+
+@pytest.fixture
+def sandybridge():
+    return get_device_spec("sandybridge")
+
+
+def make_params(**overrides) -> KernelParams:
+    """A small, valid default kernel parameter set, with overrides."""
+    defaults = dict(
+        precision="d",
+        mwg=16,
+        nwg=16,
+        kwg=8,
+        mdimc=4,
+        ndimc=4,
+        kwi=2,
+        vw=1,
+        stride=StrideMode(),
+        shared_a=False,
+        shared_b=False,
+        layout_a=Layout.ROW,
+        layout_b=Layout.ROW,
+        algorithm=Algorithm.BA,
+    )
+    defaults.update(overrides)
+    return KernelParams(**defaults)
+
+
+# A representative cross-section of the generator's space, used by the
+# executor/routine correctness tests.  Each entry exercises a distinct
+# mechanism (algorithm, layouts, strides, vectors, staging reshape).
+PARAM_MATRIX = [
+    make_params(),
+    make_params(vw=2, mwg=32, nwg=16, mdimc=8, ndimc=4),
+    make_params(stride=StrideMode(m=True)),
+    make_params(stride=StrideMode(n=True), vw=2, nwg=32, ndimc=4),
+    make_params(stride=StrideMode(m=True, n=True), vw=2, mwg=32, nwg=32),
+    make_params(shared_a=True, shared_b=True),
+    make_params(shared_a=True, mdima=8, mwg=32, kwg=8),
+    make_params(shared_b=True, ndimb=2, nwg=16, kwg=16),
+    make_params(layout_a=Layout.CBL, layout_b=Layout.CBL),
+    make_params(layout_a=Layout.RBL, layout_b=Layout.RBL),
+    make_params(layout_a=Layout.CBL, layout_b=Layout.RBL, shared_a=True, shared_b=True),
+    make_params(algorithm=Algorithm.PL, shared_a=True, shared_b=True),
+    make_params(algorithm=Algorithm.PL),  # degenerate PL: no local memory
+    make_params(algorithm=Algorithm.PL, shared_b=True, layout_b=Layout.CBL),
+    make_params(algorithm=Algorithm.DB, shared_a=True, shared_b=True),
+    make_params(algorithm=Algorithm.DB, shared_b=True, kwg=16, kwi=4),
+    make_params(precision="s", vw=4, mwg=32, nwg=32, mdimc=8, ndimc=8),
+    make_params(precision="s", algorithm=Algorithm.DB, shared_a=True,
+                shared_b=True, layout_a=Layout.RBL, layout_b=Layout.CBL),
+    make_params(precision="s", algorithm=Algorithm.PL, shared_a=True,
+                shared_b=True, stride=StrideMode(m=True, n=True), vw=2,
+                mwg=32, nwg=32, mdima=8, ndimb=8),
+    make_params(kwi=8, kwg=16, mwg=48, mdimc=4, nwg=24, ndimc=4),  # non-pow2
+    make_params(use_images=True),
+    make_params(precision="s", use_images=True, shared_a=True, shared_b=True),
+    make_params(guard_edges=True),
+    make_params(guard_edges=True, shared_b=True, algorithm=Algorithm.PL),
+    make_params(precision="s", guard_edges=True, vw=2, mwg=32, nwg=32,
+                algorithm=Algorithm.DB, shared_a=True, shared_b=True),
+]
+
+
+def param_id(params: KernelParams) -> str:
+    return params.summary().replace(" ", "_")

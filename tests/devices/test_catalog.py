@@ -1,0 +1,102 @@
+"""The device catalog matches the paper's Table I."""
+
+import pytest
+
+from repro.devices import (
+    CATALOG,
+    EVALUATED_DEVICES,
+    DeviceType,
+    LocalMemType,
+    get_device_spec,
+    list_device_names,
+)
+
+
+class TestCatalogContents:
+    def test_all_six_evaluated_devices_present(self):
+        assert EVALUATED_DEVICES == [
+            "tahiti", "cayman", "kepler", "fermi", "sandybridge", "bulldozer",
+        ]
+        for name in EVALUATED_DEVICES:
+            assert name in CATALOG
+
+    def test_section_ivc_devices_present(self):
+        assert "cypress" in CATALOG
+        assert "gtx680" in CATALOG
+
+    def test_every_spec_validates(self):
+        for spec in CATALOG.values():
+            spec.validate()
+
+    @pytest.mark.parametrize(
+        "name,peak_dp,peak_sp",
+        [
+            ("tahiti", 947.0, 3789.0),
+            ("cayman", 676.0, 2703.0),
+            ("kepler", 122.0, 2916.0),
+            ("fermi", 665.0, 1331.0),
+            ("sandybridge", 158.4, 316.8),
+            ("bulldozer", 115.2, 230.4),
+        ],
+    )
+    def test_table1_peaks(self, name, peak_dp, peak_sp):
+        spec = get_device_spec(name)
+        assert spec.peak_dp_gflops == peak_dp
+        assert spec.peak_sp_gflops == peak_sp
+
+    @pytest.mark.parametrize(
+        "name,clock,cus",
+        [
+            ("tahiti", 0.925, 32),
+            ("cayman", 0.88, 24),
+            ("kepler", 1.085, 7),
+            ("fermi", 1.3, 16),
+            ("sandybridge", 3.3, 6),
+            ("bulldozer", 3.6, 8),
+        ],
+    )
+    def test_table1_clock_and_cus(self, name, clock, cus):
+        spec = get_device_spec(name)
+        assert spec.clock_ghz == clock
+        assert spec.compute_units == cus
+
+    def test_device_types(self):
+        for name in ("tahiti", "cayman", "kepler", "fermi", "cypress", "gtx680"):
+            assert get_device_spec(name).device_type is DeviceType.GPU
+        for name in ("sandybridge", "bulldozer"):
+            assert get_device_spec(name).device_type is DeviceType.CPU
+
+    def test_cpu_local_memory_is_global(self):
+        # Table I: "Local memory type" is Global on both CPUs.
+        for name in ("sandybridge", "bulldozer"):
+            assert get_device_spec(name).local_mem_type is LocalMemType.GLOBAL
+        for name in ("tahiti", "cayman", "kepler", "fermi"):
+            assert get_device_spec(name).local_mem_type is LocalMemType.SCRATCHPAD
+
+    def test_bulldozer_pl_dgemm_quirk(self):
+        assert get_device_spec("bulldozer").model.has_quirk("pl_dgemm_fails")
+        assert not get_device_spec("sandybridge").model.has_quirk("pl_dgemm_fails")
+
+    def test_kepler_boost_exceeds_one(self):
+        # The GTX 670's boost clock is what lets Table II report >100%.
+        assert get_device_spec("kepler").model.boost_factor > 1.0
+
+    def test_cayman_has_expensive_barriers(self):
+        cayman = get_device_spec("cayman")
+        tahiti = get_device_spec("tahiti")
+        assert cayman.model.barrier_cost_cycles > 10 * tahiti.model.barrier_cost_cycles
+
+
+class TestCatalogLookup:
+    def test_lookup_is_case_insensitive(self):
+        assert get_device_spec("TAHITI").codename == "tahiti"
+        assert get_device_spec(" Tahiti ").codename == "tahiti"
+
+    def test_unknown_device_lists_known_names(self):
+        with pytest.raises(KeyError, match="tahiti"):
+            get_device_spec("gtx9090")
+
+    def test_list_device_names(self):
+        assert list_device_names(evaluated_only=True) == EVALUATED_DEVICES
+        assert set(list_device_names()) >= set(EVALUATED_DEVICES)
+        assert list_device_names() == sorted(list_device_names())

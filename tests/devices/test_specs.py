@@ -1,0 +1,115 @@
+"""Unit tests for DeviceSpec / DeviceModelParams."""
+
+import dataclasses
+
+import pytest
+
+from repro.devices.specs import (
+    DeviceModelParams,
+    DeviceSpec,
+    DeviceType,
+    LocalMemType,
+)
+
+
+def _spec(**overrides) -> DeviceSpec:
+    defaults = dict(
+        codename="toy",
+        product_name="Toy 9000",
+        vendor="ACME",
+        device_type=DeviceType.GPU,
+        clock_ghz=1.0,
+        compute_units=4,
+        dp_ops_per_clock=64,
+        sp_ops_per_clock=128,
+        peak_dp_gflops=64.0,
+        peak_sp_gflops=128.0,
+        global_mem_gb=1.0,
+        bandwidth_gbs=100.0,
+        l3_cache_kb=0.0,
+        l2_cache_kb=256.0,
+        l1_cache_kb=16.0,
+        local_mem_kb=32.0,
+        local_mem_type=LocalMemType.SCRATCHPAD,
+        opencl_sdk="Toy SDK 1.0",
+        driver_version="1.0",
+    )
+    defaults.update(overrides)
+    return DeviceSpec(**defaults)
+
+
+class TestDeviceSpec:
+    def test_peak_gflops_by_precision(self):
+        spec = _spec()
+        assert spec.peak_gflops("d") == 64.0
+        assert spec.peak_gflops("s") == 128.0
+
+    def test_peak_gflops_rejects_unknown_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            _spec().peak_gflops("q")
+
+    def test_ops_per_clock(self):
+        spec = _spec()
+        assert spec.ops_per_clock("d") == 64
+        assert spec.ops_per_clock("s") == 128
+
+    def test_device_type_predicates(self):
+        assert _spec().is_gpu and not _spec().is_cpu
+        cpu = _spec(device_type=DeviceType.CPU)
+        assert cpu.is_cpu and not cpu.is_gpu
+
+    def test_unit_conversions(self):
+        spec = _spec()
+        assert spec.local_mem_bytes == 32 * 1024
+        assert spec.clock_hz == 1e9
+        assert spec.bandwidth_bytes_per_s == 100e9
+        assert spec.registers_per_cu_bytes == 256 * 1024
+
+    def test_validate_accepts_consistent_peaks(self):
+        _spec().validate()
+
+    def test_validate_rejects_inconsistent_peak(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            _spec(peak_dp_gflops=200.0).validate()
+
+    def test_validate_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            _spec(clock_ghz=0.0).validate()
+
+    def test_validate_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError, match="memory"):
+            _spec(bandwidth_gbs=0.0).validate()
+
+    def test_with_model_replaces_only_named_fields(self):
+        spec = _spec()
+        variant = spec.with_model(barrier_cost_cycles=999.0)
+        assert variant.model.barrier_cost_cycles == 999.0
+        assert variant.model.wavefront_size == spec.model.wavefront_size
+        assert variant.codename == spec.codename
+        # Original untouched (frozen dataclasses).
+        assert spec.model.barrier_cost_cycles != 999.0
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _spec().clock_ghz = 2.0
+
+
+class TestDeviceModelParams:
+    def test_quirk_flags(self):
+        model = DeviceModelParams(
+            registers_per_cu_kb=128,
+            wavefront_size=32,
+            max_workgroup_size=256,
+            quirks=frozenset({"pl_dgemm_fails"}),
+        )
+        assert model.has_quirk("pl_dgemm_fails")
+        assert not model.has_quirk("nonexistent")
+
+    def test_defaults_are_neutral(self):
+        model = DeviceModelParams(
+            registers_per_cu_kb=128, wavefront_size=32, max_workgroup_size=256
+        )
+        assert model.boost_factor == 1.0
+        assert model.compiler_efficiency_sp == 1.0
+        assert model.calibration_dp == 1.0
+        assert not model.quirks

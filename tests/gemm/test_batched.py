@@ -1,0 +1,95 @@
+"""Batched GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gemm.batched import BatchedGemm
+from repro.gemm.reference import relative_error
+from repro.gemm.routine import GemmRoutine
+
+from tests.conftest import make_params
+
+
+@pytest.fixture(scope="module")
+def batched():
+    routine = GemmRoutine("tahiti", make_params(), measurement_noise=False)
+    return BatchedGemm(routine)
+
+
+@pytest.fixture
+def batch(rng):
+    return (
+        [rng.standard_normal((32, 16)) for _ in range(5)],
+        [rng.standard_normal((16, 48)) for _ in range(5)],
+    )
+
+
+class TestBatchedCorrectness:
+    def test_every_member_correct(self, batched, batch):
+        a_list, b_list = batch
+        out = batched(a_list, b_list)
+        assert len(out) == 5
+        for a, b, result in zip(a_list, b_list, out.results):
+            assert relative_error(result.c, a @ b) < 1e-12
+
+    def test_heterogeneous_shapes(self, batched, rng):
+        a_list = [rng.standard_normal((m, 16)) for m in (10, 33, 64)]
+        b_list = [rng.standard_normal((16, n)) for n in (20, 7, 64)]
+        out = batched(a_list, b_list)
+        for a, b, result in zip(a_list, b_list, out.results):
+            assert relative_error(result.c, a @ b) < 1e-12
+            assert result.c.shape == (a.shape[0], b.shape[1])
+
+    def test_with_c_operands(self, batched, batch, rng):
+        a_list, b_list = batch
+        c_list = [rng.standard_normal((32, 48)) for _ in range(5)]
+        out = batched(a_list, b_list, c_list, alpha=2.0, beta=0.5)
+        for a, b, c, result in zip(a_list, b_list, c_list, out.results):
+            assert relative_error(result.c, 2.0 * a @ b + 0.5 * c) < 1e-12
+
+    def test_matrices_accessor(self, batched, batch):
+        a_list, b_list = batch
+        out = batched(a_list, b_list)
+        assert len(out.matrices) == 5
+        np.testing.assert_array_equal(out.matrices[0], out[0].c)
+
+
+class TestBatchedAccounting:
+    def test_batching_saves_launch_overhead(self, batched, batch):
+        a_list, b_list = batch
+        out = batched(a_list, b_list)
+        assert out.batched_seconds < out.unbatched_seconds
+        assert out.batching_speedup > 1.0
+
+    def test_single_member_batch_saves_nothing(self, batched, rng):
+        a = [rng.standard_normal((16, 16))]
+        out = batched(a, a)
+        assert out.batched_seconds == pytest.approx(out.unbatched_seconds)
+
+    def test_flops_aggregate(self, batched, batch):
+        a_list, b_list = batch
+        out = batched(a_list, b_list)
+        assert out.flops == sum(r.flops for r in out.results)
+        assert out.effective_gflops > 0
+
+
+class TestBatchedValidation:
+    def test_length_mismatch(self, batched, rng):
+        with pytest.raises(ReproError, match="mismatch"):
+            batched([rng.standard_normal((4, 4))], [])
+
+    def test_empty_batch(self, batched):
+        with pytest.raises(ReproError, match="empty"):
+            batched([], [])
+
+    def test_c_list_length(self, batched, rng):
+        a = [rng.standard_normal((4, 4))] * 2
+        with pytest.raises(ReproError, match="C operand"):
+            batched(a, a, c_list=[rng.standard_normal((4, 4))])
+
+    def test_construct_from_device_name(self, rng):
+        b = BatchedGemm("fermi", params=make_params())
+        a = [rng.standard_normal((16, 16))]
+        out = b(a, a)
+        assert relative_error(out[0].c, a[0] @ a[0]) < 1e-12

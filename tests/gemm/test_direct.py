@@ -1,0 +1,101 @@
+"""The copy-free direct routine and the crossover dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.layouts import Layout
+from repro.devices import get_device_spec
+from repro.gemm.direct import (
+    DirectGemmRoutine,
+    crossover_size,
+    direct_params,
+    predict_times,
+    select_routine,
+)
+from repro.gemm.reference import relative_error
+from repro.gemm.routine import GemmRoutine
+from repro.tuner.pretuned import pretuned_params
+
+from tests.conftest import make_params
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    return pretuned_params("tahiti", "d")
+
+
+class TestDirectParams:
+    def test_layouts_degrade_to_row_with_guards(self, tuned):
+        d = direct_params(tuned)
+        assert d.layout_a is Layout.ROW and d.layout_b is Layout.ROW
+        assert d.guard_edges
+        # Everything else is inherited.
+        assert d.mwg == tuned.mwg and d.algorithm == tuned.algorithm
+
+
+class TestDirectRoutine:
+    def test_matches_packed_routine(self, rng):
+        params = make_params()
+        packed = GemmRoutine("tahiti", params)
+        direct = DirectGemmRoutine("tahiti", params)
+        a = rng.standard_normal((45, 23))
+        b = rng.standard_normal((23, 37))
+        np.testing.assert_allclose(packed(a, b).c, direct(a, b).c, rtol=1e-12)
+
+    def test_charges_no_copy_time(self, rng):
+        direct = DirectGemmRoutine("tahiti", make_params())
+        result = direct(rng.standard_normal((16, 8)), rng.standard_normal((8, 16)))
+        assert result.timings.copy_in_s == 0.0
+
+    def test_kernel_pays_guard_overhead(self, rng):
+        params = make_params(layout_a=Layout.ROW, layout_b=Layout.ROW)
+        packed = GemmRoutine("tahiti", params, measurement_noise=False)
+        direct = DirectGemmRoutine("tahiti", params, measurement_noise=False)
+        a = rng.standard_normal((32, 16))
+        b = rng.standard_normal((16, 32))
+        t_packed = packed(a, b).timings.kernel_s
+        t_direct = direct(a, b).timings.kernel_s
+        # The guarded kernel's bounds checks make it slower than the
+        # same kernel over pre-padded buffers.
+        assert t_direct > t_packed
+    def test_arbitrary_sizes_without_padding(self, tuned, rng):
+        """The headline feature: odd sizes run with no padding at all."""
+        direct = DirectGemmRoutine("tahiti", tuned)
+        a = rng.standard_normal((131, 97))
+        b = rng.standard_normal((97, 53))
+        result = direct(a, b)
+        assert relative_error(result.c, a @ b) < 1e-12
+        assert result.timings.copy_in_s == 0.0
+        assert result.timings.copy_out_s == 0.0  # no crop: nothing padded
+
+
+class TestCrossover:
+    def test_direct_wins_small_packed_wins_large(self, tuned):
+        spec = get_device_spec("tahiti")
+        t_packed_small, t_direct_small = predict_times(spec, tuned, 96, 96, 96)
+        assert t_direct_small < t_packed_small
+        t_packed_big, t_direct_big = predict_times(spec, tuned, 4096, 4096, 4096)
+        assert t_packed_big < t_direct_big
+
+    def test_crossover_size_is_consistent(self, tuned):
+        spec = get_device_spec("tahiti")
+        xover = crossover_size(spec, tuned)
+        t_packed, t_direct = predict_times(spec, tuned, xover, xover, xover)
+        assert t_packed <= t_direct
+        before = xover - tuned.lcm
+        if before >= tuned.lcm:
+            t_packed, t_direct = predict_times(spec, tuned, before, before, before)
+            assert t_direct < t_packed
+
+    def test_select_routine_picks_by_size(self, tuned):
+        small = select_routine("tahiti", tuned, 96, 96, 96)
+        large = select_routine("tahiti", tuned, 4096, 4096, 4096)
+        assert isinstance(small, DirectGemmRoutine)
+        assert isinstance(large, GemmRoutine)
+        assert not isinstance(large, DirectGemmRoutine)
+
+    def test_selected_routines_compute_correctly(self, tuned, rng):
+        routine = select_routine("tahiti", tuned, 100, 100, 100)
+        a = rng.standard_normal((100, 100))
+        b = rng.standard_normal((100, 100))
+        assert relative_error(routine(a, b).c, a @ b) < 1e-12

@@ -1,0 +1,119 @@
+"""Per-size kernel selection tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gemm.dispatch import KernelSelector
+from repro.gemm.reference import relative_error
+from repro.tuner.pretuned import pretuned_params
+from repro.tuner.search import SearchEngine, TuningConfig
+
+from tests.conftest import make_params
+
+
+@pytest.fixture(scope="module")
+def selector():
+    candidates = [
+        pretuned_params("tahiti", "d"),
+        make_params(mwg=32, nwg=32, kwg=16, mdimc=8, ndimc=8, kwi=2),
+    ]
+    return KernelSelector("tahiti", candidates)
+
+
+class TestTableConstruction:
+    def test_table_covers_all_sizes_and_is_sorted(self, selector):
+        bounds = [e.max_size for e in selector.table]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] >= 1 << 30  # open upper band
+
+    def test_small_band_uses_direct_kernel(self, selector):
+        assert selector.entry_for(64, 64, 64).direct
+
+    def test_large_band_uses_packed_kernel(self, selector):
+        assert not selector.entry_for(4096, 4096, 4096).direct
+
+    def test_adjacent_identical_bands_merged(self, selector):
+        rows = [(e.params.cache_key(), e.direct) for e in selector.table]
+        assert all(a != b for a, b in zip(rows, rows[1:]))
+
+    def test_needs_candidates(self):
+        with pytest.raises(ReproError, match="at least one"):
+            KernelSelector("tahiti", [])
+
+    def test_rejects_mixed_precision(self):
+        with pytest.raises(ReproError, match="precisions"):
+            KernelSelector(
+                "tahiti",
+                [make_params(), make_params(precision="s", vw=1)],
+            )
+
+    def test_from_tuning_result(self):
+        result = SearchEngine(
+            "fermi", "d", TuningConfig(budget=200, verify_finalists=0)
+        ).run()
+        selector = KernelSelector.from_tuning_result("fermi", result)
+        assert selector.table
+        assert selector.precision == "d"
+
+    def test_describe_lists_bands(self, selector):
+        text = selector.describe()
+        assert "kernel selection table" in text
+        assert "<=" in text
+
+
+class TestDispatch:
+    def test_computes_correctly_across_bands(self, selector, rng):
+        for n in (48, 200, 1200):
+            a = rng.standard_normal((n, n))
+            b = rng.standard_normal((n, n))
+            result = selector(a, b)
+            assert relative_error(result.c, a @ b) < 1e-11, n
+
+    def test_alpha_beta_and_transposes(self, selector, rng):
+        a = rng.standard_normal((60, 90))
+        b = rng.standard_normal((40, 90))
+        c = rng.standard_normal((60, 40))
+        result = selector(a, b, c, alpha=1.5, beta=-0.5, transb="T")
+        expected = 1.5 * a @ b.T - 0.5 * c
+        assert relative_error(result.c, expected) < 1e-11
+
+    def test_routines_are_cached(self, selector, rng):
+        a = rng.standard_normal((64, 64))
+        selector(a, a)
+        n_routines = len(selector._routines)
+        selector(a, a)
+        assert len(selector._routines) == n_routines
+
+    def test_dispatch_beats_single_kernel_at_small_sizes(self, selector, rng):
+        """The whole point: small problems run faster through the table
+        than through the large-size tuned routine alone."""
+        from repro.gemm.routine import GemmRoutine
+
+        big_kernel = GemmRoutine("tahiti", pretuned_params("tahiti", "d"),
+                                 measurement_noise=False)
+        a = rng.standard_normal((96, 96))
+        through_table = selector(a, a).timings.total_s
+        through_big = big_kernel(a, a).timings.total_s
+        assert through_table < through_big
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, selector, tmp_path, rng):
+        path = str(tmp_path / "selector.json")
+        selector.save(path)
+        loaded = KernelSelector.load(path, measurement_noise=False)
+        assert [
+            (e.max_size, e.direct, e.params) for e in loaded.table
+        ] == [(e.max_size, e.direct, e.params) for e in selector.table]
+        # The loaded selector dispatches and computes.
+        a = rng.standard_normal((200, 200))
+        from repro.gemm.reference import relative_error
+
+        assert relative_error(loaded(a, a).c, a @ a) < 1e-11
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ReproError, match="selector"):
+            KernelSelector.load(str(path))

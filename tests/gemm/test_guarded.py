@@ -1,0 +1,129 @@
+"""Edge-guarded (bounds-checked) kernels: the padding-free path."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.emitter import emit_kernel_source
+from repro.errors import LaunchError, ParameterError
+from repro.gemm.reference import relative_error
+from repro.gemm.routine import GemmRoutine, predict_implementation
+
+from tests.conftest import make_params
+
+
+@pytest.fixture(scope="module")
+def guarded_routine():
+    return GemmRoutine("tahiti", make_params(guard_edges=True),
+                       measurement_noise=False)
+
+
+class TestGuardedParams:
+    def test_requires_row_layouts(self):
+        from repro.codegen.layouts import Layout
+
+        with pytest.raises(ParameterError, match="ROW"):
+            make_params(guard_edges=True, layout_a=Layout.CBL)
+
+    def test_summary_marks_guards(self):
+        assert "guarded" in make_params(guard_edges=True).summary()
+
+    def test_cache_key_distinguishes(self):
+        assert make_params().cache_key() != make_params(guard_edges=True).cache_key()
+
+
+class TestGuardedSource:
+    def test_bounds_checked_reads(self):
+        source = emit_kernel_source(make_params(guard_edges=True))
+        assert "< kSizeK && (m) < kSizeM" in source
+        assert "edge guard" in source
+
+    def test_unguarded_source_has_no_guards(self):
+        source = emit_kernel_source(make_params())
+        assert "edge guard" not in source
+
+    def test_meta_round_trips(self):
+        from repro.codegen.emitter import parse_meta_header
+
+        p = make_params(guard_edges=True, shared_b=True)
+        assert parse_meta_header(emit_kernel_source(p)) == p
+
+    def test_guarded_source_is_lint_clean(self):
+        from repro.codegen.lint import lint_source
+
+        assert lint_source(emit_kernel_source(make_params(guard_edges=True))) == []
+
+
+class TestGuardedExecution:
+    @pytest.mark.parametrize("shape", [
+        (17, 23, 11), (16, 16, 8), (1, 1, 9), (33, 5, 50), (100, 100, 100),
+    ])
+    def test_arbitrary_shapes(self, guarded_routine, rng, shape):
+        M, N, K = shape
+        a = rng.standard_normal((M, K))
+        b = rng.standard_normal((K, N))
+        result = guarded_routine(a, b)
+        assert relative_error(result.c, a @ b) < 1e-12
+        # Nothing was padded or cropped and nothing was packed.
+        assert result.timings.copy_in_s == 0.0
+        assert result.timings.copy_out_s == 0.0
+
+    def test_all_transpose_types(self, guarded_routine, rng):
+        a = rng.standard_normal((19, 31))
+        b = rng.standard_normal((27, 31))
+        c = rng.standard_normal((19, 27))
+        result = guarded_routine(a, b, c, alpha=1.2, beta=0.3, transb="T")
+        assert relative_error(result.c, 1.2 * a @ b.T + 0.3 * c) < 1e-12
+
+    def test_guarded_with_local_staging(self, rng):
+        routine = GemmRoutine(
+            "tahiti", make_params(guard_edges=True, shared_a=True, shared_b=True)
+        )
+        a = rng.standard_normal((21, 13))
+        b = rng.standard_normal((13, 29))
+        assert relative_error(routine(a, b).c, a @ b) < 1e-12
+
+    def test_pipelined_guarded_kernel_degrades_to_one_iteration(self, rng):
+        """Guarded PL/DB run even when K fits in a single (partial)
+        k-block: the pipeline body is empty and the epilogue consumes
+        the prologue's tile."""
+        from repro.codegen.algorithms import Algorithm
+
+        for algorithm, extra in ((Algorithm.PL, {}), (Algorithm.DB, {})):
+            routine = GemmRoutine(
+                "tahiti",
+                make_params(guard_edges=True, algorithm=algorithm,
+                            shared_b=True, **extra),
+            )
+            for K in (1, 7, 9):
+                a = rng.standard_normal((16, K))
+                b = rng.standard_normal((K, 16))
+                assert relative_error(routine(a, b).c, a @ b) < 1e-12, (
+                    algorithm, K,
+                )
+
+
+class TestGuardedModel:
+    def test_guard_factor_charged(self, tahiti):
+        from repro.perfmodel.model import alu_efficiency
+
+        plain = alu_efficiency(tahiti, make_params())[1]
+        guarded = alu_efficiency(tahiti, make_params(guard_edges=True))[1]
+        assert plain["guard"] == 1.0
+        assert guarded["guard"] < 1.0
+
+    def test_predictor_handles_guards(self, tahiti):
+        p = make_params(guard_edges=True)
+        t = predict_implementation(tahiti, p, 100, 100, 100, noise=False)
+        assert t.copy_in_s == 0.0 and t.copy_out_s == 0.0
+        assert t.kernel_s > 0
+
+    def test_partial_tiles_still_count_in_the_model(self, tahiti):
+        """A 17x17x17 problem occupies full tiles' worth of work."""
+        from repro.perfmodel.model import estimate_kernel_time
+
+        p = make_params(guard_edges=True)  # 16x16x8 blocking
+        t_17 = estimate_kernel_time(tahiti, p, 17, 17, 17, noise=False)
+        t_32 = estimate_kernel_time(tahiti, p, 32, 32, 16, noise=False)
+        # 17 -> 2x2 tile grid, same as 32: similar body time, fewer flops.
+        assert t_17.total_seconds == pytest.approx(t_32.total_seconds, rel=0.35)
+        assert t_17.gflops < t_32.gflops

@@ -1,0 +1,108 @@
+"""Multi-device data-parallel GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gemm.multidev import MultiDeviceGemm
+from repro.gemm.reference import relative_error
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return MultiDeviceGemm(["tahiti", "cayman"], precision="s",
+                           measurement_noise=False)
+
+
+class TestPartition:
+    def test_partition_covers_all_columns(self, fleet):
+        bounds = fleet.partition(1000)
+        assert bounds[0][1] == 0
+        assert bounds[-1][2] == 1000
+        for (_, _, stop), (_, start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+    def test_split_follows_throughput_weights(self, fleet):
+        weights = fleet.weights
+        assert weights["tahiti"] > weights["cayman"]
+        bounds = {d: (start, stop) for d, start, stop in fleet.partition(1000)}
+        tahiti_width = bounds["tahiti"][1] - bounds["tahiti"][0]
+        cayman_width = bounds["cayman"][1] - bounds["cayman"][0]
+        assert tahiti_width > cayman_width
+        expected = weights["tahiti"] / (weights["tahiti"] + weights["cayman"])
+        assert tahiti_width / 1000 == pytest.approx(expected, abs=0.02)
+
+    def test_single_device_gets_everything(self):
+        solo = MultiDeviceGemm(["fermi"], precision="d")
+        assert solo.partition(512) == [("fermi", 0, 512)]
+
+
+class TestCompute:
+    def test_matches_reference(self, fleet, rng):
+        a = rng.standard_normal((200, 150)).astype(np.float32)
+        b = rng.standard_normal((150, 333)).astype(np.float32)
+        result = fleet(a, b)
+        assert relative_error(result.c, a @ b) < 5e-4
+        assert result.c.shape == (200, 333)
+
+    def test_alpha_beta(self, fleet, rng):
+        a = rng.standard_normal((100, 80)).astype(np.float32)
+        b = rng.standard_normal((80, 120)).astype(np.float32)
+        c = rng.standard_normal((100, 120)).astype(np.float32)
+        result = fleet(a, b, c, alpha=2.0, beta=-1.0)
+        assert relative_error(result.c, 2.0 * a @ b - c) < 5e-4
+
+    def test_every_device_contributes(self, fleet, rng):
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 500)).astype(np.float32)
+        result = fleet(a, b)
+        assert {s.device for s in result.shares} == {"tahiti", "cayman"}
+        assert all(s.width > 0 for s in result.shares)
+
+    def test_validation(self, fleet, rng):
+        with pytest.raises(ReproError, match="incompatible"):
+            fleet(rng.standard_normal((4, 5)), rng.standard_normal((4, 5)))
+        with pytest.raises(ReproError, match="C operand"):
+            fleet(rng.standard_normal((4, 4)), rng.standard_normal((4, 4)),
+                  beta=1.0)
+
+    def test_duplicate_devices_rejected(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            MultiDeviceGemm(["tahiti", "tahiti"])
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ReproError, match="at least one"):
+            MultiDeviceGemm([])
+
+
+class TestAccounting:
+    def test_wall_time_is_slowest_share(self, fleet, rng):
+        a = rng.standard_normal((128, 128)).astype(np.float32)
+        b = rng.standard_normal((128, 512)).astype(np.float32)
+        result = fleet(a, b)
+        assert result.wall_seconds == max(s.total_seconds for s in result.shares)
+        assert result.effective_gflops > 0
+
+    def test_balanced_split_beats_single_device_at_scale(self, rng):
+        """At large sizes the fleet outruns its fastest member despite
+        the PCIe distribution cost."""
+        fleet = MultiDeviceGemm(["tahiti", "cayman"], precision="s",
+                                measurement_noise=False)
+        solo = MultiDeviceGemm(["tahiti"], precision="s",
+                               measurement_noise=False)
+        a = rng.standard_normal((1536, 1536)).astype(np.float32)
+        b = rng.standard_normal((1536, 1536)).astype(np.float32)
+        t_fleet = fleet(a, b).wall_seconds
+        t_solo = solo(a, b).wall_seconds
+        assert t_fleet < t_solo
+
+    def test_share_lookup(self, fleet, rng):
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        result = fleet(a, a)
+        assert result.share_of("tahiti").device == "tahiti"
+        with pytest.raises(KeyError):
+            result.share_of("fermi")
+
+    def test_describe(self, fleet):
+        text = fleet.describe()
+        assert "tahiti" in text and "cayman" in text and "%" in text

@@ -1,0 +1,130 @@
+"""Operand packing: padding, transposition, block-major repack."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.layouts import Layout, unpack_matrix
+from repro.gemm.packing import (
+    crop_c,
+    pack_operand,
+    pad_to_multiple,
+    prepare_c,
+    required_padding,
+)
+
+from tests.conftest import make_params
+
+
+class TestPadToMultiple:
+    @pytest.mark.parametrize("n,m,expected", [
+        (1, 16, 16), (16, 16, 16), (17, 16, 32), (100, 48, 144),
+    ])
+    def test_values(self, n, m, expected):
+        assert pad_to_multiple(n, m) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            pad_to_multiple(0, 16)
+        with pytest.raises(ValueError):
+            pad_to_multiple(16, 0)
+
+
+class TestRequiredPadding:
+    def test_rounds_each_dimension(self):
+        p = make_params()  # 16, 16, 8
+        assert required_padding(p, 17, 16, 9) == (32, 16, 16)
+
+    def test_pl_needs_two_k_iterations(self):
+        p = make_params(algorithm=Algorithm.PL, shared_b=True)  # kwg=8
+        Mp, Np, Kp = required_padding(p, 16, 16, 4)
+        assert Kp == 16  # 2 * kwg even though 8 would cover K=4
+
+    def test_exact_sizes_unpadded(self):
+        p = make_params()
+        assert required_padding(p, 32, 48, 24) == (32, 48, 24)
+
+
+class TestPackOperand:
+    def test_pads_with_zeros(self):
+        mat = np.ones((5, 7))  # K x M, needs padding to 8 x 16
+        packed = pack_operand(
+            mat, transpose=False, k_padded=8, x_padded=16,
+            block_x=16, block_k=8, layout=Layout.ROW, dtype=np.float64,
+        )
+        recovered = unpack_matrix(packed.flat, Layout.ROW, 8, 16, 8, 16)
+        np.testing.assert_array_equal(recovered[:5, :7], mat)
+        assert recovered[5:].sum() == 0 and recovered[:, 7:].sum() == 0
+
+    def test_transpose_orients_k_first(self):
+        mat = np.arange(12.0).reshape(3, 4)  # M=3 x K=4 user matrix
+        packed = pack_operand(
+            mat, transpose=True, k_padded=4, x_padded=4,
+            block_x=4, block_k=4, layout=Layout.ROW, dtype=np.float64,
+        )
+        recovered = unpack_matrix(packed.flat, Layout.ROW, 4, 4, 4, 4)
+        np.testing.assert_array_equal(recovered[:, :3], mat.T)
+
+    @pytest.mark.parametrize("layout", list(Layout))
+    def test_layout_round_trip_through_padding(self, layout):
+        rng = np.random.default_rng(3)
+        mat = rng.standard_normal((10, 12))
+        packed = pack_operand(
+            mat, transpose=False, k_padded=16, x_padded=16,
+            block_x=8, block_k=8, layout=layout, dtype=np.float64,
+        )
+        recovered = unpack_matrix(packed.flat, layout, 16, 16, 8, 8)
+        np.testing.assert_array_equal(recovered[:10, :12], mat)
+
+    def test_payload_bytes_counts_user_data_only(self):
+        mat = np.zeros((10, 12))
+        packed = pack_operand(
+            mat, transpose=False, k_padded=16, x_padded=16,
+            block_x=8, block_k=8, layout=Layout.ROW, dtype=np.float64,
+        )
+        assert packed.payload_bytes == 10 * 12 * 8
+
+    def test_rejects_oversized_input(self):
+        with pytest.raises(ValueError, match="larger"):
+            pack_operand(
+                np.zeros((20, 8)), transpose=False, k_padded=16, x_padded=16,
+                block_x=8, block_k=8, layout=Layout.ROW, dtype=np.float64,
+            )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pack_operand(
+                np.zeros(8), transpose=False, k_padded=8, x_padded=8,
+                block_x=8, block_k=8, layout=Layout.ROW, dtype=np.float64,
+            )
+
+    def test_casts_to_requested_dtype(self):
+        packed = pack_operand(
+            np.ones((4, 4), dtype=np.float64), transpose=False,
+            k_padded=4, x_padded=4, block_x=4, block_k=4,
+            layout=Layout.ROW, dtype=np.float32,
+        )
+        assert packed.flat.dtype == np.float32
+
+
+class TestPrepareCropC:
+    def test_prepare_embeds_and_pads(self):
+        c = np.arange(6.0).reshape(2, 3)
+        work = prepare_c(c, 2, 3, 4, 8, np.float64)
+        assert work.shape == (4, 8)
+        np.testing.assert_array_equal(work[:2, :3], c)
+        assert work[2:].sum() == 0
+
+    def test_prepare_without_c(self):
+        work = prepare_c(None, 2, 3, 4, 8, np.float32)
+        assert work.shape == (4, 8) and work.sum() == 0
+
+    def test_prepare_validates_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            prepare_c(np.zeros((3, 3)), 2, 3, 4, 8, np.float64)
+
+    def test_crop_inverts_prepare(self):
+        c = np.random.default_rng(0).standard_normal((5, 6))
+        work = prepare_c(c, 5, 6, 8, 8, np.float64)
+        np.testing.assert_array_equal(crop_c(work, 5, 6), c)
+        assert crop_c(work, 5, 6).flags["C_CONTIGUOUS"]

@@ -1,0 +1,72 @@
+"""Reference GEMM semantics."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.reference import reference_gemm, relative_error
+
+
+@pytest.fixture
+def mats(rng):
+    return (
+        rng.standard_normal((6, 4)),
+        rng.standard_normal((4, 5)),
+        rng.standard_normal((6, 5)),
+    )
+
+
+class TestReferenceGemm:
+    def test_nn(self, mats):
+        a, b, c = mats
+        np.testing.assert_allclose(
+            reference_gemm("N", "N", 2.0, a, b, 0.5, c), 2.0 * a @ b + 0.5 * c
+        )
+
+    def test_all_transpose_combinations(self, rng):
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((5, 4))
+        # op(A) = A^T is 6x4 ... op(B) = B^T is 4x5.
+        out = reference_gemm("T", "T", 1.0, a, b, 0.0)
+        np.testing.assert_allclose(out, a.T @ b.T)
+
+    def test_beta_zero_ignores_c(self, mats):
+        a, b, _ = mats
+        np.testing.assert_allclose(reference_gemm("N", "N", 1.0, a, b, 0.0), a @ b)
+
+    def test_beta_nonzero_requires_c(self, mats):
+        a, b, _ = mats
+        with pytest.raises(ValueError, match="C operand"):
+            reference_gemm("N", "N", 1.0, a, b, 1.0)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inner"):
+            reference_gemm("N", "N", 1.0, rng.standard_normal((3, 4)),
+                           rng.standard_normal((5, 3)), 0.0)
+
+    def test_bad_trans_flag(self, mats):
+        a, b, _ = mats
+        with pytest.raises(ValueError, match="'N' or 'T'"):
+            reference_gemm("X", "N", 1.0, a, b, 0.0)
+
+    def test_lower_case_accepted(self, mats):
+        a, b, _ = mats
+        np.testing.assert_allclose(reference_gemm("n", "n", 1.0, a, b, 0.0), a @ b)
+
+    def test_preserves_dtype(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        assert reference_gemm("N", "N", 1.0, a, b, 0.0).dtype == np.float32
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self):
+        x = np.ones((3, 3))
+        assert relative_error(x, x) == 0.0
+
+    def test_scales_by_reference_magnitude(self):
+        ref = np.full((2, 2), 100.0)
+        noisy = ref + 1.0
+        assert relative_error(noisy, ref) == pytest.approx(0.01)
+
+    def test_safe_for_zero_reference(self):
+        assert relative_error(np.zeros(3), np.zeros(3)) == 0.0

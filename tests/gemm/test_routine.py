@@ -1,0 +1,143 @@
+"""The full GEMM routine: every multiplication type, padding, timing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gemm.reference import reference_gemm, relative_error
+from repro.gemm.routine import GemmRoutine, predict_implementation
+from repro.tuner.pretuned import pretuned_params
+
+from tests.conftest import make_params
+
+
+@pytest.fixture(scope="module")
+def routine():
+    return GemmRoutine("tahiti", make_params())
+
+
+@pytest.fixture(scope="module")
+def routine_s():
+    return GemmRoutine(
+        "tahiti",
+        make_params(precision="s", vw=4, mwg=32, nwg=32, mdimc=8, ndimc=8),
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("transa,transb", [
+        ("N", "N"), ("N", "T"), ("T", "N"), ("T", "T"),
+    ])
+    def test_four_multiplication_types(self, routine, rng, transa, transb):
+        M, N, K = 40, 56, 33
+        a = rng.standard_normal((M, K) if transa == "N" else (K, M))
+        b = rng.standard_normal((K, N) if transb == "N" else (N, K))
+        c = rng.standard_normal((M, N))
+        result = routine(a, b, c, alpha=1.3, beta=0.7, transa=transa, transb=transb)
+        expected = reference_gemm(transa, transb, 1.3, a, b, 0.7, c)
+        assert relative_error(result.c, expected) < 1e-12
+        assert result.c.shape == (M, N)
+
+    def test_exact_blocking_multiple_sizes(self, routine, rng):
+        a = rng.standard_normal((32, 16))
+        b = rng.standard_normal((16, 48))
+        result = routine(a, b)
+        assert relative_error(result.c, a @ b) < 1e-12
+        # No padding -> no crop copy charged.
+        assert result.timings.copy_out_s == 0.0
+
+    def test_awkward_prime_sizes(self, routine, rng):
+        a = rng.standard_normal((17, 13))
+        b = rng.standard_normal((13, 29))
+        result = routine(a, b)
+        assert relative_error(result.c, a @ b) < 1e-12
+        assert result.timings.copy_out_s > 0.0  # padded, cropped
+
+    def test_column_major_inputs(self, routine, rng):
+        a = np.asfortranarray(rng.standard_normal((30, 20)))
+        b = np.asfortranarray(rng.standard_normal((20, 25)))
+        result = routine(a, b)
+        assert relative_error(result.c, a @ b) < 1e-12
+
+    def test_c_not_modified(self, routine, rng):
+        a = rng.standard_normal((16, 8))
+        b = rng.standard_normal((8, 16))
+        c = rng.standard_normal((16, 16))
+        c_before = c.copy()
+        routine(a, b, c, beta=1.0)
+        np.testing.assert_array_equal(c, c_before)
+
+    def test_single_precision_routine(self, routine_s, rng):
+        a = rng.standard_normal((50, 40)).astype(np.float32)
+        b = rng.standard_normal((40, 60)).astype(np.float32)
+        result = routine_s(a, b)
+        assert result.c.dtype == np.float32
+        assert relative_error(result.c, a @ b) < 1e-4
+
+    def test_double_input_cast_to_single(self, routine_s, rng):
+        a = rng.standard_normal((32, 32))  # float64 into an SGEMM routine
+        b = rng.standard_normal((32, 32))
+        result = routine_s(a, b)
+        assert result.c.dtype == np.float32
+
+    def test_routine_is_reusable(self, routine, rng):
+        for _ in range(3):
+            a = rng.standard_normal((16, 8))
+            b = rng.standard_normal((8, 16))
+            assert relative_error(routine(a, b).c, a @ b) < 1e-12
+
+
+class TestValidation:
+    def test_rejects_bad_trans(self, routine, rng):
+        a, b = rng.standard_normal((8, 8)), rng.standard_normal((8, 8))
+        with pytest.raises(ReproError, match="'N' or 'T'"):
+            routine(a, b, transa="Q")
+
+    def test_rejects_mismatched_k(self, routine, rng):
+        with pytest.raises(ReproError, match="inner"):
+            routine(rng.standard_normal((8, 4)), rng.standard_normal((5, 8)))
+
+    def test_rejects_beta_without_c(self, routine, rng):
+        a, b = rng.standard_normal((8, 8)), rng.standard_normal((8, 8))
+        with pytest.raises(ReproError, match="beta"):
+            routine(a, b, beta=1.0)
+
+    def test_rejects_1d_operands(self, routine):
+        with pytest.raises(ReproError, match="2-D"):
+            routine(np.zeros(8), np.zeros(8))
+
+    def test_precision_mismatch_in_factory(self):
+        from repro.api import tuned_gemm
+
+        with pytest.raises(ValueError, match="precision"):
+            tuned_gemm("tahiti", "s", params=make_params(precision="d"))
+
+
+class TestTimings:
+    def test_timing_components_positive(self, routine, rng):
+        result = routine(rng.standard_normal((33, 20)), rng.standard_normal((20, 40)))
+        t = result.timings
+        assert t.copy_in_s > 0 and t.kernel_s > 0
+        assert t.total_s == pytest.approx(t.copy_in_s + t.kernel_s + t.copy_out_s)
+        assert result.effective_gflops < result.kernel_gflops
+
+    def test_predictor_matches_routine_composition(self):
+        """predict_implementation must charge the same costs the routine does."""
+        spec_params = pretuned_params("tahiti", "d")
+        routine = GemmRoutine("tahiti", spec_params, measurement_noise=False)
+        rng = np.random.default_rng(0)
+        M = N = K = spec_params.lcm
+        a = rng.standard_normal((M, K))
+        b = rng.standard_normal((K, N))
+        result = routine(a, b)
+        predicted = predict_implementation(
+            routine.device.spec, spec_params, M, N, K, noise=False
+        )
+        # The queue's event clock is quantised to whole nanoseconds.
+        assert result.timings.copy_in_s == pytest.approx(predicted.copy_in_s, abs=3e-9)
+        assert result.timings.kernel_s == pytest.approx(predicted.kernel_s, abs=2e-9)
+        assert result.timings.copy_out_s == pytest.approx(predicted.copy_out_s)
+
+    def test_flops_property(self, routine, rng):
+        result = routine(rng.standard_normal((16, 8)), rng.standard_normal((8, 16)))
+        assert result.flops == 2.0 * 16 * 16 * 8

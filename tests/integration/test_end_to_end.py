@@ -1,0 +1,99 @@
+"""End-to-end flows: tune -> build routine -> compute -> verify; CLI."""
+
+import numpy as np
+import pytest
+
+from repro import TuningConfig, autotune, tuned_gemm
+from repro.cli import main
+from repro.gemm.reference import relative_error
+from repro.gemm.routine import GemmRoutine
+
+
+class TestTuneThenRun:
+    def test_fresh_tuning_result_powers_a_correct_routine(self, rng):
+        result = autotune("kepler", "s", budget=400)
+        routine = GemmRoutine("kepler", result.best.params)
+        a = rng.standard_normal((100, 80)).astype(np.float32)
+        b = rng.standard_normal((80, 120)).astype(np.float32)
+        out = routine(a, b)
+        assert relative_error(out.c, a @ b) < 1e-4
+        # Simulated rate within the device's physical envelope.
+        spec = routine.device.spec
+        assert out.kernel_gflops <= spec.peak_sp_gflops * spec.model.boost_factor
+
+    def test_tuned_gemm_uses_pretuned_by_default(self):
+        routine = tuned_gemm("tahiti", "d")
+        from repro.tuner.pretuned import pretuned_params
+
+        assert routine.params == pretuned_params("tahiti", "d")
+
+    def test_tuned_gemm_with_explicit_params(self, rng):
+        from tests.conftest import make_params
+
+        routine = tuned_gemm("fermi", "d", params=make_params())
+        a = rng.standard_normal((20, 20))
+        b = rng.standard_normal((20, 20))
+        assert relative_error(routine(a, b).c, a @ b) < 1e-12
+
+    def test_tuned_gemm_falls_back_to_autotune(self, rng):
+        # gtx680 has no pretuned entry: a fresh search runs transparently.
+        routine = tuned_gemm("gtx680", "d")
+        a = rng.standard_normal((30, 30))
+        b = rng.standard_normal((30, 30))
+        assert relative_error(routine(a, b).c, a @ b) < 1e-12
+
+
+class TestCLI:
+    def test_info_lists_devices(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "tahiti" in out and "bulldozer" in out
+
+    def test_info_single_device(self, capsys):
+        assert main(["info", "fermi"]) == 0
+        assert "Tesla M2090" in capsys.readouterr().out
+
+    def test_gemm_command_verifies(self, capsys):
+        assert main(["gemm", "tahiti", "--precision", "s", "--size", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "GFlop/s" in out and "max error" in out
+
+    def test_tune_command_with_save(self, capsys, tmp_path):
+        db_path = str(tmp_path / "db.json")
+        assert main(["tune", "cayman", "--precision", "s",
+                     "--budget", "120", "--save", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "best rate" in out
+        from repro.tuner import ResultsDatabase
+
+        db = ResultsDatabase(db_path)
+        assert db.get("cayman", "s") is not None
+
+    def test_bench_command_quick(self, capsys):
+        assert main(["bench", "table1", "--quick"]) == 0
+        assert "Processor specification" in capsys.readouterr().out
+
+    def test_emit_command(self, capsys):
+        assert main(["emit", "tahiti", "--precision", "d"]) == 0
+        out = capsys.readouterr().out
+        assert "__kernel" in out and "GEMMGEN-META" in out
+
+    def test_analyze_command(self, capsys):
+        assert main(["analyze", "tahiti", "--precision", "s"]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity" in out and "GFlop/s" in out
+
+    def test_bench_plot_flag(self, capsys):
+        assert main(["bench", "fig11", "--quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "[GFlop/s]" in out  # the ascii plot legend
+
+    def test_tune_guarded_flag(self, capsys):
+        assert main(["tune", "tahiti", "--budget", "150", "--guarded",
+                     "--no-refine"]) == 0
+        assert "guarded" in capsys.readouterr().out
+
+    def test_tune_shape_flag(self, capsys):
+        assert main(["tune", "fermi", "--precision", "s", "--budget", "150",
+                     "--shape", "1024", "128", "1024"]) == 0
+        assert "best rate" in capsys.readouterr().out

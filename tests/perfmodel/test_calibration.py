@@ -1,0 +1,64 @@
+"""Calibration anchors and the paper-number reproduction tests.
+
+These are the headline checks: for every device and precision, the
+shipped pretuned kernel measured by the calibrated model must land on
+the paper's Table II maximum.
+"""
+
+import pytest
+
+from repro.devices import get_device_spec
+from repro.perfmodel.calibration import (
+    PAPER_ANCHORS,
+    PAPER_EFFICIENCIES,
+    SDK2013_OVER_SDK2012,
+    anchor_efficiency,
+    sdk2012_variant,
+)
+from repro.tuner.pretuned import pretuned_params
+from repro.tuner.search import SearchEngine, TuningConfig
+
+
+class TestAnchors:
+    def test_anchor_table_covers_all_primary_devices(self):
+        devices = {d for d, _ in PAPER_ANCHORS}
+        assert devices >= {
+            "tahiti", "cayman", "kepler", "fermi", "sandybridge", "bulldozer",
+        }
+
+    @pytest.mark.parametrize("key", sorted(PAPER_ANCHORS))
+    def test_pretuned_kernel_hits_anchor(self, key):
+        device, precision = key
+        spec = get_device_spec(device)
+        params = pretuned_params(device, precision)
+        engine = SearchEngine(spec, precision, TuningConfig())
+        gflops = engine.measure(params, engine.base_size(params))
+        anchor = PAPER_ANCHORS[key]
+        assert abs(gflops - anchor) / anchor < 0.06, (key, gflops, anchor)
+
+    @pytest.mark.parametrize("key", sorted(PAPER_EFFICIENCIES))
+    def test_efficiencies_consistent_with_anchors(self, key):
+        device, precision = key
+        spec = get_device_spec(device)
+        implied = PAPER_ANCHORS[key] / spec.peak_gflops(precision)
+        assert implied == pytest.approx(PAPER_EFFICIENCIES[key], abs=0.03)
+
+    def test_anchor_efficiency_lookup(self):
+        assert anchor_efficiency("tahiti", "d") == 0.91
+        with pytest.raises(KeyError):
+            anchor_efficiency("tahiti", "q")
+
+
+class TestSdkVariant:
+    def test_sdk2012_scales_compiler_efficiency(self, sandybridge):
+        old = sdk2012_variant(sandybridge)
+        assert old.model.compiler_efficiency_dp == pytest.approx(
+            sandybridge.model.compiler_efficiency_dp / SDK2013_OVER_SDK2012
+        )
+        # Everything else is untouched.
+        assert old.clock_ghz == sandybridge.clock_ghz
+        assert old.model.barrier_cost_cycles == sandybridge.model.barrier_cost_cycles
+
+    def test_sdk2012_rejected_for_gpus(self, tahiti):
+        with pytest.raises(ValueError, match="CPU"):
+            sdk2012_variant(tahiti)

@@ -1,0 +1,107 @@
+"""Global/local traffic and access-efficiency models."""
+
+import pytest
+
+from repro.codegen.layouts import Layout
+from repro.perfmodel.memory import (
+    BANK_CONFLICT_STRIDE,
+    global_traffic_bytes,
+    local_traffic_bytes,
+    memory_efficiency,
+)
+
+from tests.conftest import make_params
+
+
+class TestGlobalTraffic:
+    def test_staged_traffic_is_ideal(self, tahiti):
+        p = make_params(shared_a=True, shared_b=True)
+        t = global_traffic_bytes(tahiti, p, 64, 64, 32)
+        tiles = (64 // p.mwg) * (64 // p.nwg)
+        iters = 32 // p.kwg
+        assert t.bytes_a == tiles * iters * p.mwg * p.kwg * 8
+        assert t.bytes_b == tiles * iters * p.nwg * p.kwg * 8
+        assert t.bytes_c == 2 * 64 * 64 * 8
+
+    def test_unstaged_traffic_exceeds_ideal_on_gpu(self, tahiti):
+        staged = global_traffic_bytes(
+            tahiti, make_params(shared_a=True, shared_b=True), 64, 64, 32
+        )
+        # Needs a work-group wider than one wavefront for cross-wave
+        # redundancy to appear.
+        p = make_params(mwg=64, nwg=64, kwg=16, mdimc=16, ndimc=16)
+        staged_big = global_traffic_bytes(
+            tahiti, p.replace(shared_a=True, shared_b=True), 64, 64, 32
+        )
+        unstaged = global_traffic_bytes(tahiti, p, 64, 64, 32)
+        assert unstaged.bytes_a > staged_big.bytes_a
+
+    def test_cpu_caches_absorb_unstaged_redundancy(self, sandybridge):
+        staged = global_traffic_bytes(
+            sandybridge, make_params(shared_a=True, shared_b=True), 64, 64, 32
+        )
+        unstaged = global_traffic_bytes(sandybridge, make_params(), 64, 64, 32)
+        assert unstaged.bytes_a == staged.bytes_a  # perfect L1 reuse
+
+    def test_bigger_tiles_reduce_per_flop_traffic(self, tahiti):
+        small = make_params(shared_a=True, shared_b=True)
+        big = make_params(mwg=32, nwg=32, mdimc=8, ndimc=8,
+                          shared_a=True, shared_b=True)
+        t_small = global_traffic_bytes(tahiti, small, 128, 128, 64).total
+        t_big = global_traffic_bytes(tahiti, big, 128, 128, 64).total
+        assert t_big < t_small  # the whole point of blocking (paper III-A)
+
+    def test_total_is_sum(self, tahiti):
+        t = global_traffic_bytes(tahiti, make_params(), 64, 64, 32)
+        assert t.total == t.bytes_a + t.bytes_b + t.bytes_c
+
+
+class TestLocalTraffic:
+    def test_zero_without_staging(self):
+        assert local_traffic_bytes(make_params(), 64, 64, 32) == 0.0
+
+    def test_counts_writes_and_fanout_reads(self):
+        p = make_params(shared_b=True)
+        traffic = local_traffic_bytes(p, p.mwg, p.nwg, p.kwg)
+        expected = (p.nwg * p.kwg + p.nwg * p.mdimc * p.kwg) * 8
+        assert traffic == expected
+
+    def test_dual_staging_doubles_roughly(self):
+        single = local_traffic_bytes(make_params(shared_b=True), 64, 64, 32)
+        dual = local_traffic_bytes(
+            make_params(shared_a=True, shared_b=True), 64, 64, 32
+        )
+        assert dual == 2 * single  # symmetric tiles here
+
+
+class TestMemoryEfficiency:
+    def test_block_major_is_full_efficiency(self, tahiti):
+        p = make_params(layout_a=Layout.CBL, layout_b=Layout.RBL,
+                        shared_a=True, shared_b=True)
+        assert memory_efficiency(tahiti, p, 64, 64, 32) == pytest.approx(1.0)
+
+    def test_row_major_is_worse_on_gpu(self, tahiti):
+        row = memory_efficiency(tahiti, make_params(), 64, 64, 32)
+        blk = memory_efficiency(
+            tahiti, make_params(layout_a=Layout.CBL, layout_b=Layout.CBL), 64, 64, 32
+        )
+        assert row < blk
+
+    def test_row_major_penalty_smaller_on_cpu(self, tahiti, sandybridge):
+        p = make_params()
+        gpu_eff = memory_efficiency(tahiti, p, 64, 64, 32)
+        cpu_eff = memory_efficiency(sandybridge, p, 64, 64, 32)
+        assert cpu_eff > gpu_eff
+
+    def test_bank_conflicts_at_2048_multiples(self, tahiti):
+        p = make_params(mwg=64, nwg=64, kwg=64, mdimc=16, ndimc=16)
+        clean = memory_efficiency(tahiti, p, 1024, 1024, 1024)
+        n = BANK_CONFLICT_STRIDE
+        conflicted = memory_efficiency(tahiti, p, 2 * n, 2 * n, 2 * n)
+        assert conflicted < 0.6 * clean
+
+    def test_block_major_immune_to_bank_conflicts(self, tahiti):
+        p = make_params(mwg=64, nwg=64, kwg=64, mdimc=16, ndimc=16,
+                        layout_a=Layout.CBL, layout_b=Layout.CBL)
+        n = BANK_CONFLICT_STRIDE
+        assert memory_efficiency(tahiti, p, n, n, n) == pytest.approx(1.0)

@@ -1,0 +1,66 @@
+"""Occupancy model."""
+
+import pytest
+
+from repro.perfmodel.occupancy import compute_occupancy
+
+from tests.conftest import make_params
+
+
+class TestGPUOccupancy:
+    def test_small_kernel_scheduler_limited(self, tahiti):
+        occ = compute_occupancy(tahiti, make_params())
+        assert occ.resident
+        assert occ.limited_by in ("scheduler", "registers")
+        assert occ.workgroups_per_cu >= 1
+
+    def test_local_memory_limits_residency(self, tahiti):
+        # Each work-group takes 36 kB of 64 kB: only one fits.
+        p = make_params(mwg=96, nwg=96, kwg=24, mdimc=8, ndimc=8,
+                        shared_a=True, shared_b=True)
+        assert p.local_memory_bytes() > tahiti.local_mem_bytes // 2
+        occ = compute_occupancy(tahiti, p)
+        assert occ.limited_by == "local_memory"
+        assert occ.workgroups_per_cu == 1
+
+    def test_register_pressure_limits_residency(self, tahiti):
+        light = compute_occupancy(tahiti, make_params())
+        heavy = compute_occupancy(
+            tahiti, make_params(mwg=128, nwg=64, mdimc=8, ndimc=8)
+        )
+        assert heavy.workgroups_per_cu < light.workgroups_per_cu
+
+    def test_occupancy_is_clamped_to_one(self, tahiti):
+        occ = compute_occupancy(tahiti, make_params(mwg=64, nwg=64, mdimc=16, ndimc=16))
+        assert 0.0 < occ.occupancy <= 1.0
+
+    def test_waves_consistent_with_workgroups(self, tahiti):
+        p = make_params(mwg=64, nwg=64, mdimc=16, ndimc=16)  # wg = 256
+        occ = compute_occupancy(tahiti, p)
+        expected_waves = occ.workgroups_per_cu * 256 / tahiti.model.wavefront_size
+        assert occ.waves_per_cu == expected_waves
+
+    def test_nonresident_kernel(self, cayman):
+        # 32 kB local memory on Cayman: a 36 kB request cannot be resident.
+        p = make_params(mwg=96, nwg=96, kwg=24, mdimc=8, ndimc=8,
+                        shared_a=True, shared_b=True)
+        assert p.local_memory_bytes() > cayman.local_mem_bytes
+        occ = compute_occupancy(cayman, p)
+        assert not occ.resident
+        assert occ.limited_by == "local_memory"
+
+
+class TestCPUOccupancy:
+    def test_cpu_is_not_register_limited(self, sandybridge):
+        # Huge private footprints are spill cost, not a residency limit.
+        occ = compute_occupancy(sandybridge, make_params(mwg=128, nwg=64,
+                                                         mdimc=8, ndimc=8))
+        assert occ.resident
+        assert occ.limited_by == "n/a"
+        assert occ.occupancy == 1.0
+
+    def test_cpu_local_memory_still_bounded(self, sandybridge):
+        p = make_params(mwg=96, nwg=96, kwg=32, mdimc=8, ndimc=8,
+                        shared_a=True, shared_b=True)
+        assert p.local_memory_bytes() > sandybridge.local_mem_bytes
+        assert not compute_occupancy(sandybridge, p).resident

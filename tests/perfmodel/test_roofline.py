@@ -1,0 +1,66 @@
+"""Roofline analysis."""
+
+import pytest
+
+from repro.devices import get_device_spec
+from repro.perfmodel.roofline import roofline_point
+from repro.tuner.pretuned import pretuned_params
+
+from tests.conftest import make_params
+
+
+class TestRoofline:
+    def test_tuned_gemm_is_compute_bound(self):
+        """Well-blocked GEMM sits under the compute roof (the reason
+        blocking exists — paper Section III-A)."""
+        params = pretuned_params("tahiti", "d")
+        n = params.lcm * 16
+        point = roofline_point("tahiti", params, n, n, n)
+        assert point.regime == "compute-bound"
+        assert 0.5 < point.utilization <= 1.0
+
+    def test_attained_never_exceeds_roof(self):
+        for device in ("tahiti", "kepler", "sandybridge"):
+            for precision in ("s", "d"):
+                params = pretuned_params(device, precision)
+                n = params.lcm * 8
+                point = roofline_point(device, params, n, n, n)
+                assert point.attained_gflops <= point.roof_gflops * 1.001
+
+    def test_unblocked_kernel_sits_lower_on_the_roofline(self):
+        """Tiny tiles move little data per flop recovered: intensity and
+        utilisation both drop relative to the tuned kernel."""
+        tuned = pretuned_params("tahiti", "d")
+        tiny = make_params(mwg=16, nwg=16, kwg=8, mdimc=4, ndimc=4)
+        n = 768
+        p_tuned = roofline_point("tahiti", tuned, n, n, n)
+        p_tiny = roofline_point("tahiti", tiny, n, n, n)
+        assert p_tiny.operational_intensity < p_tuned.operational_intensity
+        assert p_tiny.attained_gflops < p_tuned.attained_gflops
+
+    def test_intensity_tracks_blocking(self):
+        """Bigger tiles -> fewer DRAM bytes per flop -> higher intensity."""
+        small = make_params(mwg=16, nwg=16, mdimc=4, ndimc=4,
+                            shared_a=True, shared_b=True)
+        big = make_params(mwg=64, nwg=64, kwg=8, mdimc=8, ndimc=8,
+                          shared_a=True, shared_b=True)
+        n = 768
+        i_small = roofline_point("tahiti", small, n, n, n).operational_intensity
+        i_big = roofline_point("tahiti", big, n, n, n).operational_intensity
+        assert i_big > i_small
+
+    def test_boost_clock_raises_the_compute_roof(self):
+        kepler = get_device_spec("kepler")
+        params = pretuned_params("kepler", "d")
+        n = params.lcm * 8
+        point = roofline_point(kepler, params, n, n, n)
+        assert point.compute_roof_gflops == pytest.approx(
+            kepler.peak_dp_gflops * kepler.model.boost_factor
+        )
+
+    def test_render(self):
+        params = pretuned_params("fermi", "s")
+        point = roofline_point("fermi", params, params.lcm * 4,
+                               params.lcm * 4, params.lcm * 4)
+        text = point.render()
+        assert "flop/byte" in text and "roof" in text and "%" in text

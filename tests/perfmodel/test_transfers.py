@@ -1,0 +1,59 @@
+"""Transfer and pack-time models."""
+
+import pytest
+
+from repro.devices import get_device_spec
+from repro.perfmodel.model import estimate_pack_time, estimate_transfer_time
+
+
+class TestTransferModel:
+    def test_scales_with_bytes_plus_latency(self, tahiti):
+        small = estimate_transfer_time(tahiti, 1e6)
+        large = estimate_transfer_time(tahiti, 1e8)
+        assert large > small
+        # Latency floor even for an empty transfer.
+        assert estimate_transfer_time(tahiti, 0.0) == pytest.approx(
+            tahiti.model.pcie_latency_us * 1e-6
+        )
+
+    def test_rate_matches_configured_pcie(self, tahiti):
+        nbytes = 1e9
+        t = estimate_transfer_time(tahiti, nbytes)
+        expected = nbytes / (tahiti.model.pcie_bandwidth_gbs * 1e9)
+        assert t == pytest.approx(expected, rel=0.01)
+
+    def test_cpu_transfers_much_cheaper_relative_to_gpu_latency(
+        self, tahiti, sandybridge
+    ):
+        # CPUs have no PCIe hop: higher effective bandwidth, tiny latency.
+        assert (sandybridge.model.pcie_bandwidth_gbs
+                > tahiti.model.pcie_bandwidth_gbs)
+        assert estimate_transfer_time(sandybridge, 0.0) < \
+            estimate_transfer_time(tahiti, 0.0)
+
+
+class TestPackModel:
+    def test_counts_read_and_write_sides(self, tahiti):
+        base = estimate_pack_time(tahiti, 1e6, 1e6, False, False)
+        bigger_write = estimate_pack_time(tahiti, 1e6, 4e6, False, False)
+        assert bigger_write > base
+
+    def test_transposition_costs(self, tahiti):
+        straight = estimate_pack_time(tahiti, 1e7, 1e7, False, False)
+        transposed = estimate_pack_time(tahiti, 1e7, 1e7, True, False)
+        assert transposed > straight
+
+    def test_block_major_shuffle_costs(self, tahiti):
+        row = estimate_pack_time(tahiti, 1e7, 1e7, False, False)
+        blocked = estimate_pack_time(tahiti, 1e7, 1e7, False, True)
+        assert blocked > row
+
+    def test_launch_overhead_floor(self, tahiti):
+        assert estimate_pack_time(tahiti, 0.0, 0.0, False, False) == \
+            pytest.approx(tahiti.model.launch_overhead_us * 1e-6)
+
+    def test_faster_on_higher_bandwidth_devices(self):
+        tahiti = get_device_spec("tahiti")      # 264 GB/s
+        bulldozer = get_device_spec("bulldozer")  # 25.6 GB/s
+        assert estimate_pack_time(tahiti, 1e8, 1e8, True, True) < \
+            estimate_pack_time(bulldozer, 1e8, 1e8, True, True)

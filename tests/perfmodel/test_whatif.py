@@ -1,0 +1,84 @@
+"""Counterfactual device exploration."""
+
+import pytest
+
+from repro.codegen.layouts import Layout
+from repro.errors import ReproError
+from repro.perfmodel.whatif import scaling_sweep, whatif
+from repro.tuner.pretuned import pretuned_params
+
+from tests.conftest import make_params
+
+
+class TestWhatIf:
+    def test_doubling_bandwidth_helps_memory_bound_kernels(self):
+        # Row-major operands at a bank-conflict size (2048) are firmly
+        # memory-bound on the Tahiti, so DRAM bandwidth translates
+        # directly into rate.
+        params = make_params(mwg=32, nwg=32, kwg=16, mdimc=16, ndimc=16,
+                             kwi=4)
+        result = whatif("tahiti", params, 2048, 2048, 2048,
+                        bandwidth_gbs=4 * 264.0)
+        assert result.speedup > 1.2
+
+    def test_bandwidth_barely_moves_compute_bound_kernels(self):
+        params = pretuned_params("tahiti", "d")
+        n = params.lcm * 8
+        result = whatif("tahiti", params, n, n, n, bandwidth_gbs=528.0)
+        assert result.speedup < 1.05
+
+    def test_cheap_barriers_fix_cayman_local_memory(self):
+        """The paper blames Cayman's local-memory slowdown on barrier
+        cost; a counterfactual Cayman with Tahiti-priced barriers should
+        run local-memory kernels faster."""
+        params = make_params(
+            precision="s", mwg=64, nwg=64, kwg=16, mdimc=8, ndimc=8,
+            shared_a=True, shared_b=True,
+            layout_a=Layout.CBL, layout_b=Layout.CBL,
+        )
+        result = whatif("cayman", params, 768, 768, 768,
+                        barrier_cost_cycles=32.0)
+        assert result.speedup > 1.02
+
+    def test_render_and_fields(self):
+        params = pretuned_params("fermi", "d")
+        n = params.lcm * 4
+        result = whatif("fermi", params, n, n, n, clock_ghz=2.6)
+        assert result.device == "fermi"
+        assert "clock_ghz" in result.render()
+        assert result.speedup > 1.5  # doubled clock on a compute-bound kernel
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ReproError, match="unknown"):
+            whatif("tahiti", make_params(), 64, 64, 64, warp_speed=9.0)
+
+    def test_requires_a_change(self):
+        with pytest.raises(ReproError, match="at least one"):
+            whatif("tahiti", make_params(), 64, 64, 64)
+
+
+class TestScalingSweep:
+    def test_bandwidth_sweep_is_monotone_for_memory_bound(self):
+        params = make_params(mwg=32, nwg=32, kwg=16, mdimc=16, ndimc=16,
+                             kwi=4)
+        points = scaling_sweep("tahiti", params, "bandwidth_gbs",
+                               (0.5, 1.0, 2.0, 4.0), 2048, 2048, 2048)
+        rates = [g for _, g in points]
+        assert rates == sorted(rates)
+
+    def test_infeasible_variants_skipped(self):
+        # Shrinking local memory below the staged tiles drops those points.
+        params = make_params(mwg=96, nwg=96, kwg=24, mdimc=8, ndimc=8,
+                             shared_a=True, shared_b=True)
+        points = scaling_sweep("tahiti", params, "local_mem_kb",
+                               (0.25, 1.0, 2.0), 96, 96, 48)
+        scales = [s for s, _ in points]
+        assert 0.25 not in scales
+        assert 1.0 in scales and 2.0 in scales
+
+    def test_model_field_sweep(self):
+        params = pretuned_params("kepler", "s")
+        n = params.lcm * 8
+        points = scaling_sweep("kepler", params, "boost_factor",
+                               (1.0, 1.2), n, n, n)
+        assert points[1][1] > points[0][1]

@@ -1,0 +1,78 @@
+"""Property-based tests of the GEMM-based Level-3 BLAS (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas3 import Blas3
+
+from tests.conftest import make_params
+
+_B3 = Blas3("tahiti", params=make_params(), block_size=32)
+
+sizes = st.integers(20, 120)
+flags = st.sampled_from(["L", "U"])
+trans = st.sampled_from(["N", "T"])
+seeds = st.integers(0, 2**31 - 1)
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+@given(n=sizes, m=sizes, uplo=flags, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_symm_matches_dense_reference(n, m, uplo, seed):
+    rng = _rng(seed)
+    a = rng.standard_normal((n, n))
+    sym = (a + a.T) / 2
+    stored = np.tril(sym) if uplo == "L" else np.triu(sym)
+    b = rng.standard_normal((n, m))
+    res = _B3.symm("L", uplo, 1.0, stored, b)
+    np.testing.assert_allclose(res.x, sym @ b, rtol=1e-10, atol=1e-10)
+
+
+@given(n=sizes, k=sizes, uplo=flags, tr=trans, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_syrk_triangle_correct(n, k, uplo, tr, seed):
+    rng = _rng(seed)
+    a = rng.standard_normal((n, k))
+    a_arg = a if tr == "N" else np.ascontiguousarray(a.T)
+    res = _B3.syrk(uplo, tr, 1.0, a_arg)
+    pick = np.tril if uplo == "L" else np.triu
+    np.testing.assert_allclose(pick(res.x), pick(a @ a.T), rtol=1e-10, atol=1e-10)
+
+
+@given(n=sizes, m=sizes, uplo=flags, tr=trans, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_trsm_inverts_trmm(n, m, uplo, tr, seed):
+    """trsm(op(T), trmm(op(T), B)) == B for well-conditioned T."""
+    rng = _rng(seed)
+    t = rng.standard_normal((n, n)) + (3 + n / 8) * np.eye(n)
+    b = rng.standard_normal((n, m))
+    y = _B3.trmm("L", uplo, tr, "N", 1.0, t, b).x
+    back = _B3.trsm("L", uplo, tr, "N", 1.0, t, y).x
+    np.testing.assert_allclose(back, b, rtol=1e-7, atol=1e-7)
+
+
+@given(n=sizes, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_potrf_reconstructs_spd(n, seed):
+    rng = _rng(seed)
+    m = rng.standard_normal((n, n))
+    spd = m @ m.T + n * np.eye(n)
+    res = _B3.potrf(spd)
+    np.testing.assert_allclose(res.x @ res.x.T, spd, rtol=1e-9, atol=1e-7)
+    assert np.abs(np.triu(res.x, 1)).max() == 0.0
+
+
+@given(n=sizes, m=sizes, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_timings_accumulate_consistently(n, m, seed):
+    rng = _rng(seed)
+    t = rng.standard_normal((n, n)) + 5 * np.eye(n)
+    b = rng.standard_normal((n, m))
+    res = _B3.trsm("L", "L", "N", "N", 1.0, t, b)
+    assert res.timings.total_s > 0
+    assert res.timings.total_s == res.timings.gemm_s + res.timings.diag_s
+    assert 0.0 <= res.gemm_fraction <= 1.0

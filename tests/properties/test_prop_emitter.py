@@ -1,0 +1,66 @@
+"""Property-based tests of the emitters (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.emitter import emit_kernel_source, parse_meta_header
+from repro.codegen.layouts import Layout
+from repro.codegen.packers import PackPlan, emit_pack_source, parse_pack_meta
+
+from tests.properties.test_prop_params import valid_params
+
+
+@given(valid_params())
+@settings(max_examples=120, deadline=None)
+def test_kernel_meta_round_trips_for_any_valid_params(params):
+    """Emission followed by the compiler front-end is the identity."""
+    assert parse_meta_header(emit_kernel_source(params)) == params
+
+
+@given(valid_params())
+@settings(max_examples=120, deadline=None)
+def test_source_structure_tracks_parameters(params):
+    source = emit_kernel_source(params)
+    # Local memory and barriers appear together or not at all.
+    has_local = "__local" in source
+    has_barrier = "barrier(CLK_LOCAL_MEM_FENCE)" in source
+    assert has_local == has_barrier == (params.shared_a or params.shared_b)
+    # Double precision requires the fp64 pragma.
+    assert ("cl_khr_fp64" in source) == (params.precision == "d")
+    # The declared blocking factors match the parameters.
+    assert f"#define MWG {params.mwg}" in source
+    assert f"#define KWI {params.kwi}" in source
+    # Balanced braces (a cheap well-formedness proxy).
+    assert source.count("{") == source.count("}")
+
+
+@given(valid_params())
+@settings(max_examples=100, deadline=None)
+def test_emission_is_deterministic(params):
+    assert emit_kernel_source(params) == emit_kernel_source(params)
+
+
+@st.composite
+def pack_plans(draw):
+    return PackPlan(
+        precision=draw(st.sampled_from(["s", "d"])),
+        transpose=draw(st.booleans()),
+        layout=draw(st.sampled_from(list(Layout))),
+        block_k=draw(st.sampled_from([1, 2, 4, 8, 16, 48])),
+        block_x=draw(st.sampled_from([1, 2, 4, 8, 16, 96])),
+    )
+
+
+@given(pack_plans())
+@settings(max_examples=120, deadline=None)
+def test_pack_meta_round_trips(plan):
+    assert parse_pack_meta(emit_pack_source(plan)) == plan
+
+
+@given(pack_plans())
+@settings(max_examples=100, deadline=None)
+def test_pack_source_structure(plan):
+    source = emit_pack_source(plan)
+    assert "void pack_operand(" in source
+    assert ("cl_khr_fp64" in source) == (plan.precision == "d")
+    assert source.count("{") == source.count("}")

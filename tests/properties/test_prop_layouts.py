@@ -1,0 +1,76 @@
+"""Property-based tests of the layout machinery (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.layouts import (
+    Layout,
+    element_offsets,
+    pack_matrix,
+    tile_view,
+    unpack_matrix,
+)
+
+layouts = st.sampled_from(list(Layout))
+
+
+@st.composite
+def blocked_shapes(draw):
+    """(K, M, bk, bm) with K % bk == 0 and M % bm == 0."""
+    bk = draw(st.integers(1, 8))
+    bm = draw(st.integers(1, 8))
+    K = bk * draw(st.integers(1, 6))
+    M = bm * draw(st.integers(1, 6))
+    return K, M, bk, bm
+
+
+@given(layouts, blocked_shapes(), st.integers(0, 2**31 - 1))
+@settings(max_examples=150, deadline=None)
+def test_pack_unpack_round_trip(layout, shape, seed):
+    K, M, bk, bm = shape
+    rng = np.random.default_rng(seed)
+    mat = rng.standard_normal((K, M))
+    flat = pack_matrix(mat, layout, bk, bm)
+    assert flat.shape == (K * M,)
+    np.testing.assert_array_equal(unpack_matrix(flat, layout, K, M, bk, bm), mat)
+
+
+@given(layouts, blocked_shapes())
+@settings(max_examples=150, deadline=None)
+def test_offsets_are_a_permutation(layout, shape):
+    K, M, bk, bm = shape
+    kk, mm = np.meshgrid(np.arange(K), np.arange(M), indexing="ij")
+    offs = element_offsets(layout, kk.reshape(-1), mm.reshape(-1), K, M, bk, bm)
+    assert np.array_equal(np.sort(offs), np.arange(K * M))
+
+
+@given(layouts, blocked_shapes(), st.integers(0, 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_offsets_address_packed_data(layout, shape, seed):
+    """pack_matrix and element_offsets implement the same address map."""
+    K, M, bk, bm = shape
+    rng = np.random.default_rng(seed)
+    mat = rng.standard_normal((K, M))
+    flat = pack_matrix(mat, layout, bk, bm)
+    k = rng.integers(0, K)
+    m = rng.integers(0, M)
+    off = int(element_offsets(layout, k, m, K, M, bk, bm))
+    assert flat[off] == mat[k, m]
+
+
+@given(layouts, blocked_shapes(), st.integers(0, 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_tiles_partition_the_matrix(layout, shape, seed):
+    """The union of all tile views reconstructs the matrix exactly."""
+    K, M, bk, bm = shape
+    rng = np.random.default_rng(seed)
+    mat = rng.standard_normal((K, M))
+    flat = pack_matrix(mat, layout, bk, bm)
+    rebuilt = np.empty_like(mat)
+    for kb in range(K // bk):
+        for mb in range(M // bm):
+            rebuilt[kb * bk:(kb + 1) * bk, mb * bm:(mb + 1) * bm] = tile_view(
+                flat, layout, kb, mb, K, M, bk, bm
+            )
+    np.testing.assert_array_equal(rebuilt, mat)

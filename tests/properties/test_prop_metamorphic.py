@@ -1,0 +1,110 @@
+"""Metamorphic invariants of the performance model (hypothesis).
+
+These tests do not pin absolute numbers; they pin *directions*: giving a
+device strictly more of a resource must never make any kernel slower,
+and structural weakenings (losing local memory, pessimal strides) must
+never make it faster.  Violations would mean the model can reward
+nonsense — exactly the failure mode that corrupts an auto-tuner.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.devices import CATALOG, get_device_spec
+from repro.errors import CLError, ReproError
+from repro.perfmodel.model import estimate_kernel_time
+from repro.perfmodel.whatif import _variant  # white-box: spec variants
+
+from tests.properties.test_prop_params import valid_params
+
+devices = st.sampled_from(sorted(CATALOG))
+
+
+def _rate(spec, params, n):
+    bd = estimate_kernel_time(spec, params, n, n, n, noise=False)
+    return bd.gflops
+
+
+def _try_rate(spec, params, n):
+    try:
+        return _rate(spec, params, n)
+    except (CLError, ReproError):
+        return None
+
+
+@given(devices, valid_params(), st.integers(2, 8))
+@settings(max_examples=120, deadline=None)
+def test_more_bandwidth_never_hurts(device, params, tiles):
+    spec = get_device_spec(device)
+    n = params.mwg * tiles
+    k = max(params.kwg * tiles, params.algorithm.min_k_iterations * params.kwg)
+    base = _try_rate(spec, params, max(n, k))
+    assume(base is not None)
+    boosted = _rate(_variant(spec, {"bandwidth_gbs": spec.bandwidth_gbs * 2}),
+                    params, max(n, k))
+    assert boosted >= base * 0.999999
+
+
+@given(devices, valid_params(), st.integers(2, 8))
+@settings(max_examples=120, deadline=None)
+def test_cheaper_barriers_never_hurt(device, params, tiles):
+    spec = get_device_spec(device)
+    n = max(params.mwg * tiles,
+            params.algorithm.min_k_iterations * params.kwg)
+    base = _try_rate(spec, params, n)
+    assume(base is not None)
+    cheap = _rate(
+        _variant(spec, {"barrier_cost_cycles": spec.model.barrier_cost_cycles / 4}),
+        params, n,
+    )
+    assert cheap >= base * 0.999999
+
+
+@given(devices, valid_params(), st.integers(2, 8))
+@settings(max_examples=120, deadline=None)
+def test_bigger_register_file_never_hurts(device, params, tiles):
+    spec = get_device_spec(device)
+    n = max(params.mwg * tiles,
+            params.algorithm.min_k_iterations * params.kwg)
+    base = _try_rate(spec, params, n)
+    assume(base is not None)
+    bigger = _rate(
+        _variant(spec, {"registers_per_cu_kb": spec.model.registers_per_cu_kb * 2}),
+        params, n,
+    )
+    assert bigger >= base * 0.999999
+
+
+@given(devices, valid_params())
+@settings(max_examples=120, deadline=None)
+def test_guards_never_speed_a_kernel_up(device, params):
+    """Adding bounds checks to the same kernel on the same (padded)
+    problem costs, never pays."""
+    from repro.codegen.layouts import Layout
+
+    spec = get_device_spec(device)
+    try:
+        row = params.replace(layout_a=Layout.ROW, layout_b=Layout.ROW)
+        guarded = row.replace(guard_edges=True)
+    except ReproError:
+        assume(False)
+        return
+    n = max(params.mwg * 4, params.nwg * 4,
+            params.algorithm.min_k_iterations * params.kwg)
+    base = _try_rate(spec, row, n)
+    assume(base is not None)
+    g = _rate(spec, guarded, n)
+    assert g <= base * 1.000001
+
+
+@given(devices, valid_params(), st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_noise_free_model_is_scale_consistent(device, params, reps):
+    """Same inputs -> same outputs, across repeated evaluation."""
+    spec = get_device_spec(device)
+    n = max(params.mwg, params.nwg,
+            params.algorithm.min_k_iterations * params.kwg)
+    first = _try_rate(spec, params, n)
+    assume(first is not None)
+    for _ in range(reps):
+        assert _rate(spec, params, n) == first

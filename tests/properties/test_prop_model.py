@@ -1,0 +1,68 @@
+"""Property-based invariants of the performance model (hypothesis)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.devices import CATALOG, get_device_spec
+from repro.errors import CLError, ReproError
+from repro.perfmodel.model import alu_efficiency, estimate_kernel_time
+from repro.perfmodel.occupancy import compute_occupancy
+
+from tests.properties.test_prop_params import valid_params
+
+devices = st.sampled_from(sorted(CATALOG))
+
+
+@given(devices, valid_params())
+@settings(max_examples=200, deadline=None)
+def test_alu_efficiency_bounded(device, params):
+    spec = get_device_spec(device)
+    total, factors = alu_efficiency(spec, params)
+    assert 0.0 < total <= 1.5
+    for name, value in factors.items():
+        assert value > 0.0, name
+
+
+@given(devices, valid_params(), st.integers(1, 6))
+@settings(max_examples=150, deadline=None)
+def test_kernel_time_physical(device, params, tiles):
+    """Modelled kernels never exceed the boosted peak and take > 0 time."""
+    spec = get_device_spec(device)
+    M, N = params.mwg * tiles, params.nwg * tiles
+    K = max(params.kwg * tiles, params.algorithm.min_k_iterations * params.kwg)
+    try:
+        bd = estimate_kernel_time(spec, params, M, N, K)
+    except (CLError, ReproError):
+        assume(False)  # kernel not resident on this device: out of scope
+        return
+    assert bd.total_seconds > 0
+    peak = spec.peak_gflops(params.precision) * spec.model.boost_factor
+    assert bd.gflops <= peak * 1.001
+
+
+@given(devices, valid_params())
+@settings(max_examples=150, deadline=None)
+def test_occupancy_internally_consistent(device, params):
+    spec = get_device_spec(device)
+    occ = compute_occupancy(spec, params)
+    assert 0.0 <= occ.occupancy <= 1.0
+    assert occ.workgroups_per_cu >= 0
+    if occ.workgroups_per_cu == 0:
+        assert not occ.resident
+
+
+@given(devices, valid_params(), st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_noise_bounded_and_deterministic(device, params, tiles):
+    spec = get_device_spec(device)
+    M, N = params.mwg * tiles, params.nwg * tiles
+    K = max(params.kwg, params.algorithm.min_k_iterations * params.kwg)
+    try:
+        noisy1 = estimate_kernel_time(spec, params, M, N, K).total_seconds
+        noisy2 = estimate_kernel_time(spec, params, M, N, K).total_seconds
+        clean = estimate_kernel_time(spec, params, M, N, K, noise=False).total_seconds
+    except (CLError, ReproError):
+        assume(False)
+        return
+    assert noisy1 == noisy2
+    assert abs(noisy1 - clean) / clean <= 0.0151

@@ -1,0 +1,99 @@
+"""Property-based tests of kernel parameter invariants (hypothesis)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.layouts import Layout
+from repro.codegen.params import KernelParams, StrideMode
+from repro.codegen.plan import build_plan
+from repro.errors import ParameterError
+
+
+@st.composite
+def valid_params(draw):
+    """Structurally valid KernelParams by construction."""
+    mdimc = draw(st.sampled_from([2, 4, 8, 16]))
+    ndimc = draw(st.sampled_from([2, 4, 8, 16]))
+    vw = draw(st.sampled_from([1, 2, 4]))
+    mwi = vw * draw(st.integers(1, 3))
+    nwi = vw * draw(st.integers(1, 3))
+    mwg, nwg = mdimc * mwi, ndimc * nwi
+    kwi = draw(st.sampled_from([1, 2, 4]))
+    kwg = kwi * draw(st.sampled_from([2, 4, 8]))
+    algorithm = draw(st.sampled_from(list(Algorithm)))
+    shared_a = draw(st.booleans())
+    shared_b = draw(st.booleans())
+    if algorithm is Algorithm.DB and not (shared_a or shared_b):
+        shared_b = True
+    stride = StrideMode(m=draw(st.booleans()), n=draw(st.booleans()))
+    try:
+        return KernelParams(
+            precision=draw(st.sampled_from(["s", "d"])),
+            mwg=mwg, nwg=nwg, kwg=kwg, mdimc=mdimc, ndimc=ndimc, kwi=kwi,
+            vw=vw, stride=stride, shared_a=shared_a, shared_b=shared_b,
+            layout_a=draw(st.sampled_from(list(Layout))),
+            layout_b=draw(st.sampled_from(list(Layout))),
+            algorithm=algorithm,
+        )
+    except ParameterError:
+        # Some staging/DB divisibility combinations are still invalid;
+        # they are not the subject here.
+        assume(False)
+
+
+@given(valid_params())
+@settings(max_examples=200, deadline=None)
+def test_paper_blocking_identities(p):
+    """The derivations of Section III hold for every valid kernel."""
+    assert p.mdimc * p.mwi == p.mwg
+    assert p.ndimc * p.nwi == p.nwg
+    assert p.kwg % p.kwi == 0
+    if p.shared_a:
+        assert p.effective_mdima * p.kdima == p.workgroup_size
+        assert p.effective_mdima * p.mwia == p.mwg
+        assert p.kdima * p.kwia == p.kwg
+    if p.shared_b:
+        assert p.effective_ndimb * p.kdimb == p.workgroup_size
+        assert p.effective_ndimb * p.nwib == p.nwg
+        assert p.kdimb * p.kwib == p.kwg
+
+
+@given(valid_params())
+@settings(max_examples=200, deadline=None)
+def test_serialization_round_trip(p):
+    assert KernelParams.from_json(p.to_json()) == p
+    assert KernelParams.from_dict(p.to_dict()) == p
+
+
+@given(valid_params())
+@settings(max_examples=200, deadline=None)
+def test_lcm_divisible_by_all_blocking_factors(p):
+    for factor in (p.mwg, p.nwg, p.kwg):
+        assert p.lcm % factor == 0
+
+
+@given(valid_params())
+@settings(max_examples=150, deadline=None)
+def test_every_valid_param_set_yields_a_plan(p):
+    """Plan construction (ownership bijections, staging coverage) must
+    succeed for every parameter vector that passed validation."""
+    plan = build_plan(p)
+    assert sorted(plan.row_permutation()) == list(range(p.mwg))
+    assert sorted(plan.col_permutation()) == list(range(p.nwg))
+
+
+@given(valid_params())
+@settings(max_examples=150, deadline=None)
+def test_resource_footprints_are_consistent(p):
+    assert p.local_memory_bytes() >= 0
+    assert p.private_bytes() > 0
+    if p.shared_a or p.shared_b:
+        assert p.local_memory_bytes() > 0
+    copies = p.algorithm.local_buffer_copies
+    expected = 0
+    if p.shared_a:
+        expected += p.mwg * p.kwg
+    if p.shared_b:
+        expected += p.nwg * p.kwg
+    assert p.local_memory_bytes() == expected * p.element_size * copies

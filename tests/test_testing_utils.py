@@ -1,0 +1,86 @@
+"""The public repro.testing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.devices import get_device_spec
+from repro.testing import (
+    assert_gemm_close,
+    make_problem,
+    random_params,
+    tolerance_for,
+)
+
+
+class TestMakeProblem:
+    def test_reference_is_correct(self):
+        p = make_problem(20, 30, 10, alpha=2.0, beta=0.5, seed=3)
+        np.testing.assert_allclose(p.expected, 2.0 * p.a @ p.b + 0.5 * p.c)
+        assert p.shape == (20, 30)
+
+    def test_reproducible(self):
+        a = make_problem(8, 8, 8, seed=11)
+        b = make_problem(8, 8, 8, seed=11)
+        np.testing.assert_array_equal(a.a, b.a)
+
+    def test_transposed_operand_shapes(self):
+        p = make_problem(10, 12, 7, transa="T", transb="T")
+        assert p.a.shape == (7, 10)
+        assert p.b.shape == (12, 7)
+        assert p.expected.shape == (10, 12)
+
+    def test_beta_zero_has_no_c(self):
+        assert make_problem(4, 4, 4, beta=0.0).c is None
+
+    def test_precision(self):
+        assert make_problem(4, 4, 4, precision="s").a.dtype == np.float32
+
+
+class TestAssertions:
+    def test_accepts_matching_result(self):
+        p = make_problem(16, 16, 16)
+        assert_gemm_close(p.expected.copy(), p.expected, "d")
+
+    def test_rejects_wrong_result(self):
+        p = make_problem(16, 16, 16)
+        with pytest.raises(AssertionError, match="off by"):
+            assert_gemm_close(p.expected + 1.0, p.expected, "d", context="unit")
+
+    def test_rejects_wrong_shape(self):
+        p = make_problem(8, 8, 8)
+        with pytest.raises(AssertionError, match="shape"):
+            assert_gemm_close(np.zeros((4, 4)), p.expected)
+
+    def test_tolerances(self):
+        assert tolerance_for("s") > tolerance_for("d")
+        with pytest.raises(ValueError):
+            tolerance_for("q")
+
+    def test_end_to_end_with_library_routine(self):
+        from repro import tuned_gemm
+
+        problem = make_problem(64, 48, 32, precision="s", seed=4)
+        routine = tuned_gemm("cayman", "s")
+        result = routine(problem.a, problem.b, problem.c,
+                         alpha=problem.alpha, beta=problem.beta)
+        assert_gemm_close(result.c, problem.expected, "s")
+
+
+class TestRandomParams:
+    def test_single_draw_is_valid_and_buildable(self):
+        import repro.clsim as cl
+        from repro.codegen.emitter import emit_kernel_source
+
+        spec = get_device_spec("tahiti")
+        params = random_params(spec, "d", seed=2)
+        ctx = cl.Context([cl.get_device("tahiti")])
+        cl.Program(ctx, emit_kernel_source(params)).build()
+
+    def test_multiple_draws_distinct(self):
+        spec = get_device_spec("fermi")
+        draws = random_params(spec, "s", seed=5, count=5)
+        assert len({p.cache_key() for p in draws}) == 5
+
+    def test_deterministic(self):
+        spec = get_device_spec("kepler")
+        assert random_params(spec, "d", seed=9) == random_params(spec, "d", seed=9)

@@ -1,0 +1,67 @@
+"""Kernel analysis: cost decomposition and parameter sensitivity."""
+
+import pytest
+
+from repro.devices import get_device_spec
+from repro.tuner.analysis import analyze_kernel
+from repro.tuner.pretuned import pretuned_params
+
+from tests.conftest import make_params
+
+
+@pytest.fixture(scope="module")
+def tahiti_analysis():
+    return analyze_kernel("tahiti", pretuned_params("tahiti", "s"))
+
+
+class TestAnalyzeKernel:
+    def test_basic_fields(self, tahiti_analysis):
+        a = tahiti_analysis
+        assert a.device == "tahiti"
+        assert a.gflops > 0
+        assert 0 < a.efficiency <= 1.1
+        assert a.bound in ("alu", "gmem", "lmem")
+        assert "issue" in a.cost_factors
+
+    def test_sensitivities_cover_major_families(self, tahiti_analysis):
+        families = {s.family for s in tahiti_analysis.sensitivities}
+        assert {"blocking", "unrolling", "vector width", "algorithm"} <= families
+
+    def test_tuned_kernel_sits_at_a_local_optimum(self, tahiti_analysis):
+        """No one-step neighbour of a pretuned winner improves much."""
+        for s in tahiti_analysis.sensitivities:
+            # Allow a sliver for measurement noise between analyses.
+            assert s.best_variant_gflops <= tahiti_analysis.gflops * 1.02, s
+
+    def test_loss_is_bounded(self, tahiti_analysis):
+        for s in tahiti_analysis.sensitivities:
+            assert 0.0 <= s.loss(tahiti_analysis.gflops) <= 1.0
+
+    def test_ranked_sensitivities_descending(self, tahiti_analysis):
+        ranked = tahiti_analysis.ranked_sensitivities()
+        losses = [s.loss(tahiti_analysis.gflops) for s in ranked]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_render_mentions_everything(self, tahiti_analysis):
+        text = tahiti_analysis.render()
+        assert "tahiti" in text
+        assert "GFlop/s" in text
+        assert "sensitivity" in text
+        assert "issue" in text
+
+    def test_bad_kernel_shows_large_sensitivity(self):
+        """A deliberately bad parameter choice must be visible."""
+        spec = get_device_spec("cayman")
+        # Scalar code on the VLIW Cayman: the vector-width family should
+        # show that a one-step change *gains* nothing (loss 0) or that
+        # the base is suboptimal relative to neighbours.
+        bad = make_params(precision="s", vw=1, mwg=64, nwg=64,
+                          mdimc=8, ndimc=8, kwi=8)
+        analysis = analyze_kernel(spec, bad, size=1024)
+        by_family = {s.family: s for s in analysis.sensitivities}
+        vec = by_family["vector width"]
+        assert vec.best_variant_gflops > analysis.gflops  # vw=2 beats vw=1
+
+    def test_explicit_size_respected(self):
+        analysis = analyze_kernel("tahiti", make_params(), size=64)
+        assert analysis.size == 64

@@ -1,0 +1,59 @@
+"""The shipped pretuned kernel store."""
+
+import pytest
+
+import repro.clsim as cl
+from repro.codegen.emitter import emit_kernel_source
+from repro.devices import EVALUATED_DEVICES
+from repro.tuner.pretuned import PRETUNED, pretuned_params
+
+
+class TestPretunedStore:
+    def test_covers_every_evaluated_device_and_precision(self):
+        for device in EVALUATED_DEVICES:
+            for precision in ("s", "d"):
+                assert (device, precision) in PRETUNED
+
+    def test_covers_cypress(self):
+        assert (("cypress", "d")) in PRETUNED
+
+    @pytest.mark.parametrize("key", sorted(PRETUNED))
+    def test_entries_are_valid_and_buildable(self, key):
+        device, precision = key
+        params = pretuned_params(device, precision)
+        assert params.precision == precision
+        # Every pretuned kernel must actually build on its device.
+        ctx = cl.Context([cl.get_device(device)])
+        cl.Program(ctx, emit_kernel_source(params)).build()
+
+    def test_unknown_key_raises_with_available_list(self):
+        with pytest.raises(KeyError, match="available"):
+            pretuned_params("tahiti", "q")
+
+    def test_block_major_layouts_everywhere(self):
+        """Paper: block-major layouts win on all tested processors."""
+        for key in PRETUNED:
+            params = pretuned_params(*key)
+            assert params.layout_a.is_block_major, key
+            assert params.layout_b.is_block_major, key
+
+    def test_cpu_kernels_use_wide_vectors(self):
+        """AVX devices want wide vector variables (paper Table II)."""
+        for device in ("sandybridge", "bulldozer"):
+            for precision in ("s", "d"):
+                assert pretuned_params(device, precision).vw >= 2
+
+    def test_bulldozer_dgemm_avoids_pl(self):
+        assert pretuned_params("bulldozer", "d").algorithm.value != "PL"
+
+    def test_kepler_stages_both_matrices(self):
+        """Local memory is essential on Kepler (Section IV-A)."""
+        for precision in ("s", "d"):
+            p = pretuned_params("kepler", precision)
+            assert p.shared_a and p.shared_b
+
+    def test_cayman_avoids_local_memory(self):
+        """Barrier cost makes local memory a loss on Cayman."""
+        for precision in ("s", "d"):
+            p = pretuned_params("cayman", precision)
+            assert not (p.shared_a or p.shared_b)

@@ -1,0 +1,75 @@
+"""Tuned-kernel database persistence."""
+
+import pytest
+
+from repro.tuner.results import ResultsDatabase, TunedKernelRecord
+from repro.tuner.search import SearchEngine, TuningConfig
+
+from tests.conftest import make_params
+
+
+@pytest.fixture
+def record():
+    return TunedKernelRecord(
+        device="tahiti", precision="d", params=make_params(), gflops=123.4, size=4096
+    )
+
+
+class TestRecord:
+    def test_dict_round_trip(self, record):
+        assert TunedKernelRecord.from_dict(record.to_dict()) == record
+
+    def test_from_tuning_result(self, tahiti):
+        result = SearchEngine(
+            tahiti, "d", TuningConfig(budget=50, verify_finalists=0)
+        ).run()
+        record = TunedKernelRecord.from_result(result)
+        assert record.device == "tahiti"
+        assert record.params == result.best.params
+        assert record.gflops == result.best.gflops
+
+
+class TestDatabase:
+    def test_put_get(self, record):
+        db = ResultsDatabase()
+        db.put(record)
+        assert db.get("tahiti", "d") == record
+        assert db.get("tahiti", "s") is None
+        assert ("tahiti", "d") in db
+        assert len(db) == 1
+
+    def test_put_overwrites_same_key(self, record):
+        db = ResultsDatabase()
+        db.put(record)
+        better = TunedKernelRecord(
+            device="tahiti", precision="d", params=make_params(vw=2),
+            gflops=200.0, size=4096,
+        )
+        db.put(better)
+        assert len(db) == 1
+        assert db.get("tahiti", "d").gflops == 200.0
+
+    def test_save_load_round_trip(self, record, tmp_path):
+        path = str(tmp_path / "tuned.json")
+        db = ResultsDatabase()
+        db.put(record)
+        db.save(path)
+        loaded = ResultsDatabase(path)
+        assert loaded.get("tahiti", "d") == record
+        assert loaded.records() == db.records()
+
+    def test_save_requires_a_path(self, record):
+        db = ResultsDatabase()
+        db.put(record)
+        with pytest.raises(ValueError, match="path"):
+            db.save()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ValueError, match="tuned-kernel"):
+            ResultsDatabase(str(path))
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        db = ResultsDatabase(str(tmp_path / "absent.json"))
+        assert len(db) == 0

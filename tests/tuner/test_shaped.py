@@ -1,0 +1,68 @@
+"""Rectangular-problem tuning (an extension; the paper tunes squares)."""
+
+import pytest
+
+from repro.tuner.search import SearchEngine, TuningConfig
+
+from tests.conftest import make_params
+
+
+class TestBaseShape:
+    def test_square_by_default(self):
+        engine = SearchEngine("tahiti", "s", TuningConfig(budget=10))
+        p = make_params(mwg=96, nwg=32, kwg=48)
+        n = engine.base_size(p)
+        assert engine.base_shape(p) == (n, n, n)
+
+    def test_shape_rounded_per_dimension(self):
+        cfg = TuningConfig(budget=10, problem_shape=(4096, 500, 4096))
+        engine = SearchEngine("tahiti", "s", cfg)
+        p = make_params(mwg=96, nwg=32, kwg=48)
+        M, N, K = engine.base_shape(p)
+        assert M % p.mwg == 0 and M <= 4096
+        assert N % p.nwg == 0 and N <= 500
+        assert K % p.kwg == 0 and K <= 4096
+
+    def test_tiny_dimensions_round_up_to_one_block(self):
+        cfg = TuningConfig(budget=10, problem_shape=(8, 8, 8))
+        engine = SearchEngine("tahiti", "s", cfg)
+        p = make_params(mwg=96, nwg=32, kwg=48)
+        M, N, K = engine.base_shape(p)
+        assert (M, N, K) == (96, 32, 48)
+
+    def test_pipelined_kernels_get_two_k_iterations(self):
+        from repro.codegen.algorithms import Algorithm
+
+        cfg = TuningConfig(budget=10, problem_shape=(256, 256, 8))
+        engine = SearchEngine("tahiti", "d", cfg)
+        p = make_params(algorithm=Algorithm.PL, shared_b=True, kwg=8)
+        assert engine.base_shape(p)[2] >= 2 * p.kwg
+
+
+class TestShapedSearch:
+    def test_shape_tuned_search_completes(self):
+        cfg = TuningConfig(budget=500, verify_finalists=0,
+                           problem_shape=(4096, 384, 4096))
+        result = SearchEngine("tahiti", "s", cfg).run()
+        assert result.best_gflops > 0
+        assert result.best_series  # the scaled-shape sweep ran
+
+    def test_shape_tuning_beats_square_tuning_on_its_shape(self):
+        """The shape-tuned winner must score at least as well on the
+        target shape as the square-tuned winner does."""
+        shape = (4096, 384, 4096)
+        square = SearchEngine(
+            "tahiti", "s", TuningConfig(budget=1200, verify_finalists=0)
+        ).run()
+        shaped_cfg = TuningConfig(budget=1200, verify_finalists=0,
+                                  problem_shape=shape)
+        shaped = SearchEngine("tahiti", "s", shaped_cfg).run()
+
+        probe = SearchEngine("tahiti", "s", shaped_cfg)
+        score_square = probe.measure_shape(
+            square.best.params, *probe._round_shape(square.best.params, shape)
+        )
+        score_shaped = probe.measure_shape(
+            shaped.best.params, *probe._round_shape(shaped.best.params, shape)
+        )
+        assert score_shaped >= score_square * 0.999

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Maintenance: refit calibrations and freeze pretuned kernels.
+
+The shipped artifacts this tool maintains:
+
+* ``repro/devices/catalog.py`` — per-device ``calibration_sp/dp``
+  multipliers, fitted so the full-budget tuner's winner lands on the
+  paper's Table II maximum for each (device, precision);
+* ``repro/tuner/pretuned.py`` — the winning parameter vectors.
+
+Modes
+-----
+``check``   (default) re-measure the shipped pretuned kernels with the
+            current model and report drift against the paper anchors.
+``refit``   run full-budget searches, print the new calibrations and the
+            frozen parameter dicts (the edit into the source files is
+            deliberately manual: calibration changes deserve review).
+
+Run from the repository root:  python tools/freeze_pretuned.py [mode]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.devices import get_device_spec
+from repro.perfmodel.calibration import PAPER_ANCHORS
+from repro.tuner.pretuned import PRETUNED, pretuned_params
+from repro.tuner.search import SearchEngine, TuningConfig
+
+
+def check() -> int:
+    """Verify the shipped kernels still hit the anchors (<= 6% drift)."""
+    worst = 0.0
+    failures = []
+    for (device, precision), anchor in sorted(PAPER_ANCHORS.items()):
+        params = pretuned_params(device, precision)
+        engine = SearchEngine(device, precision, TuningConfig())
+        gflops = engine.measure(params, engine.base_size(params))
+        drift = abs(gflops - anchor) / anchor
+        worst = max(worst, drift)
+        status = "ok" if drift < 0.06 else "DRIFT"
+        if status != "ok":
+            failures.append((device, precision))
+        print(f"{device:12s} {precision}  shipped={gflops:8.1f}  "
+              f"anchor={anchor:7.1f}  drift={drift:6.2%}  {status}")
+    print(f"\nworst drift: {worst:.2%}")
+    if failures:
+        print(f"ANCHOR DRIFT on {failures}; run 'refit' and review.")
+        return 1
+    return 0
+
+
+def refit() -> int:
+    """Full-budget searches; print new calibrations and parameter dicts."""
+    config = TuningConfig(budget=None, verify_finalists=2)
+    calibrations = {}
+    frozen = {}
+    for (device, precision), anchor in sorted(PAPER_ANCHORS.items()):
+        spec = get_device_spec(device)
+        result = SearchEngine(spec, precision, config).run()
+        old = (spec.model.calibration_sp if precision == "s"
+               else spec.model.calibration_dp)
+        # The search ran with the *current* calibration; the refit factor
+        # composes with it.
+        new = old * anchor / result.best_gflops
+        calibrations[(device, precision)] = round(new, 4)
+        frozen[(device, precision)] = result.best.params.to_dict()
+        print(f"{device:12s} {precision}  found={result.best_gflops:8.1f}  "
+              f"anchor={anchor:7.1f}  calibration {old:.4f} -> {new:.4f}")
+        print(f"    {result.best.params.summary()}")
+
+    print("\n--- paste into repro/devices/catalog.py (calibration_sp/dp) ---")
+    for (device, precision), value in sorted(calibrations.items()):
+        field = "calibration_sp" if precision == "s" else "calibration_dp"
+        print(f"{device}: {field}={value}")
+
+    print("\n--- paste into repro/tuner/pretuned.py (_PRETUNED_RAW) ---")
+    for key, params in sorted(frozen.items()):
+        print(f"    {key!r}: {json.dumps(params)},")
+
+    missing = sorted(set(PRETUNED) - set(frozen))
+    if missing:
+        print(f"\nnote: entries kept from the previous freeze: {missing}")
+    return 0
+
+
+def main(argv) -> int:
+    mode = argv[1] if len(argv) > 1 else "check"
+    if mode == "check":
+        return check()
+    if mode == "refit":
+        return refit()
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
