@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.bench.figures import Series, render_series
 from repro.bench.tables import Table
@@ -11,7 +11,13 @@ from repro.codegen.params import KernelParams
 from repro.devices.specs import DeviceSpec
 from repro.perfmodel.model import estimate_kernel_time
 
-__all__ = ["ExperimentResult", "sweep_sizes", "kernel_series", "implementation_series"]
+__all__ = [
+    "ExperimentResult",
+    "sweep_sizes",
+    "kernel_series",
+    "implementation_series",
+    "tuning_stats_table",
+]
 
 
 @dataclass
@@ -90,6 +96,41 @@ def kernel_series(
         bd = estimate_kernel_time(spec, params, n, n, n, noise=noise)
         series.add(n, bd.gflops)
     return series
+
+
+def tuning_stats_table(
+    results: Sequence["TuningResult"],  # noqa: F821 - imported lazily below
+    title: str = "Search pipeline telemetry",
+) -> Table:
+    """Per-search observability table: throughput, cache traffic, timings.
+
+    One row per :class:`~repro.tuner.search.TuningResult`, surfacing the
+    pipeline counters (candidates/s, cache hit-rate, pruned candidates,
+    per-stage wall-clock split) that the scaled-up tuning runs are
+    monitored by.
+    """
+    table = Table(
+        [
+            "device", "prec", "generated", "measured", "pruned",
+            "cand/s", "cache hit%", "stage1 s", "refine s", "sweep s",
+        ],
+        title=title,
+    )
+    for result in results:
+        s = result.stats
+        table.add_row(
+            result.device,
+            result.precision,
+            s.generated,
+            s.measured,
+            s.pruned,
+            s.candidates_per_s,
+            100.0 * s.cache_hit_rate,
+            s.stage1_s,
+            s.refine_s,
+            s.stage2_s,
+        )
+    return table
 
 
 def implementation_series(

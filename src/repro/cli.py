@@ -51,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable hill climbing (the paper's pure search)")
     p_tune.add_argument("--save", metavar="DB.json",
                         help="store the winner in a tuned-kernel database")
+    p_tune.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="evaluate candidates over N parallel workers "
+                             "(deterministic: same winner as serial)")
+    p_tune.add_argument("--cache", metavar="CACHE.json",
+                        help="measurement cache file; warm re-runs perform "
+                             "zero re-measurements")
+    p_tune.add_argument("--checkpoint", metavar="CKPT.json",
+                        help="write periodic search checkpoints to this file")
+    p_tune.add_argument("--resume", action="store_true",
+                        help="resume from --checkpoint if it matches this search")
 
     p_gemm = sub.add_parser("gemm", help="run one GEMM with the tuned kernel")
     p_gemm.add_argument("device")
@@ -111,6 +121,8 @@ def _cmd_info(args) -> int:
 def _cmd_tune(args) -> int:
     from repro.codegen.space import SpaceRestrictions
     from repro.devices import get_device_spec
+    from repro.tuner.analysis import render_stats
+    from repro.tuner.cache import MeasurementCache
     from repro.tuner.results import ResultsDatabase
     from repro.tuner.search import SearchEngine, TuningConfig
 
@@ -125,14 +137,25 @@ def _cmd_tune(args) -> int:
         forced_images=True if args.images else None,
         forced_guarded=True if args.guarded else None,
     )
-    result = SearchEngine(args.device, args.precision, config, restrictions).run()
+    cache = MeasurementCache(args.cache) if args.cache else None
+    engine = SearchEngine(
+        args.device, args.precision, config, restrictions,
+        cache=cache,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    result = engine.run()
     spec = get_device_spec(args.device)
     print(f"device        : {result.device}")
     print(f"precision     : {result.precision}")
     print(f"best kernel   : {result.best.params.summary()}")
     print(f"best rate     : {result.best_gflops:.1f} GFlop/s "
           f"({result.efficiency(spec) * 100:.0f}% of peak) at N={result.best.size}")
-    print(f"stats         : {result.stats.as_dict()}")
+    print(render_stats(result.stats))
+    if cache is not None:
+        cache.save(args.cache)
+        print(f"cache         : {args.cache} ({len(cache)} entries)")
     if args.save:
         db = ResultsDatabase(args.save)
         db.put_result(result)

@@ -20,6 +20,7 @@ __all__ = [
     "LaunchError",
     "ValidationError",
     "TuningError",
+    "SearchInterrupted",
 ]
 
 
@@ -68,3 +69,12 @@ class ValidationError(ReproError):
 
 class TuningError(ReproError):
     """The search engine could not produce a result (e.g. empty space)."""
+
+
+class SearchInterrupted(TuningError):
+    """A staged search was aborted mid-stage.
+
+    Raised by the engine's abort hook after the latest checkpoint has
+    been written; a subsequent run with ``resume=True`` restarts from
+    that checkpoint instead of from scratch.
+    """

@@ -21,6 +21,8 @@ from repro.tuner.search import (
     TuningStats,
     tune,
 )
+from repro.tuner.cache import CachedMeasurement, CacheStats, MeasurementCache
+from repro.tuner.parallel import CandidateEvaluator, EvalOutcome, EvalTask
 from repro.tuner.results import ResultsDatabase, TunedKernelRecord
 from repro.tuner.pretuned import pretuned_params, PRETUNED
 
@@ -31,6 +33,12 @@ __all__ = [
     "TuningStats",
     "MeasuredKernel",
     "tune",
+    "MeasurementCache",
+    "CachedMeasurement",
+    "CacheStats",
+    "CandidateEvaluator",
+    "EvalTask",
+    "EvalOutcome",
     "ResultsDatabase",
     "TunedKernelRecord",
     "pretuned_params",

@@ -18,8 +18,48 @@ from repro.devices.specs import DeviceSpec
 from repro.errors import CLError, ReproError
 from repro.perfmodel.model import estimate_kernel_time
 from repro.tuner.refine import neighbors
+from repro.tuner.search import TuningStats
 
-__all__ = ["ParameterSensitivity", "KernelAnalysis", "analyze_kernel"]
+__all__ = [
+    "ParameterSensitivity",
+    "KernelAnalysis",
+    "analyze_kernel",
+    "render_stats",
+]
+
+
+def render_stats(stats: TuningStats) -> str:
+    """Render one search's observability counters as a text report.
+
+    Covers the paper's candidate accounting plus the pipeline telemetry:
+    per-stage wall-clock timings, candidate throughput, cache hit-rate,
+    and checkpoint/resume activity.
+    """
+    lines = [
+        "search telemetry:",
+        f"  candidates   : {stats.generated} generated, {stats.measured} measured, "
+        f"{stats.refined} refined",
+        f"  pruned       : {stats.pruned} "
+        f"(generation {stats.failed_generation}, build {stats.failed_build}, "
+        f"launch {stats.failed_launch}); {stats.failed_validation} failed validation",
+    ]
+    if stats.cache_hits or stats.cache_misses:
+        lines.append(
+            f"  cache        : {stats.cache_hit_rate:.1%} hit rate "
+            f"({stats.cache_hits} hits, {stats.cache_misses} misses)"
+        )
+    if stats.checkpoints or stats.resumed:
+        lines.append(
+            f"  checkpoints  : {stats.checkpoints} written, "
+            f"{stats.resumed} candidates resumed"
+        )
+    lines.append(
+        f"  stage timing : stage1 {stats.stage1_s:.2f}s, "
+        f"refine {stats.refine_s:.2f}s, sweep {stats.stage2_s:.2f}s, "
+        f"verify {stats.verify_s:.2f}s "
+        f"({stats.candidates_per_s:.0f} candidates/s overall)"
+    )
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

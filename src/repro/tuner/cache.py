@@ -1,0 +1,196 @@
+"""Measurement cache: remembered kernel evaluations across tuning runs.
+
+The paper's full searches take "more than five hours" per GEMM type per
+device, and most of that time re-measures candidates that earlier runs
+(or earlier stages of the same run) already evaluated.  CLTune and
+GEMMbench both persist their raw measurements for exactly this reason.
+This module is the corresponding layer *beneath*
+:class:`~repro.tuner.results.ResultsDatabase`: where the results
+database stores one winner per ``(device, precision)``, the measurement
+cache stores every individual evaluation, keyed by
+
+    ``(device, precision, params-digest, M x N x K, noise)``
+
+so a warm re-run of ``repro tune`` performs zero re-measurements.
+
+Failed evaluations are cached too — a candidate that failed resource
+checks last run fails them this run as well, and replaying the cached
+failure keeps the tuner's failure-category statistics identical between
+cold and warm runs.
+
+Entries are invalidated wholesale when the code generator version bumps
+(the same kernel parameters may then emit different code, so old
+measurements no longer describe the kernels being tuned).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.codegen.emitter import GENERATOR_VERSION
+from repro.codegen.params import KernelParams
+
+__all__ = ["CacheStats", "CachedMeasurement", "MeasurementCache", "params_digest"]
+
+CACHE_FORMAT = "repro-measurement-cache/1"
+
+
+def params_digest(params: KernelParams) -> str:
+    """Stable short digest of a kernel parameter vector."""
+    return hashlib.blake2b(params.to_json().encode(), digest_size=12).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries dropped because they were recorded by another generator
+    #: version (see :meth:`MeasurementCache.load`).
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        d = dict(self.__dict__)
+        d["hit_rate"] = self.hit_rate
+        return d
+
+
+@dataclass(frozen=True)
+class CachedMeasurement:
+    """One remembered evaluation: a rate, or a categorised failure."""
+
+    gflops: Optional[float] = None
+    #: ``None`` for a successful measurement, else one of the paper's
+    #: failure categories: ``"generation"``, ``"build"``, ``"launch"``.
+    failure: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def to_jsonable(self):
+        if self.ok:
+            return self.gflops
+        return {"failure": self.failure}
+
+    @classmethod
+    def from_jsonable(cls, raw) -> "CachedMeasurement":
+        if isinstance(raw, dict):
+            return cls(failure=str(raw["failure"]))
+        return cls(gflops=float(raw))
+
+
+class MeasurementCache:
+    """JSON-backed store of individual kernel measurements."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        generator_version: str = GENERATOR_VERSION,
+    ):
+        self.path = path
+        self.generator_version = generator_version
+        self._entries: Dict[str, CachedMeasurement] = {}
+        self.stats = CacheStats()
+        if path and os.path.exists(path):
+            self.load(path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keying ----------------------------------------------------------
+    @staticmethod
+    def key(
+        device: str,
+        precision: str,
+        params: KernelParams,
+        M: int,
+        N: int,
+        K: int,
+        noise: bool = True,
+    ) -> str:
+        return (
+            f"{device}|{precision}|{params_digest(params)}"
+            f"|{M}x{N}x{K}|{'n' if noise else 'exact'}"
+        )
+
+    # -- lookups ---------------------------------------------------------
+    def get(
+        self,
+        device: str,
+        precision: str,
+        params: KernelParams,
+        M: int,
+        N: int,
+        K: int,
+        noise: bool = True,
+    ) -> Optional[CachedMeasurement]:
+        entry = self._entries.get(self.key(device, precision, params, M, N, K, noise))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def put(
+        self,
+        device: str,
+        precision: str,
+        params: KernelParams,
+        M: int,
+        N: int,
+        K: int,
+        measurement: CachedMeasurement,
+        noise: bool = True,
+    ) -> None:
+        self._entries[self.key(device, precision, params, M, N, K, noise)] = measurement
+        self.stats.stores += 1
+
+    # -- persistence -----------------------------------------------------
+    def save(self, path: Optional[str] = None) -> str:
+        path = path or self.path
+        if not path:
+            raise ValueError("no path given and cache has no default path")
+        payload = {
+            "format": CACHE_FORMAT,
+            "generator": self.generator_version,
+            "entries": {
+                key: entry.to_jsonable() for key, entry in self._entries.items()
+            },
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+        self.path = path
+        return path
+
+    def load(self, path: str) -> None:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("format") != CACHE_FORMAT:
+            raise ValueError(f"{path} is not a measurement cache")
+        entries = payload.get("entries", {})
+        if payload.get("generator") != self.generator_version:
+            # A different generator may emit different code for the same
+            # parameters; its measurements are stale in bulk.
+            self.stats.invalidated += len(entries)
+            self.path = path
+            return
+        for key, raw in entries.items():
+            self._entries[key] = CachedMeasurement.from_jsonable(raw)
+        self.path = path

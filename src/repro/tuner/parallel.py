@@ -1,0 +1,166 @@
+"""Deterministic fan-out of candidate kernel evaluation.
+
+The paper's search measures candidates one at a time; CLTune-style
+auto-tuners fan the evaluation out over workers and merge results into a
+persisted database.  This module provides that executor layer for
+:class:`~repro.tuner.search.SearchEngine`: batches of ``(params, shape)``
+tasks are dispatched over :mod:`concurrent.futures` workers and the
+outcomes are returned **in task order**, regardless of completion order.
+Because the simulator's measurement noise is a deterministic function of
+``(device, params, size)``, a parallel search with the same seed and
+budget scores every candidate identically to a serial one — and
+therefore selects the identical winning kernel.
+
+Failures are classified inside the worker into the paper's categories
+(generation / build / launch) so outcomes cross the executor boundary as
+plain data rather than exceptions.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.codegen.params import KernelParams
+from repro.codegen.plan import build_plan
+from repro.devices.specs import DeviceSpec
+from repro.errors import BuildError, LaunchError, ParameterError
+from repro.perfmodel.model import (
+    check_execution_quirks,
+    check_resources,
+    estimate_kernel_time,
+)
+
+__all__ = ["EvalTask", "EvalOutcome", "CandidateEvaluator", "measure_once", "evaluate_candidate"]
+
+#: Outcome failure categories, matching TuningStats counters.
+FAILURE_GENERATION = "generation"
+FAILURE_BUILD = "build"
+FAILURE_LAUNCH = "launch"
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One candidate evaluation request."""
+
+    params: KernelParams
+    shape: Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class EvalOutcome:
+    """The result of one candidate evaluation (success or failure)."""
+
+    params: KernelParams
+    shape: Tuple[int, int, int]
+    gflops: Optional[float] = None
+    failure: Optional[str] = None
+    #: True when the value came from a measurement cache, not a worker.
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def measure_once(
+    spec: DeviceSpec,
+    params: KernelParams,
+    M: int,
+    N: int,
+    K: int,
+    noise: bool = True,
+) -> float:
+    """One simulated kernel measurement, in GFlop/s.
+
+    Performs the same build/launch validation the simulator's compiler
+    and queue would: structural plan verification, device resource
+    checks, and execution quirks.  Raises the corresponding error.
+    """
+    build_plan(params)  # ParameterError -> failed generation
+    check_resources(spec, params)  # ResourceError -> failed build
+    check_execution_quirks(spec, params)  # LaunchError -> failed run
+    return estimate_kernel_time(spec, params, M, N, K, noise=noise).gflops
+
+
+def evaluate_candidate(
+    spec: DeviceSpec, task: EvalTask, noise: bool = True
+) -> EvalOutcome:
+    """Measure one task, classifying failures into paper categories."""
+    M, N, K = task.shape
+    try:
+        gflops = measure_once(spec, task.params, M, N, K, noise=noise)
+    except ParameterError:
+        return EvalOutcome(task.params, task.shape, failure=FAILURE_GENERATION)
+    except BuildError:
+        return EvalOutcome(task.params, task.shape, failure=FAILURE_BUILD)
+    except LaunchError:
+        return EvalOutcome(task.params, task.shape, failure=FAILURE_LAUNCH)
+    return EvalOutcome(task.params, task.shape, gflops=gflops)
+
+
+def _evaluate_star(args) -> EvalOutcome:
+    """Top-level adapter so process pools can pickle the work item."""
+    spec, task, noise = args
+    return evaluate_candidate(spec, task, noise)
+
+
+class CandidateEvaluator:
+    """Evaluates task batches serially or over a worker pool.
+
+    ``workers == 1`` evaluates inline (no pool, no overhead); ``workers
+    > 1`` fans out over a thread pool (default) or, with
+    ``kind="process"``, a process pool.  Either way
+    :meth:`evaluate` returns outcomes in task order, which is what makes
+    parallel searches reproduce serial ones exactly.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        noise: bool = True,
+        workers: int = 1,
+        kind: str = "thread",
+    ):
+        if kind not in ("thread", "process"):
+            raise ValueError(f"kind must be 'thread' or 'process', got {kind!r}")
+        self.spec = spec
+        self.noise = noise
+        self.workers = max(1, int(workers))
+        self.kind = kind
+        self._pool: Optional[Executor] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.kind == "process":
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-tune"
+                )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CandidateEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate(self, tasks: Sequence[EvalTask]) -> List[EvalOutcome]:
+        """Evaluate a batch, returning outcomes in task order."""
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1:
+            return [evaluate_candidate(self.spec, t, self.noise) for t in tasks]
+        pool = self._ensure_pool()
+        work = [(self.spec, t, self.noise) for t in tasks]
+        # Executor.map preserves input order regardless of completion order.
+        return list(pool.map(_evaluate_star, work))

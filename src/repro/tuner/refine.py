@@ -17,10 +17,11 @@ from repro.codegen.algorithms import Algorithm
 from repro.codegen.layouts import Layout
 from repro.codegen.params import KernelParams, StrideMode
 from repro.codegen.space import _SHARED_OPTIONS  # shared candidate pool
+from repro.codegen.space import SpaceRestrictions, _seed_admissible
 from repro.devices.specs import DeviceSpec
 from repro.errors import ParameterError
 
-__all__ = ["neighbors"]
+__all__ = ["neighbors", "admissible_neighbors"]
 
 _BLOCK_STEPS = {
     "mwg": (16, 24, 32, 48, 64, 96, 128),
@@ -42,6 +43,27 @@ def _adjacent(pool, value) -> List[int]:
     if i + 1 < len(ordered):
         out.append(ordered[i + 1])
     return out
+
+
+def admissible_neighbors(
+    params: KernelParams,
+    device: DeviceSpec,
+    restrictions: SpaceRestrictions | None = None,
+) -> List[KernelParams]:
+    """The one-step neighbourhood, filtered to a restricted space.
+
+    This is the climb candidate list the search engine evaluates as one
+    batch: :func:`neighbors` output (already deduplicated and
+    device-feasible) minus any variant that falls outside the configured
+    :class:`SpaceRestrictions`, so ablation searches cannot escape their
+    ablated space through the refinement stage.
+    """
+    restrictions = restrictions or SpaceRestrictions()
+    return [
+        candidate
+        for candidate in neighbors(params, device)
+        if _seed_admissible(candidate, restrictions)
+    ]
 
 
 def neighbors(params: KernelParams, device: DeviceSpec) -> Iterator[KernelParams]:

@@ -21,31 +21,44 @@ __all__ = ["TunedKernelRecord", "ResultsDatabase"]
 
 @dataclass(frozen=True)
 class TunedKernelRecord:
-    """One tuned kernel: the winning parameters and their measurement."""
+    """One tuned kernel: the winning parameters and their measurement.
+
+    ``search_stats`` optionally records the provenance of the winner —
+    the full :class:`~repro.tuner.search.TuningStats` accounting of the
+    search that produced it (candidates generated/measured/pruned, cache
+    traffic, per-stage timings).  Older databases without the field load
+    with ``search_stats=None``.
+    """
 
     device: str
     precision: str
     params: KernelParams
     gflops: float
     size: int
+    search_stats: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
-        return {
+        d = {
             "device": self.device,
             "precision": self.precision,
             "params": self.params.to_dict(),
             "gflops": self.gflops,
             "size": self.size,
         }
+        if self.search_stats is not None:
+            d["search_stats"] = dict(self.search_stats)
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict) -> "TunedKernelRecord":
+        stats = d.get("search_stats")
         return cls(
             device=str(d["device"]),
             precision=str(d["precision"]),
             params=KernelParams.from_dict(d["params"]),
             gflops=float(d["gflops"]),
             size=int(d["size"]),
+            search_stats=dict(stats) if stats is not None else None,
         )
 
     @classmethod
@@ -56,6 +69,7 @@ class TunedKernelRecord:
             params=result.best.params,
             gflops=result.best.gflops,
             size=result.best.size,
+            search_stats=result.stats.as_dict(),
         )
 
 

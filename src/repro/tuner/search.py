@@ -1,30 +1,41 @@
-"""Staged heuristic kernel search."""
+"""Staged heuristic kernel search.
+
+Beyond the paper's serial sample-and-rank procedure, the engine supports
+the scale features generic auto-tuners (CLTune, GEMMbench) consider
+table stakes:
+
+* **parallel evaluation** — candidate batches fan out over
+  :class:`~repro.tuner.parallel.CandidateEvaluator` workers with
+  deterministic result ordering, so a parallel search selects the
+  identical winner as a serial one for the same seed and budget;
+* **measurement caching** — an optional
+  :class:`~repro.tuner.cache.MeasurementCache` short-circuits
+  evaluations (successes *and* categorised failures) already recorded by
+  earlier runs;
+* **checkpoint/resume** — periodic checkpoint files during stage-1
+  enumeration and the stage-2 size sweep let an interrupted search
+  restart where it left off instead of from scratch.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+import json
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.codegen.params import KernelParams
-from repro.codegen.plan import build_plan
 from repro.codegen.space import SpaceRestrictions, enumerate_space
 from repro.devices.catalog import get_device_spec
 from repro.devices.specs import DeviceSpec
-from repro.errors import (
-    BuildError,
-    LaunchError,
-    ParameterError,
-    TuningError,
-    ValidationError,
-)
-from repro.perfmodel.model import (
-    check_execution_quirks,
-    check_resources,
-    estimate_kernel_time,
-)
+from repro.errors import SearchInterrupted, TuningError, ValidationError
+from repro.tuner.cache import CachedMeasurement, MeasurementCache
+from repro.tuner.parallel import CandidateEvaluator, EvalOutcome, EvalTask, measure_once
 
 __all__ = [
     "TuningConfig",
@@ -34,6 +45,17 @@ __all__ = [
     "SearchEngine",
     "tune",
 ]
+
+CHECKPOINT_FORMAT = "repro-tuner-checkpoint/1"
+
+#: Candidates dispatched per evaluator batch.  Constant (independent of
+#: the worker count) so the chunk boundaries — and therefore checkpoint
+#: cadence and stats — are identical between serial and parallel runs.
+_CHUNK = 64
+
+#: Stats fields that measure wall-clock time rather than search content;
+#: excluded from :meth:`TuningStats.comparable_dict`.
+_WALL_CLOCK_FIELDS = ("elapsed_s", "stage1_s", "refine_s", "stage2_s", "verify_s")
 
 
 @dataclass(frozen=True)
@@ -69,7 +91,9 @@ class TuningConfig:
 
 @dataclass
 class TuningStats:
-    """Candidate accounting, in the paper's failure categories."""
+    """Candidate accounting (the paper's failure categories) plus the
+    pipeline's observability counters: cache traffic, checkpointing,
+    and per-stage wall-clock timings."""
 
     generated: int = 0
     measured: int = 0
@@ -78,10 +102,56 @@ class TuningStats:
     failed_launch: int = 0
     failed_validation: int = 0
     refined: int = 0
+    #: Evaluations answered by the measurement cache / sent to workers.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Stage-1 candidates skipped because a checkpoint already covered them.
+    resumed: int = 0
+    #: Checkpoint files written during this search.
+    checkpoints: int = 0
     elapsed_s: float = 0.0
+    stage1_s: float = 0.0
+    refine_s: float = 0.0
+    stage2_s: float = 0.0
+    verify_s: float = 0.0
+
+    @property
+    def pruned(self) -> int:
+        """Candidates discarded before scoring (all failure categories)."""
+        return self.failed_generation + self.failed_build + self.failed_launch
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def candidates_per_s(self) -> float:
+        return self.generated / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self.__dict__)
+        d = dict(self.__dict__)
+        d["pruned"] = self.pruned
+        d["cache_hit_rate"] = self.cache_hit_rate
+        d["candidates_per_s"] = self.candidates_per_s
+        return d
+
+    def comparable_dict(self) -> Dict[str, float]:
+        """The stats minus wall-clock-dependent fields.
+
+        Two searches that explored the identical candidate sequence have
+        equal comparable dicts regardless of worker count or machine
+        speed — the determinism tests rely on this.
+        """
+        d = dict(self.__dict__)
+        for key in _WALL_CLOCK_FIELDS:
+            d.pop(key, None)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, float]) -> "TuningStats":
+        fields = {f for f in cls().__dict__}
+        return cls(**{k: v for k, v in d.items() if k in fields})
 
 
 @dataclass(frozen=True)
@@ -94,6 +164,21 @@ class MeasuredKernel:
 
     def __repr__(self) -> str:
         return f"<MeasuredKernel {self.gflops:.1f} GF/s @N={self.size} {self.params.summary()}>"
+
+    def to_dict(self) -> Dict:
+        return {
+            "params": self.params.to_dict(),
+            "size": self.size,
+            "gflops": self.gflops,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "MeasuredKernel":
+        return cls(
+            params=KernelParams.from_dict(d["params"]),
+            size=int(d["size"]),
+            gflops=float(d["gflops"]),
+        )
 
 
 @dataclass
@@ -119,7 +204,22 @@ class TuningResult:
 
 
 class SearchEngine:
-    """The heuristic search engine of paper Section III-F."""
+    """The heuristic search engine of paper Section III-F.
+
+    Keyword-only arguments extend the paper's procedure:
+
+    ``cache``
+        A :class:`MeasurementCache` consulted before every evaluation
+        and updated after every fresh one.
+    ``workers`` / ``executor_kind``
+        Fan candidate batches out over this many workers (``"thread"``
+        or ``"process"`` pools); results keep enumeration order, so the
+        selected winner is independent of the worker count.
+    ``checkpoint_path`` / ``checkpoint_every`` / ``resume``
+        Write progress checkpoints at least every ``checkpoint_every``
+        stage-1 candidates (and per stage-2 finalist); with ``resume``,
+        a matching checkpoint restarts the search where it stopped.
+    """
 
     def __init__(
         self,
@@ -127,6 +227,13 @@ class SearchEngine:
         precision: str,
         config: Optional[TuningConfig] = None,
         restrictions: Optional[SpaceRestrictions] = None,
+        *,
+        cache: Optional[MeasurementCache] = None,
+        workers: int = 1,
+        executor_kind: str = "thread",
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 500,
+        resume: bool = False,
     ):
         self.spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
         if precision not in ("s", "d"):
@@ -135,6 +242,21 @@ class SearchEngine:
         self.config = config or TuningConfig()
         self.restrictions = restrictions or SpaceRestrictions()
         self.stats = TuningStats()
+        self.cache = cache
+        self.workers = max(1, int(workers))
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.resume = resume
+        #: Testing/abort hook: raise :class:`SearchInterrupted` (after
+        #: flushing a checkpoint) once this many stage-1 candidates have
+        #: been consumed.  ``None`` disables the hook.
+        self.abort_after: Optional[int] = None
+        self._evaluator = CandidateEvaluator(
+            self.spec,
+            noise=self.config.measurement_noise,
+            workers=self.workers,
+            kind=executor_kind,
+        )
 
     # ------------------------------------------------------------------
     def base_size(self, params: KernelParams) -> int:
@@ -192,13 +314,9 @@ class SearchEngine:
         resource checks, and execution quirks.  Raises the corresponding
         error for the stats bookkeeping.
         """
-        build_plan(params)  # ParameterError -> failed generation
-        check_resources(self.spec, params)  # ResourceError -> failed build
-        check_execution_quirks(self.spec, params)  # LaunchError -> failed run
-        breakdown = estimate_kernel_time(
+        return measure_once(
             self.spec, params, M, N, K, noise=self.config.measurement_noise
         )
-        return breakdown.gflops
 
     def verify(self, params: KernelParams, rng: np.random.Generator) -> None:
         """Functionally test one kernel against the reference GEMM.
@@ -246,10 +364,124 @@ class SearchEngine:
                 f"{params.summary()}"
             )
 
+    # -- batched evaluation with cache layering --------------------------
+    def _evaluate_batch(self, tasks: Sequence[EvalTask]) -> List[EvalOutcome]:
+        """Evaluate a batch: cache lookups first, workers for the misses.
+
+        Outcomes come back in task order; fresh measurements (successes
+        and categorised failures alike) are written back to the cache so
+        a warm re-run performs zero re-measurements.
+        """
+        outcomes: List[Optional[EvalOutcome]] = [None] * len(tasks)
+        missing: List[int] = []
+        if self.cache is not None:
+            noise = self.config.measurement_noise
+            for i, task in enumerate(tasks):
+                M, N, K = task.shape
+                hit = self.cache.get(
+                    self.spec.codename, self.precision, task.params, M, N, K, noise
+                )
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    outcomes[i] = EvalOutcome(
+                        task.params, task.shape,
+                        gflops=hit.gflops, failure=hit.failure, cached=True,
+                    )
+                else:
+                    self.stats.cache_misses += 1
+                    missing.append(i)
+        else:
+            missing = list(range(len(tasks)))
+        fresh = self._evaluator.evaluate([tasks[i] for i in missing])
+        for i, outcome in zip(missing, fresh):
+            outcomes[i] = outcome
+            if self.cache is not None:
+                M, N, K = outcome.shape
+                self.cache.put(
+                    self.spec.codename, self.precision, outcome.params, M, N, K,
+                    CachedMeasurement(gflops=outcome.gflops, failure=outcome.failure),
+                    self.config.measurement_noise,
+                )
+        return outcomes  # type: ignore[return-value]
+
+    def _tally_failure(self, outcome: EvalOutcome) -> None:
+        if outcome.failure == "generation":
+            self.stats.failed_generation += 1
+        elif outcome.failure == "build":
+            self.stats.failed_build += 1
+        elif outcome.failure == "launch":
+            self.stats.failed_launch += 1
+
+    # -- checkpointing ---------------------------------------------------
+    def _fingerprint(self) -> str:
+        """Digest identifying a search: device, precision, config, space,
+        and generator version.  A checkpoint only resumes a search with
+        the same fingerprint."""
+        from repro.codegen.emitter import GENERATOR_VERSION
+
+        payload = json.dumps(
+            {
+                "device": self.spec.codename,
+                "precision": self.precision,
+                "config": asdict(self.config),
+                "restrictions": asdict(self.restrictions),
+                "generator": GENERATOR_VERSION,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.blake2b(payload.encode(), digest_size=12).hexdigest()
+
+    def _write_checkpoint(self, stage: str, extra: Dict) -> None:
+        if not self.checkpoint_path:
+            return
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "fingerprint": self._fingerprint(),
+            "stage": stage,
+            "stats": self.stats.as_dict(),
+        }
+        payload.update(extra)
+        tmp = self.checkpoint_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, self.checkpoint_path)
+        self.stats.checkpoints += 1
+
+    def _load_checkpoint(self) -> Optional[Dict]:
+        if not (self.resume and self.checkpoint_path):
+            return None
+        if not os.path.exists(self.checkpoint_path):
+            return None
+        with open(self.checkpoint_path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            return None
+        if payload.get("fingerprint") != self._fingerprint():
+            return None  # different search (config/space/generator changed)
+        return payload
+
+    def _discard_checkpoint(self) -> None:
+        if self.checkpoint_path and os.path.exists(self.checkpoint_path):
+            os.remove(self.checkpoint_path)
+
+    def _restore_stats(self, checkpoint: Dict) -> None:
+        self.stats = TuningStats.from_dict(checkpoint.get("stats", {}))
+
     # ------------------------------------------------------------------
-    def _stage1(self, progress: Optional[Callable[[int, MeasuredKernel], None]]):
+    def _stage1(
+        self,
+        progress: Optional[Callable[[int, MeasuredKernel], None]],
+        checkpoint: Optional[Dict],
+    ) -> List[MeasuredKernel]:
         scored: List[MeasuredKernel] = []
-        for params in enumerate_space(
+        consumed = 0
+        if checkpoint is not None:
+            self._restore_stats(checkpoint)
+            scored = [MeasuredKernel.from_dict(d) for d in checkpoint["scored"]]
+            consumed = int(checkpoint["consumed"])
+            self.stats.resumed += consumed
+        candidates = enumerate_space(
             self.spec,
             self.precision,
             self.restrictions,
@@ -257,25 +489,43 @@ class SearchEngine:
             per_blocking=self.config.per_blocking,
             seed=self.config.seed,
             include_seeds=self.config.include_seeds,
-        ):
-            self.stats.generated += 1
-            M, N, K = self.base_shape(params)
-            try:
-                gflops = self.measure_shape(params, M, N, K)
-            except ParameterError:
-                self.stats.failed_generation += 1
-                continue
-            except BuildError:
-                self.stats.failed_build += 1
-                continue
-            except LaunchError:
-                self.stats.failed_launch += 1
-                continue
-            self.stats.measured += 1
-            mk = MeasuredKernel(params, max(M, N, K), gflops)
-            scored.append(mk)
-            if progress is not None:
-                progress(self.stats.measured, mk)
+        )
+        if consumed:
+            # The enumeration is deterministic: fast-forward past the
+            # candidates the checkpoint already covers.
+            next(itertools.islice(candidates, consumed - 1, consumed), None)
+        since_checkpoint = 0
+        while True:
+            batch = list(itertools.islice(candidates, _CHUNK))
+            if not batch:
+                break
+            tasks = [EvalTask(p, self.base_shape(p)) for p in batch]
+            for outcome in self._evaluate_batch(tasks):
+                self.stats.generated += 1
+                if not outcome.ok:
+                    self._tally_failure(outcome)
+                    continue
+                self.stats.measured += 1
+                mk = MeasuredKernel(outcome.params, max(outcome.shape), outcome.gflops)
+                scored.append(mk)
+                if progress is not None:
+                    progress(self.stats.measured, mk)
+            consumed += len(batch)
+            since_checkpoint += len(batch)
+            if self.checkpoint_path and since_checkpoint >= self.checkpoint_every:
+                self._write_checkpoint(
+                    "stage1",
+                    {"consumed": consumed, "scored": [mk.to_dict() for mk in scored]},
+                )
+                since_checkpoint = 0
+            if self.abort_after is not None and consumed >= self.abort_after:
+                self._write_checkpoint(
+                    "stage1",
+                    {"consumed": consumed, "scored": [mk.to_dict() for mk in scored]},
+                )
+                raise SearchInterrupted(
+                    f"stage-1 search aborted after {consumed} candidates"
+                )
         scored.sort(key=lambda mk: mk.gflops, reverse=True)
         return scored[: self.config.top_k]
 
@@ -283,10 +533,12 @@ class SearchEngine:
         """Hill-climb the leading candidates (stage 1.5).
 
         The climbed variants must still lie inside the configured space
-        restrictions, so ablation searches stay honest.
+        restrictions, so ablation searches stay honest.  Each round's
+        neighbourhood is evaluated as one batch (cache- and
+        worker-aware); the round's best improvement becomes the next
+        climb point, exactly as in the serial formulation.
         """
-        from repro.codegen.space import _seed_admissible
-        from repro.tuner.refine import neighbors
+        from repro.tuner.refine import admissible_neighbors
 
         refined: Dict[Tuple, MeasuredKernel] = {
             mk.params.cache_key(): mk for mk in finalists
@@ -294,23 +546,26 @@ class SearchEngine:
         for start in finalists[: self.config.refine_top]:
             current = start
             for _ in range(self.config.refine_rounds):
-                improved = None
-                for candidate in neighbors(current.params, self.spec):
-                    if not _seed_admissible(candidate, self.restrictions):
-                        continue
-                    if candidate.cache_key() in refined:
-                        continue
-                    M, N, K = self.base_shape(candidate)
+                candidates = [
+                    c
+                    for c in admissible_neighbors(
+                        current.params, self.spec, self.restrictions
+                    )
+                    if c.cache_key() not in refined
+                ]
+                tasks = [EvalTask(c, self.base_shape(c)) for c in candidates]
+                improved: Optional[MeasuredKernel] = None
+                for outcome in self._evaluate_batch(tasks):
                     self.stats.generated += 1
-                    try:
-                        gflops = self.measure_shape(candidate, M, N, K)
-                    except (ParameterError, BuildError, LaunchError):
+                    if not outcome.ok:
                         continue
                     self.stats.measured += 1
                     self.stats.refined += 1
-                    mk = MeasuredKernel(candidate, max(M, N, K), gflops)
-                    refined[candidate.cache_key()] = mk
-                    if improved is None or gflops > improved.gflops:
+                    mk = MeasuredKernel(
+                        outcome.params, max(outcome.shape), outcome.gflops
+                    )
+                    refined[outcome.params.cache_key()] = mk
+                    if improved is None or mk.gflops > improved.gflops:
                         improved = mk
                 if improved is None or improved.gflops <= current.gflops:
                     break
@@ -318,32 +573,53 @@ class SearchEngine:
         out = sorted(refined.values(), key=lambda mk: mk.gflops, reverse=True)
         return out[: self.config.top_k]
 
-    def _stage2(self, finalists: Sequence[MeasuredKernel]):
-        swept: List[Tuple[MeasuredKernel, List[MeasuredKernel]]] = []
+    def _finalist_sweep(self, params: KernelParams) -> List[Tuple[int, int, int]]:
         shape = self.config.problem_shape
-        for mk in finalists:
-            series = []
-            if shape is None:
-                sweep = [(n, n, n) for n in self.sweep_sizes(mk.params)]
-            else:
-                sweep = []
-                for factor in (0.5, 0.75, 1.0, 1.5, 2.0):
-                    scaled = self._round_shape(
-                        mk.params,
-                        tuple(max(1, int(dim * factor)) for dim in shape),
-                    )
-                    if scaled not in sweep:
-                        sweep.append(scaled)
-            for M, N, K in sweep:
-                try:
-                    gflops = self.measure_shape(mk.params, M, N, K)
-                except (ParameterError, BuildError, LaunchError):
-                    continue
-                series.append(MeasuredKernel(mk.params, max(M, N, K), gflops))
-            if not series:
-                continue
-            best_point = max(series, key=lambda m: m.gflops)
-            swept.append((best_point, series))
+        if shape is None:
+            return [(n, n, n) for n in self.sweep_sizes(params)]
+        sweep: List[Tuple[int, int, int]] = []
+        for factor in (0.5, 0.75, 1.0, 1.5, 2.0):
+            scaled = self._round_shape(
+                params, tuple(max(1, int(dim * factor)) for dim in shape)
+            )
+            if scaled not in sweep:
+                sweep.append(scaled)
+        return sweep
+
+    def _stage2(
+        self,
+        finalists: Sequence[MeasuredKernel],
+        checkpoint: Optional[Dict],
+    ) -> List[Tuple[MeasuredKernel, List[MeasuredKernel]]]:
+        #: Per-finalist series, in finalist order (empty list = finalist
+        #: failed every sweep point) — the unit of stage-2 checkpointing.
+        recorded: List[List[MeasuredKernel]] = []
+        if checkpoint is not None:
+            recorded = [
+                [MeasuredKernel.from_dict(d) for d in series]
+                for series in checkpoint["swept"]
+            ]
+        for mk in finalists[len(recorded):]:
+            tasks = [EvalTask(mk.params, s) for s in self._finalist_sweep(mk.params)]
+            series = [
+                MeasuredKernel(oc.params, max(oc.shape), oc.gflops)
+                for oc in self._evaluate_batch(tasks)
+                if oc.ok
+            ]
+            recorded.append(series)
+            if self.checkpoint_path:
+                self._write_checkpoint(
+                    "stage2",
+                    {
+                        "finalists": [f.to_dict() for f in finalists],
+                        "swept": [[m.to_dict() for m in s] for s in recorded],
+                    },
+                )
+        swept = [
+            (max(series, key=lambda m: m.gflops), series)
+            for series in recorded
+            if series
+        ]
         swept.sort(key=lambda pair: pair[0].gflops, reverse=True)
         return swept
 
@@ -352,18 +628,47 @@ class SearchEngine:
     ) -> TuningResult:
         """Execute the three-stage search and return the winner."""
         t0 = time.perf_counter()
-        finalists = self._stage1(progress)
-        if not finalists:
-            raise TuningError(
-                f"no viable kernel found for {self.precision}gemm on "
-                f"{self.spec.codename} (stats: {self.stats.as_dict()})"
+        try:
+            return self._run(progress, t0)
+        finally:
+            self._evaluator.close()
+
+    def _run(
+        self, progress: Optional[Callable[[int, MeasuredKernel], None]], t0: float
+    ) -> TuningResult:
+        checkpoint = self._load_checkpoint()
+        stage = checkpoint["stage"] if checkpoint else None
+        stage2_checkpoint: Optional[Dict] = None
+        if stage in (None, "stage1"):
+            t = time.perf_counter()
+            finalists = self._stage1(progress, checkpoint)
+            self.stats.stage1_s += time.perf_counter() - t
+            if not finalists:
+                raise TuningError(
+                    f"no viable kernel found for {self.precision}gemm on "
+                    f"{self.spec.codename} (stats: {self.stats.as_dict()})"
+                )
+            if self.config.refine_rounds > 0:
+                t = time.perf_counter()
+                finalists = self._refine(list(finalists))
+                self.stats.refine_s += time.perf_counter() - t
+            self._write_checkpoint(
+                "refined", {"finalists": [mk.to_dict() for mk in finalists]}
             )
-        if self.config.refine_rounds > 0:
-            finalists = self._refine(list(finalists))
-        swept = self._stage2(finalists)
+        else:
+            self._restore_stats(checkpoint)
+            self.stats.resumed += self.stats.generated
+            finalists = [MeasuredKernel.from_dict(d) for d in checkpoint["finalists"]]
+            if stage == "stage2":
+                stage2_checkpoint = checkpoint
+
+        t = time.perf_counter()
+        swept = self._stage2(finalists, stage2_checkpoint)
+        self.stats.stage2_s += time.perf_counter() - t
         if not swept:
             raise TuningError("all finalists failed the size sweep")
 
+        t = time.perf_counter()
         rng = np.random.default_rng(self.config.seed)
         chosen: Optional[Tuple[MeasuredKernel, List[MeasuredKernel]]] = None
         for rank, (best_point, series) in enumerate(swept):
@@ -375,10 +680,12 @@ class SearchEngine:
                     continue
             chosen = (best_point, series)
             break
+        self.stats.verify_s += time.perf_counter() - t
         if chosen is None:
             raise TuningError("every verified finalist failed numerical testing")
 
-        self.stats.elapsed_s = time.perf_counter() - t0
+        self.stats.elapsed_s += time.perf_counter() - t0
+        self._discard_checkpoint()
         return TuningResult(
             device=self.spec.codename,
             precision=self.precision,
@@ -396,6 +703,14 @@ def tune(
     config: Optional[TuningConfig] = None,
     restrictions: Optional[SpaceRestrictions] = None,
     progress: Optional[Callable[[int, MeasuredKernel], None]] = None,
+    **engine_kwargs,
 ) -> TuningResult:
-    """One-call staged search (see :class:`SearchEngine`)."""
-    return SearchEngine(device, precision, config, restrictions).run(progress)
+    """One-call staged search (see :class:`SearchEngine`).
+
+    Keyword arguments beyond the paper's knobs — ``cache``, ``workers``,
+    ``checkpoint_path``, ``resume``, ... — pass through to
+    :class:`SearchEngine`.
+    """
+    return SearchEngine(
+        device, precision, config, restrictions, **engine_kwargs
+    ).run(progress)

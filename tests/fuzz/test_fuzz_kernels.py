@@ -1,0 +1,207 @@
+"""Differential fuzzing: generated kernels vs the numpy reference GEMM.
+
+Random valid :class:`KernelParams` are drawn from :func:`enumerate_space`
+(images and edge-guarded variants included), paired with random
+launchable shapes and random ``alpha``/``beta``, and executed through
+the full clsim stack (source -> program -> buffers -> ND-range).  Each
+configuration runs twice:
+
+* ``ExecutionMode.WORKGROUP`` — the faithful blocked simulation, whose
+  tile-by-tile accumulation order legitimately differs from a single
+  matmul; checked at the tuner's verification tolerances.
+* ``ExecutionMode.FAST`` — unpack + one BLAS call, which must agree
+  with the numpy reference **bit for bit**: the unpacked operands are
+  value- and layout-identical to the originals, so the same BLAS
+  dispatch must produce the same floats.
+
+The sweep is seeded and bounded (``REPRO_FUZZ_SEED`` /
+``REPRO_FUZZ_COUNT`` override) so it runs deterministically inside the
+tier-1 budget while still covering >= 200 configurations.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+import pytest
+
+import repro.clsim as cl
+from repro.clsim.queue import ExecutionMode
+from repro.codegen.emitter import emit_kernel_source
+from repro.codegen.layouts import pack_matrix
+from repro.codegen.params import KernelParams
+from repro.codegen.space import SpaceRestrictions, enumerate_space
+from repro.devices import get_device_spec
+from repro.gemm.reference import relative_error
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260806"))
+FUZZ_COUNT = int(os.environ.get("REPRO_FUZZ_COUNT", "200"))
+
+#: One GPU and one CPU: different blocking regimes, local-memory types
+#: and vector widths, so the sample crosses the interesting axes.
+FUZZ_DEVICES = ("tahiti", "sandybridge")
+_PRECISIONS = ("s", "d")
+
+#: The full generator surface: buffers, images, and guarded variants.
+_RESTRICTIONS = SpaceRestrictions(allow_images=True, allow_guarded=True)
+
+_ALPHAS = (1.0, -1.0, 1.5, 0.25)
+_BETAS = (0.0, 1.0, -0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    index: int
+    device: str
+    precision: str
+    params: KernelParams
+    shape: Tuple[int, int, int]
+    alpha: float
+    beta: float
+
+    def describe(self) -> str:
+        M, N, K = self.shape
+        return (
+            f"case {self.index} [seed {FUZZ_SEED}]: {self.device}/"
+            f"{self.precision} {M}x{N}x{K} alpha={self.alpha} "
+            f"beta={self.beta} :: {self.params.summary()}"
+        )
+
+
+def _shape_for(params: KernelParams, rng: np.random.Generator) -> Tuple[int, int, int]:
+    """A random launchable (M, N, K) for this kernel, kept small.
+
+    Unguarded kernels need blocking multiples (1-2 work-group tiles per
+    dimension); guarded kernels get ragged sizes — whole tiles plus a
+    partial remainder — to exercise every edge-guard path.
+    """
+    if params.guard_edges:
+        def ragged(block: int) -> int:
+            return max(1, int(rng.integers(0, 3)) * block + int(rng.integers(0, block)))
+
+        return ragged(params.mwg), ragged(params.nwg), ragged(params.kwg)
+    M = params.mwg * int(rng.integers(1, 3))
+    N = params.nwg * int(rng.integers(1, 3))
+    k_min = params.algorithm.min_k_iterations
+    K = params.kwg * int(rng.integers(k_min, k_min + 2))
+    return M, N, K
+
+
+def _sample_cases() -> Tuple[FuzzCase, ...]:
+    rng = np.random.default_rng(FUZZ_SEED)
+    per_pool = -(-FUZZ_COUNT // (len(FUZZ_DEVICES) * len(_PRECISIONS)))
+    cases = []
+    for codename in FUZZ_DEVICES:
+        spec = get_device_spec(codename)
+        for precision in _PRECISIONS:
+            pool = enumerate_space(
+                spec, precision, _RESTRICTIONS,
+                limit=per_pool, per_blocking=4, seed=FUZZ_SEED,
+            )
+            for params in pool:
+                cases.append(FuzzCase(
+                    index=len(cases),
+                    device=codename,
+                    precision=precision,
+                    params=params,
+                    shape=_shape_for(params, rng),
+                    alpha=float(rng.choice(_ALPHAS)),
+                    beta=float(rng.choice(_BETAS)),
+                ))
+    return tuple(cases)
+
+
+CASES = _sample_cases()
+
+
+def _operands(case: FuzzCase):
+    """Deterministic per-case random operands (independent of run order)."""
+    M, N, K = case.shape
+    dtype = np.float64 if case.precision == "d" else np.float32
+    rng = np.random.default_rng([FUZZ_SEED, case.index])
+    a = rng.standard_normal((K, M)).astype(dtype)  # A^T, as the kernels read it
+    b = rng.standard_normal((K, N)).astype(dtype)
+    c = rng.standard_normal((M, N)).astype(dtype)
+    return a, b, c
+
+
+def _execute(case: FuzzCase, a, b, c, mode: ExecutionMode) -> np.ndarray:
+    """Run the emitted kernel through the simulator; return the C matrix."""
+    params = case.params
+    M, N, K = case.shape
+    spec = get_device_spec(case.device)
+    device = cl.Device(spec)
+    ctx = cl.Context([device])
+    queue = cl.CommandQueue(ctx, device, measurement_noise=False,
+                            execution_mode=mode)
+    if params.use_images:
+        abuf = cl.Image2D(ctx, width=M, height=K, dtype=a.dtype, hostbuf=a)
+        bbuf = cl.Image2D(ctx, width=N, height=K, dtype=b.dtype, hostbuf=b)
+    else:
+        abuf = cl.Buffer(
+            ctx, hostbuf=pack_matrix(a, params.layout_a, params.kwg, params.mwg)
+        )
+        bbuf = cl.Buffer(
+            ctx, hostbuf=pack_matrix(b, params.layout_b, params.kwg, params.nwg)
+        )
+    cbuf = cl.Buffer(ctx, hostbuf=c.copy())
+    program = cl.Program(ctx, emit_kernel_source(params)).build()
+    kernel = program.get_kernel("gemm_atb")
+    kernel.set_args(M, N, K, case.alpha, case.beta, abuf, bbuf, cbuf)
+    queue.launch(kernel, kernel.expected_global_size(), kernel.plan.local_size())
+    return cbuf.read().reshape(M, N)
+
+
+def _cases(codename: str, precision: str):
+    return [c for c in CASES if c.device == codename and c.precision == precision]
+
+
+def test_fuzz_volume_meets_acceptance():
+    """The sweep covers at least FUZZ_COUNT (default 200) configurations."""
+    assert len(CASES) >= FUZZ_COUNT
+    guarded = sum(1 for c in CASES if c.params.guard_edges)
+    imaged = sum(1 for c in CASES if c.params.use_images)
+    assert guarded > 0 and imaged > 0  # the sample crosses both axes
+
+
+@pytest.mark.parametrize("codename", FUZZ_DEVICES)
+@pytest.mark.parametrize("precision", _PRECISIONS)
+def test_fuzzed_kernels_match_numpy_reference(codename, precision):
+    """Workgroup mode within verify() tolerance on every fuzzed config."""
+    cases = _cases(codename, precision)
+    assert cases, "empty fuzz pool"
+    tolerance = 1e-10 if precision == "d" else 1e-4
+    for case in cases:
+        a, b, c = _operands(case)
+        dtype = a.dtype.type
+        reference = dtype(case.alpha) * (a.T @ b) + dtype(case.beta) * c
+        result = _execute(case, a, b, c, ExecutionMode.WORKGROUP)
+        error = relative_error(result, reference)
+        assert error <= tolerance, (
+            f"workgroup-mode mismatch (relative error {error:.3e} > "
+            f"{tolerance:g}) for {case.describe()}"
+        )
+
+
+@pytest.mark.parametrize("codename", FUZZ_DEVICES)
+@pytest.mark.parametrize("precision", _PRECISIONS)
+def test_fast_mode_is_bit_identical_to_reference(codename, precision):
+    """Bit-level agreement: FAST unpack+BLAS vs the same numpy expression.
+
+    ``c * beta + alpha * (a.T @ b)`` computed in the kernel's dtype uses
+    the identical element-wise operations and the identical BLAS memory
+    layout as the executor's fast path, so every float must match
+    exactly — any packing/unpacking or argument-plumbing bug shows up as
+    a bit difference long before it exceeds a tolerance.
+    """
+    cases = _cases(codename, precision)
+    assert cases, "empty fuzz pool"
+    for case in cases:
+        a, b, c = _operands(case)
+        dtype = a.dtype.type
+        bit_reference = c * dtype(case.beta) + dtype(case.alpha) * (a.T @ b)
+        result = _execute(case, a, b, c, ExecutionMode.FAST)
+        assert np.array_equal(result, bit_reference), (
+            f"fast-mode bit mismatch for {case.describe()}"
+        )

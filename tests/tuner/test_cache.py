@@ -1,0 +1,162 @@
+"""The measurement cache beneath the tuning pipeline."""
+
+import json
+
+import pytest
+
+from repro.codegen.space import enumerate_space
+from repro.devices import get_device_spec
+from repro.tuner.cache import (
+    CachedMeasurement,
+    MeasurementCache,
+    params_digest,
+)
+from repro.tuner.search import SearchEngine, TuningConfig
+
+from tests.conftest import make_params
+
+QUICK = TuningConfig(budget=120, verify_finalists=1, top_k=6)
+
+
+class TestKeying:
+    def test_digest_is_stable_and_distinguishing(self):
+        p = make_params()
+        assert params_digest(p) == params_digest(make_params())
+        assert params_digest(p) != params_digest(make_params(vw=2))
+
+    def test_key_separates_device_precision_shape_noise(self):
+        p = make_params()
+        keys = {
+            MeasurementCache.key("tahiti", "d", p, 64, 64, 64),
+            MeasurementCache.key("cayman", "d", p, 64, 64, 64),
+            MeasurementCache.key("tahiti", "s", p, 64, 64, 64),
+            MeasurementCache.key("tahiti", "d", p, 64, 64, 128),
+            MeasurementCache.key("tahiti", "d", p, 64, 64, 64, noise=False),
+        }
+        assert len(keys) == 5
+
+
+class TestRoundTrip:
+    def test_put_save_load_get_identity(self, tmp_path):
+        """put -> save -> load -> get returns the stored measurements."""
+        path = str(tmp_path / "cache.json")
+        cache = MeasurementCache()
+        spec = get_device_spec("tahiti")
+        entries = []
+        for i, params in enumerate(enumerate_space(spec, "d", limit=20)):
+            measurement = (
+                CachedMeasurement(gflops=100.0 + i)
+                if i % 3
+                else CachedMeasurement(failure="build")
+            )
+            cache.put("tahiti", "d", params, 64, 64, 64, measurement)
+            entries.append((params, measurement))
+        cache.save(path)
+
+        loaded = MeasurementCache(path)
+        assert len(loaded) == len(entries)
+        for params, measurement in entries:
+            got = loaded.get("tahiti", "d", params, 64, 64, 64)
+            assert got == measurement
+            assert got.ok == (measurement.failure is None)
+
+    def test_save_requires_a_path(self):
+        with pytest.raises(ValueError, match="path"):
+            MeasurementCache().save()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="measurement cache"):
+            MeasurementCache(str(path))
+
+
+class TestInvalidation:
+    def test_version_bump_invalidates_all_entries(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = MeasurementCache(generator_version="repro-gemmgen/1.0.0")
+        cache.put("tahiti", "d", make_params(), 64, 64, 64,
+                  CachedMeasurement(gflops=10.0))
+        cache.save(path)
+
+        bumped = MeasurementCache(path, generator_version="repro-gemmgen/2.0.0")
+        assert len(bumped) == 0
+        assert bumped.stats.invalidated == 1
+        # A stale generator's measurement is never served.
+        assert bumped.get("tahiti", "d", make_params(), 64, 64, 64) is None
+
+    def test_same_version_keeps_entries(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = MeasurementCache(generator_version="v1")
+        cache.put("tahiti", "d", make_params(), 64, 64, 64,
+                  CachedMeasurement(gflops=10.0))
+        cache.save(path)
+        reloaded = MeasurementCache(path, generator_version="v1")
+        assert len(reloaded) == 1
+        assert reloaded.stats.invalidated == 0
+
+    def test_cache_file_records_generator_version(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        MeasurementCache(generator_version="v7").save(path)
+        payload = json.loads(open(path).read())
+        assert payload["generator"] == "v7"
+
+
+class TestCounters:
+    def test_hit_miss_store_accounting(self):
+        cache = MeasurementCache()
+        p = make_params()
+        assert cache.get("tahiti", "d", p, 64, 64, 64) is None
+        assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+        cache.put("tahiti", "d", p, 64, 64, 64, CachedMeasurement(gflops=1.0))
+        assert cache.stats.stores == 1
+        assert cache.get("tahiti", "d", p, 64, 64, 64) is not None
+        assert cache.get("tahiti", "d", p, 64, 64, 128) is None
+        assert (cache.stats.hits, cache.stats.misses) == (1, 2)
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+        assert cache.stats.as_dict()["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert MeasurementCache().stats.hit_rate == 0.0
+
+
+class TestSearchIntegration:
+    def test_warm_cache_performs_zero_remeasurements(self, tmp_path, tahiti):
+        """The acceptance property: a warm re-run never hits the workers."""
+        path = str(tmp_path / "cache.json")
+        cache = MeasurementCache(path)
+        cold = SearchEngine(tahiti, "d", QUICK, cache=cache).run()
+        assert cold.stats.cache_misses > 0
+        assert cold.stats.cache_hits + cold.stats.cache_misses > 0
+        cache.save()
+
+        warm_cache = MeasurementCache(path)
+        engine = SearchEngine(tahiti, "d", QUICK, cache=warm_cache)
+        evaluated = []
+        original = engine._evaluator.evaluate
+
+        def spy(tasks):
+            evaluated.extend(tasks)
+            return original(tasks)
+
+        engine._evaluator.evaluate = spy
+        warm = engine.run()
+        assert evaluated == []  # zero re-measurements of cached pairs
+        assert warm.stats.cache_misses == 0
+        assert warm.stats.cache_hit_rate == 1.0
+        assert warm.best.params == cold.best.params
+        assert warm.best.gflops == cold.best.gflops
+
+    def test_cached_failures_replay_into_stats(self, bulldozer):
+        """Failure categories survive the cache round-trip, keeping the
+        paper's candidate accounting identical between cold and warm runs."""
+        config = TuningConfig(budget=150, verify_finalists=0, top_k=6,
+                              refine_rounds=0)
+        cache = MeasurementCache()
+        cold = SearchEngine(bulldozer, "d", config, cache=cache).run()
+        assert cold.stats.failed_launch > 0  # Bulldozer PL-DGEMM quirk
+
+        warm = SearchEngine(bulldozer, "d", config, cache=cache).run()
+        assert warm.stats.failed_launch == cold.stats.failed_launch
+        assert warm.stats.failed_build == cold.stats.failed_build
+        assert warm.stats.cache_misses == 0
