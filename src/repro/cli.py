@@ -61,6 +61,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write periodic search checkpoints to this file")
     p_tune.add_argument("--resume", action="store_true",
                         help="resume from --checkpoint if it matches this search")
+    p_tune.add_argument("--inject-faults", metavar="PLAN",
+                        help="chaos-test the search under a fault plan: "
+                             "'kind:rate[,kind:rate...]' "
+                             "(kinds: build launch device_lost timing result "
+                             "hang), '@plan.json', or a canned plan name "
+                             "such as 'bulldozer-pl-dgemm'")
+    p_tune.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault plan's decision hash")
+    p_tune.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="retry budget for transient faults per candidate")
+    p_tune.add_argument("--measure-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock watchdog per measurement "
+                             "(kills hung kernels)")
+    p_tune.add_argument("--measure-samples", type=int, default=3, metavar="K",
+                        help="timing samples per measurement, aggregated "
+                             "median-of-k with outlier rejection")
+    p_tune.add_argument("--stats-json", metavar="STATS.json",
+                        help="dump the search telemetry (incl. fault/retry "
+                             "counters) as JSON")
 
     p_gemm = sub.add_parser("gemm", help="run one GEMM with the tuned kernel")
     p_gemm.add_argument("device")
@@ -119,10 +139,13 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_tune(args) -> int:
+    from repro.clsim.faults import FaultInjector, FaultPlan
     from repro.codegen.space import SpaceRestrictions
     from repro.devices import get_device_spec
+    from repro.persist import dump_json_atomic
     from repro.tuner.analysis import render_stats
     from repro.tuner.cache import MeasurementCache
+    from repro.tuner.resilience import ResilienceConfig
     from repro.tuner.results import ResultsDatabase
     from repro.tuner.search import SearchEngine, TuningConfig
 
@@ -138,12 +161,27 @@ def _cmd_tune(args) -> int:
         forced_guarded=True if args.guarded else None,
     )
     cache = MeasurementCache(args.cache) if args.cache else None
+    injector = None
+    resilience = None
+    if args.inject_faults:
+        plan = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+        injector = FaultInjector(plan)
+        print(f"fault plan    : {args.inject_faults} "
+              f"(seed {plan.seed}, digest {plan.digest()})")
+    if injector is not None or args.measure_timeout is not None:
+        resilience = ResilienceConfig(
+            max_retries=args.max_retries,
+            measure_timeout_s=args.measure_timeout,
+            samples=args.measure_samples,
+        )
     engine = SearchEngine(
         args.device, args.precision, config, restrictions,
         cache=cache,
         workers=args.workers,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        injector=injector,
+        resilience=resilience,
     )
     result = engine.run()
     spec = get_device_spec(args.device)
@@ -161,6 +199,10 @@ def _cmd_tune(args) -> int:
         db.put_result(result)
         db.save()
         print(f"saved         : {args.save}")
+    if args.stats_json:
+        # CI's chaos job archives these counters as its run artifact.
+        dump_json_atomic(args.stats_json, result.stats.as_dict(), indent=2)
+        print(f"stats         : {args.stats_json}")
     return 0
 
 

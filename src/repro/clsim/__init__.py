@@ -25,6 +25,7 @@ The API intentionally mirrors pyopencl::
 from repro.clsim.platform import Platform, get_platforms
 from repro.clsim.device import Device, get_device
 from repro.clsim.context import Context
+from repro.clsim.faults import FaultInjector, FaultPlan, FaultRule
 from repro.clsim.memory import Buffer, Image2D, MemFlags
 from repro.clsim.program import Program
 from repro.clsim.kernel import Kernel
@@ -42,6 +43,9 @@ __all__ = [
     "Device",
     "get_device",
     "Context",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "Buffer",
     "Image2D",
     "MemFlags",

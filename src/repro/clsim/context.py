@@ -18,12 +18,16 @@ class Context:
     out-of-memory on 1 GB boards (the paper's Cayman) at large N.
     """
 
-    def __init__(self, devices: Sequence[Device]):
+    def __init__(self, devices: Sequence[Device], fault_injector=None):
         if not devices:
             raise CLError("a context needs at least one device")
         if not all(isinstance(d, Device) for d in devices):
             raise CLError("Context devices must be clsim.Device instances")
         self.devices: List[Device] = list(devices)
+        #: Optional :class:`repro.clsim.faults.FaultInjector` consulted by
+        #: program builds and command queues created on this context.
+        #: ``None`` (the default) keeps the runtime perfectly reliable.
+        self.fault_injector = fault_injector
         self._allocated_bytes = 0
         self._buffers: set = set()
 

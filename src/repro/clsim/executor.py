@@ -97,8 +97,18 @@ def execute_plan(
     alpha: float,
     beta: float,
     mode: str = "workgroup",
+    injector=None,
+    device: str = "",
+    fault_key: str = "",
 ) -> None:
-    """Run the kernel over the buffers in-place."""
+    """Run the kernel over the buffers in-place.
+
+    With a fault ``injector``, a firing ``result`` rule silently
+    overwrites part of the output with NaNs after the (correct)
+    computation — the simulated analogue of a device writing garbage
+    without reporting an error, detectable only by functional
+    verification downstream.
+    """
     plan.check_problem(arrays.M, arrays.N, arrays.K)
     if mode == "fast":
         _execute_fast(plan, arrays, alpha, beta)
@@ -108,6 +118,16 @@ def execute_plan(
         _execute_scalar(plan, arrays, alpha, beta)
     else:
         raise LaunchError(f"unknown execution mode {mode!r}")
+    if injector is not None and injector.corrupts_result(
+        device, fault_key, params=plan.params
+    ):
+        _corrupt_result(plan, arrays)
+
+
+def _corrupt_result(plan: KernelPlan, arrays: ExecutionArrays) -> None:
+    """Silently poison one output tile (no exception, no log)."""
+    p = plan.params
+    arrays.c[: min(p.mwg, arrays.M), : min(p.nwg, arrays.N)] = np.nan
 
 
 def _execute_fast(plan: KernelPlan, ar: ExecutionArrays, alpha, beta) -> None:

@@ -1,0 +1,311 @@
+"""Deterministic fault injection for the simulated OpenCL runtime.
+
+The paper's tuner runs against hardware that *fails*: kernels "failed in
+code generation, compilation or testing are not counted" (Section III-F)
+and an entire device/precision/algorithm combination — PL-DGEMM on
+Bulldozer — faults at execution time (Section IV-A).  The simulator is
+perfectly reliable, so this module supplies the missing chaos: a seeded
+:class:`FaultPlan` describes *which* fault classes fire *where* and *how
+often*, and a :class:`FaultInjector` turns the plan into reproducible
+go/no-go decisions at each injection point in the stack.
+
+Injection points (the "phases" a rule's ``kind`` selects):
+
+====================  ====================================================
+``build``             ``Program.build`` / the tuner's resource check —
+                      raises :class:`~repro.errors.BuildError` or, when
+                      transient, :class:`~repro.errors.TransientError`.
+``launch``            kernel enqueue validation — raises
+                      :class:`~repro.errors.LaunchError` / transient.
+``device_lost``       whole-device failure mid-command — raises
+                      :class:`~repro.errors.DeviceLostError`.
+``timing``            multiplies one measurement's time by ``magnitude``
+                      (an outlier spike; silent, no exception).
+``result``            silently corrupts the output buffer with NaNs —
+                      only functional verification can catch it.
+``hang``              the command sleeps ``hang_seconds`` of real wall
+                      clock; the resilience watchdog must kill it.
+====================  ====================================================
+
+Every decision is a pure function of ``(seed, rule, device, key,
+attempt)`` — no shared RNG stream, no mutable state — so decisions are
+identical regardless of evaluation order, worker count, or process
+boundaries.  That property is what lets serial and parallel searches
+under injection select the same winner, and it is load-bearing for the
+chaos test suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    BuildError,
+    DeviceLostError,
+    LaunchError,
+    TransientError,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "CANNED_PLANS",
+]
+
+#: The fault taxonomy (see module docstring and docs/fault_injection.md).
+FAULT_KINDS = ("build", "launch", "device_lost", "timing", "result", "hang")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One class of injected fault with its firing probability.
+
+    ``device`` / ``precision`` / ``algorithm`` restrict the rule to
+    matching kernels (``None`` matches everything) — this is how the
+    paper's Bulldozer PL-DGEMM failure is expressed as a plan instead of
+    a hard-coded quirk.  ``transient`` faults clear on retry (the
+    attempt number feeds the decision hash); persistent ones fire for
+    every attempt at the same site.
+    """
+
+    kind: str
+    rate: float
+    device: Optional[str] = None
+    precision: Optional[str] = None
+    algorithm: Optional[str] = None
+    transient: bool = True
+    #: Timing-spike multiplier (``kind="timing"``).
+    magnitude: float = 8.0
+    #: Real wall-clock seconds a hung command sleeps (``kind="hang"``).
+    hang_seconds: float = 0.25
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+
+    def matches(self, device: str, params=None) -> bool:
+        if self.device is not None and self.device != device:
+            return False
+        if params is not None:
+            if self.precision is not None and params.precision != self.precision:
+                return False
+            if (
+                self.algorithm is not None
+                and params.algorithm.value != self.algorithm
+            ):
+                return False
+        elif self.precision is not None or self.algorithm is not None:
+            # Kernel-scoped rules need a kernel to match against.
+            return False
+        return True
+
+    def to_dict(self) -> Dict:
+        d = {"kind": self.kind, "rate": self.rate}
+        for name in ("device", "precision", "algorithm"):
+            if getattr(self, name) is not None:
+                d[name] = getattr(self, name)
+        if not self.transient:
+            d["transient"] = False
+        if self.kind == "timing":
+            d["magnitude"] = self.magnitude
+        if self.kind == "hang":
+            d["hang_seconds"] = self.hang_seconds
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FaultRule":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serialisable set of fault rules.
+
+    Two injectors built from equal plans make identical decisions; a
+    different ``seed`` reshuffles every decision while keeping the rates.
+    """
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = ()
+
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FaultPlan":
+        return cls(
+            seed=int(d.get("seed", 0)),
+            rules=tuple(FaultRule.from_dict(r) for r in d.get("rules", ())),
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def digest(self) -> str:
+        """Stable identity digest (part of checkpoint fingerprints)."""
+        return hashlib.blake2b(self.to_json().encode(), digest_size=8).hexdigest()
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a CLI spec.
+
+        Accepted forms::
+
+            build:0.1,launch:0.05,timing:0.1     # kind:rate pairs
+            launch:1.0:bulldozer                 # kind:rate:device
+            @plan.json                           # a serialised FaultPlan
+            bulldozer-pl-dgemm                   # a canned plan by name
+
+        ``kind:rate`` rules are transient; use a canned plan or a JSON
+        file for persistent or kernel-scoped rules.
+        """
+        spec = spec.strip()
+        if spec in CANNED_PLANS:
+            return CANNED_PLANS[spec].with_seed(seed)
+        if spec.startswith("@"):
+            with open(spec[1:], encoding="utf-8") as fh:
+                plan = cls.from_dict(json.load(fh))
+            return plan if plan.seed or not seed else plan.with_seed(seed)
+        rules = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            pieces = part.split(":")
+            if len(pieces) not in (2, 3):
+                raise ValueError(
+                    f"bad fault spec {part!r} (want kind:rate[:device])"
+                )
+            kind, rate = pieces[0], float(pieces[1])
+            device = pieces[2] if len(pieces) == 3 else None
+            rules.append(FaultRule(kind=kind, rate=rate, device=device))
+        if not rules:
+            raise ValueError(f"fault spec {spec!r} contains no rules")
+        return cls(seed=seed, rules=tuple(rules))
+
+
+#: The paper's documented device failure, reproducible on demand:
+#: "DGEMM kernels with PL algorithm always fail to execute on the
+#: Bulldozer" (Section IV-A).  rate=1.0, persistent, kernel-scoped.
+CANNED_PLANS: Dict[str, FaultPlan] = {
+    "bulldozer-pl-dgemm": FaultPlan(
+        rules=(
+            FaultRule(
+                kind="launch",
+                rate=1.0,
+                device="bulldozer",
+                precision="d",
+                algorithm="PL",
+                transient=False,
+            ),
+        )
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic fault decisions.
+
+    Stateless and picklable: process-pool workers carry their own copy
+    and still agree with the parent on every decision.  ``salt`` is
+    folded into each decision hash — retry loops that re-run a whole
+    phase (e.g. finalist verification) use :meth:`salted` so a persistent
+    retry does not deterministically replay the identical fault.
+    """
+
+    plan: FaultPlan
+    salt: str = ""
+
+    def salted(self, extra: str) -> "FaultInjector":
+        return FaultInjector(self.plan, salt=f"{self.salt}|{extra}")
+
+    # -- decision core ---------------------------------------------------
+    def _unit(self, rule_index: int, kind: str, device: str, key: str,
+              attempt: int) -> float:
+        payload = (
+            f"{self.plan.seed}|{rule_index}|{kind}|{device}|{key}"
+            f"|{attempt}|{self.salt}"
+        ).encode()
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def fires(
+        self,
+        kind: str,
+        device: str,
+        key: str,
+        attempt: int = 0,
+        params=None,
+    ) -> Optional[FaultRule]:
+        """The first matching rule that fires at this site, if any.
+
+        Persistent rules ignore ``attempt`` (retrying cannot clear them);
+        transient rules hash it in, so a retry re-rolls the decision.
+        """
+        for index, rule in enumerate(self.plan.rules):
+            if rule.kind != kind or not rule.matches(device, params):
+                continue
+            roll_attempt = attempt if rule.transient else 0
+            if self._unit(index, kind, device, key, roll_attempt) < rule.rate:
+                return rule
+        return None
+
+    # -- raise-style checks for the clsim / tuner layers -----------------
+    def check_build(self, device: str, key: str, attempt: int = 0,
+                    params=None) -> None:
+        rule = self.fires("build", device, key, attempt, params)
+        if rule is None:
+            return
+        message = f"injected build failure on {device} (fault plan)"
+        if rule.transient:
+            raise TransientError(message, fault_kind="build")
+        exc = BuildError(message, build_log=f"{message}\nrule: {rule.to_dict()}")
+        #: Marks the failure as plan-made, so it is never cached as a
+        #: property of the kernel itself.
+        exc.injected = True
+        raise exc
+
+    def check_launch(self, device: str, key: str, attempt: int = 0,
+                     params=None) -> None:
+        rule = self.fires("launch", device, key, attempt, params)
+        if rule is not None:
+            message = f"injected launch failure on {device} (fault plan)"
+            if rule.transient:
+                raise TransientError(message, fault_kind="launch")
+            exc = LaunchError(message)
+            exc.injected = True
+            raise exc
+        rule = self.fires("device_lost", device, key, attempt, params)
+        if rule is not None:
+            raise DeviceLostError(
+                f"device {device} lost during command (fault plan)"
+            )
+
+    def timing_factor(self, device: str, key: str, attempt: int = 0,
+                      params=None) -> float:
+        """Multiplier on one measurement's time (1.0 = clean)."""
+        rule = self.fires("timing", device, key, attempt, params)
+        return rule.magnitude if rule is not None else 1.0
+
+    def corrupts_result(self, device: str, key: str, attempt: int = 0,
+                        params=None) -> bool:
+        return self.fires("result", device, key, attempt, params) is not None
+
+    def hang_seconds(self, device: str, key: str, attempt: int = 0,
+                     params=None) -> float:
+        """Wall-clock seconds this command hangs (0.0 = no hang)."""
+        rule = self.fires("hang", device, key, attempt, params)
+        return rule.hang_seconds if rule is not None else 0.0

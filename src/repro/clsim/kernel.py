@@ -76,7 +76,20 @@ class Kernel:
         self, global_size: Tuple[int, int], local_size: Tuple[int, int]
     ) -> None:
         """Check launch geometry against the plan (``clEnqueueNDRangeKernel``
-        failure modes: bad work-group shape, non-divisible global size)."""
+        failure modes: bad work-group shape, non-divisible global size).
+
+        Also the injection point for simulated enqueue failures: a fault
+        plan with ``launch`` rules makes this raise exactly where a real
+        runtime returns ``CL_OUT_OF_RESOURCES`` from the enqueue call.
+        """
+        injector = self.program.context.fault_injector
+        if injector is not None:
+            M, N, K = self.args[:3]
+            injector.check_launch(
+                self.program.context.device.codename,
+                f"{self.name}|{M}x{N}x{K}|{tuple(global_size)}",
+                params=self.params,
+            )
         p = self.params
         if tuple(local_size) != (p.mdimc, p.ndimc):
             raise LaunchError(

@@ -12,6 +12,7 @@ tuner "does not count".
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Optional
 
 from repro.clsim.context import Context
@@ -78,6 +79,7 @@ class Program:
         ``build_log`` on failure, mirroring ``CL_BUILD_PROGRAM_FAILURE``.
         """
         log_lines = [f"build options: {options!r}" if options else "build options: none"]
+        self._inject_build_faults(log_lines)
         try:
             meta = parse_any_meta(self.source)
         except BuildError as exc:
@@ -106,6 +108,26 @@ class Program:
         self._built = True
         self.build_log = "\n".join(log_lines)
         return self
+
+    def _inject_build_faults(self, log_lines: list) -> None:
+        """Consult the context's fault injector before compiling.
+
+        Mirrors a flaky compiler: the injected failure (transient or
+        permanent) lands in ``build_log`` exactly like a real diagnostic.
+        """
+        injector = self.context.fault_injector
+        if injector is None:
+            return
+        key = hashlib.blake2b(self.source.encode(), digest_size=8).hexdigest()
+        for device in self.context.devices:
+            try:
+                injector.check_build(device.codename, key)
+            except BuildError as exc:
+                self.build_log = "\n".join(log_lines + [exc.build_log])
+                raise
+            except Exception as exc:
+                self.build_log = "\n".join(log_lines + [str(exc)])
+                raise
 
     def _build_gemm(self, meta: dict, log_lines: list) -> None:
         from repro.clsim.kernel import Kernel

@@ -23,6 +23,7 @@ Execution modes
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -135,6 +136,9 @@ class CommandQueue:
         #: Simulated free-time of each hardware engine, in ns.
         self._engine_clock_ns = {"compute": 0, "transfer": 0}
         self._last_end_ns = 0
+        #: Monotonic launch counter: makes every launch's fault-injection
+        #: key unique, so a fault plan's rates apply per command.
+        self._launch_seq = 0
 
     # ------------------------------------------------------------------
     def _advance(
@@ -201,6 +205,20 @@ class CommandQueue:
         # Bulldozer PL-DGEMM execution failure.
         check_execution_quirks(spec, params)
 
+        # Injected runtime faults: hangs (real wall-clock, for the
+        # watchdog to kill), timing spikes, and silent result corruption.
+        injector = self.context.fault_injector
+        fault_key = ""
+        seconds_factor = 1.0
+        if injector is not None:
+            self._launch_seq += 1
+            fault_key = f"{M}x{N}x{K}|#{self._launch_seq}"
+            dev = self.device.codename
+            hang = injector.hang_seconds(dev, fault_key, params=params)
+            if hang > 0.0:
+                time.sleep(hang)
+            seconds_factor = injector.timing_factor(dev, fault_key, params=params)
+
         breakdown = estimate_kernel_time(
             spec, params, M, N, K, noise=self.measurement_noise
         )
@@ -210,10 +228,15 @@ class CommandQueue:
             arrays = ExecutionArrays(
                 kernel.plan, agm.flat_array, bgm.flat_array, cgm.flat_array, M, N, K
             )
-            execute_plan(kernel.plan, arrays, alpha, beta, mode=mode.value)
+            execute_plan(
+                kernel.plan, arrays, alpha, beta, mode=mode.value,
+                injector=injector, device=self.device.codename,
+                fault_key=fault_key,
+            )
 
         start, end = self._advance(
-            breakdown.total_seconds, engine="compute", wait_for=wait_for
+            breakdown.total_seconds * seconds_factor,
+            engine="compute", wait_for=wait_for,
         )
         profile = EventProfile(queued=start, submit=start, start=start, end=end)
         return Event("ndrange_kernel", profile, breakdown=breakdown)

@@ -19,6 +19,10 @@ __all__ = [
     "ResourceError",
     "LaunchError",
     "ValidationError",
+    "TransientError",
+    "DeviceLostError",
+    "MeasurementTimeout",
+    "CorruptStateError",
     "TuningError",
     "SearchInterrupted",
 ]
@@ -65,6 +69,57 @@ class LaunchError(CLError):
 
 class ValidationError(ReproError):
     """A kernel produced numerically wrong results during tuner testing."""
+
+
+class TransientError(CLError):
+    """A recoverable, non-deterministic runtime fault.
+
+    Real OpenCL stacks intermittently fail compilations and launches that
+    succeed on retry (driver resets, ICD races, ECC scrubs) — the class of
+    failure the paper's tuner silently absorbs by "not counting" failed
+    kernels (Section III-F).  The fault-injection layer raises these for
+    faults tagged transient; :mod:`repro.tuner.resilience` retries them
+    with backoff instead of discarding the candidate.
+    """
+
+    def __init__(self, message: str, fault_kind: str = "transient") -> None:
+        super().__init__(message)
+        #: The injected fault class ("build", "launch", "device_lost", ...),
+        #: used for the tuner's faults-by-class accounting.
+        self.fault_kind = fault_kind
+
+
+class DeviceLostError(TransientError):
+    """The device disappeared mid-command (``CL_DEVICE_NOT_AVAILABLE``).
+
+    The closest real-world analogue of the paper's Bulldozer PL-DGEMM
+    execution fault escalated to device scope: a driver reset or hung
+    board takes every in-flight command with it.  Tuner evaluations treat
+    it as transient (the simulated device "comes back"); the multi-device
+    GEMM layer instead drops the device from the fleet and re-partitions
+    its work onto the survivors.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, fault_kind="device_lost")
+
+
+class MeasurementTimeout(ReproError):
+    """A measurement exceeded the wall-clock watchdog budget.
+
+    Hung kernels (infinite loops from miscompiled control flow, deadlocked
+    barriers) are a standard auto-tuner hazard — CLTune-style tuners kill
+    and discount them.  Raised by the watchdog in
+    :mod:`repro.tuner.resilience`; treated as a transient failure for
+    retry purposes.
+    """
+
+
+class CorruptStateError(ReproError):
+    """A persisted state file (cache, checkpoint, database) failed
+    integrity checks — truncated JSON, a torn write, or a checksum
+    mismatch.  Loaders quarantine the offending file and resume from
+    scratch instead of crashing (see :mod:`repro.persist`)."""
 
 
 class TuningError(ReproError):

@@ -8,6 +8,13 @@ time as the slowest device plus the PCIe distribution/collection.
 
 Functionally exact: the concatenated slices equal the single-device
 result.
+
+Under fault injection the fleet is *resilient*: a device that raises
+:class:`~repro.errors.DeviceLostError` mid-batch is dropped and its
+columns (plus everything not yet computed) are re-partitioned over the
+surviving devices by their tuned-throughput weights.  When the entire
+fleet is lost the remaining columns fall back to the host reference
+GEMM, so the call still returns numerically exact results.
 """
 
 from __future__ import annotations
@@ -20,7 +27,8 @@ import numpy as np
 from repro.codegen.params import KernelParams
 from repro.devices.catalog import get_device_spec
 from repro.devices.specs import DeviceSpec
-from repro.errors import ReproError
+from repro.errors import DeviceLostError, ReproError
+from repro.gemm.reference import reference_gemm
 from repro.gemm.routine import GemmRoutine
 from repro.perfmodel.model import estimate_kernel_time, estimate_transfer_time
 from repro.tuner.pretuned import pretuned_params
@@ -55,6 +63,9 @@ class MultiDeviceResult:
     M: int
     N: int
     K: int
+    #: Devices dropped mid-batch (DeviceLostError); their columns were
+    #: re-partitioned over the survivors or the host reference path.
+    lost_devices: Tuple[str, ...] = ()
 
     @property
     def flops(self) -> float:
@@ -63,7 +74,7 @@ class MultiDeviceResult:
     @property
     def wall_seconds(self) -> float:
         """Devices run concurrently: wall time is the slowest share."""
-        return max(share.total_seconds for share in self.shares)
+        return max((share.total_seconds for share in self.shares), default=0.0)
 
     @property
     def effective_gflops(self) -> float:
@@ -84,6 +95,7 @@ class MultiDeviceGemm:
         devices: Sequence[Union[str, DeviceSpec]],
         precision: str = "d",
         params: Optional[Dict[str, KernelParams]] = None,
+        fault_injector: Optional["object"] = None,
         **routine_kwargs,
     ):
         if not devices:
@@ -94,13 +106,16 @@ class MultiDeviceGemm:
         if len({s.codename for s in self.specs}) != len(self.specs):
             raise ReproError("duplicate devices in the fleet")
         self.precision = precision
+        self.fault_injector = fault_injector
         self.routines: Dict[str, GemmRoutine] = {}
         self._weights: Dict[str, float] = {}
         for spec in self.specs:
             p = (params or {}).get(spec.codename) or pretuned_params(
                 spec.codename, precision
             )
-            self.routines[spec.codename] = GemmRoutine(spec, p, **routine_kwargs)
+            self.routines[spec.codename] = GemmRoutine(
+                spec, p, fault_injector=fault_injector, **routine_kwargs
+            )
             # Load-balancing weight: tuned throughput at the base size.
             base = 4096 if spec.is_gpu else 1536
             n = max(p.lcm, (base // p.lcm) * p.lcm)
@@ -115,17 +130,27 @@ class MultiDeviceGemm:
 
     def partition(self, N: int) -> List[Tuple[str, int, int]]:
         """Split the N columns proportionally to device throughput."""
-        total = sum(self._weights.values())
+        return self._partition_specs(self.specs, 0, N)
+
+    def _partition_specs(
+        self, specs: Sequence[DeviceSpec], start: int, stop: int
+    ) -> List[Tuple[str, int, int]]:
+        """Split the ``[start, stop)`` column range over ``specs`` by
+        weight — the full fleet initially, the survivors on rebalance."""
+        total = sum(self._weights[s.codename] for s in specs)
+        width = stop - start
         bounds: List[Tuple[str, int, int]] = []
-        start = 0
-        for i, spec in enumerate(self.specs):
-            if i == len(self.specs) - 1:
-                stop = N
+        cursor = start
+        for i, spec in enumerate(specs):
+            if i == len(specs) - 1:
+                end = stop
             else:
-                stop = start + int(round(N * self._weights[spec.codename] / total))
-                stop = min(max(stop, start), N)
-            bounds.append((spec.codename, start, stop))
-            start = stop
+                end = cursor + int(
+                    round(width * self._weights[spec.codename] / total)
+                )
+                end = min(max(end, cursor), stop)
+            bounds.append((spec.codename, cursor, end))
+            cursor = end
         return bounds
 
     def __call__(
@@ -150,27 +175,71 @@ class MultiDeviceGemm:
 
         out = np.empty((M, N), dtype=self.routines[self.specs[0].codename].dtype)
         shares: List[DeviceShare] = []
+        lost: List[str] = []
         esize = out.dtype.itemsize
-        for device, start, stop in self.partition(N):
-            if stop == start:
-                shares.append(DeviceShare(device, (start, stop), 0.0, 0.0))
-                continue
-            routine = self.routines[device]
-            b_slice = np.ascontiguousarray(b[:, start:stop])
-            c_slice = (
-                np.ascontiguousarray(c[:, start:stop]) if c is not None else None
+        active: List[DeviceSpec] = list(self.specs)
+        #: Column ranges not yet computed; grows when a device is lost.
+        remaining: List[Tuple[int, int]] = [(0, N)]
+        while remaining and active:
+            segments, remaining = remaining, []
+            for seg_start, seg_stop in segments:
+                for device, start, stop in self._partition_specs(
+                    active, seg_start, seg_stop
+                ):
+                    if stop == start:
+                        shares.append(DeviceShare(device, (start, stop), 0.0, 0.0))
+                        continue
+                    try:
+                        shares.append(
+                            self._run_slice(
+                                device, a, b, c, alpha, beta, start, stop,
+                                out, M, K, esize,
+                            )
+                        )
+                    except DeviceLostError:
+                        # Drop the device; its columns rejoin the queue and
+                        # are re-partitioned over the survivors by weight.
+                        lost.append(device)
+                        active = [s for s in active if s.codename != device]
+                        remaining.append((start, stop))
+        for start, stop in remaining:
+            # The whole fleet is gone: exact but unaccelerated host path.
+            c_slice = c[:, start:stop] if c is not None else None
+            out[:, start:stop] = reference_gemm(
+                "N", "N", alpha, a, b[:, start:stop], beta, c_slice
             )
-            result = routine(a, b_slice, c_slice, alpha=alpha, beta=beta)
-            out[:, start:stop] = result.c
-            # Distribution: full A + the B slice in; collection: C slice out.
-            spec = routine.device.spec
-            xfer = estimate_transfer_time(
-                spec, float((M * K + K * (stop - start)) * esize)
-            ) + estimate_transfer_time(spec, float(M * (stop - start) * esize))
-            shares.append(
-                DeviceShare(device, (start, stop), result.timings.total_s, xfer)
-            )
-        return MultiDeviceResult(out, tuple(shares), M, N, K)
+        return MultiDeviceResult(
+            out, tuple(shares), M, N, K, lost_devices=tuple(lost)
+        )
+
+    def _run_slice(
+        self,
+        device: str,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: Optional[np.ndarray],
+        alpha: float,
+        beta: float,
+        start: int,
+        stop: int,
+        out: np.ndarray,
+        M: int,
+        K: int,
+        esize: int,
+    ) -> DeviceShare:
+        routine = self.routines[device]
+        b_slice = np.ascontiguousarray(b[:, start:stop])
+        c_slice = (
+            np.ascontiguousarray(c[:, start:stop]) if c is not None else None
+        )
+        result = routine(a, b_slice, c_slice, alpha=alpha, beta=beta)
+        out[:, start:stop] = result.c
+        # Distribution: full A + the B slice in; collection: C slice out.
+        spec = routine.device.spec
+        xfer = estimate_transfer_time(
+            spec, float((M * K + K * (stop - start)) * esize)
+        ) + estimate_transfer_time(spec, float(M * (stop - start) * esize))
+        return DeviceShare(device, (start, stop), result.timings.total_s, xfer)
 
     def describe(self) -> str:
         lines = [f"fleet of {len(self.specs)} devices "

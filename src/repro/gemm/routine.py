@@ -137,10 +137,13 @@ class GemmRoutine:
         execution_mode: ExecutionMode = ExecutionMode.AUTO,
         measurement_noise: bool = True,
         binary_cache: Optional["object"] = None,
+        fault_injector: Optional["object"] = None,
     ):
         self.device = _resolve_device(device)
         self.params = params
-        self.context = cl.Context([self.device])
+        #: Optional :class:`repro.clsim.faults.FaultInjector`: the whole
+        #: routine (pack kernels included) then runs under its fault plan.
+        self.context = cl.Context([self.device], fault_injector=fault_injector)
         self.queue = cl.CommandQueue(
             self.context,
             self.device,

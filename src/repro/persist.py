@@ -1,0 +1,142 @@
+"""Crash-safe JSON persistence for tuner state.
+
+Every file the tuning pipeline persists — the measurement cache, search
+checkpoints, the tuned-kernel database — is written through
+:func:`dump_json_atomic`: serialise to a temporary file in the same
+directory, ``fsync`` it, then ``os.replace`` over the destination.  A
+``SIGKILL`` (or power cut, modulo disk caches) at any instant therefore
+leaves either the previous complete file or the new complete file, never
+a torn one.
+
+Corruption that slips through anyway (a partial write from an older
+version, bit rot, a foreign truncated file) is caught on load:
+:func:`load_json_checked` verifies an embedded BLAKE2b checksum and
+tolerates undecodable or zero-byte files by *quarantining* them — the bad
+file is renamed to ``<path>.corrupt`` and the loader reports "no state"
+so the caller starts fresh, instead of aborting the run with a
+``json.JSONDecodeError``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+__all__ = [
+    "CHECKSUM_KEY",
+    "payload_checksum",
+    "dump_json_atomic",
+    "load_json_checked",
+    "quarantine_file",
+]
+
+#: Top-level key carrying the integrity checksum inside persisted objects.
+CHECKSUM_KEY = "checksum"
+
+
+def payload_checksum(payload: dict) -> str:
+    """BLAKE2b digest of the payload's canonical JSON form.
+
+    The checksum key itself is excluded, so verification recomputes the
+    digest of exactly what was checksummed at write time regardless of
+    on-disk formatting (indentation, key order).
+    """
+    body = {k: v for k, v in payload.items() if k != CHECKSUM_KEY}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+def dump_json_atomic(
+    path: str,
+    payload: dict,
+    indent: Optional[int] = None,
+    fsync: bool = True,
+    checksum: bool = True,
+) -> str:
+    """Atomically persist ``payload`` as JSON at ``path``.
+
+    Write-tmp -> flush -> fsync -> rename: a crash mid-write leaves the
+    previous file intact, a crash mid-rename is resolved by the
+    filesystem (``os.replace`` is atomic), and the fsync bounds the
+    window in which a completed rename can still lose data to the page
+    cache.  With ``checksum`` (default), an integrity digest is embedded
+    under :data:`CHECKSUM_KEY` for :func:`load_json_checked` to verify.
+    """
+    if checksum:
+        payload = dict(payload)
+        payload[CHECKSUM_KEY] = payload_checksum(payload)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=indent, sort_keys=True)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        # Persist the directory entry too, so the rename itself survives.
+        dirname = os.path.dirname(os.path.abspath(path))
+        try:
+            dir_fd = os.open(dirname, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return path
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    return path
+
+
+def quarantine_file(path: str) -> str:
+    """Move a corrupt state file aside (to ``<path>.corrupt``).
+
+    Quarantining instead of deleting keeps the evidence for post-mortems
+    while guaranteeing the next load starts from a clean slate.  An
+    existing quarantine file is overwritten (latest corruption wins).
+    """
+    target = path + ".corrupt"
+    os.replace(path, target)
+    return target
+
+
+def load_json_checked(path: str, quarantine: bool = True) -> Optional[dict]:
+    """Load a JSON state file, tolerating corruption.
+
+    Returns the decoded payload, or ``None`` when the file is missing,
+    empty, undecodable, not a JSON object, or fails its embedded
+    checksum — after renaming the bad file to ``<path>.corrupt`` (unless
+    ``quarantine=False``).  Payloads without a checksum entry (written
+    before integrity checking existed) load as-is.
+
+    Callers interpret ``None`` as "no persisted state": a tuner resumes
+    from scratch rather than crashing on a torn file.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return None
+    corrupt_reason: Optional[str] = None
+    payload: Optional[dict] = None
+    if not raw.strip():
+        corrupt_reason = "empty file"
+    else:
+        try:
+            decoded = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            corrupt_reason = f"undecodable JSON ({exc})"
+        else:
+            if not isinstance(decoded, dict):
+                corrupt_reason = "top-level value is not an object"
+            else:
+                payload = decoded
+    if payload is not None and CHECKSUM_KEY in payload:
+        if payload[CHECKSUM_KEY] != payload_checksum(payload):
+            corrupt_reason = "checksum mismatch"
+            payload = None
+    if corrupt_reason is not None:
+        if quarantine:
+            quarantine_file(path)
+        return None
+    return payload

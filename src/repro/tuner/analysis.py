@@ -43,6 +43,19 @@ def render_stats(stats: TuningStats) -> str:
         f"(generation {stats.failed_generation}, build {stats.failed_build}, "
         f"launch {stats.failed_launch}); {stats.failed_validation} failed validation",
     ]
+    if (
+        stats.retries or stats.timeouts or stats.quarantined
+        or stats.failed_transient or stats.faults_by_class
+    ):
+        by_class = ", ".join(
+            f"{kind} {count}"
+            for kind, count in sorted(stats.faults_by_class.items())
+        ) or "none"
+        lines.append(
+            f"  resilience   : {stats.retries} retries, {stats.timeouts} timeouts, "
+            f"{stats.quarantined} quarantined, "
+            f"{stats.failed_transient} exhausted budgets; faults: {by_class}"
+        )
     if stats.cache_hits or stats.cache_misses:
         lines.append(
             f"  cache        : {stats.cache_hit_rate:.1%} hit rate "

@@ -26,13 +26,13 @@ measurements no longer describe the kernels being tuned).
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.codegen.emitter import GENERATOR_VERSION
 from repro.codegen.params import KernelParams
+from repro.persist import dump_json_atomic, load_json_checked
 
 __all__ = ["CacheStats", "CachedMeasurement", "MeasurementCache", "params_digest"]
 
@@ -77,6 +77,9 @@ class CachedMeasurement:
     #: ``None`` for a successful measurement, else one of the paper's
     #: failure categories: ``"generation"``, ``"build"``, ``"launch"``.
     failure: Optional[str] = None
+    #: Compiler diagnostics captured with a ``"build"`` failure, so warm
+    #: runs replay the log without rebuilding the kernel.
+    build_log: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -85,12 +88,19 @@ class CachedMeasurement:
     def to_jsonable(self):
         if self.ok:
             return self.gflops
-        return {"failure": self.failure}
+        d = {"failure": self.failure}
+        if self.build_log is not None:
+            d["build_log"] = self.build_log
+        return d
 
     @classmethod
     def from_jsonable(cls, raw) -> "CachedMeasurement":
         if isinstance(raw, dict):
-            return cls(failure=str(raw["failure"]))
+            log = raw.get("build_log")
+            return cls(
+                failure=str(raw["failure"]),
+                build_log=str(log) if log is not None else None,
+            )
         return cls(gflops=float(raw))
 
 
@@ -172,16 +182,19 @@ class MeasurementCache:
                 key: entry.to_jsonable() for key, entry in self._entries.items()
             },
         }
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, sort_keys=True)
-        os.replace(tmp, path)
+        # Crash-safe write: tmp + fsync + atomic rename + checksum, so a
+        # SIGKILL mid-save never leaves an unloadable cache.
+        dump_json_atomic(path, payload)
         self.path = path
         return path
 
     def load(self, path: str) -> None:
-        with open(path, encoding="utf-8") as fh:
-            payload = json.load(fh)
+        payload = load_json_checked(path)
+        if payload is None:
+            # Missing / truncated / corrupt (now quarantined to
+            # ``<path>.corrupt``): start with an empty cache.
+            self.path = path
+            return
         if payload.get("format") != CACHE_FORMAT:
             raise ValueError(f"{path} is not a measurement cache")
         entries = payload.get("entries", {})

@@ -8,12 +8,12 @@ same pattern ATLAS and clBLAS use for their tuned parameter stores.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.codegen.params import KernelParams
+from repro.persist import dump_json_atomic, load_json_checked
 from repro.tuner.search import TuningResult
 
 __all__ = ["TunedKernelRecord", "ResultsDatabase"]
@@ -111,16 +111,17 @@ class ResultsDatabase:
             "format": "repro-tuned-kernels/1",
             "records": [r.to_dict() for r in self._records.values()],
         }
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-        os.replace(tmp, path)
+        # Crash-safe write: tmp + fsync + atomic rename + checksum.
+        dump_json_atomic(path, payload, indent=2)
         self.path = path
         return path
 
     def load(self, path: str) -> None:
-        with open(path, encoding="utf-8") as fh:
-            payload = json.load(fh)
+        payload = load_json_checked(path)
+        if payload is None:
+            # Missing / truncated / corrupt (quarantined): empty database.
+            self.path = path
+            return
         if payload.get("format") != "repro-tuned-kernels/1":
             raise ValueError(f"{path} is not a tuned-kernel database")
         for entry in payload["records"]:

@@ -24,7 +24,7 @@ import itertools
 import json
 import os
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -33,9 +33,22 @@ from repro.codegen.params import KernelParams
 from repro.codegen.space import SpaceRestrictions, enumerate_space
 from repro.devices.catalog import get_device_spec
 from repro.devices.specs import DeviceSpec
-from repro.errors import SearchInterrupted, TuningError, ValidationError
-from repro.tuner.cache import CachedMeasurement, MeasurementCache
+from repro.errors import (
+    MeasurementTimeout,
+    SearchInterrupted,
+    TransientError,
+    TuningError,
+    ValidationError,
+)
+from repro.persist import dump_json_atomic, load_json_checked
+from repro.tuner.cache import CachedMeasurement, MeasurementCache, params_digest
 from repro.tuner.parallel import CandidateEvaluator, EvalOutcome, EvalTask, measure_once
+from repro.tuner.resilience import (
+    Quarantine,
+    ResilienceConfig,
+    call_with_timeout,
+    run_with_retry,
+)
 
 __all__ = [
     "TuningConfig",
@@ -101,7 +114,15 @@ class TuningStats:
     failed_build: int = 0
     failed_launch: int = 0
     failed_validation: int = 0
+    #: Candidates whose evaluation exhausted the transient-retry budget.
+    failed_transient: int = 0
     refined: int = 0
+    #: Resilience-layer accounting (all zero without fault injection).
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    #: Absorbed fault events by class, e.g. {"build": 12, "timing": 3}.
+    faults_by_class: Dict[str, int] = field(default_factory=dict)
     #: Evaluations answered by the measurement cache / sent to workers.
     cache_hits: int = 0
     cache_misses: int = 0
@@ -118,7 +139,10 @@ class TuningStats:
     @property
     def pruned(self) -> int:
         """Candidates discarded before scoring (all failure categories)."""
-        return self.failed_generation + self.failed_build + self.failed_launch
+        return (
+            self.failed_generation + self.failed_build + self.failed_launch
+            + self.failed_transient
+        )
 
     @property
     def cache_hit_rate(self) -> float:
@@ -150,8 +174,11 @@ class TuningStats:
 
     @classmethod
     def from_dict(cls, d: Dict[str, float]) -> "TuningStats":
-        fields = {f for f in cls().__dict__}
-        return cls(**{k: v for k, v in d.items() if k in fields})
+        names = {f for f in cls().__dict__}
+        kwargs = {k: v for k, v in d.items() if k in names}
+        if "faults_by_class" in kwargs:
+            kwargs["faults_by_class"] = dict(kwargs["faults_by_class"])
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -219,6 +246,12 @@ class SearchEngine:
         Write progress checkpoints at least every ``checkpoint_every``
         stage-1 candidates (and per stage-2 finalist); with ``resume``,
         a matching checkpoint restarts the search where it stopped.
+    ``injector`` / ``resilience``
+        A :class:`repro.clsim.faults.FaultInjector` chaos plan and the
+        :class:`~repro.tuner.resilience.ResilienceConfig` that absorbs
+        it: transient faults retried with backoff, hung measurements
+        killed by a watchdog, timings aggregated median-of-k, and
+        persistently flaky candidates quarantined.
     """
 
     def __init__(
@@ -234,6 +267,8 @@ class SearchEngine:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 500,
         resume: bool = False,
+        injector=None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
         if precision not in ("s", "d"):
@@ -247,6 +282,12 @@ class SearchEngine:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = max(1, int(checkpoint_every))
         self.resume = resume
+        self.injector = injector
+        self.resilience = resilience
+        if injector is not None and resilience is None:
+            self.resilience = ResilienceConfig()
+        #: Candidates demoted for flaking out (exhausted retry budgets).
+        self.quarantine = Quarantine()
         #: Testing/abort hook: raise :class:`SearchInterrupted` (after
         #: flushing a checkpoint) once this many stage-1 candidates have
         #: been consumed.  ``None`` disables the hook.
@@ -256,6 +297,8 @@ class SearchEngine:
             noise=self.config.measurement_noise,
             workers=self.workers,
             kind=executor_kind,
+            injector=injector,
+            resilience=self.resilience,
         )
 
     # ------------------------------------------------------------------
@@ -318,12 +361,18 @@ class SearchEngine:
             self.spec, params, M, N, K, noise=self.config.measurement_noise
         )
 
-    def verify(self, params: KernelParams, rng: np.random.Generator) -> None:
+    def verify(
+        self, params: KernelParams, rng: np.random.Generator, attempt: int = 0
+    ) -> None:
         """Functionally test one kernel against the reference GEMM.
 
         Executes the kernel through the full simulator stack (source ->
         program -> buffers -> ND-range) at the smallest launchable size
-        and raises :class:`ValidationError` on numerical mismatch.
+        and raises :class:`ValidationError` on numerical mismatch.  Under
+        fault injection the whole stack sees the engine's injector, so a
+        verify can absorb (and the retry loop re-roll) build/launch/
+        device-lost faults — ``attempt`` salts every decision because a
+        retry re-runs the entire phase, not a single keyed site.
         """
         import repro.clsim as cl
         from repro.codegen.emitter import emit_kernel_source
@@ -338,7 +387,10 @@ class SearchEngine:
         alpha, beta = dtype(1.5), dtype(-0.5)
 
         device = cl.Device(self.spec)
-        ctx = cl.Context([device])
+        injector = None
+        if self.injector is not None:
+            injector = self.injector.salted(f"verify|{attempt}")
+        ctx = cl.Context([device], fault_injector=injector)
         queue = cl.CommandQueue(ctx, device, measurement_noise=False)
         if params.use_images:
             # Image kernels read operands as 2-D textures.
@@ -358,11 +410,44 @@ class SearchEngine:
         reference = alpha * (a.T @ b) + beta * c
         tolerance = 1e-10 if params.precision == "d" else 1e-4
         error = relative_error(result, reference)
-        if error > tolerance:
+        # NaN-corrupted output gives a NaN error, which every ordered
+        # comparison lets through: test for "within tolerance", not "over".
+        if not (error <= tolerance):
             raise ValidationError(
                 f"kernel produced wrong results (relative error {error:.2e}): "
                 f"{params.summary()}"
             )
+
+    def _verify_resilient(
+        self, params: KernelParams, rng: np.random.Generator
+    ) -> None:
+        """Run :meth:`verify` under the retry/watchdog policies.
+
+        Without a resilience config this is a plain verify (bit-identical
+        to the non-resilient engine).  With one, transient faults and
+        watchdog timeouts are retried with backoff; the exhausted failure
+        propagates for the caller to quarantine.
+        """
+        if self.resilience is None:
+            self.verify(params, rng)
+            return
+
+        def one_attempt(attempt: int) -> None:
+            if attempt:
+                self.stats.retries += 1
+            call_with_timeout(
+                lambda: self.verify(params, rng, attempt=attempt),
+                self.resilience.measure_timeout_s,
+            )
+
+        def on_fault(kind: str) -> None:
+            self.stats.faults_by_class[kind] = (
+                self.stats.faults_by_class.get(kind, 0) + 1
+            )
+            if kind == "timeout":
+                self.stats.timeouts += 1
+
+        run_with_retry(one_attempt, self.resilience, on_fault=on_fault)
 
     # -- batched evaluation with cache layering --------------------------
     def _evaluate_batch(self, tasks: Sequence[EvalTask]) -> List[EvalOutcome]:
@@ -386,6 +471,7 @@ class SearchEngine:
                     outcomes[i] = EvalOutcome(
                         task.params, task.shape,
                         gflops=hit.gflops, failure=hit.failure, cached=True,
+                        build_log=hit.build_log,
                     )
                 else:
                     self.stats.cache_misses += 1
@@ -395,14 +481,29 @@ class SearchEngine:
         fresh = self._evaluator.evaluate([tasks[i] for i in missing])
         for i, outcome in zip(missing, fresh):
             outcomes[i] = outcome
-            if self.cache is not None:
+            if self.cache is not None and self._cacheable(outcome):
                 M, N, K = outcome.shape
                 self.cache.put(
                     self.spec.codename, self.precision, outcome.params, M, N, K,
-                    CachedMeasurement(gflops=outcome.gflops, failure=outcome.failure),
+                    CachedMeasurement(
+                        gflops=outcome.gflops, failure=outcome.failure,
+                        build_log=outcome.build_log,
+                    ),
                     self.config.measurement_noise,
                 )
         return outcomes  # type: ignore[return-value]
+
+    @staticmethod
+    def _cacheable(outcome: EvalOutcome) -> bool:
+        """Whether an outcome is a durable property of the kernel.
+
+        Exhausted-retry/timeout failures and plan-injected failures are
+        artifacts of the fault plan, not the kernel — persisting them
+        would poison warm runs under a different (or no) plan.
+        """
+        if outcome.injected:
+            return False
+        return outcome.failure not in ("transient", "timeout")
 
     def _tally_failure(self, outcome: EvalOutcome) -> None:
         if outcome.failure == "generation":
@@ -411,6 +512,28 @@ class SearchEngine:
             self.stats.failed_build += 1
         elif outcome.failure == "launch":
             self.stats.failed_launch += 1
+        elif outcome.failure in ("transient", "timeout"):
+            self.stats.failed_transient += 1
+
+    def _tally_resilience(self, outcome: EvalOutcome) -> None:
+        """Fold one outcome's retry/fault telemetry into the stats and
+        demote candidates that exhausted their retry budget."""
+        self.stats.retries += outcome.retries
+        for kind in outcome.faults:
+            self.stats.faults_by_class[kind] = (
+                self.stats.faults_by_class.get(kind, 0) + 1
+            )
+            if kind == "timeout":
+                self.stats.timeouts += 1
+        if outcome.failure in ("transient", "timeout"):
+            if self.quarantine.demote(
+                params_digest(outcome.params),
+                f"exhausted retries ({outcome.failure}: {outcome.faults})",
+            ):
+                self.stats.quarantined += 1
+
+    def _allowed(self, params: KernelParams) -> bool:
+        return self.quarantine.allows(params_digest(params))
 
     # -- checkpointing ---------------------------------------------------
     def _fingerprint(self) -> str:
@@ -426,6 +549,16 @@ class SearchEngine:
                 "config": asdict(self.config),
                 "restrictions": asdict(self.restrictions),
                 "generator": GENERATOR_VERSION,
+                # A checkpoint taken under one fault plan / resilience
+                # policy must not resume a search under another.
+                "faults": (
+                    self.injector.plan.digest()
+                    if self.injector is not None else None
+                ),
+                "resilience": (
+                    self.resilience.to_dict()
+                    if self.resilience is not None else None
+                ),
             },
             sort_keys=True,
             default=str,
@@ -442,19 +575,21 @@ class SearchEngine:
             "stats": self.stats.as_dict(),
         }
         payload.update(extra)
-        tmp = self.checkpoint_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, self.checkpoint_path)
+        # Crash-safe: tmp + fsync + atomic rename + checksum.  A SIGKILL
+        # at any instant leaves either the previous checkpoint or the new
+        # one — never a torn file.
+        dump_json_atomic(self.checkpoint_path, payload)
         self.stats.checkpoints += 1
 
     def _load_checkpoint(self) -> Optional[Dict]:
         if not (self.resume and self.checkpoint_path):
             return None
-        if not os.path.exists(self.checkpoint_path):
+        # Truncated / zero-byte / corrupt checkpoints quarantine to
+        # ``<path>.corrupt`` and the search restarts from scratch rather
+        # than crashing.
+        payload = load_json_checked(self.checkpoint_path)
+        if payload is None:
             return None
-        with open(self.checkpoint_path, encoding="utf-8") as fh:
-            payload = json.load(fh)
         if payload.get("format") != CHECKPOINT_FORMAT:
             return None
         if payload.get("fingerprint") != self._fingerprint():
@@ -502,10 +637,13 @@ class SearchEngine:
             tasks = [EvalTask(p, self.base_shape(p)) for p in batch]
             for outcome in self._evaluate_batch(tasks):
                 self.stats.generated += 1
+                self._tally_resilience(outcome)
                 if not outcome.ok:
                     self._tally_failure(outcome)
                     continue
                 self.stats.measured += 1
+                if not self._allowed(outcome.params):
+                    continue
                 mk = MeasuredKernel(outcome.params, max(outcome.shape), outcome.gflops)
                 scored.append(mk)
                 if progress is not None:
@@ -526,6 +664,9 @@ class SearchEngine:
                 raise SearchInterrupted(
                     f"stage-1 search aborted after {consumed} candidates"
                 )
+        # Retroactive exclusion: a candidate quarantined by a later batch
+        # must not survive on the strength of an earlier clean score.
+        scored = [mk for mk in scored if self._allowed(mk.params)]
         scored.sort(key=lambda mk: mk.gflops, reverse=True)
         return scored[: self.config.top_k]
 
@@ -557,9 +698,12 @@ class SearchEngine:
                 improved: Optional[MeasuredKernel] = None
                 for outcome in self._evaluate_batch(tasks):
                     self.stats.generated += 1
+                    self._tally_resilience(outcome)
                     if not outcome.ok:
                         continue
                     self.stats.measured += 1
+                    if not self._allowed(outcome.params):
+                        continue
                     self.stats.refined += 1
                     mk = MeasuredKernel(
                         outcome.params, max(outcome.shape), outcome.gflops
@@ -570,7 +714,8 @@ class SearchEngine:
                 if improved is None or improved.gflops <= current.gflops:
                     break
                 current = improved
-        out = sorted(refined.values(), key=lambda mk: mk.gflops, reverse=True)
+        out = [mk for mk in refined.values() if self._allowed(mk.params)]
+        out.sort(key=lambda mk: mk.gflops, reverse=True)
         return out[: self.config.top_k]
 
     def _finalist_sweep(self, params: KernelParams) -> List[Tuple[int, int, int]]:
@@ -601,11 +746,11 @@ class SearchEngine:
             ]
         for mk in finalists[len(recorded):]:
             tasks = [EvalTask(mk.params, s) for s in self._finalist_sweep(mk.params)]
-            series = [
-                MeasuredKernel(oc.params, max(oc.shape), oc.gflops)
-                for oc in self._evaluate_batch(tasks)
-                if oc.ok
-            ]
+            series = []
+            for oc in self._evaluate_batch(tasks):
+                self._tally_resilience(oc)
+                if oc.ok:
+                    series.append(MeasuredKernel(oc.params, max(oc.shape), oc.gflops))
             recorded.append(series)
             if self.checkpoint_path:
                 self._write_checkpoint(
@@ -615,10 +760,12 @@ class SearchEngine:
                         "swept": [[m.to_dict() for m in s] for s in recorded],
                     },
                 )
+        # A finalist that started flaking during the sweep is demoted even
+        # though its stage-1 score survived — not trusted, not ranked.
         swept = [
             (max(series, key=lambda m: m.gflops), series)
             for series in recorded
-            if series
+            if series and self._allowed(series[0].params)
         ]
         swept.sort(key=lambda pair: pair[0].gflops, reverse=True)
         return swept
@@ -674,9 +821,20 @@ class SearchEngine:
         for rank, (best_point, series) in enumerate(swept):
             if rank < self.config.verify_finalists:
                 try:
-                    self.verify(best_point.params, rng)
+                    self._verify_resilient(best_point.params, rng)
                 except ValidationError:
                     self.stats.failed_validation += 1
+                    continue
+                except (TransientError, MeasurementTimeout):
+                    # The finalist flaked through the whole retry budget
+                    # during verification: demote it and fall through to
+                    # the next-ranked finalist.
+                    self.stats.failed_transient += 1
+                    if self.quarantine.demote(
+                        params_digest(best_point.params),
+                        "exhausted retries during finalist verification",
+                    ):
+                        self.stats.quarantined += 1
                     continue
             chosen = (best_point, series)
             break

@@ -1,0 +1,194 @@
+"""Crash-safe persistence: a SIGKILL never leaves an unloadable file."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.persist import (
+    CHECKSUM_KEY,
+    dump_json_atomic,
+    load_json_checked,
+    payload_checksum,
+)
+from repro.tuner.cache import CachedMeasurement, MeasurementCache
+from repro.tuner.results import ResultsDatabase
+from repro.tuner.search import SearchEngine, TuningConfig
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+QUICK = TuningConfig(budget=200, verify_finalists=1, top_k=8)
+
+
+class TestAtomicDump:
+    def test_round_trip_with_checksum(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        dump_json_atomic(path, {"a": 1, "b": [2, 3]})
+        payload = load_json_checked(path)
+        assert payload["a"] == 1 and payload["b"] == [2, 3]
+        assert payload[CHECKSUM_KEY] == payload_checksum(payload)
+
+    def test_no_tmp_residue(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        dump_json_atomic(path, {"x": 1})
+        assert not os.path.exists(path + ".tmp")
+
+    def test_missing_file_is_no_state(self, tmp_path):
+        assert load_json_checked(str(tmp_path / "absent.json")) is None
+
+    @pytest.mark.parametrize("content", ["", "   ", '{"trunca', "[1, 2, 3]",
+                                         '"just a string"'])
+    def test_bad_content_quarantined(self, tmp_path, content):
+        path = str(tmp_path / "state.json")
+        with open(path, "w") as fh:
+            fh.write(content)
+        assert load_json_checked(path) is None
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        dump_json_atomic(path, {"value": 1})
+        payload = json.load(open(path))
+        payload["value"] = 2  # tamper without fixing the checksum
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        assert load_json_checked(path) is None
+        assert os.path.exists(path + ".corrupt")
+
+    def test_legacy_files_without_checksum_load(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        with open(path, "w") as fh:
+            json.dump({"format": "old", "data": 7}, fh)
+        assert load_json_checked(path) == {"format": "old", "data": 7}
+
+
+_WRITER = """
+import itertools, sys
+sys.path.insert(0, {src!r})
+from repro.persist import dump_json_atomic
+path = sys.argv[1]
+for i in itertools.count():
+    dump_json_atomic(path, {{"format": "kill-test", "i": i,
+                             "pad": "x" * 8192}})
+"""
+
+
+class TestKillDuringWrite:
+    def test_sigkill_mid_write_never_corrupts(self, tmp_path):
+        """Kill a process that is rewriting a state file in a tight loop,
+        at several points in time; the file must always load as either a
+        complete old or complete new payload — never raise, never tear."""
+        path = str(tmp_path / "state.json")
+        script = _WRITER.format(src=os.path.abspath(SRC))
+        for round_no in range(4):
+            proc = subprocess.Popen([sys.executable, "-c", script, path])
+            try:
+                deadline = time.time() + 10.0
+                while not os.path.exists(path) and time.time() < deadline:
+                    time.sleep(0.005)
+                time.sleep(0.02 + 0.03 * round_no)
+            finally:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait()
+            payload = load_json_checked(path)
+            assert payload is not None, "state file torn by SIGKILL"
+            assert payload["format"] == "kill-test"
+            assert payload["pad"] == "x" * 8192
+            assert not os.path.exists(path + ".corrupt")
+
+
+class TestCacheCrashTolerance:
+    def test_zero_byte_cache_loads_empty(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        open(path, "w").close()
+        cache = MeasurementCache(path)
+        assert len(cache) == 0
+        assert os.path.exists(path + ".corrupt")
+
+    def test_truncated_cache_loads_empty_and_quarantines(self, tmp_path):
+        from tests.conftest import make_params
+
+        path = str(tmp_path / "cache.json")
+        cache = MeasurementCache(path)
+        cache.put("tahiti", "d", make_params(), 64, 64, 64,
+                  CachedMeasurement(gflops=100.0))
+        cache.save()
+        blob = open(path).read()
+        with open(path, "w") as fh:
+            fh.write(blob[: len(blob) // 2])
+        reloaded = MeasurementCache(path)
+        assert len(reloaded) == 0
+        assert os.path.exists(path + ".corrupt")
+
+    def test_intact_cache_round_trips(self, tmp_path):
+        from tests.conftest import make_params
+
+        path = str(tmp_path / "cache.json")
+        cache = MeasurementCache(path)
+        cache.put("tahiti", "d", make_params(), 64, 64, 64,
+                  CachedMeasurement(gflops=100.0))
+        cache.put("tahiti", "d", make_params(mwg=32), 64, 64, 64,
+                  CachedMeasurement(failure="build", build_log="boom"))
+        cache.save()
+        reloaded = MeasurementCache(path)
+        assert reloaded._entries == cache._entries
+
+    def test_wrong_format_still_rejected(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        dump_json_atomic(path, {"format": "something-else", "entries": {}})
+        with pytest.raises(ValueError, match="not a measurement cache"):
+            MeasurementCache(path)
+
+
+class TestResultsDatabaseCrashTolerance:
+    def test_truncated_database_loads_empty(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        with open(path, "w") as fh:
+            fh.write('{"format": "repro-tuned-ker')
+        db = ResultsDatabase(path)
+        assert len(db) == 0
+        assert os.path.exists(path + ".corrupt")
+
+
+class TestCheckpointCrashTolerance:
+    @pytest.mark.parametrize("content", ["", '{"format": "repro-tuner-che'])
+    def test_corrupt_checkpoint_restarts_from_scratch(
+        self, tahiti, tmp_path, content
+    ):
+        """Satellite regression: a truncated or zero-byte checkpoint is
+        quarantined and the search completes from scratch — same winner
+        as a run that never had a checkpoint."""
+        path = str(tmp_path / "search.ckpt")
+        with open(path, "w") as fh:
+            fh.write(content)
+        clean = SearchEngine(tahiti, "d", QUICK).run()
+        resumed = SearchEngine(
+            tahiti, "d", QUICK, checkpoint_path=path, resume=True
+        ).run()
+        assert resumed.best.params == clean.best.params
+        assert resumed.stats.resumed == 0  # nothing to resume from
+        assert os.path.exists(path + ".corrupt")
+
+    def test_checkpoints_carry_checksums(self, tahiti, tmp_path):
+        from repro.errors import SearchInterrupted
+
+        path = str(tmp_path / "search.ckpt")
+        engine = SearchEngine(
+            tahiti, "d", QUICK, checkpoint_path=path, checkpoint_every=40
+        )
+        engine.abort_after = 80
+        with pytest.raises(SearchInterrupted):
+            engine.run()
+        payload = json.load(open(path))
+        assert payload[CHECKSUM_KEY] == payload_checksum(payload)
+        # And the checkpoint still resumes to the uninterrupted winner.
+        clean = SearchEngine(tahiti, "d", QUICK).run()
+        resumed = SearchEngine(
+            tahiti, "d", QUICK, checkpoint_path=path, resume=True
+        ).run()
+        assert resumed.best.params == clean.best.params

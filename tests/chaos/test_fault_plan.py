@@ -1,0 +1,181 @@
+"""Seeded fault plans: determinism, serialisation, and rule scoping."""
+
+import json
+
+import pytest
+
+from repro.clsim.faults import CANNED_PLANS, FaultInjector, FaultPlan, FaultRule
+from repro.errors import BuildError, DeviceLostError, LaunchError, TransientError
+
+from tests.conftest import make_params
+
+
+def _plan(**rule_overrides) -> FaultPlan:
+    defaults = dict(kind="build", rate=0.2)
+    defaults.update(rule_overrides)
+    return FaultPlan(seed=7, rules=(FaultRule(**defaults),))
+
+
+class TestPlanDeterminism:
+    def test_equal_plans_make_identical_decisions(self):
+        a = FaultInjector(_plan())
+        b = FaultInjector(_plan())
+        decisions_a = [a.fires("build", "tahiti", f"k{i}") for i in range(500)]
+        decisions_b = [b.fires("build", "tahiti", f"k{i}") for i in range(500)]
+        assert decisions_a == decisions_b
+        # The rate is honoured approximately over many sites.
+        hits = sum(1 for d in decisions_a if d is not None)
+        assert 50 < hits < 150  # 20% of 500, generous window
+
+    def test_seed_reshuffles_decisions(self):
+        base = FaultInjector(_plan())
+        other = FaultInjector(_plan().with_seed(8))
+        keys = [f"k{i}" for i in range(300)]
+        assert [base.fires("build", "tahiti", k) for k in keys] != [
+            other.fires("build", "tahiti", k) for k in keys
+        ]
+
+    def test_decisions_are_stateless(self):
+        """Asking twice (or in any order) never changes an answer."""
+        inj = FaultInjector(_plan())
+        first = inj.fires("build", "tahiti", "k1")
+        for _ in range(10):
+            inj.fires("build", "tahiti", "k2")
+            assert inj.fires("build", "tahiti", "k1") == first
+
+    def test_salt_rerolls_decisions(self):
+        inj = FaultInjector(_plan(rate=0.5))
+        keys = [f"k{i}" for i in range(200)]
+        plain = [inj.fires("build", "t", k) is not None for k in keys]
+        salted = [
+            inj.salted("verify|1").fires("build", "t", k) is not None
+            for k in keys
+        ]
+        assert plain != salted
+
+    def test_transient_rules_reroll_per_attempt(self):
+        inj = FaultInjector(_plan(rate=0.5, transient=True))
+        keys = [f"k{i}" for i in range(200)]
+        a0 = [inj.fires("build", "t", k, attempt=0) is not None for k in keys]
+        a1 = [inj.fires("build", "t", k, attempt=1) is not None for k in keys]
+        assert a0 != a1
+
+    def test_persistent_rules_ignore_attempt(self):
+        inj = FaultInjector(_plan(rate=0.5, transient=False))
+        for i in range(100):
+            key = f"k{i}"
+            expected = inj.fires("build", "t", key, attempt=0)
+            for attempt in range(1, 5):
+                assert inj.fires("build", "t", key, attempt=attempt) == expected
+
+    def test_injector_survives_pickling(self):
+        import pickle
+
+        inj = FaultInjector(_plan(), salt="s")
+        copy = pickle.loads(pickle.dumps(inj))
+        keys = [f"k{i}" for i in range(100)]
+        assert [inj.fires("build", "t", k) for k in keys] == [
+            copy.fires("build", "t", k) for k in keys
+        ]
+
+
+class TestPlanSerialisation:
+    def test_round_trip_preserves_digest(self):
+        plan = FaultPlan(
+            seed=3,
+            rules=(
+                FaultRule(kind="launch", rate=0.1),
+                FaultRule(kind="timing", rate=0.05, magnitude=4.0),
+                FaultRule(kind="hang", rate=0.01, hang_seconds=0.1),
+                FaultRule(kind="build", rate=1.0, device="cayman",
+                          transient=False),
+            ),
+        )
+        restored = FaultPlan.from_dict(json.loads(plan.to_json()))
+        assert restored == plan
+        assert restored.digest() == plan.digest()
+
+    def test_parse_kind_rate_list(self):
+        plan = FaultPlan.parse("build:0.1, launch:0.05", seed=9)
+        assert plan.seed == 9
+        assert [(r.kind, r.rate) for r in plan.rules] == [
+            ("build", 0.1), ("launch", 0.05),
+        ]
+
+    def test_parse_device_scoped_rule(self):
+        plan = FaultPlan.parse("device_lost:1.0:tahiti")
+        assert plan.rules[0].device == "tahiti"
+
+    def test_parse_file_spec(self, tmp_path):
+        src = FaultPlan(seed=5, rules=(FaultRule(kind="result", rate=0.2),))
+        path = tmp_path / "plan.json"
+        path.write_text(src.to_json())
+        assert FaultPlan.parse(f"@{path}") == src
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("build")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("")
+        with pytest.raises(ValueError):
+            FaultRule(kind="meteor", rate=0.5)
+        with pytest.raises(ValueError):
+            FaultRule(kind="build", rate=1.5)
+
+
+class TestRuleScoping:
+    def test_kernel_scoped_rule_needs_params(self):
+        rule = FaultRule(kind="launch", rate=1.0, precision="d")
+        assert not rule.matches("tahiti")  # no kernel to match against
+        assert rule.matches("tahiti", make_params(precision="d"))
+
+    def test_canned_bulldozer_pl_dgemm_plan(self):
+        """The paper's Section IV-A failure as a fault plan: persistent,
+        device/precision/algorithm scoped."""
+        from repro.codegen.algorithms import Algorithm
+
+        inj = FaultInjector(CANNED_PLANS["bulldozer-pl-dgemm"])
+        pl = make_params(algorithm=Algorithm.PL, shared_b=True)
+        ba = make_params()
+        # Fires for PL-DGEMM on bulldozer, on every attempt.
+        for attempt in range(4):
+            assert inj.fires("launch", "bulldozer", "k", attempt, pl) is not None
+        # Not for other devices, algorithms, or precisions.
+        assert inj.fires("launch", "tahiti", "k", params=pl) is None
+        assert inj.fires("launch", "bulldozer", "k", params=ba) is None
+        with pytest.raises(LaunchError):
+            inj.check_launch("bulldozer", "k", params=pl)
+
+
+class TestRaiseStyleChecks:
+    def test_transient_build_raises_transient_error(self):
+        inj = FaultInjector(_plan(rate=1.0))
+        with pytest.raises(TransientError) as err:
+            inj.check_build("tahiti", "k")
+        assert err.value.fault_kind == "build"
+
+    def test_persistent_build_raises_build_error_with_log(self):
+        inj = FaultInjector(_plan(rate=1.0, transient=False))
+        with pytest.raises(BuildError) as err:
+            inj.check_build("tahiti", "k")
+        assert err.value.injected
+        assert "fault plan" in err.value.build_log
+
+    def test_device_lost_is_transient_subclass(self):
+        inj = FaultInjector(_plan(kind="device_lost", rate=1.0))
+        with pytest.raises(DeviceLostError) as err:
+            inj.check_launch("tahiti", "k")
+        assert isinstance(err.value, TransientError)
+        assert err.value.fault_kind == "device_lost"
+
+    def test_timing_and_hang_report_magnitudes(self):
+        inj = FaultInjector(FaultPlan(rules=(
+            FaultRule(kind="timing", rate=1.0, magnitude=6.0),
+            FaultRule(kind="hang", rate=1.0, hang_seconds=0.125),
+        )))
+        assert inj.timing_factor("t", "k") == 6.0
+        assert inj.hang_seconds("t", "k") == 0.125
+        clean = FaultInjector(FaultPlan())
+        assert clean.timing_factor("t", "k") == 1.0
+        assert clean.hang_seconds("t", "k") == 0.0
+        assert not clean.corrupts_result("t", "k")

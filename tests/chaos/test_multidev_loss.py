@@ -1,0 +1,88 @@
+"""Multi-device GEMM under device loss: rebalance, don't crash."""
+
+import numpy as np
+import pytest
+
+from repro.clsim.faults import FaultInjector, FaultPlan
+from repro.gemm.multidev import MultiDeviceGemm
+from repro.gemm.reference import reference_gemm, relative_error
+
+
+def _operands(rng, M=64, K=64, N=96):
+    a = rng.standard_normal((M, K))
+    b = rng.standard_normal((K, N))
+    return a, b
+
+
+class TestDeviceLossRebalance:
+    def test_lost_device_columns_move_to_survivors(self, rng):
+        fleet = MultiDeviceGemm(
+            ["tahiti", "cayman"], "d",
+            fault_injector=FaultInjector(
+                FaultPlan.parse("device_lost:1.0:tahiti")
+            ),
+        )
+        a, b = _operands(rng)
+        result = fleet(a, b)
+        assert result.lost_devices == ("tahiti",)
+        # The result stays exact: cayman absorbed tahiti's columns.
+        err = relative_error(
+            result.c, reference_gemm("N", "N", 1.0, a, b, 0.0)
+        )
+        assert err < 1e-10
+        covered = sorted(
+            s.columns for s in result.shares
+            if s.device == "cayman" and s.width
+        )
+        assert sum(hi - lo for lo, hi in covered) == b.shape[1]
+
+    def test_whole_fleet_lost_falls_back_to_reference(self, rng):
+        fleet = MultiDeviceGemm(
+            ["tahiti", "cayman"], "d",
+            fault_injector=FaultInjector(FaultPlan.parse("device_lost:1.0")),
+        )
+        a, b = _operands(rng)
+        c = rng.standard_normal((a.shape[0], b.shape[1]))
+        result = fleet(a, b, c, alpha=1.5, beta=-0.5)
+        assert set(result.lost_devices) == {"tahiti", "cayman"}
+        err = relative_error(
+            result.c, reference_gemm("N", "N", 1.5, a, b, -0.5, c)
+        )
+        assert err < 1e-10
+        # No device computed anything: wall time degrades gracefully.
+        assert result.wall_seconds == 0.0
+
+    def test_fault_free_fleet_is_unchanged(self, rng):
+        """No injector: identical split, shares, and numbers as before."""
+        plain = MultiDeviceGemm(["tahiti", "cayman"], "d")
+        a, b = _operands(rng)
+        result = plain(a, b)
+        assert result.lost_devices == ()
+        assert plain.partition(b.shape[1]) == [
+            (s.device, *s.columns) for s in result.shares
+        ]
+        err = relative_error(
+            result.c, reference_gemm("N", "N", 1.0, a, b, 0.0)
+        )
+        assert err < 1e-10
+
+    def test_partial_rate_loss_is_deterministic(self, rng):
+        """A 50% loss rate drops whichever devices the seeded plan says —
+        twice in a row gives the identical outcome."""
+        a, b = _operands(rng)
+
+        def run():
+            fleet = MultiDeviceGemm(
+                ["tahiti", "cayman", "kepler"], "d",
+                fault_injector=FaultInjector(
+                    FaultPlan.parse("device_lost:0.5", seed=4)
+                ),
+            )
+            return fleet(a, b)
+
+        first, second = run(), run()
+        assert first.lost_devices == second.lost_devices
+        assert [s.columns for s in first.shares] == [
+            s.columns for s in second.shares
+        ]
+        np.testing.assert_array_equal(first.c, second.c)
