@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from typing import Optional, Union
 
 from repro.codegen.params import KernelParams
@@ -12,7 +13,9 @@ from repro.gemm.routine import GemmRoutine
 from repro.tuner.pretuned import pretuned_params
 from repro.tuner.search import TuningConfig, TuningResult, tune
 
-__all__ = ["autotune", "tuned_gemm"]
+__all__ = ["autotune", "tuned_gemm", "serve"]
+
+logger = logging.getLogger("repro.api")
 
 
 def autotune(
@@ -43,14 +46,20 @@ def tuned_gemm(
 
     Resolution order: explicit ``params`` if given; the shipped pretuned
     parameters if ``use_pretuned``; otherwise a fresh (default-budget)
-    auto-tuning run.
+    auto-tuning run.  The pretuned-to-autotune fallback is logged (a
+    surprise multi-second tuning run on the request path should never be
+    silent).
     """
     spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
     if params is None:
         if use_pretuned:
             try:
                 params = pretuned_params(spec.codename, precision)
-            except KeyError:
+            except KeyError as exc:
+                logger.warning(
+                    "no pretuned kernel for %s/%s; falling back to a fresh "
+                    "autotune run (%s)", spec.codename, precision, exc,
+                )
                 params = None
         if params is None:
             params = autotune(spec, precision).best.params
@@ -59,3 +68,19 @@ def tuned_gemm(
             f"params are for precision {params.precision!r}, requested {precision!r}"
         )
     return GemmRoutine(spec, params, **routine_kwargs)
+
+
+def serve(
+    devices: Union[str, DeviceSpec, "list"],
+    precision: str = "d",
+    **service_kwargs,
+) -> "object":
+    """A ready :class:`~repro.serve.GemmService` fronting the tuned kernels.
+
+    The convenience constructor for the resilient serving layer: request
+    validation, admission control, circuit breakers, the degradation
+    ladder, and Freivalds result verification, with sensible defaults.
+    """
+    from repro.serve import GemmService
+
+    return GemmService(devices, precision, **service_kwargs)

@@ -5,6 +5,8 @@ Subcommands
 ``info``    — list simulated devices (Table I) or show one device.
 ``tune``    — run the staged auto-tuner for a device and precision.
 ``gemm``    — run one GEMM call with the tuned kernel and report rates.
+``serve``   — drive the resilient serving layer with a seeded workload.
+``soak``    — long chaos soak of the serving layer (ground-truth checked).
 ``bench``   — regenerate one (or all) paper tables/figures.
 ``emit``    — print the generated OpenCL C for the tuned kernel.
 """
@@ -88,6 +90,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_gemm.add_argument("--size", type=int, default=1024, help="square M=N=K")
     p_gemm.add_argument("--transa", choices=["N", "T"], default="N")
     p_gemm.add_argument("--transb", choices=["N", "T"], default="N")
+
+    def add_serve_options(p, default_requests: int) -> None:
+        p.add_argument("device", nargs="+",
+                       help="device codename(s) forming the serving fleet")
+        p.add_argument("--precision", choices=["s", "d"], default="d")
+        p.add_argument("--requests", type=int, default=default_requests,
+                       metavar="N", help="seeded workload size")
+        p.add_argument("--seed", type=int, default=0,
+                       help="workload + service decision seed")
+        p.add_argument("--inject-faults", metavar="PLAN",
+                       help="serve under a fault plan (same specs as "
+                            "'tune --inject-faults'; try 'serve-chaos')")
+        p.add_argument("--fault-seed", type=int, default=0)
+        p.add_argument("--verify-rate", type=float, default=1.0,
+                       metavar="FRACTION",
+                       help="fraction of responses Freivalds-verified")
+        p.add_argument("--max-backlog", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="admission-control backlog budget "
+                            "(simulated seconds of queued work)")
+        p.add_argument("--deadline", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="per-request deadline; 0 disables")
+        p.add_argument("--canary-interval", type=int, default=50, metavar="N",
+                       help="known-answer canary cadence for quarantined "
+                            "kernels (0 disables)")
+        p.add_argument("--attempt-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock watchdog per ladder-rung attempt")
+        p.add_argument("--incident-log", metavar="LOG.json",
+                       help="persist the structured incident log")
+        p.add_argument("--counters-json", metavar="COUNTERS.json",
+                       help="persist the service counters")
+        p.add_argument("--report-json", metavar="REPORT.json",
+                       help="persist the full soak report")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the resilient GEMM serving layer"
+    )
+    add_serve_options(p_serve, default_requests=100)
+
+    p_soak = sub.add_parser(
+        "soak", help="chaos soak: every response checked against ground truth"
+    )
+    add_serve_options(p_soak, default_requests=1000)
 
     p_bench = sub.add_parser("bench", help="regenerate paper tables/figures")
     p_bench.add_argument("experiment", nargs="?", default="all",
@@ -228,6 +275,58 @@ def _cmd_gemm(args) -> int:
     return 0
 
 
+def _run_serving(args, check_clean: bool) -> int:
+    from repro.clsim.faults import FaultInjector, FaultPlan
+    from repro.persist import dump_json_atomic
+    from repro.serve import GemmService, ServiceConfig, SoakConfig, run_soak
+
+    injector = None
+    if args.inject_faults:
+        plan = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+        injector = FaultInjector(plan)
+        print(f"fault plan    : {args.inject_faults} "
+              f"(seed {plan.seed}, digest {plan.digest()})")
+    config = ServiceConfig(
+        seed=args.seed,
+        max_backlog_s=args.max_backlog,
+        default_deadline_s=args.deadline if args.deadline > 0 else None,
+        verify_rate=args.verify_rate,
+        canary_interval=args.canary_interval,
+        attempt_timeout_s=args.attempt_timeout,
+    )
+    service = GemmService(
+        args.device, args.precision, config=config, fault_injector=injector
+    )
+    print(service.ladder.describe())
+    report = run_soak(
+        service, SoakConfig(requests=args.requests, seed=args.seed)
+    )
+    print(report.render())
+    print(service.counters.render())
+    if args.incident_log:
+        service.log.save(args.incident_log)
+        print(f"incident log  : {args.incident_log} ({len(service.log)} incidents)")
+    if args.counters_json:
+        dump_json_atomic(args.counters_json, service.counters.as_dict(), indent=2)
+        print(f"counters      : {args.counters_json}")
+    if args.report_json:
+        report.save(args.report_json)
+        print(f"report        : {args.report_json}")
+    if check_clean and not report.clean:
+        print(f"FAILED: {report.wrong_answers} numerically incorrect "
+              f"responses escaped the serving layer")
+        return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    return _run_serving(args, check_clean=False)
+
+
+def _cmd_soak(args) -> int:
+    return _run_serving(args, check_clean=True)
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import EXPERIMENTS, run_experiment
     from repro.bench.figures import ascii_plot
@@ -278,6 +377,8 @@ _COMMANDS = {
     "info": _cmd_info,
     "tune": _cmd_tune,
     "gemm": _cmd_gemm,
+    "serve": _cmd_serve,
+    "soak": _cmd_soak,
     "bench": _cmd_bench,
     "analyze": _cmd_analyze,
     "report": _cmd_report,

@@ -212,6 +212,18 @@ CANNED_PLANS: Dict[str, FaultPlan] = {
             ),
         )
     ),
+    # The serving layer's acceptance plan: >= 10% aggregate fault rate
+    # mixing silent result corruption (only Freivalds catches it) with
+    # launch flake and device loss.  `repro soak --inject-faults
+    # serve-chaos` must still return zero wrong answers.
+    "serve-chaos": FaultPlan(
+        rules=(
+            FaultRule(kind="result", rate=0.06),
+            FaultRule(kind="launch", rate=0.04),
+            FaultRule(kind="device_lost", rate=0.02),
+            FaultRule(kind="timing", rate=0.03),
+        )
+    ),
 }
 
 

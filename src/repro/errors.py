@@ -25,6 +25,9 @@ __all__ = [
     "CorruptStateError",
     "TuningError",
     "SearchInterrupted",
+    "InvalidRequestError",
+    "AdmissionError",
+    "ResultCorruptionError",
 ]
 
 
@@ -120,6 +123,44 @@ class CorruptStateError(ReproError):
     integrity checks — truncated JSON, a torn write, or a checksum
     mismatch.  Loaders quarantine the offending file and resume from
     scratch instead of crashing (see :mod:`repro.persist`)."""
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A GEMM request failed up-front validation.
+
+    Raised *before* any device work happens, with the offending argument
+    named, instead of letting a mis-shaped, mis-typed, or non-finite
+    input propagate as a confusing numpy error from deep inside the
+    pack/launch path.  ``argument`` carries the name of the bad input
+    (``"a"``, ``"alpha"``, ``"c"``, ...).
+    """
+
+    def __init__(self, argument: str, message: str) -> None:
+        super().__init__(f"invalid GEMM request: argument {argument!r}: {message}")
+        #: Name of the request argument that failed validation.
+        self.argument = argument
+
+
+class AdmissionError(ReproError):
+    """A request was shed by the serving layer's admission control.
+
+    The bounded queue in front of :class:`repro.serve.GemmService` was
+    full (the simulated backlog exceeded its budget), so the request was
+    rejected instead of queued — load shedding keeps tail latency
+    bounded for the requests that *are* admitted.
+    """
+
+
+class ResultCorruptionError(ReproError):
+    """A served result failed probabilistic (Freivalds) verification.
+
+    Signals the silent result corruption the fault plan's ``result``
+    rules inject: the kernel reported success but the output is wrong.
+    The serving layer quarantines the offending kernel and re-serves the
+    request through the next degradation-ladder rung; user code only
+    sees this error if every rung (including the host reference, which
+    cannot corrupt) somehow failed — i.e. never in practice.
+    """
 
 
 class TuningError(ReproError):

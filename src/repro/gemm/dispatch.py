@@ -64,12 +64,31 @@ class KernelSelector:
         candidates: Sequence[KernelParams],
         bands: Sequence[int] = DEFAULT_BANDS,
         include_direct: bool = True,
+        precision: Optional[str] = None,
         **routine_kwargs,
     ):
         self.spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
         candidates = list(candidates)
+        #: Fallbacks taken while building the table (empty finalist sets,
+        #: bands with no viable candidate) — callers inspect/log these.
+        self.degradations: List[str] = []
         if not candidates:
-            raise ReproError("KernelSelector needs at least one candidate kernel")
+            if precision is None:
+                raise ReproError(
+                    "KernelSelector needs at least one candidate kernel"
+                )
+            fallback = self._fallback_params(precision)
+            if fallback is None:
+                raise ReproError(
+                    "KernelSelector needs at least one candidate kernel "
+                    f"(and no pretuned fallback exists for "
+                    f"{self.spec.codename!r}/{precision!r})"
+                )
+            candidates = [fallback]
+            self.degradations.append(
+                f"no candidates supplied; fell back to the pretuned "
+                f"{self.spec.codename}/{precision} kernel for all bands"
+            )
         precisions = {p.precision for p in candidates}
         if len(precisions) != 1:
             raise ReproError(f"candidates mix precisions: {sorted(precisions)}")
@@ -78,14 +97,29 @@ class KernelSelector:
         self._routines: Dict[Tuple, GemmRoutine] = {}
         self.table = self._build_table(candidates, list(bands), include_direct)
 
+    def _fallback_params(self, precision: str) -> Optional[KernelParams]:
+        """The shipped pretuned kernel, as a last-resort table entry."""
+        from repro.tuner.pretuned import pretuned_params
+
+        try:
+            return pretuned_params(self.spec.codename, precision)
+        except KeyError:
+            return None
+
     @classmethod
     def from_tuning_result(
         cls, device: Union[str, DeviceSpec], result: TuningResult,
         max_candidates: int = 8, **kwargs,
     ) -> "KernelSelector":
-        """Build the table from a search's leading finalists."""
+        """Build the table from a search's leading finalists.
+
+        A result with *no* finalists (every candidate failed or was
+        quarantined) degrades gracefully: the selector falls back to the
+        shipped pretuned kernel instead of raising at dispatch time, and
+        records the degradation in :attr:`degradations`.
+        """
         candidates = [mk.params for mk in result.finalists[:max_candidates]]
-        return cls(device, candidates, **kwargs)
+        return cls(device, candidates, precision=result.precision, **kwargs)
 
     # ------------------------------------------------------------------
     def _build_table(
@@ -110,9 +144,21 @@ class KernelSelector:
                     if best is None or t < best[0]:
                         best = (t, p, direct)
             if best is None:
-                raise ReproError(
-                    f"no candidate kernel is viable on {self.spec.codename}"
+                # No supplied candidate is viable for this band: degrade
+                # to the shipped pretuned kernel's guarded direct variant
+                # (works at any size, no padding constraints) instead of
+                # shipping a table that IndexErrors at dispatch.
+                fallback = self._fallback_params(candidates[0].precision)
+                if fallback is None:
+                    raise ReproError(
+                        f"no candidate kernel is viable on {self.spec.codename}"
+                        f" for band <= {band} and no pretuned fallback exists"
+                    )
+                self.degradations.append(
+                    f"band <= {band}: no viable candidate; fell back to the "
+                    f"pretuned direct kernel"
                 )
+                best = (float("inf"), fallback, True)
             table.append(DispatchEntry(band, best[1], best[2]))
         # Merge adjacent bands that picked the same configuration.
         merged: List[DispatchEntry] = []
@@ -126,6 +172,11 @@ class KernelSelector:
 
     def entry_for(self, M: int, N: int, K: int) -> DispatchEntry:
         """The table row owning a problem (by geometric-mean size)."""
+        if not self.table:
+            raise ReproError(
+                "kernel selection table is empty — the selector was built "
+                "from a result with no finalists and no pretuned fallback"
+            )
         size = (M * N * K) ** (1.0 / 3.0)
         for entry in self.table:
             if size <= entry.max_size:
@@ -202,6 +253,7 @@ class KernelSelector:
         self.precision = payload["precision"]
         self._routine_kwargs = routine_kwargs
         self._routines = {}
+        self.degradations = []
         self.table = [
             DispatchEntry(
                 max_size=int(entry["max_size"]),

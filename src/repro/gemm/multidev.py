@@ -20,7 +20,7 @@ GEMM, so the call still returns numerically exact results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -96,10 +96,16 @@ class MultiDeviceGemm:
         precision: str = "d",
         params: Optional[Dict[str, KernelParams]] = None,
         fault_injector: Optional["object"] = None,
+        on_device_lost: Optional[Callable[[str, int, int], None]] = None,
         **routine_kwargs,
     ):
         if not devices:
             raise ReproError("MultiDeviceGemm needs at least one device")
+        #: Observer hook called as ``(device, start, stop)`` when a device
+        #: is dropped mid-batch — the serving layer feeds its per-device
+        #: circuit breakers from this instead of polling ``lost_devices``
+        #: after the fact.
+        self.on_device_lost = on_device_lost
         self.specs: List[DeviceSpec] = [
             d if isinstance(d, DeviceSpec) else get_device_spec(d) for d in devices
         ]
@@ -202,6 +208,8 @@ class MultiDeviceGemm:
                         lost.append(device)
                         active = [s for s in active if s.codename != device]
                         remaining.append((start, stop))
+                        if self.on_device_lost is not None:
+                            self.on_device_lost(device, start, stop)
         for start, stop in remaining:
             # The whole fleet is gone: exact but unaccelerated host path.
             c_slice = c[:, start:stop] if c is not None else None

@@ -29,11 +29,95 @@ from repro.codegen.layouts import Layout
 from repro.codegen.packers import PackPlan, emit_pack_source
 from repro.codegen.params import KernelParams
 from repro.devices.specs import DeviceSpec
-from repro.errors import ReproError
+from repro.errors import InvalidRequestError, ReproError
 from repro.gemm.packing import crop_c, prepare_c, required_padding
 from repro.perfmodel.model import estimate_copy_time, estimate_pack_time
 
-__all__ = ["GemmTimings", "GemmResult", "GemmRoutine", "predict_implementation"]
+__all__ = [
+    "GemmTimings",
+    "GemmResult",
+    "GemmRoutine",
+    "predict_implementation",
+    "validate_gemm_request",
+]
+
+
+def _validate_operand(name: str, mat: np.ndarray) -> np.ndarray:
+    """One operand's structural checks; returns the array as ndarray."""
+    mat = np.asanyarray(mat)
+    if mat.dtype == object:
+        raise InvalidRequestError(name, "object-dtype arrays are not supported")
+    if np.issubdtype(mat.dtype, np.complexfloating):
+        raise InvalidRequestError(
+            name, f"complex dtype {mat.dtype} is not supported (GEMM is real)"
+        )
+    if not (np.issubdtype(mat.dtype, np.floating)
+            or np.issubdtype(mat.dtype, np.integer)
+            or np.issubdtype(mat.dtype, np.bool_)):
+        raise InvalidRequestError(
+            name, f"dtype {mat.dtype} cannot be cast to a GEMM precision"
+        )
+    if mat.ndim != 2:
+        raise InvalidRequestError(
+            name, f"must be a 2-D matrix, got ndim={mat.ndim}"
+        )
+    if mat.size == 0:
+        raise InvalidRequestError(name, f"is empty (shape {mat.shape})")
+    return mat
+
+
+def validate_gemm_request(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: Optional[np.ndarray] = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    transa: str = "N",
+    transb: str = "N",
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], str, str]:
+    """Validate one GEMM request up front, naming the offending argument.
+
+    Checks shapes, dtypes (object/complex arrays are rejected with a
+    typed error instead of a numpy cast failure deep in the pack path),
+    operand compatibility, and that ``alpha``/``beta`` are finite real
+    scalars.  Non-contiguous inputs are accepted — the staging path
+    copies them — so no contiguity error can surface later.  Returns the
+    operands as ndarrays plus the normalised ``transa``/``transb``.
+
+    Raises :class:`~repro.errors.InvalidRequestError` on any violation.
+    """
+    if not isinstance(transa, str) or transa.upper() not in ("N", "T"):
+        raise InvalidRequestError("transa", f"must be 'N' or 'T', got {transa!r}")
+    if not isinstance(transb, str) or transb.upper() not in ("N", "T"):
+        raise InvalidRequestError("transb", f"must be 'N' or 'T', got {transb!r}")
+    transa, transb = transa.upper(), transb.upper()
+    a = _validate_operand("a", a)
+    b = _validate_operand("b", b)
+    for name, value in (("alpha", alpha), ("beta", beta)):
+        try:
+            scalar = float(value)
+        except (TypeError, ValueError):
+            raise InvalidRequestError(
+                name, f"must be a real scalar, got {type(value).__name__}"
+            ) from None
+        if not np.isfinite(scalar):
+            raise InvalidRequestError(name, f"must be finite, got {scalar}")
+    M, Ka = a.shape if transa == "N" else a.shape[::-1]
+    Kb, N = b.shape if transb == "N" else b.shape[::-1]
+    if Ka != Kb:
+        raise InvalidRequestError(
+            "b", f"inner dimensions disagree: op(A) gives K={Ka}, "
+                 f"op(B) gives K={Kb}"
+        )
+    if float(beta) != 0.0 and c is None:
+        raise InvalidRequestError("c", "beta != 0 requires a C operand")
+    if c is not None:
+        c = _validate_operand("c", c)
+        if c.shape != (M, N):
+            raise InvalidRequestError(
+                "c", f"has shape {c.shape}, expected ({M}, {N})"
+            )
+    return a, b, c, transa, transb
 
 
 @dataclass(frozen=True)
@@ -286,13 +370,17 @@ class GemmRoutine:
         """Compute ``alpha * op(A) op(B) + beta * C``.
 
         Returns a fresh ``M x N`` array; ``c`` (required when
-        ``beta != 0``) is not modified.
+        ``beta != 0``) is not modified.  Invalid inputs (mis-shaped,
+        object/complex dtype, non-finite ``alpha``/``beta``) raise
+        :class:`~repro.errors.InvalidRequestError` before any device
+        work, with the offending argument named.
         """
+        a, b, c, transa, transb = validate_gemm_request(
+            a, b, c, alpha, beta, transa, transb
+        )
         a = np.asarray(a, dtype=self.dtype)
         b = np.asarray(b, dtype=self.dtype)
         M, N, K, transa, transb = self._problem_dims(a, b, transa, transb)
-        if beta != 0.0 and c is None:
-            raise ReproError("beta != 0 requires a C operand")
 
         p = self.params
         if p.guard_edges:

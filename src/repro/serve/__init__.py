@@ -1,0 +1,50 @@
+"""Resilient GEMM serving layer.
+
+The tuner (:mod:`repro.tuner`) survives injected faults; this package
+hardens the *call path* users actually hit.  :class:`GemmService`
+fronts the tuned routines with production-grade robustness:
+
+* up-front request validation with typed errors
+  (:class:`~repro.errors.InvalidRequestError`);
+* bounded-queue admission control with load shedding
+  (:class:`~repro.errors.AdmissionError`);
+* per-device circuit breakers driven by the
+  :class:`~repro.errors.TransientError` taxonomy;
+* a deadline-aware graceful-degradation ladder
+  (tuned kernel -> pretuned params -> direct copy-free routine -> host
+  reference) so every admitted request returns a numerically correct
+  result even with the whole simulated fleet faulted out;
+* seeded Freivalds O(n^2) result verification that catches the silent
+  ``result`` corruption :mod:`repro.clsim.faults` injects, quarantining
+  the offending kernel and re-serving through the next rung; periodic
+  known-answer canaries re-admit quarantined kernels once they recover;
+* a structured incident log and service counters, persisted crash-safe
+  through :mod:`repro.persist`.
+
+See ``docs/serving.md`` for the architecture walk-through and
+``repro serve`` / ``repro soak`` for the CLI entry points.
+"""
+
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.incident import Incident, IncidentLog, ServiceCounters
+from repro.serve.ladder import DegradationLadder, Rung
+from repro.serve.service import GemmService, ServeResult, ServiceConfig
+from repro.serve.soak import SoakConfig, SoakReport, run_soak
+from repro.serve.verify import FreivaldsCheck, FreivaldsVerifier
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "FreivaldsCheck",
+    "FreivaldsVerifier",
+    "GemmService",
+    "Incident",
+    "IncidentLog",
+    "Rung",
+    "ServeResult",
+    "ServiceConfig",
+    "SoakConfig",
+    "SoakReport",
+    "run_soak",
+]

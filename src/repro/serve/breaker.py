@@ -1,0 +1,104 @@
+"""Per-device circuit breakers for the serving layer.
+
+A device that keeps failing (transient launch faults, device-lost
+storms, watchdog timeouts) should stop receiving traffic *before* every
+request pays its failure latency.  The breaker implements the classic
+three-state machine:
+
+* **closed** — traffic flows; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: the device is skipped entirely for ``cooldown_ticks``
+  requests (the ladder degrades past it instantly).
+* **half-open** — after the cooldown one probe request is let through
+  at a time; ``probe_successes`` consecutive probe successes close the
+  breaker, any probe failure re-opens it.
+
+Time is *logical*: the service's monotonically increasing request index
+is the clock.  Wall-clock breakers are non-deterministic under load;
+tick-based breakers make a seeded soak reproduce the exact same trip
+and recovery sequence every run, which the chaos acceptance test
+depends on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """One device's breaker; driven by the service's logical clock."""
+
+    device: str
+    #: Consecutive failures that trip the breaker.
+    failure_threshold: int = 3
+    #: Logical ticks (requests) the breaker stays open before probing.
+    cooldown_ticks: int = 25
+    #: Consecutive half-open probe successes required to close again.
+    probe_successes: int = 2
+
+    state: BreakerState = BreakerState.CLOSED
+    _consecutive_failures: int = 0
+    _opened_at: int = 0
+    _probe_streak: int = 0
+    #: Number of times the breaker tripped (closed/half-open -> open).
+    trips: int = 0
+    #: (tick, old_state, new_state) transition history for the incident log.
+    transitions: List[Tuple[int, str, str]] = field(default_factory=list)
+
+    def _transition(self, tick: int, new_state: BreakerState) -> None:
+        self.transitions.append((tick, self.state.value, new_state.value))
+        self.state = new_state
+
+    def allow(self, tick: int) -> bool:
+        """May a request use this device at logical time ``tick``?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if tick - self._opened_at >= self.cooldown_ticks:
+                self._transition(tick, BreakerState.HALF_OPEN)
+                self._probe_streak = 0
+                return True
+            return False
+        return True  # HALF_OPEN: let probes through
+
+    def record_success(self, tick: int) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_streak += 1
+            if self._probe_streak >= self.probe_successes:
+                self._transition(tick, BreakerState.CLOSED)
+                self._consecutive_failures = 0
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self, tick: int) -> bool:
+        """Record a failure; returns True when this call tripped the breaker."""
+        if self.state is BreakerState.HALF_OPEN:
+            # A failed probe re-opens immediately: the device is still sick.
+            self._transition(tick, BreakerState.OPEN)
+            self._opened_at = tick
+            self.trips += 1
+            return True
+        self._consecutive_failures += 1
+        if (self.state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._transition(tick, BreakerState.OPEN)
+            self._opened_at = tick
+            self.trips += 1
+            return True
+        return False
+
+    def describe(self) -> str:
+        return (f"breaker[{self.device}] {self.state.value} "
+                f"(trips={self.trips}, "
+                f"consecutive_failures={self._consecutive_failures})")

@@ -1,0 +1,158 @@
+"""Structured incident log and service counters.
+
+Every robustness event the service handles — a shed request, a breaker
+trip, a degradation, a caught corruption, a quarantine or re-admission —
+is appended to the :class:`IncidentLog` as a typed :class:`Incident`
+record, and aggregated into :class:`ServiceCounters`.  Both persist
+crash-safe through :mod:`repro.persist` (atomic write + checksum), so a
+soak run's artifact survives a SIGKILL mid-flush and a post-mortem can
+account for every decision.
+
+Determinism contract: under a fixed service seed, workload seed, and
+fault plan, the incident sequence and the counters are bit-identical
+run to run — the acceptance test diffs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.persist import dump_json_atomic, load_json_checked
+
+__all__ = ["Incident", "IncidentLog", "ServiceCounters", "INCIDENT_KINDS"]
+
+#: The incident taxonomy (see docs/serving.md for the schema).
+INCIDENT_KINDS = (
+    "invalid",          # request failed validation
+    "shed",             # admission control rejected the request
+    "degraded",         # a ladder rung was skipped or failed over
+    "breaker_trip",     # a device breaker opened
+    "breaker_probe",    # a half-open probe was admitted
+    "breaker_close",    # a breaker recovered to closed
+    "corruption",       # Freivalds verification caught a wrong result
+    "quarantine",       # a kernel was quarantined
+    "canary_pass",      # a quarantined kernel passed a known-answer canary
+    "canary_fail",      # a quarantined kernel failed a canary
+    "readmit",          # a quarantined kernel was re-admitted
+    "deadline_missed",  # the response came back after its deadline
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One robustness event, in request order."""
+
+    seq: int
+    request_id: int
+    kind: str
+    device: str = ""
+    rung: str = ""
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.kind not in INCIDENT_KINDS:
+            raise ValueError(
+                f"unknown incident kind {self.kind!r} (one of {INCIDENT_KINDS})"
+            )
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "Incident":
+        return cls(**d)
+
+
+@dataclass
+class ServiceCounters:
+    """Aggregate service health counters (the soak run's scoreboard)."""
+
+    requests: int = 0
+    admitted: int = 0
+    shed: int = 0
+    invalid: int = 0
+    completed: int = 0
+    degraded: int = 0
+    breaker_trips: int = 0
+    verified: int = 0
+    corruption_caught: int = 0
+    quarantined: int = 0
+    readmitted: int = 0
+    canaries_run: int = 0
+    deadline_missed: int = 0
+    #: Responses per ladder rung name ("tuned", "pretuned", "direct",
+    #: "reference"), e.g. {"tuned": 950, "reference": 3}.
+    served_by_rung: Dict[str, int] = field(default_factory=dict)
+
+    def count_rung(self, rung: str) -> None:
+        self.served_by_rung[rung] = self.served_by_rung.get(rung, 0) + 1
+
+    def as_dict(self) -> Dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        lines = ["service counters:"]
+        for name in ("requests", "admitted", "shed", "invalid", "completed",
+                     "degraded", "breaker_trips", "verified",
+                     "corruption_caught", "quarantined", "readmitted",
+                     "canaries_run", "deadline_missed"):
+            lines.append(f"  {name:18s}: {getattr(self, name)}")
+        for rung in sorted(self.served_by_rung):
+            lines.append(f"  served by {rung:9s}: {self.served_by_rung[rung]}")
+        return "\n".join(lines)
+
+
+class IncidentLog:
+    """Append-only log of :class:`Incident` records."""
+
+    FORMAT = "repro-incident-log/1"
+
+    def __init__(self) -> None:
+        self._incidents: List[Incident] = []
+
+    def record(self, request_id: int, kind: str, device: str = "",
+               rung: str = "", detail: str = "") -> Incident:
+        incident = Incident(
+            seq=len(self._incidents), request_id=request_id, kind=kind,
+            device=device, rung=rung, detail=detail,
+        )
+        self._incidents.append(incident)
+        return incident
+
+    def __len__(self) -> int:
+        return len(self._incidents)
+
+    def __iter__(self):
+        return iter(self._incidents)
+
+    def by_kind(self, kind: str) -> List[Incident]:
+        return [i for i in self._incidents if i.kind == kind]
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for incident in self._incidents:
+            counts[incident.kind] = counts.get(incident.kind, 0) + 1
+        return counts
+
+    # -- persistence (crash-safe, see repro.persist) --------------------
+    def to_dict(self) -> Dict:
+        return {
+            "format": self.FORMAT,
+            "incidents": [i.to_dict() for i in self._incidents],
+        }
+
+    def save(self, path: str) -> str:
+        return dump_json_atomic(path, self.to_dict(), indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> Optional["IncidentLog"]:
+        """Load a persisted log; None for missing/corrupt files."""
+        payload = load_json_checked(path)
+        if payload is None or payload.get("format") != cls.FORMAT:
+            return None
+        log = cls()
+        log._incidents = [
+            Incident.from_dict(d) for d in payload.get("incidents", [])
+        ]
+        return log

@@ -1,0 +1,181 @@
+"""The graceful-degradation ladder.
+
+"A Few Fit Most" (Hochgraf & Pai, 2025) observes that production GEMM
+serving keeps several kernel versions per device and a safe fallback;
+this module arranges them as an ordered ladder of :class:`Rung`\\ s:
+
+1. ``tuned``      — the service's primary kernel (explicit params, a
+                    tuning result's winner, or the shipped pretuned set);
+2. ``pretuned``   — the shipped pretuned parameters, when distinct from
+                    the primary (a known-good configuration to fall back
+                    to when the primary is quarantined);
+3. ``direct``     — the copy-free bounds-checked routine: fewer moving
+                    parts (no pack kernels), so it survives fault classes
+                    that break the packed path;
+4. ``reference``  — the host numpy GEMM: cannot fault, cannot corrupt,
+                    and is the reason every admitted request returns a
+                    numerically correct answer even with the whole
+                    simulated fleet faulted out.
+
+With a multi-device fleet, rungs 1-3 repeat per device (in the given
+device order) before the single host rung.  Routines are built lazily:
+a rung whose kernel fails to *build* (injected build faults) reports the
+failure to the caller, which degrades past it and retries construction
+on a later request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.codegen.params import KernelParams
+from repro.devices.catalog import get_device_spec
+from repro.devices.specs import DeviceSpec
+from repro.gemm.direct import DirectGemmRoutine, direct_params
+from repro.gemm.reference import reference_gemm
+from repro.gemm.routine import GemmRoutine, predict_implementation
+
+__all__ = ["Rung", "DegradationLadder"]
+
+
+class Rung:
+    """One ladder step: a named way to compute a GEMM.
+
+    ``call`` returns ``(c, simulated_seconds)``.  Device rungs build
+    their :class:`GemmRoutine` on first use and re-raise construction
+    failures (the caller treats them like launch failures); the host
+    ``reference`` rung has no routine and cannot fail.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        device: str,
+        precision: str,
+        params: Optional[KernelParams],
+        factory: Optional[Callable[[object], GemmRoutine]],
+        spec: Optional[DeviceSpec] = None,
+        host_gflops: float = 8.0,
+    ) -> None:
+        self.name = name
+        self.device = device  # "" for the host reference rung
+        self.precision = precision
+        self.params = params
+        self._factory = factory
+        self._routine: Optional[GemmRoutine] = None
+        self.spec = spec
+        self.host_gflops = host_gflops
+
+    @property
+    def key(self) -> str:
+        """Identity for quarantine bookkeeping."""
+        return f"{self.device or 'host'}:{self.name}"
+
+    @property
+    def is_reference(self) -> bool:
+        return self._factory is None
+
+    def routine(self, injector=None) -> Optional[GemmRoutine]:
+        """The underlying routine, built on first use (may raise).
+
+        ``injector`` is the per-request (re-salted) fault injector: a
+        construction attempt runs under it, so an injected *build* fault
+        can clear on a later request's retry, and an already-built
+        routine's context is re-pointed at it so launch/result decisions
+        re-roll per request instead of freezing at construction time.
+        """
+        if self._factory is None:
+            return None
+        if self._routine is None:
+            self._routine = self._factory(injector)
+        else:
+            self._routine.context.fault_injector = injector
+        return self._routine
+
+    def predict_s(self, M: int, N: int, K: int) -> float:
+        """Modelled service time of this rung for one problem."""
+        if self.is_reference:
+            return 2.0 * M * N * K / (self.host_gflops * 1e9)
+        return predict_implementation(
+            self.spec, self.params, M, N, K, noise=False
+        ).total_s
+
+    def call(self, a, b, c, alpha, beta, transa, transb, injector=None):
+        """Compute the GEMM through this rung; returns (c, seconds)."""
+        if self.is_reference:
+            out = reference_gemm(transa, transb, alpha, np.asarray(a),
+                                 np.asarray(b), beta, c)
+            M = out.shape[0]
+            N = out.shape[1]
+            K = a.shape[1] if transa.upper() == "N" else a.shape[0]
+            return out, 2.0 * M * N * K / (self.host_gflops * 1e9)
+        result = self.routine(injector)(
+            a, b, c, alpha=alpha, beta=beta, transa=transa, transb=transb
+        )
+        return result.c, result.timings.total_s
+
+    def __repr__(self) -> str:
+        return f"<Rung {self.key}>"
+
+
+class DegradationLadder:
+    """Builds the ordered rung list for a fleet of devices."""
+
+    def __init__(
+        self,
+        devices: Sequence[Union[str, DeviceSpec]],
+        precision: str = "d",
+        params: Optional[Dict[str, KernelParams]] = None,
+        host_gflops: float = 8.0,
+        **routine_kwargs,
+    ) -> None:
+        from repro.tuner.pretuned import pretuned_params
+
+        self.precision = precision
+        self.rungs: List[Rung] = []
+        specs = [
+            d if isinstance(d, DeviceSpec) else get_device_spec(d)
+            for d in devices
+        ]
+        for spec in specs:
+            try:
+                shipped = pretuned_params(spec.codename, precision)
+            except KeyError:
+                shipped = None
+            primary = (params or {}).get(spec.codename) or shipped
+            if primary is None:
+                continue  # nothing tuned for this device at this precision
+
+            def make_factory(spec=spec, p=primary, cls=GemmRoutine):
+                return lambda injector: cls(
+                    spec, p, fault_injector=injector, **routine_kwargs
+                )
+
+            self.rungs.append(Rung(
+                "tuned", spec.codename, precision, primary,
+                make_factory(), spec=spec, host_gflops=host_gflops,
+            ))
+            if shipped is not None and shipped != primary:
+                self.rungs.append(Rung(
+                    "pretuned", spec.codename, precision, shipped,
+                    make_factory(p=shipped), spec=spec,
+                    host_gflops=host_gflops,
+                ))
+            self.rungs.append(Rung(
+                "direct", spec.codename, precision, direct_params(primary),
+                make_factory(cls=DirectGemmRoutine), spec=spec,
+                host_gflops=host_gflops,
+            ))
+        # The unconditional last resort: the host cannot fault or corrupt.
+        self.rungs.append(Rung(
+            "reference", "", precision, None, None, host_gflops=host_gflops,
+        ))
+
+    def describe(self) -> str:
+        lines = ["degradation ladder:"]
+        for i, rung in enumerate(self.rungs):
+            where = rung.device or "host"
+            lines.append(f"  {i}: {rung.name:9s} on {where}")
+        return "\n".join(lines)

@@ -1,0 +1,428 @@
+"""The long-lived GEMM service.
+
+:class:`GemmService` is the hardened front door to the tuned routines.
+One request flows through five gates:
+
+1. **validation** — shape/dtype/finiteness checks with typed errors
+   (:class:`~repro.errors.InvalidRequestError`); invalid requests never
+   touch a device.
+2. **admission** — a bounded queue modelled in simulated time: each
+   request drains its inter-arrival spacing from the backlog and adds
+   its service time; when the backlog exceeds the budget the request is
+   shed (:class:`~repro.errors.AdmissionError`) instead of queued, so
+   admitted requests keep bounded latency.
+3. **the degradation ladder** — rungs are tried in order; a rung is
+   skipped when its kernel is quarantined, its device's circuit breaker
+   is open, or its predicted time cannot meet the remaining deadline.
+   Runtime faults (transient launches, device loss, watchdog timeouts)
+   fail the rung over to the next one and feed the device's breaker.
+4. **verification** — a seeded Freivalds check (sampling rate
+   ``verify_rate``) catches silent result corruption; the offending
+   rung is quarantined and the request re-served by the next rung.
+5. **accounting** — counters, the incident log, and deadline tracking.
+
+Periodic known-answer canary GEMMs probe quarantined kernels and
+re-admit them after ``canary_passes`` consecutive clean runs.
+
+Everything is deterministic under a fixed service seed and fault plan:
+breakers run on the logical request clock, verification sampling and
+Freivalds vectors are hashes of the request id, and routines are built
+with ``measurement_noise=False`` — a seeded soak reproduces identical
+counters and incident sequences run after run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.devices.specs import DeviceSpec
+from repro.errors import (
+    AdmissionError,
+    CLError,
+    InvalidRequestError,
+    MeasurementTimeout,
+)
+from repro.gemm.reference import reference_gemm, relative_error
+from repro.gemm.routine import validate_gemm_request
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.incident import IncidentLog, ServiceCounters
+from repro.serve.ladder import DegradationLadder, Rung
+from repro.serve.verify import FreivaldsVerifier
+from repro.tuner.resilience import call_with_timeout
+
+__all__ = ["ServiceConfig", "ServeResult", "GemmService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving layer (defaults favour correctness)."""
+
+    seed: int = 0
+    # -- admission control --------------------------------------------
+    #: Simulated backlog (queue depth in seconds of work) beyond which
+    #: new requests are shed.
+    max_backlog_s: float = 0.5
+    #: Default simulated spacing between requests (the backlog drain).
+    interarrival_s: float = 0.005
+    #: Default per-request deadline; ``None`` disables deadline logic.
+    default_deadline_s: Optional[float] = 0.5
+    # -- result verification ------------------------------------------
+    #: Fraction of device-served responses Freivalds-checked (1.0 = all).
+    verify_rate: float = 1.0
+    #: Independent Freivalds rounds per check.
+    verify_rounds: int = 2
+    #: Rounding-error allowance factor (see FreivaldsVerifier).
+    verify_tol_factor: float = 64.0
+    # -- circuit breakers ---------------------------------------------
+    breaker_failure_threshold: int = 3
+    breaker_cooldown: int = 25
+    breaker_probe_successes: int = 2
+    # -- quarantine canaries ------------------------------------------
+    #: Run known-answer canaries every N requests (0 disables).
+    canary_interval: int = 50
+    #: Consecutive canary passes that re-admit a quarantined kernel.
+    canary_passes: int = 2
+    #: Canary problem size (kept small: canaries ride the request path).
+    canary_size: int = 32
+    # -- misc ----------------------------------------------------------
+    #: Wall-clock watchdog per rung attempt (kills injected hangs).
+    attempt_timeout_s: Optional[float] = None
+    #: Modelled host GEMM rate for the reference rung's time accounting.
+    host_gflops: float = 8.0
+
+
+@dataclass
+class ServeResult:
+    """One served response plus its robustness trail."""
+
+    c: np.ndarray
+    request_id: int
+    #: Ladder rung that produced the response ("tuned", "pretuned",
+    #: "direct", "reference").
+    rung: str
+    device: str
+    #: True when any rung above the serving one was skipped or failed.
+    degraded: bool
+    #: True when the response passed an explicit Freivalds check.
+    verified: bool
+    #: Simulated seconds of service (including failed/corrupt attempts).
+    service_s: float
+    #: Simulated seconds the request waited in the admission queue.
+    queue_wait_s: float
+    deadline_missed: bool = False
+    #: Rungs skipped or failed before the serving one, with reasons.
+    degradations: List[Tuple[str, str]] = field(default_factory=list)
+
+
+class GemmService:
+    """A resilient GEMM front-end over one device or a fleet."""
+
+    def __init__(
+        self,
+        devices: Union[str, DeviceSpec, Sequence[Union[str, DeviceSpec]]],
+        precision: str = "d",
+        config: Optional[ServiceConfig] = None,
+        params: Optional[Dict] = None,
+        fault_injector=None,
+        **routine_kwargs,
+    ) -> None:
+        if isinstance(devices, (str, DeviceSpec)):
+            devices = [devices]
+        self.config = config or ServiceConfig()
+        self.precision = precision
+        self.dtype = np.dtype(np.float32 if precision == "s" else np.float64)
+        self._base_injector = fault_injector
+        routine_kwargs.setdefault("measurement_noise", False)
+        self.ladder = DegradationLadder(
+            devices, precision, params,
+            host_gflops=self.config.host_gflops, **routine_kwargs,
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        for rung in self.ladder.rungs:
+            if rung.device and rung.device not in self.breakers:
+                self.breakers[rung.device] = CircuitBreaker(
+                    rung.device,
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    cooldown_ticks=self.config.breaker_cooldown,
+                    probe_successes=self.config.breaker_probe_successes,
+                )
+        self.verifier = FreivaldsVerifier(
+            seed=self.config.seed,
+            rounds=self.config.verify_rounds,
+            tol_factor=self.config.verify_tol_factor,
+        )
+        self.log = IncidentLog()
+        self.counters = ServiceCounters()
+        #: rung.key -> consecutive canary passes since quarantine.
+        self._quarantined: Dict[str, int] = {}
+        self._tick = 0
+        self._backlog_s = 0.0
+        self._canary_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # -- deterministic decisions ---------------------------------------
+    def _unit(self, label: str, request_id: int) -> float:
+        payload = f"serve|{self.config.seed}|{label}|{request_id}".encode()
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def _salted_injector(self, salt: str):
+        if self._base_injector is None:
+            return None
+        return self._base_injector.salted(salt)
+
+    @property
+    def quarantined(self) -> Tuple[str, ...]:
+        """Currently quarantined rung keys (e.g. ``("tahiti:tuned",)``)."""
+        return tuple(sorted(self._quarantined))
+
+    # -- the request path ----------------------------------------------
+    def submit(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: Optional[np.ndarray] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        transa: str = "N",
+        transb: str = "N",
+        deadline_s: Optional[float] = None,
+        arrival_dt_s: Optional[float] = None,
+        request_id: Optional[int] = None,
+    ) -> ServeResult:
+        """Serve one GEMM request through all five gates.
+
+        Raises :class:`InvalidRequestError` for malformed input and
+        :class:`AdmissionError` when the request is shed; every admitted
+        request returns a numerically correct :class:`ServeResult`.
+        """
+        cfg = self.config
+        self._tick += 1
+        tick = self._tick
+        rid = tick if request_id is None else request_id
+        self.counters.requests += 1
+
+        # Gate 1: validation (typed errors, no device work).
+        try:
+            a, b, c, transa, transb = validate_gemm_request(
+                a, b, c, alpha, beta, transa, transb
+            )
+        except InvalidRequestError as exc:
+            self.counters.invalid += 1
+            self.log.record(rid, "invalid", detail=str(exc))
+            raise
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        if c is not None:
+            c = np.asarray(c, dtype=self.dtype)
+        M, K = (a.shape if transa == "N" else a.shape[::-1])
+        N = b.shape[1] if transb == "N" else b.shape[0]
+
+        # Gate 2: admission control (bounded simulated backlog).
+        dt = cfg.interarrival_s if arrival_dt_s is None else arrival_dt_s
+        self._backlog_s = max(0.0, self._backlog_s - max(0.0, dt))
+        if self._backlog_s > cfg.max_backlog_s:
+            self.counters.shed += 1
+            self.log.record(
+                rid, "shed",
+                detail=(f"backlog {self._backlog_s * 1e3:.3f} ms exceeds "
+                        f"budget {cfg.max_backlog_s * 1e3:.3f} ms"),
+            )
+            raise AdmissionError(
+                f"request {rid} shed: simulated backlog "
+                f"{self._backlog_s * 1e3:.3f} ms exceeds the "
+                f"{cfg.max_backlog_s * 1e3:.3f} ms budget"
+            )
+        self.counters.admitted += 1
+        queue_wait = self._backlog_s
+        deadline = cfg.default_deadline_s if deadline_s is None else deadline_s
+
+        # Quarantine maintenance: periodic known-answer canaries.
+        if (self._quarantined and cfg.canary_interval > 0
+                and tick % cfg.canary_interval == 0):
+            self._run_canaries(tick, rid)
+
+        # Gates 3+4: the ladder with verification.
+        result = self._serve_ladder(
+            rid, tick, a, b, c, alpha, beta, transa, transb,
+            M, N, K, queue_wait, deadline,
+        )
+
+        # Gate 5: accounting.
+        self._backlog_s += result.service_s
+        self.counters.completed += 1
+        self.counters.count_rung(result.rung)
+        if result.degraded:
+            self.counters.degraded += 1
+        if deadline is not None and queue_wait + result.service_s > deadline:
+            result.deadline_missed = True
+            self.counters.deadline_missed += 1
+            self.log.record(
+                rid, "deadline_missed", device=result.device,
+                rung=result.rung,
+                detail=(f"served in {(queue_wait + result.service_s) * 1e3:.3f}"
+                        f" ms against a {deadline * 1e3:.3f} ms deadline"),
+            )
+        return result
+
+    __call__ = submit
+
+    def _serve_ladder(
+        self, rid, tick, a, b, c, alpha, beta, transa, transb,
+        M, N, K, queue_wait, deadline,
+    ) -> ServeResult:
+        cfg = self.config
+        spent = 0.0
+        degradations: List[Tuple[str, str]] = []
+
+        def degrade(rung: Rung, reason: str) -> None:
+            degradations.append((rung.key, reason))
+            self.log.record(rid, "degraded", device=rung.device,
+                            rung=rung.name, detail=reason)
+
+        for rung in self.ladder.rungs:
+            if rung.key in self._quarantined:
+                degrade(rung, "kernel quarantined")
+                continue
+            breaker = self.breakers.get(rung.device) if rung.device else None
+            if breaker is not None:
+                was_open = breaker.state is BreakerState.OPEN
+                if not breaker.allow(tick):
+                    degrade(rung, "circuit breaker open")
+                    continue
+                if was_open and breaker.state is BreakerState.HALF_OPEN:
+                    self.log.record(rid, "breaker_probe", device=rung.device,
+                                    rung=rung.name)
+            if deadline is not None and not rung.is_reference:
+                remaining = deadline - queue_wait - spent
+                predicted = rung.predict_s(M, N, K)
+                if predicted > remaining:
+                    degrade(
+                        rung,
+                        f"deadline: predicted {predicted * 1e3:.3f} ms > "
+                        f"remaining {max(remaining, 0.0) * 1e3:.3f} ms",
+                    )
+                    continue
+            injector = self._salted_injector(f"req:{rid}:rung:{rung.key}")
+            try:
+                out, seconds = call_with_timeout(
+                    lambda: rung.call(a, b, c, alpha, beta, transa, transb,
+                                      injector=injector),
+                    cfg.attempt_timeout_s,
+                )
+            except (CLError, MeasurementTimeout) as exc:
+                if breaker is not None and breaker.record_failure(tick):
+                    self.counters.breaker_trips += 1
+                    self.log.record(
+                        rid, "breaker_trip", device=rung.device,
+                        rung=rung.name,
+                        detail=f"opened after: {exc}",
+                    )
+                degrade(rung, f"{type(exc).__name__}: {exc}")
+                continue
+            if breaker is not None:
+                prior = breaker.state
+                breaker.record_success(tick)
+                if (prior is BreakerState.HALF_OPEN
+                        and breaker.state is BreakerState.CLOSED):
+                    self.log.record(rid, "breaker_close", device=rung.device,
+                                    rung=rung.name)
+
+            # Gate 4: probabilistic result verification.
+            verified = False
+            if not rung.is_reference and (
+                    self._unit("verify", rid) < cfg.verify_rate):
+                check = self.verifier.check(
+                    a, b, out, alpha, beta, c, transa, transb,
+                    key=f"req:{rid}",
+                )
+                if not check.passed:
+                    self.counters.corruption_caught += 1
+                    self.log.record(
+                        rid, "corruption", device=rung.device, rung=rung.name,
+                        detail=(f"Freivalds residual {check.max_residual:.3e} "
+                                f"> tolerance {check.tolerance:.3e}"),
+                    )
+                    self._quarantine(rung, rid)
+                    spent += seconds  # the corrupt attempt burned real time
+                    degrade(rung, "result corruption caught; re-serving")
+                    continue
+                verified = True
+                self.counters.verified += 1
+            return ServeResult(
+                c=out, request_id=rid, rung=rung.name, device=rung.device,
+                degraded=bool(degradations), verified=verified,
+                service_s=spent + seconds, queue_wait_s=queue_wait,
+                degradations=degradations,
+            )
+        # Unreachable: the reference rung cannot fault, cannot corrupt,
+        # and is never quarantined, breaker-gated, or deadline-skipped.
+        raise AssertionError("degradation ladder exhausted")
+
+    # -- quarantine and canaries ---------------------------------------
+    def _quarantine(self, rung: Rung, rid: int) -> None:
+        if rung.key not in self._quarantined:
+            self._quarantined[rung.key] = 0
+            self.counters.quarantined += 1
+            self.log.record(rid, "quarantine", device=rung.device,
+                            rung=rung.name)
+
+    def _canary_problem(self):
+        """A fixed seeded known-answer GEMM (reference precomputed once)."""
+        if self._canary_cache is None:
+            n = self.config.canary_size
+            rng = np.random.default_rng(self.config.seed + 0xCA0A)
+            a = rng.standard_normal((n, n)).astype(self.dtype)
+            b = rng.standard_normal((n, n)).astype(self.dtype)
+            expected = reference_gemm("N", "N", 1.0, a, b, 0.0)
+            self._canary_cache = (a, b, expected)
+        return self._canary_cache
+
+    def _run_canaries(self, tick: int, rid: int) -> None:
+        """Probe each quarantined kernel with a known-answer GEMM."""
+        a, b, expected = self._canary_problem()
+        tol = 1e-4 if self.precision == "s" else 1e-10
+        rungs = {rung.key: rung for rung in self.ladder.rungs}
+        for key in sorted(self._quarantined):
+            rung = rungs[key]
+            self.counters.canaries_run += 1
+            injector = self._salted_injector(f"canary:{tick}:{key}")
+            try:
+                out, _ = call_with_timeout(
+                    lambda: rung.call(a, b, None, 1.0, 0.0, "N", "N",
+                                      injector=injector),
+                    self.config.attempt_timeout_s,
+                )
+                ok = bool(np.all(np.isfinite(out))) \
+                    and relative_error(out, expected) < tol
+            except (CLError, MeasurementTimeout):
+                ok = False
+            if ok:
+                self._quarantined[key] += 1
+                self.log.record(
+                    rid, "canary_pass", device=rung.device, rung=rung.name,
+                    detail=f"pass {self._quarantined[key]}"
+                           f"/{self.config.canary_passes}",
+                )
+                if self._quarantined[key] >= self.config.canary_passes:
+                    del self._quarantined[key]
+                    self.counters.readmitted += 1
+                    self.log.record(rid, "readmit", device=rung.device,
+                                    rung=rung.name)
+            else:
+                self._quarantined[key] = 0
+                self.log.record(rid, "canary_fail", device=rung.device,
+                                rung=rung.name)
+
+    # -- introspection --------------------------------------------------
+    def describe(self) -> str:
+        lines = [f"GemmService ({'SGEMM' if self.precision == 's' else 'DGEMM'})"]
+        lines.append(self.ladder.describe())
+        for breaker in self.breakers.values():
+            lines.append("  " + breaker.describe())
+        if self._quarantined:
+            lines.append(f"  quarantined: {', '.join(sorted(self._quarantined))}")
+        return "\n".join(lines)

@@ -40,13 +40,29 @@ _PRETUNED_RAW: Dict[Tuple[str, str], Dict] = {
 
 
 def pretuned_params(device: str, precision: str) -> KernelParams:
-    """The shipped tuned parameters for a device/precision pair."""
+    """The shipped tuned parameters for a device/precision pair.
+
+    Raises a :class:`KeyError` that enumerates every available
+    ``(device, precision)`` pair — and calls out when the device *is*
+    known but only at other precisions — so a typo'd codename or a
+    missing precision is diagnosable from the message alone.
+    """
     try:
         raw = _PRETUNED_RAW[(device, precision)]
     except KeyError:
+        pairs = ", ".join(f"{d}/{p}" for d, p in sorted(_PRETUNED_RAW))
+        same_device = sorted(
+            p for d, p in _PRETUNED_RAW if d == device
+        )
+        hint = (
+            f" (device {device!r} is pretuned only for precision"
+            f"{'s' if len(same_device) > 1 else ''} "
+            f"{', '.join(repr(p) for p in same_device)})"
+            if same_device else ""
+        )
         raise KeyError(
-            f"no pretuned kernel for ({device!r}, {precision!r}); "
-            f"available: {sorted(_PRETUNED_RAW)}"
+            f"no pretuned kernel for ({device!r}, {precision!r}){hint}; "
+            f"available (device, precision) pairs: {pairs}"
         ) from None
     return KernelParams.from_dict(raw)
 

@@ -1,0 +1,81 @@
+"""The per-device circuit breaker state machine (logical clock)."""
+
+from __future__ import annotations
+
+from repro.serve import BreakerState, CircuitBreaker
+
+
+def make_breaker(**kw):
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("cooldown_ticks", 10)
+    kw.setdefault("probe_successes", 2)
+    return CircuitBreaker("tahiti", **kw)
+
+
+def test_trips_after_consecutive_failures():
+    b = make_breaker()
+    assert b.record_failure(1) is False
+    assert b.record_failure(2) is False
+    assert b.state is BreakerState.CLOSED
+    assert b.record_failure(3) is True  # threshold reached: trips
+    assert b.state is BreakerState.OPEN
+    assert b.trips == 1
+
+
+def test_success_resets_the_failure_streak():
+    b = make_breaker()
+    b.record_failure(1)
+    b.record_failure(2)
+    b.record_success(3)
+    b.record_failure(4)
+    b.record_failure(5)
+    assert b.state is BreakerState.CLOSED  # streak restarted at tick 4
+
+
+def test_open_blocks_until_cooldown_then_probes():
+    b = make_breaker()
+    for t in (1, 2, 3):
+        b.record_failure(t)
+    assert not b.allow(4)
+    assert not b.allow(12)  # 12 - 3 < cooldown_ticks
+    assert b.allow(13)      # cooldown elapsed: half-open probe admitted
+    assert b.state is BreakerState.HALF_OPEN
+
+
+def test_probe_successes_close_the_breaker():
+    b = make_breaker()
+    for t in (1, 2, 3):
+        b.record_failure(t)
+    assert b.allow(13)
+    b.record_success(13)
+    assert b.state is BreakerState.HALF_OPEN  # one probe is not enough
+    assert b.allow(14)
+    b.record_success(14)
+    assert b.state is BreakerState.CLOSED
+
+
+def test_probe_failure_reopens_immediately():
+    b = make_breaker()
+    for t in (1, 2, 3):
+        b.record_failure(t)
+    assert b.allow(13)
+    assert b.record_failure(13) is True  # a sick device re-trips at once
+    assert b.state is BreakerState.OPEN
+    assert b.trips == 2
+    assert not b.allow(14)
+    assert b.allow(23)  # a fresh cooldown counted from the re-open
+
+
+def test_transitions_are_recorded_for_the_incident_log():
+    b = make_breaker()
+    for t in (1, 2, 3):
+        b.record_failure(t)
+    b.allow(13)
+    b.record_success(13)
+    b.record_success(14)
+    assert b.transitions == [
+        (3, "closed", "open"),
+        (13, "open", "half_open"),
+        (14, "half_open", "closed"),
+    ]
+    assert "tahiti" in b.describe()

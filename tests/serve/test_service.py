@@ -1,0 +1,187 @@
+"""GemmService: admission, breakers, the ladder, and quarantine recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clsim.faults import FaultInjector, FaultPlan, FaultRule
+from repro.errors import AdmissionError
+from repro.gemm.reference import reference_gemm, relative_error
+from repro.serve import BreakerState, GemmService, IncidentLog, ServiceConfig
+
+
+def injector(seed, *rules):
+    return FaultInjector(FaultPlan(seed=seed, rules=tuple(rules)))
+
+
+@pytest.fixture
+def problem(rng):
+    a = rng.standard_normal((48, 32))
+    b = rng.standard_normal((32, 40))
+    return a, b
+
+
+class TestCleanPath:
+    def test_clean_request_served_by_the_tuned_rung(self, problem):
+        service = GemmService("tahiti", "d")
+        a, b = problem
+        result = service.submit(a, b, alpha=1.5)
+        assert result.rung == "tuned"
+        assert result.device == "tahiti"
+        assert not result.degraded
+        assert result.verified  # verify_rate defaults to 1.0
+        expected = reference_gemm("N", "N", 1.5, a, b, 0.0)
+        assert relative_error(result.c, expected) < 1e-12
+        assert service.counters.served_by_rung == {"tuned": 1}
+
+    def test_service_is_deterministic(self, problem):
+        a, b = problem
+
+        def run():
+            service = GemmService("tahiti", "d")
+            outs = [service.submit(a, b).c for _ in range(5)]
+            return outs, service.counters.as_dict()
+
+        outs1, counters1 = run()
+        outs2, counters2 = run()
+        assert counters1 == counters2
+        for o1, o2 in zip(outs1, outs2):
+            np.testing.assert_array_equal(o1, o2)
+
+    def test_describe_mentions_the_ladder_and_breakers(self):
+        service = GemmService("tahiti", "d")
+        text = service.describe()
+        assert "tuned" in text and "reference" in text
+        assert "breaker[tahiti]" in text
+
+
+class TestAdmission:
+    def test_backlog_overflow_sheds_with_a_typed_error(self, problem):
+        config = ServiceConfig(max_backlog_s=0.0)
+        service = GemmService("tahiti", "d", config=config)
+        a, b = problem
+        service.submit(a, b, arrival_dt_s=0.0)  # leaves a non-zero backlog
+        with pytest.raises(AdmissionError):
+            service.submit(a, b, arrival_dt_s=0.0)
+        assert service.counters.shed == 1
+        assert service.log.by_kind("shed")
+        # Draining the backlog (a quiet period) re-admits traffic.
+        result = service.submit(a, b, arrival_dt_s=10.0)
+        assert result.rung == "tuned"
+
+
+class TestBreakers:
+    def test_persistent_launch_failure_trips_the_device_breaker(self, problem):
+        config = ServiceConfig(
+            breaker_failure_threshold=3, breaker_cooldown=5,
+            breaker_probe_successes=2,
+        )
+        service = GemmService(
+            "tahiti", "d", config=config,
+            fault_injector=injector(3, FaultRule(kind="launch", rate=1.0)),
+        )
+        a, b = problem
+        # Request 1: tuned and direct both fail (2 failures); request 2's
+        # first failure reaches the threshold and trips the breaker.
+        r1 = service.submit(a, b)
+        r2 = service.submit(a, b)
+        assert r1.rung == r2.rung == "reference"
+        expected = reference_gemm("N", "N", 1.0, a, b, 0.0)
+        assert relative_error(r2.c, expected) < 1e-12
+        assert service.breakers["tahiti"].state is BreakerState.OPEN
+        assert service.counters.breaker_trips == 1
+        # While open, device rungs are skipped without being attempted.
+        r3 = service.submit(a, b)
+        assert any("circuit breaker open" in why for _, why in r3.degradations)
+
+    def test_breaker_recovers_once_the_device_heals(self, problem):
+        config = ServiceConfig(
+            breaker_failure_threshold=2, breaker_cooldown=3,
+            breaker_probe_successes=2,
+        )
+        service = GemmService(
+            "tahiti", "d", config=config,
+            fault_injector=injector(3, FaultRule(kind="launch", rate=1.0)),
+        )
+        a, b = problem
+        service.submit(a, b)  # trips at the second rung failure
+        assert service.breakers["tahiti"].state is BreakerState.OPEN
+        service._base_injector = None  # the fault storm ends
+        while service.breakers["tahiti"].state is not BreakerState.CLOSED:
+            result = service.submit(a, b)
+        assert result.rung == "tuned"
+        assert service.log.by_kind("breaker_probe")
+        assert service.log.by_kind("breaker_close")
+
+
+class TestQuarantineLifecycle:
+    def test_corruption_quarantine_canary_readmission(self, problem):
+        config = ServiceConfig(canary_interval=10, canary_passes=2)
+        service = GemmService(
+            "tahiti", "d", config=config,
+            fault_injector=injector(3, FaultRule(kind="result", rate=1.0)),
+        )
+        a, b = problem
+        expected = reference_gemm("N", "N", 1.0, a, b, 0.0)
+
+        # Every device rung silently corrupts; Freivalds catches each,
+        # quarantines the rung, and the reference rung serves the answer.
+        result = service.submit(a, b)
+        assert result.rung == "reference"
+        assert relative_error(result.c, expected) < 1e-12
+        assert service.counters.corruption_caught == 2
+        assert service.quarantined == ("tahiti:direct", "tahiti:tuned")
+        assert len(service.log.by_kind("quarantine")) == 2
+
+        # While quarantined, requests keep landing on the reference rung.
+        assert service.submit(a, b).rung == "reference"
+
+        # The corruption clears; canaries at ticks 10 and 20 must each
+        # pass before the kernels are trusted again (canary_passes=2).
+        service._base_injector = None
+        for _ in range(service._tick, 19):
+            assert service.submit(a, b).rung == "reference"
+        result = service.submit(a, b)  # tick 20: canaries re-admit first
+        assert service.quarantined == ()
+        assert result.rung == "tuned"
+        assert service.counters.readmitted == 2
+        assert service.counters.canaries_run == 4
+        assert len(service.log.by_kind("canary_pass")) == 4
+        assert len(service.log.by_kind("readmit")) == 2
+
+    def test_failing_canaries_keep_the_kernel_quarantined(self, problem):
+        config = ServiceConfig(canary_interval=5, canary_passes=2)
+        service = GemmService(
+            "tahiti", "d", config=config,
+            fault_injector=injector(3, FaultRule(kind="result", rate=1.0)),
+        )
+        a, b = problem
+        for _ in range(12):  # crosses two canary intervals, still corrupt
+            assert service.submit(a, b).rung == "reference"
+        assert service.quarantined == ("tahiti:direct", "tahiti:tuned")
+        assert service.counters.readmitted == 0
+        assert service.log.by_kind("canary_fail")
+
+
+class TestIncidentLogPersistence:
+    def test_round_trip(self, tmp_path):
+        log = IncidentLog()
+        log.record(1, "shed", detail="backlog")
+        log.record(2, "quarantine", device="tahiti", rung="tuned")
+        path = str(tmp_path / "incidents.json")
+        log.save(path)
+        loaded = IncidentLog.load(path)
+        assert loaded is not None
+        assert [i.to_dict() for i in loaded] == [i.to_dict() for i in log]
+        assert loaded.kind_counts() == {"shed": 1, "quarantine": 1}
+
+    def test_corrupt_file_loads_as_none(self, tmp_path):
+        path = tmp_path / "incidents.json"
+        path.write_text("{not json")
+        assert IncidentLog.load(str(path)) is None
+
+    def test_unknown_kind_is_rejected(self):
+        log = IncidentLog()
+        with pytest.raises(ValueError):
+            log.record(1, "mystery")

@@ -1,0 +1,85 @@
+"""Up-front request validation with typed errors naming the argument."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidRequestError, ReproError
+from repro.gemm.routine import GemmRoutine, validate_gemm_request
+from repro.serve import GemmService
+from tests.conftest import make_params
+
+
+@pytest.fixture
+def ab(rng):
+    return rng.standard_normal((8, 6)), rng.standard_normal((6, 10))
+
+
+def test_error_type_is_both_repro_and_value_error(ab):
+    a, b = ab
+    with pytest.raises(InvalidRequestError) as exc:
+        validate_gemm_request(a, b, transa="X")
+    assert isinstance(exc.value, ReproError)
+    assert isinstance(exc.value, ValueError)
+    assert exc.value.argument == "transa"
+
+
+@pytest.mark.parametrize(
+    "mutate, argument",
+    [
+        (lambda a, b: (a[None], b, {}), "a"),                      # 3-D a
+        (lambda a, b: (a.astype(complex), b, {}), "a"),            # complex
+        (lambda a, b: (a.astype(object), b, {}), "a"),             # object
+        (lambda a, b: (np.empty((0, 6)), b, {}), "a"),             # empty
+        (lambda a, b: (a, b[:5], {}), "b"),                        # K mismatch
+        (lambda a, b: (a, b, {"alpha": float("nan")}), "alpha"),
+        (lambda a, b: (a, b, {"beta": float("inf")}), "beta"),
+        (lambda a, b: (a, b, {"alpha": "x"}), "alpha"),            # non-scalar
+        (lambda a, b: (a, b, {"beta": 0.5}), "c"),                 # beta, no C
+        (lambda a, b: (a, b, {"transb": "Q"}), "transb"),
+    ],
+)
+def test_offending_argument_is_named(ab, mutate, argument):
+    a, b, kwargs = mutate(*ab)
+    with pytest.raises(InvalidRequestError) as exc:
+        validate_gemm_request(a, b, **kwargs)
+    assert exc.value.argument == argument
+    assert f"argument {argument!r}" in str(exc.value)
+
+
+def test_wrong_c_shape_is_named(ab, rng):
+    a, b = ab
+    c = rng.standard_normal((8, 9))
+    with pytest.raises(InvalidRequestError) as exc:
+        validate_gemm_request(a, b, c, beta=1.0)
+    assert exc.value.argument == "c"
+
+
+def test_noncontiguous_inputs_are_accepted(ab):
+    a, b = ab
+    out_a, out_b, _, _, _ = validate_gemm_request(np.asfortranarray(a), b[:, ::-1])
+    assert not out_a.flags.c_contiguous
+    assert not out_b.flags.c_contiguous
+    assert out_a.shape == (8, 6)
+    assert out_b.shape == (6, 10)
+
+
+def test_routine_validates_before_touching_the_device(tahiti, ab):
+    routine = GemmRoutine(tahiti, make_params(), measurement_noise=False)
+    a, b = ab
+    with pytest.raises(InvalidRequestError) as exc:
+        routine(a, b, beta=2.0)  # beta != 0 without C
+    assert exc.value.argument == "c"
+
+
+def test_service_counts_and_logs_invalid_requests(ab):
+    service = GemmService("tahiti", "d")
+    a, b = ab
+    with pytest.raises(InvalidRequestError):
+        service.submit(a, b[:5])
+    assert service.counters.invalid == 1
+    assert service.counters.admitted == 0
+    incidents = service.log.by_kind("invalid")
+    assert len(incidents) == 1
+    assert "argument 'b'" in incidents[0].detail
