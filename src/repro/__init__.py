@@ -28,7 +28,7 @@ Quickstart::
     print(result.kernel_gflops, "GFlop/s (simulated)")
 """
 
-from repro.api import autotune, tuned_gemm
+from repro.api import autotune, observability, tuned_gemm
 from repro.codegen import Algorithm, KernelParams, Layout, StrideMode
 from repro.devices import CATALOG, EVALUATED_DEVICES, DeviceSpec, get_device_spec
 from repro.errors import (
@@ -49,6 +49,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "autotune",
+    "observability",
     "tuned_gemm",
     "Algorithm",
     "KernelParams",

@@ -10,10 +10,11 @@ from repro.codegen.space import SpaceRestrictions
 from repro.devices.catalog import get_device_spec
 from repro.devices.specs import DeviceSpec
 from repro.gemm.routine import GemmRoutine
+from repro.obs import Observability
 from repro.tuner.pretuned import pretuned_params
 from repro.tuner.search import TuningConfig, TuningResult, tune
 
-__all__ = ["autotune", "tuned_gemm", "serve"]
+__all__ = ["autotune", "tuned_gemm", "serve", "observability"]
 
 logger = logging.getLogger("repro.api")
 
@@ -24,15 +25,17 @@ def autotune(
     budget: Optional[int] = 4000,
     seed: int = 0,
     restrictions: Optional[SpaceRestrictions] = None,
+    obs: Optional[Observability] = None,
 ) -> TuningResult:
     """Run the staged kernel search for one device and precision.
 
     ``budget=None`` explores the full heuristic space (tens of thousands
     of candidates, as in the paper's five-hour runs — a few seconds on
-    the simulator).
+    the simulator).  Pass ``obs=observability(seed)`` to record per-stage
+    spans and search metrics.
     """
     config = TuningConfig(budget=budget, seed=seed)
-    return tune(device, precision, config, restrictions)
+    return tune(device, precision, config, restrictions, obs=obs)
 
 
 def tuned_gemm(
@@ -80,7 +83,20 @@ def serve(
     The convenience constructor for the resilient serving layer: request
     validation, admission control, circuit breakers, the degradation
     ladder, and Freivalds result verification, with sensible defaults.
+    Pass ``obs=observability(seed)`` to trace each request through the
+    gates and mirror the service counters into a metrics registry.
     """
     from repro.serve import GemmService
 
     return GemmService(devices, precision, **service_kwargs)
+
+
+def observability(seed: int = 0, trace_limit: Optional[int] = None) -> Observability:
+    """An enabled telemetry bundle (tracer + metrics registry).
+
+    Hand the same instance to :func:`serve`, :func:`autotune`,
+    :class:`~repro.gemm.multidev.MultiDeviceGemm`, or
+    :class:`~repro.gemm.dispatch.KernelSelector` to collect one unified
+    trace/metrics view; see :mod:`repro.obs` and docs/observability.md.
+    """
+    return Observability(seed=seed, trace_limit=trace_limit)

@@ -7,6 +7,8 @@ Subcommands
 ``gemm``    — run one GEMM call with the tuned kernel and report rates.
 ``serve``   — drive the resilient serving layer with a seeded workload.
 ``soak``    — long chaos soak of the serving layer (ground-truth checked).
+``trace``   — render an observability trace as a timeline tree.
+``metrics`` — export the metrics registry (Prometheus text or JSON).
 ``bench``   — regenerate one (or all) paper tables/figures.
 ``emit``    — print the generated OpenCL C for the tuned kernel.
 """
@@ -83,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--stats-json", metavar="STATS.json",
                         help="dump the search telemetry (incl. fault/retry "
                              "counters) as JSON")
+    p_tune.add_argument("--trace-json", metavar="TRACE.json",
+                        help="persist the per-stage observability trace "
+                             "(render with 'repro trace TRACE.json')")
+    p_tune.add_argument("--metrics-json", metavar="METRICS.json",
+                        help="persist the metrics-registry snapshot "
+                             "(render with 'repro metrics METRICS.json')")
 
     p_gemm = sub.add_parser("gemm", help="run one GEMM with the tuned kernel")
     p_gemm.add_argument("device")
@@ -125,6 +133,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the service counters")
         p.add_argument("--report-json", metavar="REPORT.json",
                        help="persist the full soak report")
+        p.add_argument("--trace-json", metavar="TRACE.json",
+                       help="persist the kept per-request traces "
+                            "(render with 'repro trace TRACE.json')")
+        p.add_argument("--metrics-json", metavar="METRICS.json",
+                       help="persist the metrics-registry snapshot "
+                            "(render with 'repro metrics METRICS.json')")
+        p.add_argument("--trace-limit", type=int, default=256, metavar="N",
+                       help="per-request traces kept in memory (oldest "
+                            "dropped first)")
 
     p_serve = sub.add_parser(
         "serve", help="run the resilient GEMM serving layer"
@@ -135,6 +152,39 @@ def build_parser() -> argparse.ArgumentParser:
         "soak", help="chaos soak: every response checked against ground truth"
     )
     add_serve_options(p_soak, default_requests=1000)
+
+    p_trace = sub.add_parser(
+        "trace", help="render an observability trace as a timeline tree"
+    )
+    p_trace.add_argument(
+        "file", nargs="?",
+        help="trace file written by --trace-json (omit to trace one demo "
+             "request through the serve-chaos plan)",
+    )
+    p_trace.add_argument("--index", type=int, default=-1,
+                         help="which trace in the file (default: last)")
+    p_trace.add_argument("--all", action="store_true",
+                         help="render every trace in the file")
+    p_trace.add_argument("--no-events", action="store_true",
+                         help="hide span events (e.g. device_lost)")
+    p_trace.add_argument("--seed", type=int, default=0,
+                         help="demo request seed (without FILE)")
+    p_trace.add_argument("--json", metavar="OUT.json", dest="out_json",
+                         help="also persist the rendered trace(s)")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="export the metrics registry"
+    )
+    p_metrics.add_argument(
+        "file", nargs="?",
+        help="metrics snapshot written by --metrics-json (omit to run a "
+             "deterministic demo workload: chaos serving plus a tiny "
+             "cached tuner run)",
+    )
+    p_metrics.add_argument("--format", choices=["prometheus", "json"],
+                           default="prometheus")
+    p_metrics.add_argument("--seed", type=int, default=0,
+                           help="demo workload seed (without FILE)")
 
     p_bench = sub.add_parser("bench", help="regenerate paper tables/figures")
     p_bench.add_argument("experiment", nargs="?", default="all",
@@ -221,6 +271,11 @@ def _cmd_tune(args) -> int:
             measure_timeout_s=args.measure_timeout,
             samples=args.measure_samples,
         )
+    obs = None
+    if args.trace_json or args.metrics_json:
+        from repro.obs import Observability
+
+        obs = Observability(seed=args.seed)
     engine = SearchEngine(
         args.device, args.precision, config, restrictions,
         cache=cache,
@@ -229,6 +284,7 @@ def _cmd_tune(args) -> int:
         resume=args.resume,
         injector=injector,
         resilience=resilience,
+        obs=obs,
     )
     result = engine.run()
     spec = get_device_spec(args.device)
@@ -250,6 +306,16 @@ def _cmd_tune(args) -> int:
         # CI's chaos job archives these counters as its run artifact.
         dump_json_atomic(args.stats_json, result.stats.as_dict(), indent=2)
         print(f"stats         : {args.stats_json}")
+    if obs is not None:
+        from repro.obs import save_metrics, save_traces
+
+        if args.trace_json:
+            save_traces(args.trace_json, list(obs.traces))
+            print(f"trace         : {args.trace_json} "
+                  f"({len(obs.traces)} traces)")
+        if args.metrics_json:
+            save_metrics(args.metrics_json, obs.metrics)
+            print(f"metrics       : {args.metrics_json}")
     return 0
 
 
@@ -277,6 +343,7 @@ def _cmd_gemm(args) -> int:
 
 def _run_serving(args, check_clean: bool) -> int:
     from repro.clsim.faults import FaultInjector, FaultPlan
+    from repro.obs import Observability, save_metrics, save_traces
     from repro.persist import dump_json_atomic
     from repro.serve import GemmService, ServiceConfig, SoakConfig, run_soak
 
@@ -294,8 +361,10 @@ def _run_serving(args, check_clean: bool) -> int:
         canary_interval=args.canary_interval,
         attempt_timeout_s=args.attempt_timeout,
     )
+    obs = Observability(seed=args.seed, trace_limit=max(1, args.trace_limit))
     service = GemmService(
-        args.device, args.precision, config=config, fault_injector=injector
+        args.device, args.precision, config=config, fault_injector=injector,
+        obs=obs,
     )
     print(service.ladder.describe())
     report = run_soak(
@@ -312,6 +381,13 @@ def _run_serving(args, check_clean: bool) -> int:
     if args.report_json:
         report.save(args.report_json)
         print(f"report        : {args.report_json}")
+    if args.trace_json:
+        save_traces(args.trace_json, list(obs.traces))
+        print(f"trace         : {args.trace_json} ({len(obs.traces)} traces "
+              f"kept, {obs.tracer.dropped} dropped)")
+    if args.metrics_json:
+        save_metrics(args.metrics_json, obs.metrics)
+        print(f"metrics       : {args.metrics_json}")
     if check_clean and not report.clean:
         print(f"FAILED: {report.wrong_answers} numerically incorrect "
               f"responses escaped the serving layer")
@@ -325,6 +401,94 @@ def _cmd_serve(args) -> int:
 
 def _cmd_soak(args) -> int:
     return _run_serving(args, check_clean=True)
+
+
+def _demo_observability(seed: int, requests: int = 0):
+    """A deterministic telemetry demo: chaos-served requests on tahiti.
+
+    With ``requests == 0`` a single request is served (the ``repro
+    trace`` demo); otherwise a seeded soak workload runs (the ``repro
+    metrics`` demo needs enough traffic to populate the fallback
+    series).
+    """
+    from repro.clsim.faults import FaultInjector, FaultPlan
+    from repro.obs import Observability
+    from repro.serve import GemmService, ServiceConfig, SoakConfig, run_soak
+
+    obs = Observability(seed=seed, trace_limit=64)
+    plan = FaultPlan.parse("serve-chaos", seed=seed)
+    service = GemmService(
+        "tahiti", "d", config=ServiceConfig(seed=seed),
+        fault_injector=FaultInjector(plan), obs=obs,
+    )
+    if requests:
+        run_soak(service, SoakConfig(requests=requests, seed=seed))
+    else:
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        service.submit(a, b)
+    return obs
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import load_traces, render_trace, save_traces
+
+    if args.file:
+        traces = load_traces(args.file)
+        if traces is None:
+            print(f"error: {args.file} is not a readable trace file",
+                  file=sys.stderr)
+            return 1
+        if not traces:
+            print(f"error: {args.file} holds no traces", file=sys.stderr)
+            return 1
+        shown = traces if args.all else [traces[args.index]]
+    else:
+        print("no trace file given; tracing one request through the "
+              "serve-chaos plan\n")
+        traces = list(_demo_observability(args.seed).traces)
+        shown = traces
+    for i, trace in enumerate(shown):
+        if i:
+            print()
+        print(render_trace(trace, show_events=not args.no_events))
+    if args.out_json:
+        save_traces(args.out_json, traces)
+        print(f"\nsaved {len(traces)} trace(s) to {args.out_json}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import load_metrics, render_prometheus
+
+    if args.file:
+        snapshot = load_metrics(args.file)
+        if snapshot is None:
+            print(f"error: {args.file} is not a readable metrics snapshot",
+                  file=sys.stderr)
+            return 1
+    else:
+        print("no snapshot given; running the demo workload "
+              "(chaos serving + a tiny cached tuner run)\n", file=sys.stderr)
+        from repro.tuner.cache import MeasurementCache
+        from repro.tuner.search import SearchEngine, TuningConfig
+
+        obs = _demo_observability(args.seed, requests=160)
+        cache = MeasurementCache()
+        for _ in range(2):  # the second, cache-warm run produces the hits
+            SearchEngine(
+                "tahiti", "d", TuningConfig(budget=48, seed=args.seed),
+                cache=cache, obs=obs,
+            ).run()
+        snapshot = obs.metrics.snapshot()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(snapshot), end="")
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -379,6 +543,8 @@ _COMMANDS = {
     "gemm": _cmd_gemm,
     "serve": _cmd_serve,
     "soak": _cmd_soak,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "bench": _cmd_bench,
     "analyze": _cmd_analyze,
     "report": _cmd_report,

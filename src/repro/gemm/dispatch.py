@@ -24,6 +24,7 @@ from repro.errors import CLError, ReproError
 from repro.gemm.direct import direct_params
 from repro.gemm.routine import GemmResult, GemmRoutine, predict_implementation
 from repro.gemm.direct import DirectGemmRoutine
+from repro.obs import NULL_OBS, bridge_queue
 from repro.perfmodel.model import estimate_kernel_time
 from repro.tuner.search import TuningResult
 
@@ -65,9 +66,13 @@ class KernelSelector:
         bands: Sequence[int] = DEFAULT_BANDS,
         include_direct: bool = True,
         precision: Optional[str] = None,
+        obs=None,
         **routine_kwargs,
     ):
         self.spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+        #: Telemetry (see :mod:`repro.obs`): a ``gemm.dispatch`` span per
+        #: call with the selected band and bridged kernel launches.
+        self.obs = obs if obs is not None else NULL_OBS
         candidates = list(candidates)
         #: Fallbacks taken while building the table (empty finalist sets,
         #: bands with no viable candidate) — callers inspect/log these.
@@ -207,8 +212,12 @@ class KernelSelector:
         N = b.shape[1] if transb == "N" else b.shape[0]
         K = a.shape[1] if transa == "N" else a.shape[0]
         entry = self.entry_for(M, N, K)
-        routine = self._routine(entry)
-        return routine(a, b, c, alpha=alpha, beta=beta, transa=transa, transb=transb)
+        with self.obs.span("gemm.dispatch", M=M, N=N, K=K,
+                           band=entry.max_size, direct=entry.direct):
+            routine = self._routine(entry)
+            with bridge_queue(self.obs, routine.queue):
+                return routine(a, b, c, alpha=alpha, beta=beta,
+                               transa=transa, transb=transb)
 
     def describe(self) -> str:
         """The selection table as text."""
@@ -240,7 +249,7 @@ class KernelSelector:
         return path
 
     @classmethod
-    def load(cls, path: str, **routine_kwargs) -> "KernelSelector":
+    def load(cls, path: str, obs=None, **routine_kwargs) -> "KernelSelector":
         """Re-create a selector from a saved table (no re-tuning)."""
         import json
 
@@ -249,6 +258,7 @@ class KernelSelector:
         if payload.get("format") != "repro-kernel-selector/1":
             raise ReproError(f"{path} is not a kernel-selector table")
         self = cls.__new__(cls)
+        self.obs = obs if obs is not None else NULL_OBS
         self.spec = get_device_spec(payload["device"])
         self.precision = payload["precision"]
         self._routine_kwargs = routine_kwargs

@@ -30,6 +30,7 @@ from repro.devices.specs import DeviceSpec
 from repro.errors import DeviceLostError, ReproError
 from repro.gemm.reference import reference_gemm
 from repro.gemm.routine import GemmRoutine
+from repro.obs import NULL_OBS, bridge_queue
 from repro.perfmodel.model import estimate_kernel_time, estimate_transfer_time
 from repro.tuner.pretuned import pretuned_params
 
@@ -97,10 +98,15 @@ class MultiDeviceGemm:
         params: Optional[Dict[str, KernelParams]] = None,
         fault_injector: Optional["object"] = None,
         on_device_lost: Optional[Callable[[str, int, int], None]] = None,
+        obs=None,
         **routine_kwargs,
     ):
         if not devices:
             raise ReproError("MultiDeviceGemm needs at least one device")
+        #: Telemetry (see :mod:`repro.obs`): one ``multidev.gemm`` span
+        #: per call with per-device partition child spans.  Disabled by
+        #: default.
+        self.obs = obs if obs is not None else NULL_OBS
         #: Observer hook called as ``(device, start, stop)`` when a device
         #: is dropped mid-batch — the serving layer feeds its per-device
         #: circuit breakers from this instead of polling ``lost_devices``
@@ -128,6 +134,14 @@ class MultiDeviceGemm:
             self._weights[spec.codename] = estimate_kernel_time(
                 spec, p, n, n, n, noise=False
             ).gflops
+        self._lost_counter = (
+            self.obs.counter(
+                "multidev_device_lost_total",
+                "Devices dropped mid-batch (DeviceLostError), per device.",
+                labelnames=("device",),
+            )
+            if self.obs.enabled else None
+        )
 
     @property
     def weights(self) -> Dict[str, float]:
@@ -184,38 +198,50 @@ class MultiDeviceGemm:
         lost: List[str] = []
         esize = out.dtype.itemsize
         active: List[DeviceSpec] = list(self.specs)
-        #: Column ranges not yet computed; grows when a device is lost.
-        remaining: List[Tuple[int, int]] = [(0, N)]
-        while remaining and active:
-            segments, remaining = remaining, []
-            for seg_start, seg_stop in segments:
-                for device, start, stop in self._partition_specs(
-                    active, seg_start, seg_stop
-                ):
-                    if stop == start:
-                        shares.append(DeviceShare(device, (start, stop), 0.0, 0.0))
-                        continue
-                    try:
-                        shares.append(
-                            self._run_slice(
-                                device, a, b, c, alpha, beta, start, stop,
-                                out, M, K, esize,
+        with self.obs.span("multidev.gemm", M=M, N=N, K=K,
+                           fleet=len(self.specs)) as root:
+            #: Column ranges not yet computed; grows when a device is lost.
+            remaining: List[Tuple[int, int]] = [(0, N)]
+            while remaining and active:
+                segments, remaining = remaining, []
+                for seg_start, seg_stop in segments:
+                    for device, start, stop in self._partition_specs(
+                        active, seg_start, seg_stop
+                    ):
+                        if stop == start:
+                            shares.append(
+                                DeviceShare(device, (start, stop), 0.0, 0.0)
                             )
-                        )
-                    except DeviceLostError:
-                        # Drop the device; its columns rejoin the queue and
-                        # are re-partitioned over the survivors by weight.
-                        lost.append(device)
-                        active = [s for s in active if s.codename != device]
-                        remaining.append((start, stop))
-                        if self.on_device_lost is not None:
-                            self.on_device_lost(device, start, stop)
-        for start, stop in remaining:
-            # The whole fleet is gone: exact but unaccelerated host path.
-            c_slice = c[:, start:stop] if c is not None else None
-            out[:, start:stop] = reference_gemm(
-                "N", "N", alpha, a, b[:, start:stop], beta, c_slice
-            )
+                            continue
+                        try:
+                            shares.append(
+                                self._run_slice(
+                                    device, a, b, c, alpha, beta, start, stop,
+                                    out, M, K, esize,
+                                )
+                            )
+                        except DeviceLostError:
+                            # Drop the device; its columns rejoin the queue
+                            # and are re-partitioned over the survivors by
+                            # weight.
+                            lost.append(device)
+                            root.event("device_lost", device=device,
+                                       columns=f"{start}:{stop}")
+                            if self._lost_counter is not None:
+                                self._lost_counter.labels(device=device).inc()
+                            active = [s for s in active if s.codename != device]
+                            remaining.append((start, stop))
+                            if self.on_device_lost is not None:
+                                self.on_device_lost(device, start, stop)
+            for start, stop in remaining:
+                # The whole fleet is gone: exact but unaccelerated host path.
+                with self.obs.span("host.fallback", columns=f"{start}:{stop}"):
+                    c_slice = c[:, start:stop] if c is not None else None
+                    out[:, start:stop] = reference_gemm(
+                        "N", "N", alpha, a, b[:, start:stop], beta, c_slice
+                    )
+            if lost:
+                root.set(lost_devices=",".join(lost))
         return MultiDeviceResult(
             out, tuple(shares), M, N, K, lost_devices=tuple(lost)
         )
@@ -240,13 +266,18 @@ class MultiDeviceGemm:
         c_slice = (
             np.ascontiguousarray(c[:, start:stop]) if c is not None else None
         )
-        result = routine(a, b_slice, c_slice, alpha=alpha, beta=beta)
-        out[:, start:stop] = result.c
-        # Distribution: full A + the B slice in; collection: C slice out.
-        spec = routine.device.spec
-        xfer = estimate_transfer_time(
-            spec, float((M * K + K * (stop - start)) * esize)
-        ) + estimate_transfer_time(spec, float(M * (stop - start) * esize))
+        with self.obs.span(f"partition:{device}",
+                           columns=f"{start}:{stop}") as span:
+            with bridge_queue(self.obs, routine.queue):
+                result = routine(a, b_slice, c_slice, alpha=alpha, beta=beta)
+            out[:, start:stop] = result.c
+            # Distribution: full A + the B slice in; collection: C slice out.
+            spec = routine.device.spec
+            xfer = estimate_transfer_time(
+                spec, float((M * K + K * (stop - start)) * esize)
+            ) + estimate_transfer_time(spec, float(M * (stop - start) * esize))
+            span.set(compute_s=round(result.timings.total_s, 9),
+                     transfer_s=round(xfer, 9))
         return DeviceShare(device, (start, stop), result.timings.total_s, xfer)
 
     def describe(self) -> str:

@@ -1,0 +1,134 @@
+"""Unified observability: deterministic tracing, metrics, exporters.
+
+This package is the telemetry spine of the repo.  One
+:class:`Observability` object bundles the two halves:
+
+* a :class:`~repro.obs.trace.Tracer` recording hierarchical spans whose
+  IDs and clocks are **deterministic per seed** (logical ticks plus the
+  simulator's modelled time — never the wall clock), and
+* a :class:`~repro.obs.metrics.MetricsRegistry` of labeled counters,
+  gauges, and fixed-bucket histograms.
+
+Instrumented layers (``repro.serve``, ``repro.tuner``, ``repro.gemm``,
+and the clsim bridge in :mod:`repro.obs.bridge`) accept an optional
+``obs`` argument.  Passing nothing gets :data:`NULL_OBS` — the shared
+disabled instance whose spans are no-op singletons — so uninstrumented
+callers pay one attribute check per hook (held to <2% end-to-end by the
+overhead-guard benchmark).
+
+Exports (:mod:`repro.obs.export`): Prometheus exposition text, JSON
+snapshots persisted crash-safe via :mod:`repro.persist`, and rendered
+trace timeline trees.  CLI: ``repro trace`` and ``repro metrics``.
+
+See ``docs/observability.md`` for a worked request trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from repro.obs.bridge import bridge_queue, bridge_records
+from repro.obs.export import (
+    load_metrics,
+    load_traces,
+    render_prometheus,
+    render_trace,
+    save_metrics,
+    save_traces,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, Trace, Tracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Tracer",
+    "Trace",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "render_prometheus",
+    "render_trace",
+    "save_metrics",
+    "load_metrics",
+    "save_traces",
+    "load_traces",
+    "bridge_queue",
+    "bridge_records",
+]
+
+
+class Observability:
+    """One process's telemetry: a tracer plus a metrics registry.
+
+    ``Observability(seed=7)`` is enabled; ``Observability.disabled()``
+    (or the shared :data:`NULL_OBS`) records nothing and allocates
+    nothing per span.  The seed feeds trace-ID derivation only, so it is
+    conventionally the same seed that drives the workload being traced.
+    """
+
+    def __init__(self, seed: int = 0, enabled: bool = True,
+                 trace_limit: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.seed = seed
+        self.tracer = Tracer(seed=seed, keep=trace_limit)
+        self.metrics = MetricsRegistry()
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False)
+
+    # -- tracing --------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> Union[Span, NullSpan]:
+        """Open a span (starts a trace if none is active)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **attributes)
+
+    #: Alias for readability at request/pipeline roots.
+    trace = span
+
+    @property
+    def current_trace_id(self) -> str:
+        """The active trace's ID, or ``""`` outside any trace."""
+        if not self.enabled:
+            return ""
+        return self.tracer.current_trace_id
+
+    @property
+    def traces(self):
+        return self.tracer.traces
+
+    # -- metrics --------------------------------------------------------
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self.metrics.counter(name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self.metrics.gauge(name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self.metrics.histogram(name, help, labelnames, buckets)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<Observability {state}: {len(self.tracer.traces)} traces, "
+                f"{len(self.metrics)} metrics>")
+
+
+#: The shared disabled instance handed to uninstrumented callers.
+NULL_OBS = Observability.disabled()

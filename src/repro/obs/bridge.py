@@ -1,0 +1,65 @@
+"""Bridging clsim command traces into observability spans.
+
+The simulator already has a profiler — :class:`repro.clsim.trace.
+CommandTracer` records every enqueued command with simulated
+timestamps.  This module lifts those records into child spans of
+whatever span is currently open, so one served request's trace tree
+reaches all the way down to the individual kernel launches and copies
+the paper's Section IV copy-vs-kernel analysis is about.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Optional
+
+from repro.clsim.trace import TraceRecord, attach_tracer
+
+__all__ = ["bridge_records", "bridge_queue"]
+
+
+def _span_name(record: TraceRecord) -> str:
+    if record.command in ("copy", "command"):
+        return record.command
+    return f"kernel:{record.command}"
+
+
+def bridge_records(obs, records: Iterable[TraceRecord]) -> None:
+    """Emit one child span per traced command under the current span.
+
+    Spans carry the simulated-clock window (``sim_start_ns`` /
+    ``sim_end_ns`` / ``sim_duration_ns``) — deterministic model time,
+    never wall clock — so the rendered tree shows the copy-vs-kernel
+    split per request.
+    """
+    if not obs.enabled:
+        return
+    for record in records:
+        with obs.span(
+            _span_name(record),
+            sim_start_ns=record.start_ns,
+            sim_end_ns=record.end_ns,
+            sim_duration_ns=record.duration_ns,
+        ):
+            pass
+
+
+@contextmanager
+def bridge_queue(obs, queue: Optional[object]):
+    """Trace a queue's commands for the duration of the block.
+
+    Attaches a :class:`CommandTracer` on entry and converts its records
+    to child spans on exit.  With observability disabled (or no queue,
+    e.g. the host reference path) this is a strict no-op — the queue's
+    methods are never wrapped, so the disabled path stays on the
+    overhead-guard budget.
+    """
+    if not obs.enabled or queue is None:
+        yield None
+        return
+    tracer = attach_tracer(queue)
+    try:
+        yield tracer
+    finally:
+        tracer.detach()
+        bridge_records(obs, tracer.records)

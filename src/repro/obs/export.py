@@ -1,0 +1,187 @@
+"""Exporters: Prometheus exposition text, JSON snapshots, trace trees.
+
+Everything here consumes the *snapshot* forms — the deterministic dicts
+produced by :meth:`MetricsRegistry.snapshot` and :meth:`Trace.to_dict` —
+so the same code renders a live registry and a file loaded back from a
+CI artifact.  Persistence goes through :mod:`repro.persist` (atomic
+write + checksum), matching every other state file in the repo.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import METRICS_FORMAT, MetricsRegistry
+from repro.obs.trace import TRACE_FORMAT, Trace
+from repro.persist import dump_json_atomic, load_json_checked
+
+__all__ = [
+    "render_prometheus",
+    "save_metrics",
+    "load_metrics",
+    "render_trace",
+    "save_traces",
+    "load_traces",
+]
+
+
+# -- Prometheus exposition ------------------------------------------------
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+    )
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[Dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(source: Union[MetricsRegistry, Dict]) -> str:
+    """A registry (or its snapshot dict) as Prometheus exposition text.
+
+    Format reference: one ``# HELP``/``# TYPE`` header per metric, one
+    sample line per series; histograms expand to cumulative
+    ``_bucket{le=...}`` samples plus ``_sum`` and ``_count``.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    if snapshot.get("format") != METRICS_FORMAT:
+        raise ValueError(
+            f"not a {METRICS_FORMAT} snapshot: {snapshot.get('format')!r}"
+        )
+    lines: List[str] = []
+    for metric in snapshot["metrics"]:
+        name = metric["name"]
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {metric['kind']}")
+        for series in metric["series"]:
+            labels = series.get("labels", {})
+            if metric["kind"] == "histogram":
+                running = 0
+                for bound, count in series["buckets"]:
+                    running += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_str(labels, {'le': _format_value(bound)})}"
+                        f" {running}"
+                    )
+                total = running + series.get("overflow", 0)
+                lines.append(
+                    f"{name}_bucket{_label_str(labels, {'le': '+Inf'})} {total}"
+                )
+                lines.append(
+                    f"{name}_sum{_label_str(labels)}"
+                    f" {_format_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{_label_str(labels)} {series['count']}")
+            else:
+                lines.append(
+                    f"{name}{_label_str(labels)} "
+                    f"{_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def save_metrics(path: str, source: Union[MetricsRegistry, Dict]) -> str:
+    """Persist a metrics snapshot crash-safe (atomic write + checksum)."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    return dump_json_atomic(path, snapshot, indent=2)
+
+
+def load_metrics(path: str) -> Optional[Dict]:
+    """Load a persisted snapshot; ``None`` for missing/corrupt files."""
+    payload = load_json_checked(path)
+    if payload is None or payload.get("format") != METRICS_FORMAT:
+        return None
+    return payload
+
+
+# -- trace persistence ----------------------------------------------------
+
+def save_traces(path: str, traces: List[Trace]) -> str:
+    """Persist traces crash-safe as one ``repro-trace/1`` document."""
+    payload = {
+        "format": TRACE_FORMAT,
+        "traces": [t.to_dict() for t in traces],
+    }
+    return dump_json_atomic(path, payload, indent=2)
+
+
+def load_traces(path: str) -> Optional[List[Trace]]:
+    """Load persisted traces; ``None`` for missing/corrupt files."""
+    payload = load_json_checked(path)
+    if payload is None or payload.get("format") != TRACE_FORMAT:
+        return None
+    return [Trace.from_dict(d) for d in payload.get("traces", [])]
+
+
+# -- trace rendering ------------------------------------------------------
+
+def _span_suffix(span) -> str:
+    parts = []
+    if span.status != "ok":
+        parts.append(f"status={span.status}")
+    attrs = span.attributes
+    if "sim_start_ns" in attrs and "sim_end_ns" in attrs:
+        parts.append(
+            f"sim {attrs['sim_start_ns'] / 1e6:.3f}.."
+            f"{attrs['sim_end_ns'] / 1e6:.3f} ms"
+        )
+    for key in sorted(attrs):
+        if key.startswith("sim_"):
+            continue
+        parts.append(f"{key}={attrs[key]}")
+    return ("  " + " ".join(parts)) if parts else ""
+
+
+def render_trace(trace: Trace, show_events: bool = True) -> str:
+    """One trace as an indented timeline tree.
+
+    Tick ranges are the tracer's logical clock (ordering, not duration);
+    bridged clsim spans additionally show their simulated-time window.
+    """
+    lines = [
+        f"trace {trace.trace_id} {trace.name} "
+        f"({len(trace.spans)} spans, root status {trace.root.status})"
+    ]
+
+    def walk(span, prefix: str, is_last: bool) -> None:
+        connector = "`-" if is_last else "|-"
+        lines.append(
+            f"{prefix}{connector} {span.name} "
+            f"[{span.start_tick}..{span.end_tick}]{_span_suffix(span)}"
+        )
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        if show_events:
+            for tick, name, attrs in span.events:
+                detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+                lines.append(
+                    f"{child_prefix}* {name} [{tick}]"
+                    + (f"  {detail}" if detail else "")
+                )
+        children = trace.children(span.span_id)
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1)
+
+    walk(trace.root, "", True)
+    return "\n".join(lines)

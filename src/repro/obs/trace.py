@@ -1,0 +1,310 @@
+"""Deterministic hierarchical tracing.
+
+A :class:`Tracer` records **spans** — named, attributed, nested units of
+work — grouped into **traces** (one trace per top-level request or
+pipeline run).  Unlike wall-clock tracers (OpenTelemetry and friends),
+every recorded field is *deterministic under a fixed seed*:
+
+* trace IDs are BLAKE2b hashes of ``seed | trace index | root name``;
+* span IDs are sequential within their trace;
+* span start/end marks come from the tracer's **logical tick counter**
+  (one tick per span boundary or event), never from ``time``;
+* simulated-time fields (``sim_start_ns`` etc., bridged from the
+  clsim :class:`~repro.clsim.trace.CommandTracer`) come from the
+  simulator's modelled clocks.
+
+Two runs with the same seed, workload, and fault plan therefore produce
+bit-identical trace trees — the determinism tests diff the serialized
+form directly.  This is the tracing counterpart of the paper's
+measurement discipline: a per-candidate timing you cannot reproduce is
+a timing you cannot trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "Trace", "Tracer", "TRACE_FORMAT"]
+
+#: Format tag of persisted trace files (see :mod:`repro.obs.export`).
+TRACE_FORMAT = "repro-trace/1"
+
+
+def _trace_id(seed: int, index: int, name: str) -> str:
+    payload = f"trace|{seed}|{index}|{name}".encode()
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+
+class Span:
+    """One unit of work inside a trace.
+
+    Use as a context manager (the tracer hands these out)::
+
+        with tracer.span("validate", request_id=7) as span:
+            ...
+            span.set(outcome="ok")
+
+    An exception propagating out of the ``with`` block marks the span's
+    ``status`` as ``"error"`` and records the exception type; the
+    exception itself is never swallowed.
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "start_tick",
+        "end_tick", "status", "attributes", "events", "_tracer",
+    )
+
+    #: Real spans record; :class:`NullSpan` advertises ``False``.
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_tick: int,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_tick = start_tick
+        self.end_tick: Optional[int] = None
+        self.status = "ok"
+        self.attributes = attributes
+        #: (tick, name, attributes) point-in-time marks.
+        self.events: List[Tuple[int, str, Dict[str, Any]]] = []
+
+    # ------------------------------------------------------------------
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, **attributes: Any) -> "Span":
+        """Record a point-in-time mark inside this span."""
+        self.events.append((self._tracer.tick(), name, attributes))
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._close(self)
+        return False  # never swallow
+
+    def __repr__(self) -> str:
+        return (f"<Span {self.name} #{self.span_id} "
+                f"trace={self.trace_id} status={self.status}>")
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_tick": self.start_tick,
+            "end_tick": self.end_tick,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "events": [
+                {"tick": t, "name": n, "attributes": dict(a)}
+                for t, n, a in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, trace_id: str, d: Dict[str, Any]) -> "Span":
+        span = cls.__new__(cls)
+        span._tracer = None  # detached: loaded spans are read-only
+        span.name = d["name"]
+        span.trace_id = trace_id
+        span.span_id = int(d["span_id"])
+        span.parent_id = d["parent_id"]
+        span.start_tick = int(d["start_tick"])
+        span.end_tick = d["end_tick"]
+        span.status = d.get("status", "ok")
+        span.attributes = dict(d.get("attributes", {}))
+        span.events = [
+            (int(e["tick"]), e["name"], dict(e.get("attributes", {})))
+            for e in d.get("events", [])
+        ]
+        return span
+
+
+class NullSpan:
+    """The disabled-telemetry span: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_SPAN`) is handed out for every
+    span request when observability is off, so the disabled path costs
+    one attribute check and no allocation — the overhead-guard benchmark
+    (``tests/obs/test_overhead.py``) holds this to within 2% of an
+    uninstrumented run.
+    """
+
+    __slots__ = ()
+    enabled = False
+    trace_id = ""
+    span_id = -1
+    parent_id = None
+    status = "ok"
+
+    def set(self, **attributes: Any) -> "NullSpan":
+        return self
+
+    def event(self, name: str, **attributes: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<NullSpan>"
+
+
+NULL_SPAN = NullSpan()
+
+
+class Trace:
+    """One finished trace: a root span plus its descendants."""
+
+    def __init__(self, trace_id: str, name: str, spans: List[Span]) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        #: All spans, in span_id (creation) order; index 0 is the root.
+        self.spans = spans
+
+    @property
+    def root(self) -> Span:
+        return self.spans[0]
+
+    def children(self, span_id: int) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with this exact name, in creation order."""
+        return [s for s in self.spans if s.name == name]
+
+    def span_names(self) -> List[str]:
+        """Every span name, in creation order (handy for coverage asserts)."""
+        return [s.name for s in self.spans]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"<Trace {self.trace_id} {self.name} ({len(self.spans)} spans)>"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Trace":
+        trace_id = d["trace_id"]
+        return cls(
+            trace_id, d["name"],
+            [Span.from_dict(trace_id, s) for s in d.get("spans", [])],
+        )
+
+
+class Tracer:
+    """Creates spans and collects finished traces.
+
+    ``span()`` opened with no active trace starts one (the span becomes
+    the trace root); closing the root finalises the trace into
+    :attr:`traces`.  ``keep`` bounds the retained list: once full, later
+    traces are counted in :attr:`dropped` instead of stored, keeping a
+    long soak's memory bounded while the *first* traces — the ones a
+    deterministic replay reproduces — stay inspectable.
+    """
+
+    def __init__(self, seed: int = 0, keep: Optional[int] = None) -> None:
+        self.seed = seed
+        self.keep = keep
+        self.traces: List[Trace] = []
+        self.dropped = 0
+        self._trace_count = 0
+        self._active: Optional[Trace] = None
+        self._stack: List[Span] = []
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """Advance and return the logical clock (one tick per boundary)."""
+        self._tick += 1
+        return self._tick
+
+    @property
+    def current_trace_id(self) -> str:
+        return self._active.trace_id if self._active is not None else ""
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a span under the current one (or start a new trace)."""
+        if self._active is None:
+            self._trace_count += 1
+            trace_id = _trace_id(self.seed, self._trace_count, name)
+            self._active = Trace(trace_id, name, [])
+        trace = self._active
+        span = Span(
+            tracer=self,
+            name=name,
+            trace_id=trace.trace_id,
+            span_id=len(trace.spans),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start_tick=self.tick(),
+            attributes=attributes,
+        )
+        trace.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    #: Alias making call sites read naturally at trace roots.
+    trace = span
+
+    def _close(self, span: Span) -> None:
+        span.end_tick = self.tick()
+        # Tolerate out-of-order closes (e.g. an abandoned watchdog
+        # thread): pop through to the closing span.
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end_tick is None:
+                dangling.end_tick = span.end_tick
+                dangling.status = "abandoned"
+        if self._stack:
+            self._stack.pop()
+        if not self._stack and self._active is not None:
+            finished = self._active
+            self._active = None
+            if self.keep is not None and len(self.traces) >= self.keep:
+                self.dropped += 1
+            else:
+                self.traces.append(finished)
+
+    # ------------------------------------------------------------------
+    def last_trace(self) -> Optional[Trace]:
+        return self.traces[-1] if self.traces else None
+
+    def find_trace(self, trace_id: str) -> Optional[Trace]:
+        for trace in self.traces:
+            if trace.trace_id == trace_id:
+                return trace
+        return None

@@ -49,6 +49,10 @@ class Incident:
     device: str = ""
     rung: str = ""
     detail: str = ""
+    #: The observability trace active when the incident was recorded
+    #: (empty when the service runs without tracing) — joins the
+    #: incident log to ``repro trace`` output and persisted trace files.
+    trace_id: str = ""
 
     def __post_init__(self):
         if self.kind not in INCIDENT_KINDS:
@@ -85,8 +89,59 @@ class ServiceCounters:
     #: "reference"), e.g. {"tuned": 950, "reference": 3}.
     served_by_rung: Dict[str, int] = field(default_factory=dict)
 
+    #: Integer fields mirrored into a bound metrics registry, in the
+    #: render order.  ``served_by_rung`` mirrors as a labeled series.
+    COUNTER_FIELDS = (
+        "requests", "admitted", "shed", "invalid", "completed", "degraded",
+        "breaker_trips", "verified", "corruption_caught", "quarantined",
+        "readmitted", "canaries_run", "deadline_missed",
+    )
+
+    def bind_registry(self, registry, prefix: str = "serve") -> None:
+        """Mirror every counter into an obs metrics registry.
+
+        The dataclass stays the source of truth and its API is unchanged
+        — plain ``counters.shed += 1`` assignments write through to
+        ``<prefix>_<field>_total`` counters (and ``count_rung`` to the
+        ``<prefix>_served_by_rung_total{rung=...}`` series), so existing
+        callers and the exporters see the same numbers.
+        """
+        mirrors = {
+            name: registry.counter(
+                f"{prefix}_{name}_total",
+                f"ServiceCounters.{name} (see docs/serving.md).",
+            )
+            for name in self.COUNTER_FIELDS
+        }
+        rung_mirror = registry.counter(
+            f"{prefix}_served_by_rung_total",
+            "Responses per degradation-ladder rung.",
+            labelnames=("rung",),
+        )
+        # Registry counters are cumulative across instances (Prometheus
+        # semantics): each bind contributes on top of whatever earlier
+        # services already mirrored, via a per-field base offset.
+        bases = {name: mirrors[name].value for name in self.COUNTER_FIELDS}
+        for name, mirror in mirrors.items():
+            mirror.set_total(bases[name] + getattr(self, name))
+        for rung, count in self.served_by_rung.items():
+            child = rung_mirror.labels(rung=rung)
+            child.set_total(child.value + count)
+        self.__dict__["_mirrors"] = mirrors
+        self.__dict__["_mirror_bases"] = bases
+        self.__dict__["_rung_mirror"] = rung_mirror
+
+    def __setattr__(self, name: str, value) -> None:
+        super().__setattr__(name, value)
+        mirrors = self.__dict__.get("_mirrors")
+        if mirrors is not None and name in mirrors:
+            mirrors[name].set_total(self.__dict__["_mirror_bases"][name] + value)
+
     def count_rung(self, rung: str) -> None:
         self.served_by_rung[rung] = self.served_by_rung.get(rung, 0) + 1
+        rung_mirror = self.__dict__.get("_rung_mirror")
+        if rung_mirror is not None:
+            rung_mirror.labels(rung=rung).inc()
 
     def as_dict(self) -> Dict:
         return asdict(self)
@@ -112,10 +167,10 @@ class IncidentLog:
         self._incidents: List[Incident] = []
 
     def record(self, request_id: int, kind: str, device: str = "",
-               rung: str = "", detail: str = "") -> Incident:
+               rung: str = "", detail: str = "", trace_id: str = "") -> Incident:
         incident = Incident(
             seq=len(self._incidents), request_id=request_id, kind=kind,
-            device=device, rung=rung, detail=detail,
+            device=device, rung=rung, detail=detail, trace_id=trace_id,
         )
         self._incidents.append(incident)
         return incident
@@ -128,6 +183,10 @@ class IncidentLog:
 
     def by_kind(self, kind: str) -> List[Incident]:
         return [i for i in self._incidents if i.kind == kind]
+
+    def by_trace(self, trace_id: str) -> List[Incident]:
+        """All incidents stamped with one trace (the join to obs traces)."""
+        return [i for i in self._incidents if i.trace_id == trace_id]
 
     def kind_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

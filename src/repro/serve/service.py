@@ -46,8 +46,10 @@ from repro.errors import (
     InvalidRequestError,
     MeasurementTimeout,
 )
+from repro.clsim.trace import attach_tracer
 from repro.gemm.reference import reference_gemm, relative_error
 from repro.gemm.routine import validate_gemm_request
+from repro.obs import NULL_OBS, Observability, bridge_records
 from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.incident import IncidentLog, ServiceCounters
 from repro.serve.ladder import DegradationLadder, Rung
@@ -116,6 +118,9 @@ class ServeResult:
     deadline_missed: bool = False
     #: Rungs skipped or failed before the serving one, with reasons.
     degradations: List[Tuple[str, str]] = field(default_factory=list)
+    #: The request's observability trace ID ("" when tracing is off);
+    #: joins the response to ``repro trace`` output and incident records.
+    trace_id: str = ""
 
 
 class GemmService:
@@ -128,11 +133,17 @@ class GemmService:
         config: Optional[ServiceConfig] = None,
         params: Optional[Dict] = None,
         fault_injector=None,
+        obs: Optional[Observability] = None,
         **routine_kwargs,
     ) -> None:
         if isinstance(devices, (str, DeviceSpec)):
             devices = [devices]
         self.config = config or ServiceConfig()
+        #: Telemetry spine (see :mod:`repro.obs`): per-request traces
+        #: whose IDs stamp the incident log, plus the metrics registry
+        #: the counters mirror into.  Defaults to the shared disabled
+        #: instance — passing nothing costs one attribute check per hook.
+        self.obs = obs if obs is not None else NULL_OBS
         self.precision = precision
         self.dtype = np.dtype(np.float32 if precision == "s" else np.float64)
         self._base_injector = fault_injector
@@ -157,6 +168,26 @@ class GemmService:
         )
         self.log = IncidentLog()
         self.counters = ServiceCounters()
+        self._trace_id = ""
+        if self.obs.enabled:
+            self.counters.bind_registry(self.obs.metrics)
+            self._fallbacks = self.obs.counter(
+                "serve_fallbacks_total",
+                "Ladder rungs skipped or failed over, per rung key.",
+                labelnames=("rung",),
+            )
+            self._service_hist = self.obs.histogram(
+                "serve_service_seconds",
+                "Simulated service seconds per completed request.",
+            )
+            self._wait_hist = self.obs.histogram(
+                "serve_queue_wait_seconds",
+                "Simulated admission-queue wait per completed request.",
+            )
+        else:
+            self._fallbacks = None
+            self._service_hist = None
+            self._wait_hist = None
         #: rung.key -> consecutive canary passes since quarantine.
         self._quarantined: Dict[str, int] = {}
         self._tick = 0
@@ -199,21 +230,44 @@ class GemmService:
         :class:`AdmissionError` when the request is shed; every admitted
         request returns a numerically correct :class:`ServeResult`.
         """
-        cfg = self.config
         self._tick += 1
         tick = self._tick
         rid = tick if request_id is None else request_id
+        with self.obs.trace("serve.request", request_id=rid) as root:
+            self._trace_id = root.trace_id
+            try:
+                result = self._submit_gates(
+                    rid, tick, a, b, c, alpha, beta, transa, transb,
+                    deadline_s, arrival_dt_s,
+                )
+                root.set(rung=result.rung, device=result.device,
+                         degraded=result.degraded,
+                         deadline_missed=result.deadline_missed)
+            finally:
+                self._trace_id = ""
+        result.trace_id = root.trace_id
+        return result
+
+    __call__ = submit
+
+    def _submit_gates(
+        self, rid, tick, a, b, c, alpha, beta, transa, transb,
+        deadline_s, arrival_dt_s,
+    ) -> ServeResult:
+        cfg = self.config
         self.counters.requests += 1
 
         # Gate 1: validation (typed errors, no device work).
-        try:
-            a, b, c, transa, transb = validate_gemm_request(
-                a, b, c, alpha, beta, transa, transb
-            )
-        except InvalidRequestError as exc:
-            self.counters.invalid += 1
-            self.log.record(rid, "invalid", detail=str(exc))
-            raise
+        with self.obs.span("gate.validate"):
+            try:
+                a, b, c, transa, transb = validate_gemm_request(
+                    a, b, c, alpha, beta, transa, transb
+                )
+            except InvalidRequestError as exc:
+                self.counters.invalid += 1
+                self.log.record(rid, "invalid", detail=str(exc),
+                                trace_id=self._trace_id)
+                raise
         a = np.asarray(a, dtype=self.dtype)
         b = np.asarray(b, dtype=self.dtype)
         if c is not None:
@@ -222,20 +276,25 @@ class GemmService:
         N = b.shape[1] if transb == "N" else b.shape[0]
 
         # Gate 2: admission control (bounded simulated backlog).
-        dt = cfg.interarrival_s if arrival_dt_s is None else arrival_dt_s
-        self._backlog_s = max(0.0, self._backlog_s - max(0.0, dt))
-        if self._backlog_s > cfg.max_backlog_s:
-            self.counters.shed += 1
-            self.log.record(
-                rid, "shed",
-                detail=(f"backlog {self._backlog_s * 1e3:.3f} ms exceeds "
-                        f"budget {cfg.max_backlog_s * 1e3:.3f} ms"),
-            )
-            raise AdmissionError(
-                f"request {rid} shed: simulated backlog "
-                f"{self._backlog_s * 1e3:.3f} ms exceeds the "
-                f"{cfg.max_backlog_s * 1e3:.3f} ms budget"
-            )
+        with self.obs.span("gate.admission") as admission:
+            dt = cfg.interarrival_s if arrival_dt_s is None else arrival_dt_s
+            self._backlog_s = max(0.0, self._backlog_s - max(0.0, dt))
+            admission.set(backlog_ms=round(self._backlog_s * 1e3, 6))
+            if self._backlog_s > cfg.max_backlog_s:
+                self.counters.shed += 1
+                admission.set(outcome="shed")
+                self.log.record(
+                    rid, "shed",
+                    detail=(f"backlog {self._backlog_s * 1e3:.3f} ms exceeds "
+                            f"budget {cfg.max_backlog_s * 1e3:.3f} ms"),
+                    trace_id=self._trace_id,
+                )
+                raise AdmissionError(
+                    f"request {rid} shed: simulated backlog "
+                    f"{self._backlog_s * 1e3:.3f} ms exceeds the "
+                    f"{cfg.max_backlog_s * 1e3:.3f} ms budget"
+                )
+            admission.set(outcome="admitted")
         self.counters.admitted += 1
         queue_wait = self._backlog_s
         deadline = cfg.default_deadline_s if deadline_s is None else deadline_s
@@ -243,7 +302,9 @@ class GemmService:
         # Quarantine maintenance: periodic known-answer canaries.
         if (self._quarantined and cfg.canary_interval > 0
                 and tick % cfg.canary_interval == 0):
-            self._run_canaries(tick, rid)
+            with self.obs.span("canaries",
+                               quarantined=len(self._quarantined)):
+                self._run_canaries(tick, rid)
 
         # Gates 3+4: the ladder with verification.
         result = self._serve_ladder(
@@ -257,6 +318,9 @@ class GemmService:
         self.counters.count_rung(result.rung)
         if result.degraded:
             self.counters.degraded += 1
+        if self._service_hist is not None:
+            self._service_hist.observe(result.service_s)
+            self._wait_hist.observe(result.queue_wait_s)
         if deadline is not None and queue_wait + result.service_s > deadline:
             result.deadline_missed = True
             self.counters.deadline_missed += 1
@@ -265,10 +329,9 @@ class GemmService:
                 rung=result.rung,
                 detail=(f"served in {(queue_wait + result.service_s) * 1e3:.3f}"
                         f" ms against a {deadline * 1e3:.3f} ms deadline"),
+                trace_id=self._trace_id,
             )
         return result
-
-    __call__ = submit
 
     def _serve_ladder(
         self, rid, tick, a, b, c, alpha, beta, transa, transb,
@@ -280,87 +343,145 @@ class GemmService:
 
         def degrade(rung: Rung, reason: str) -> None:
             degradations.append((rung.key, reason))
+            if self._fallbacks is not None:
+                self._fallbacks.labels(rung=rung.key).inc()
             self.log.record(rid, "degraded", device=rung.device,
-                            rung=rung.name, detail=reason)
+                            rung=rung.name, detail=reason,
+                            trace_id=self._trace_id)
 
         for rung in self.ladder.rungs:
-            if rung.key in self._quarantined:
-                degrade(rung, "kernel quarantined")
-                continue
-            breaker = self.breakers.get(rung.device) if rung.device else None
-            if breaker is not None:
-                was_open = breaker.state is BreakerState.OPEN
-                if not breaker.allow(tick):
-                    degrade(rung, "circuit breaker open")
+            with self.obs.span(f"rung:{rung.key}") as rung_span:
+                if rung.key in self._quarantined:
+                    rung_span.set(outcome="skipped", reason="quarantined")
+                    degrade(rung, "kernel quarantined")
                     continue
-                if was_open and breaker.state is BreakerState.HALF_OPEN:
-                    self.log.record(rid, "breaker_probe", device=rung.device,
-                                    rung=rung.name)
-            if deadline is not None and not rung.is_reference:
-                remaining = deadline - queue_wait - spent
-                predicted = rung.predict_s(M, N, K)
-                if predicted > remaining:
-                    degrade(
-                        rung,
-                        f"deadline: predicted {predicted * 1e3:.3f} ms > "
-                        f"remaining {max(remaining, 0.0) * 1e3:.3f} ms",
+                breaker = self.breakers.get(rung.device) if rung.device else None
+                if breaker is not None:
+                    was_open = breaker.state is BreakerState.OPEN
+                    allowed = breaker.allow(tick)
+                    with self.obs.span("breaker", device=rung.device,
+                                       state=breaker.state.value,
+                                       allowed=allowed):
+                        pass
+                    if not allowed:
+                        rung_span.set(outcome="skipped", reason="breaker_open")
+                        degrade(rung, "circuit breaker open")
+                        continue
+                    if was_open and breaker.state is BreakerState.HALF_OPEN:
+                        self.log.record(rid, "breaker_probe",
+                                        device=rung.device, rung=rung.name,
+                                        trace_id=self._trace_id)
+                if deadline is not None and not rung.is_reference:
+                    remaining = deadline - queue_wait - spent
+                    predicted = rung.predict_s(M, N, K)
+                    if predicted > remaining:
+                        rung_span.set(outcome="skipped", reason="deadline")
+                        degrade(
+                            rung,
+                            f"deadline: predicted {predicted * 1e3:.3f} ms > "
+                            f"remaining {max(remaining, 0.0) * 1e3:.3f} ms",
+                        )
+                        continue
+                injector = self._salted_injector(f"req:{rid}:rung:{rung.key}")
+                attempt = self._rung_attempt(rung, injector, a, b, c,
+                                             alpha, beta, transa, transb)
+                try:
+                    (out, seconds), records = call_with_timeout(
+                        attempt, cfg.attempt_timeout_s
                     )
+                except (CLError, MeasurementTimeout) as exc:
+                    rung_span.set(outcome="failed",
+                                  error=type(exc).__name__)
+                    if breaker is not None and breaker.record_failure(tick):
+                        self.counters.breaker_trips += 1
+                        self.log.record(
+                            rid, "breaker_trip", device=rung.device,
+                            rung=rung.name,
+                            detail=f"opened after: {exc}",
+                            trace_id=self._trace_id,
+                        )
+                    degrade(rung, f"{type(exc).__name__}: {exc}")
                     continue
-            injector = self._salted_injector(f"req:{rid}:rung:{rung.key}")
-            try:
-                out, seconds = call_with_timeout(
-                    lambda: rung.call(a, b, c, alpha, beta, transa, transb,
-                                      injector=injector),
-                    cfg.attempt_timeout_s,
-                )
-            except (CLError, MeasurementTimeout) as exc:
-                if breaker is not None and breaker.record_failure(tick):
-                    self.counters.breaker_trips += 1
-                    self.log.record(
-                        rid, "breaker_trip", device=rung.device,
-                        rung=rung.name,
-                        detail=f"opened after: {exc}",
-                    )
-                degrade(rung, f"{type(exc).__name__}: {exc}")
-                continue
-            if breaker is not None:
-                prior = breaker.state
-                breaker.record_success(tick)
-                if (prior is BreakerState.HALF_OPEN
-                        and breaker.state is BreakerState.CLOSED):
-                    self.log.record(rid, "breaker_close", device=rung.device,
-                                    rung=rung.name)
+                bridge_records(self.obs, records)
+                if breaker is not None:
+                    prior = breaker.state
+                    breaker.record_success(tick)
+                    if (prior is BreakerState.HALF_OPEN
+                            and breaker.state is BreakerState.CLOSED):
+                        self.log.record(rid, "breaker_close",
+                                        device=rung.device, rung=rung.name,
+                                        trace_id=self._trace_id)
 
-            # Gate 4: probabilistic result verification.
-            verified = False
-            if not rung.is_reference and (
-                    self._unit("verify", rid) < cfg.verify_rate):
-                check = self.verifier.check(
-                    a, b, out, alpha, beta, c, transa, transb,
-                    key=f"req:{rid}",
+                # Gate 4: probabilistic result verification.
+                verified = False
+                if not rung.is_reference and (
+                        self._unit("verify", rid) < cfg.verify_rate):
+                    with self.obs.span("verify.freivalds",
+                                       rounds=cfg.verify_rounds) as vspan:
+                        check = self.verifier.check(
+                            a, b, out, alpha, beta, c, transa, transb,
+                            key=f"req:{rid}",
+                        )
+                        vspan.set(passed=check.passed)
+                    if not check.passed:
+                        rung_span.set(outcome="corrupt")
+                        self.counters.corruption_caught += 1
+                        self.log.record(
+                            rid, "corruption", device=rung.device,
+                            rung=rung.name,
+                            detail=(f"Freivalds residual "
+                                    f"{check.max_residual:.3e} "
+                                    f"> tolerance {check.tolerance:.3e}"),
+                            trace_id=self._trace_id,
+                        )
+                        self._quarantine(rung, rid)
+                        spent += seconds  # the corrupt attempt burned real time
+                        degrade(rung, "result corruption caught; re-serving")
+                        continue
+                    verified = True
+                    self.counters.verified += 1
+                rung_span.set(outcome="served", verified=verified,
+                              service_ms=round((spent + seconds) * 1e3, 6))
+                return ServeResult(
+                    c=out, request_id=rid, rung=rung.name, device=rung.device,
+                    degraded=bool(degradations), verified=verified,
+                    service_s=spent + seconds, queue_wait_s=queue_wait,
+                    degradations=degradations,
                 )
-                if not check.passed:
-                    self.counters.corruption_caught += 1
-                    self.log.record(
-                        rid, "corruption", device=rung.device, rung=rung.name,
-                        detail=(f"Freivalds residual {check.max_residual:.3e} "
-                                f"> tolerance {check.tolerance:.3e}"),
-                    )
-                    self._quarantine(rung, rid)
-                    spent += seconds  # the corrupt attempt burned real time
-                    degrade(rung, "result corruption caught; re-serving")
-                    continue
-                verified = True
-                self.counters.verified += 1
-            return ServeResult(
-                c=out, request_id=rid, rung=rung.name, device=rung.device,
-                degraded=bool(degradations), verified=verified,
-                service_s=spent + seconds, queue_wait_s=queue_wait,
-                degradations=degradations,
-            )
         # Unreachable: the reference rung cannot fault, cannot corrupt,
         # and is never quarantined, breaker-gated, or deadline-skipped.
         raise AssertionError("degradation ladder exhausted")
+
+    def _rung_attempt(self, rung, injector, a, b, c, alpha, beta,
+                      transa, transb):
+        """Build the watchdogged attempt callable for one rung try.
+
+        Returns ``((c, seconds), records)`` where *records* are the
+        clsim commands traced during the attempt (empty with tracing off
+        or on the host rung).  The command tracer detaches inside the
+        callable, so a timed-out attempt leaves the queue unwrapped; the
+        records are bridged into spans by the caller on the main thread.
+        """
+        if not self.obs.enabled or rung.is_reference:
+            return lambda: (
+                rung.call(a, b, c, alpha, beta, transa, transb,
+                          injector=injector),
+                (),
+            )
+
+        def attempt():
+            routine = rung.routine(injector)  # may raise: a build fault
+            tracer = attach_tracer(routine.queue)
+            try:
+                return (
+                    rung.call(a, b, c, alpha, beta, transa, transb,
+                              injector=injector),
+                    tracer.records,
+                )
+            finally:
+                tracer.detach()
+
+        return attempt
 
     # -- quarantine and canaries ---------------------------------------
     def _quarantine(self, rung: Rung, rid: int) -> None:
@@ -368,7 +489,7 @@ class GemmService:
             self._quarantined[rung.key] = 0
             self.counters.quarantined += 1
             self.log.record(rid, "quarantine", device=rung.device,
-                            rung=rung.name)
+                            rung=rung.name, trace_id=self._trace_id)
 
     def _canary_problem(self):
         """A fixed seeded known-answer GEMM (reference precomputed once)."""
@@ -390,32 +511,36 @@ class GemmService:
             rung = rungs[key]
             self.counters.canaries_run += 1
             injector = self._salted_injector(f"canary:{tick}:{key}")
-            try:
-                out, _ = call_with_timeout(
-                    lambda: rung.call(a, b, None, 1.0, 0.0, "N", "N",
-                                      injector=injector),
-                    self.config.attempt_timeout_s,
-                )
-                ok = bool(np.all(np.isfinite(out))) \
-                    and relative_error(out, expected) < tol
-            except (CLError, MeasurementTimeout):
-                ok = False
+            with self.obs.span(f"canary:{key}") as cspan:
+                try:
+                    out, _ = call_with_timeout(
+                        lambda: rung.call(a, b, None, 1.0, 0.0, "N", "N",
+                                          injector=injector),
+                        self.config.attempt_timeout_s,
+                    )
+                    ok = bool(np.all(np.isfinite(out))) \
+                        and relative_error(out, expected) < tol
+                except (CLError, MeasurementTimeout):
+                    ok = False
+                cspan.set(passed=ok)
             if ok:
                 self._quarantined[key] += 1
                 self.log.record(
                     rid, "canary_pass", device=rung.device, rung=rung.name,
                     detail=f"pass {self._quarantined[key]}"
                            f"/{self.config.canary_passes}",
+                    trace_id=self._trace_id,
                 )
                 if self._quarantined[key] >= self.config.canary_passes:
                     del self._quarantined[key]
                     self.counters.readmitted += 1
                     self.log.record(rid, "readmit", device=rung.device,
-                                    rung=rung.name)
+                                    rung=rung.name,
+                                    trace_id=self._trace_id)
             else:
                 self._quarantined[key] = 0
                 self.log.record(rid, "canary_fail", device=rung.device,
-                                rung=rung.name)
+                                rung=rung.name, trace_id=self._trace_id)
 
     # -- introspection --------------------------------------------------
     def describe(self) -> str:

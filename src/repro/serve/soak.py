@@ -60,8 +60,10 @@ class SoakReport:
     worst_error: float
     counters: Dict
     incident_kinds: Dict[str, int]
-    #: (request id, rung, relative error) of any wrong answer, for triage.
-    failures: List[Tuple[int, str, float]] = field(default_factory=list)
+    #: (request id, rung, relative error, trace id) of any wrong answer,
+    #: for triage; the trace id ("" with tracing off) joins the failure
+    #: to its persisted trace and incident records.
+    failures: List[Tuple[int, str, float, str]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -90,6 +92,11 @@ class SoakReport:
         ]
         for kind in sorted(self.incident_kinds):
             lines.append(f"  incidents[{kind}]: {self.incident_kinds[kind]}")
+        for rid, rung, err, trace_id in self.failures:
+            lines.append(
+                f"  FAILURE request {rid} via {rung}: relative error "
+                f"{err:.3e}" + (f" trace={trace_id}" if trace_id else "")
+            )
         return "\n".join(lines)
 
 
@@ -103,7 +110,7 @@ def run_soak(service: GemmService, config: Optional[SoakConfig] = None) -> SoakR
     )
     served = shed = wrong = 0
     worst_error = 0.0
-    failures: List[Tuple[int, str, float]] = []
+    failures: List[Tuple[int, str, float, str]] = []
     for rid in range(1, config.requests + 1):
         n = int(rng.choice(config.sizes))
         m = int(rng.choice(config.sizes))
@@ -132,7 +139,7 @@ def run_soak(service: GemmService, config: Optional[SoakConfig] = None) -> SoakR
         err = relative_error(result.c, expected)
         if not np.isfinite(err) or err > tolerance:
             wrong += 1
-            failures.append((rid, result.rung, float(err)))
+            failures.append((rid, result.rung, float(err), result.trace_id))
         else:
             worst_error = max(worst_error, float(err))
     return SoakReport(

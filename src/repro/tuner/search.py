@@ -40,6 +40,7 @@ from repro.errors import (
     TuningError,
     ValidationError,
 )
+from repro.obs import NULL_OBS
 from repro.persist import dump_json_atomic, load_json_checked
 from repro.tuner.cache import CachedMeasurement, MeasurementCache, params_digest
 from repro.tuner.parallel import CandidateEvaluator, EvalOutcome, EvalTask, measure_once
@@ -136,6 +137,63 @@ class TuningStats:
     stage2_s: float = 0.0
     verify_s: float = 0.0
 
+    #: Monotonic integer fields mirrored into a bound metrics registry;
+    #: ``faults_by_class`` mirrors as a labeled series (see
+    #: :meth:`bind_registry`).
+    COUNTER_FIELDS = (
+        "generated", "measured", "failed_generation", "failed_build",
+        "failed_launch", "failed_validation", "failed_transient", "refined",
+        "retries", "timeouts", "quarantined", "cache_hits", "cache_misses",
+        "resumed", "checkpoints",
+    )
+
+    def bind_registry(self, registry, prefix: str = "tuner") -> None:
+        """Mirror the counters into an obs metrics registry.
+
+        The dataclass stays the source of truth and its API is unchanged
+        — plain ``stats.cache_hits += 1`` assignments write through to
+        ``<prefix>_<field>_total`` counters, so the search code and the
+        Prometheus exporter always agree.
+        """
+        mirrors = {
+            name: registry.counter(
+                f"{prefix}_{name}_total",
+                f"TuningStats.{name} (see docs/tuning_pipeline.md).",
+            )
+            for name in self.COUNTER_FIELDS
+        }
+        fault_mirror = registry.counter(
+            f"{prefix}_faults_total",
+            "Absorbed fault events by class.",
+            labelnames=("kind",),
+        )
+        # Registry counters are cumulative across instances (Prometheus
+        # semantics): each bind contributes on top of whatever earlier
+        # searches already mirrored, via a per-field base offset.
+        bases = {name: mirrors[name].value for name in self.COUNTER_FIELDS}
+        for name, mirror in mirrors.items():
+            mirror.set_total(bases[name] + getattr(self, name))
+        for kind, count in self.faults_by_class.items():
+            child = fault_mirror.labels(kind=kind)
+            child.set_total(child.value + count)
+        self.__dict__["_mirrors"] = mirrors
+        self.__dict__["_mirror_bases"] = bases
+        self.__dict__["_fault_mirror"] = fault_mirror
+
+    def __setattr__(self, name: str, value) -> None:
+        super().__setattr__(name, value)
+        mirrors = self.__dict__.get("_mirrors")
+        if mirrors is not None and name in mirrors:
+            mirrors[name].set_total(self.__dict__["_mirror_bases"][name] + value)
+
+    def count_fault(self, kind: str) -> None:
+        """Record one absorbed fault (keeps the labeled mirror in step —
+        in-place dict mutation would bypass ``__setattr__``)."""
+        self.faults_by_class[kind] = self.faults_by_class.get(kind, 0) + 1
+        fault_mirror = self.__dict__.get("_fault_mirror")
+        if fault_mirror is not None:
+            fault_mirror.labels(kind=kind).inc()
+
     @property
     def pruned(self) -> int:
         """Candidates discarded before scoring (all failure categories)."""
@@ -154,7 +212,7 @@ class TuningStats:
         return self.generated / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        d = dict(self.__dict__)
+        d = {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
         d["pruned"] = self.pruned
         d["cache_hit_rate"] = self.cache_hit_rate
         d["candidates_per_s"] = self.candidates_per_s
@@ -167,7 +225,7 @@ class TuningStats:
         equal comparable dicts regardless of worker count or machine
         speed — the determinism tests rely on this.
         """
-        d = dict(self.__dict__)
+        d = {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
         for key in _WALL_CLOCK_FIELDS:
             d.pop(key, None)
         return d
@@ -269,6 +327,7 @@ class SearchEngine:
         resume: bool = False,
         injector=None,
         resilience: Optional[ResilienceConfig] = None,
+        obs=None,
     ):
         self.spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
         if precision not in ("s", "d"):
@@ -276,7 +335,12 @@ class SearchEngine:
         self.precision = precision
         self.config = config or TuningConfig()
         self.restrictions = restrictions or SpaceRestrictions()
+        #: Telemetry (see :mod:`repro.obs`): per-stage spans plus the
+        #: metrics registry the stats mirror into.  Disabled by default.
+        self.obs = obs if obs is not None else NULL_OBS
         self.stats = TuningStats()
+        if self.obs.enabled:
+            self.stats.bind_registry(self.obs.metrics)
         self.cache = cache
         self.workers = max(1, int(workers))
         self.checkpoint_path = checkpoint_path
@@ -441,9 +505,7 @@ class SearchEngine:
             )
 
         def on_fault(kind: str) -> None:
-            self.stats.faults_by_class[kind] = (
-                self.stats.faults_by_class.get(kind, 0) + 1
-            )
+            self.stats.count_fault(kind)
             if kind == "timeout":
                 self.stats.timeouts += 1
 
@@ -520,9 +582,7 @@ class SearchEngine:
         demote candidates that exhausted their retry budget."""
         self.stats.retries += outcome.retries
         for kind in outcome.faults:
-            self.stats.faults_by_class[kind] = (
-                self.stats.faults_by_class.get(kind, 0) + 1
-            )
+            self.stats.count_fault(kind)
             if kind == "timeout":
                 self.stats.timeouts += 1
         if outcome.failure in ("transient", "timeout"):
@@ -602,6 +662,8 @@ class SearchEngine:
 
     def _restore_stats(self, checkpoint: Dict) -> None:
         self.stats = TuningStats.from_dict(checkpoint.get("stats", {}))
+        if self.obs.enabled:
+            self.stats.bind_registry(self.obs.metrics)
 
     # ------------------------------------------------------------------
     def _stage1(
@@ -783,12 +845,26 @@ class SearchEngine:
     def _run(
         self, progress: Optional[Callable[[int, MeasuredKernel], None]], t0: float
     ) -> TuningResult:
+        with self.obs.trace("tune", device=self.spec.codename,
+                            precision=self.precision) as root:
+            result = self._run_traced(progress, t0)
+            root.set(best_gflops=round(result.best.gflops, 6),
+                     finalists=len(result.finalists))
+        return result
+
+    def _run_traced(
+        self, progress: Optional[Callable[[int, MeasuredKernel], None]], t0: float
+    ) -> TuningResult:
         checkpoint = self._load_checkpoint()
         stage = checkpoint["stage"] if checkpoint else None
         stage2_checkpoint: Optional[Dict] = None
         if stage in (None, "stage1"):
             t = time.perf_counter()
-            finalists = self._stage1(progress, checkpoint)
+            with self.obs.span("tune.stage1") as s1:
+                finalists = self._stage1(progress, checkpoint)
+                s1.set(finalists=len(finalists),
+                       generated=self.stats.generated,
+                       cache_hits=self.stats.cache_hits)
             self.stats.stage1_s += time.perf_counter() - t
             if not finalists:
                 raise TuningError(
@@ -797,7 +873,9 @@ class SearchEngine:
                 )
             if self.config.refine_rounds > 0:
                 t = time.perf_counter()
-                finalists = self._refine(list(finalists))
+                with self.obs.span("tune.refine") as sr:
+                    finalists = self._refine(list(finalists))
+                    sr.set(refined=self.stats.refined)
                 self.stats.refine_s += time.perf_counter() - t
             self._write_checkpoint(
                 "refined", {"finalists": [mk.to_dict() for mk in finalists]}
@@ -810,7 +888,8 @@ class SearchEngine:
                 stage2_checkpoint = checkpoint
 
         t = time.perf_counter()
-        swept = self._stage2(finalists, stage2_checkpoint)
+        with self.obs.span("tune.stage2", finalists=len(finalists)):
+            swept = self._stage2(finalists, stage2_checkpoint)
         self.stats.stage2_s += time.perf_counter() - t
         if not swept:
             raise TuningError("all finalists failed the size sweep")
@@ -818,26 +897,28 @@ class SearchEngine:
         t = time.perf_counter()
         rng = np.random.default_rng(self.config.seed)
         chosen: Optional[Tuple[MeasuredKernel, List[MeasuredKernel]]] = None
-        for rank, (best_point, series) in enumerate(swept):
-            if rank < self.config.verify_finalists:
-                try:
-                    self._verify_resilient(best_point.params, rng)
-                except ValidationError:
-                    self.stats.failed_validation += 1
-                    continue
-                except (TransientError, MeasurementTimeout):
-                    # The finalist flaked through the whole retry budget
-                    # during verification: demote it and fall through to
-                    # the next-ranked finalist.
-                    self.stats.failed_transient += 1
-                    if self.quarantine.demote(
-                        params_digest(best_point.params),
-                        "exhausted retries during finalist verification",
-                    ):
-                        self.stats.quarantined += 1
-                    continue
-            chosen = (best_point, series)
-            break
+        with self.obs.span("tune.verify") as sv:
+            for rank, (best_point, series) in enumerate(swept):
+                if rank < self.config.verify_finalists:
+                    try:
+                        self._verify_resilient(best_point.params, rng)
+                    except ValidationError:
+                        self.stats.failed_validation += 1
+                        continue
+                    except (TransientError, MeasurementTimeout):
+                        # The finalist flaked through the whole retry budget
+                        # during verification: demote it and fall through to
+                        # the next-ranked finalist.
+                        self.stats.failed_transient += 1
+                        if self.quarantine.demote(
+                            params_digest(best_point.params),
+                            "exhausted retries during finalist verification",
+                        ):
+                            self.stats.quarantined += 1
+                        continue
+                chosen = (best_point, series)
+                sv.set(chosen_rank=rank)
+                break
         self.stats.verify_s += time.perf_counter() - t
         if chosen is None:
             raise TuningError("every verified finalist failed numerical testing")

@@ -1,0 +1,132 @@
+"""The ``repro trace`` and ``repro metrics`` commands, plus serve flags."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_metrics, load_traces
+
+
+class TestServeFlags:
+    def test_serve_writes_trace_and_metrics_artifacts(self, tmp_path, capsys):
+        trace_path = tmp_path / "traces.json"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main([
+            "serve", "tahiti", "--requests", "25", "--seed", "3",
+            "--inject-faults", "serve-chaos",
+            "--trace-json", str(trace_path),
+            "--metrics-json", str(metrics_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "metrics" in out
+        traces = load_traces(str(trace_path))
+        assert traces and all(t.root.name == "serve.request" for t in traces)
+        snapshot = load_metrics(str(metrics_path))
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "serve_requests_total" in names
+
+    def test_trace_limit_caps_the_artifact(self, tmp_path, capsys):
+        trace_path = tmp_path / "traces.json"
+        rc = main([
+            "serve", "tahiti", "--requests", "20", "--seed", "3",
+            "--trace-limit", "5", "--trace-json", str(trace_path),
+        ])
+        assert rc == 0
+        assert "5 traces kept, 15 dropped" in capsys.readouterr().out
+        assert len(load_traces(str(trace_path))) == 5
+
+
+class TestTraceCommand:
+    def test_demo_renders_the_acceptance_span_tree(self, capsys):
+        rc = main(["trace", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The acceptance path, visible in one rendered tree.
+        assert re.search(r"^trace [0-9a-f]{16} serve\.request", out, re.M)
+        for name in ("gate.validate", "gate.admission", "breaker",
+                     "rung:", "kernel:", "verify.freivalds"):
+            assert name in out, f"rendered trace is missing {name}"
+
+    def test_demo_is_deterministic(self, capsys):
+        main(["trace", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["trace", "--seed", "7"])
+        assert capsys.readouterr().out == first
+
+    def test_reads_back_a_persisted_file(self, tmp_path, capsys):
+        path = tmp_path / "traces.json"
+        main(["trace", "--seed", "7", "--json", str(path)])
+        capsys.readouterr()
+        rc = main(["trace", str(path), "--index", "0"])
+        assert rc == 0
+        assert "serve.request" in capsys.readouterr().out
+
+    def test_unreadable_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        rc = main(["trace", str(bad)])
+        assert rc == 1
+        assert "not a readable trace file" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    # One exposition sample line (same grammar the exporter tests use).
+    SAMPLE_RE = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+        r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+        r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$"
+    )
+
+    @pytest.fixture(scope="class")
+    def demo_output(self):
+        """One shared demo run (soak + two tuner runs — not free)."""
+        import io
+        from contextlib import redirect_stderr, redirect_stdout
+
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            rc = main(["metrics", "--seed", "0", "--format", "prometheus"])
+        assert rc == 0
+        return out.getvalue()
+
+    def test_demo_emits_parseable_prometheus_text(self, demo_output):
+        lines = demo_output.rstrip("\n").split("\n")
+        assert lines
+        for line in lines:
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert self.SAMPLE_RE.match(line), f"unparseable: {line!r}"
+
+    def test_demo_covers_the_acceptance_series(self, demo_output):
+        # The ISSUE acceptance: request, fallback, and cache-hit series.
+        assert re.search(r"^serve_requests_total \d+", demo_output, re.M)
+        assert re.search(r'^serve_fallbacks_total\{rung="[^"]+"\} \d+',
+                         demo_output, re.M)
+        assert re.search(r"^tuner_cache_hits_total [1-9]\d*",
+                         demo_output, re.M)
+
+    def test_reads_back_a_persisted_snapshot(self, tmp_path, capsys):
+        main([
+            "serve", "tahiti", "--requests", "10", "--seed", "3",
+            "--metrics-json", str(tmp_path / "metrics.json"),
+        ])
+        capsys.readouterr()
+        rc = main(["metrics", str(tmp_path / "metrics.json"),
+                   "--format", "json"])
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["format"] == "repro-metrics/1"
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "serve_requests_total" in names
+
+    def test_unreadable_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        rc = main(["metrics", str(bad)])
+        assert rc == 1
+        assert "not a readable metrics snapshot" in capsys.readouterr().err

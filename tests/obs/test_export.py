@@ -1,0 +1,155 @@
+"""Exporters: Prometheus exposition format, JSON persistence, trace trees."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    load_metrics,
+    load_traces,
+    render_prometheus,
+    render_trace,
+    save_metrics,
+    save_traces,
+)
+
+# One exposition sample line: name{labels} value  (labels optional).
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$"
+)
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter("serve_requests_total", "Requests received.")
+    requests.inc(42)
+    rungs = registry.counter(
+        "serve_served_by_rung_total", "Responses per rung.", labelnames=("rung",)
+    )
+    rungs.labels(rung="tuned").inc(40)
+    rungs.labels(rung="direct").inc(2)
+    registry.gauge("serve_backlog_seconds", "Queue depth.").set(0.125)
+    hist = registry.histogram(
+        "serve_service_seconds", "Service time.", buckets=(0.001, 0.01, 0.1)
+    )
+    for v in (0.0005, 0.02, 5.0):
+        hist.observe(v)
+    return registry
+
+
+class TestPrometheus:
+    def test_every_line_is_a_comment_or_a_parseable_sample(self):
+        text = render_prometheus(sample_registry())
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").split("\n"):
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
+
+    def test_counters_and_labels_render(self):
+        text = render_prometheus(sample_registry())
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 42" in text
+        assert 'serve_served_by_rung_total{rung="tuned"} 40' in text
+        assert 'serve_served_by_rung_total{rung="direct"} 2' in text
+        assert "# TYPE serve_backlog_seconds gauge" in text
+        assert "serve_backlog_seconds 0.125" in text
+
+    def test_histogram_expands_to_cumulative_buckets_sum_count(self):
+        text = render_prometheus(sample_registry())
+        assert 'serve_service_seconds_bucket{le="0.001"} 1' in text
+        assert 'serve_service_seconds_bucket{le="0.01"} 1' in text
+        assert 'serve_service_seconds_bucket{le="0.1"} 2' in text
+        assert 'serve_service_seconds_bucket{le="+Inf"} 3' in text
+        assert "serve_service_seconds_count 3" in text
+        m = re.search(r"serve_service_seconds_sum (\S+)", text)
+        assert m and float(m.group(1)) == pytest.approx(0.0005 + 0.02 + 5.0)
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x_total", labelnames=("detail",))
+        c.labels(detail='quo"te\\back\nnewline').inc()
+        text = render_prometheus(registry)
+        assert r'detail="quo\"te\\back\nnewline"' in text
+
+    def test_snapshot_dict_and_live_registry_render_identically(self):
+        registry = sample_registry()
+        assert render_prometheus(registry) == render_prometheus(registry.snapshot())
+
+    def test_wrong_format_tag_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-metrics/1"):
+            render_prometheus({"format": "something-else"})
+
+
+class TestPersistence:
+    def test_metrics_round_trip(self, tmp_path):
+        registry = sample_registry()
+        path = str(tmp_path / "metrics.json")
+        save_metrics(path, registry)
+        loaded = load_metrics(path)
+        loaded.pop("checksum", None)  # added by repro.persist on disk
+        assert loaded == registry.snapshot()
+        assert render_prometheus(loaded) == render_prometheus(registry)
+
+    def test_load_metrics_tolerates_missing_and_corrupt(self, tmp_path):
+        assert load_metrics(str(tmp_path / "nope.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_metrics(str(bad)) is None
+
+    def test_traces_round_trip(self, tmp_path):
+        tracer = Tracer(seed=5)
+        with tracer.trace("request", request_id=1) as root:
+            with tracer.span("work") as span:
+                span.event("mark", step=2)
+            root.set(outcome="ok")
+        path = str(tmp_path / "traces.json")
+        save_traces(path, tracer.traces)
+        loaded = load_traces(path)
+        assert [t.to_dict() for t in loaded] == [t.to_dict() for t in tracer.traces]
+
+    def test_load_traces_tolerates_missing_and_corrupt(self, tmp_path):
+        assert load_traces(str(tmp_path / "nope.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert load_traces(str(bad)) is None
+
+
+class TestRenderTrace:
+    def make_trace(self):
+        tracer = Tracer(seed=9)
+        with tracer.trace("serve.request", request_id=4) as root:
+            with tracer.span("gate.validate"):
+                pass
+            with tracer.span("rung:tahiti:tuned") as rung:
+                rung.event("launch", kernel="gemm_atb")
+                with tracer.span("kernel:gemm_atb",
+                                 sim_start_ns=1_000_000, sim_end_ns=2_500_000):
+                    pass
+            root.set(rung="tuned")
+        return tracer.last_trace()
+
+    def test_tree_structure_and_content(self):
+        trace = self.make_trace()
+        text = render_trace(trace)
+        lines = text.split("\n")
+        assert lines[0].startswith(f"trace {trace.trace_id} serve.request")
+        assert "(4 spans, root status ok)" in lines[0]
+        assert any("serve.request" in l and "request_id=4" in l for l in lines)
+        assert any("|- gate.validate" in l for l in lines)
+        assert any("`- rung:tahiti:tuned" in l for l in lines)
+        # Bridged clsim spans show their simulated-time window.
+        assert any("kernel:gemm_atb" in l and "sim 1.000..2.500 ms" in l
+                   for l in lines)
+        # Events render as point-in-time marks.
+        assert any("* launch" in l and "kernel=gemm_atb" in l for l in lines)
+
+    def test_events_can_be_suppressed(self):
+        trace = self.make_trace()
+        assert "* launch" not in render_trace(trace, show_events=False)

@@ -1,0 +1,131 @@
+"""Trace propagation across MultiDeviceGemm device loss and dispatch."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clsim.faults import FaultInjector, FaultPlan
+from repro.gemm.dispatch import KernelSelector
+from repro.gemm.multidev import MultiDeviceGemm
+from repro.obs import Observability
+from repro.tuner.pretuned import pretuned_params
+
+
+def _operands(seed=0, M=64, K=64, N=96):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((M, K)), rng.standard_normal((K, N))
+
+
+def lossy_fleet(obs):
+    return MultiDeviceGemm(
+        ["tahiti", "bulldozer"], "d",
+        fault_injector=FaultInjector(
+            FaultPlan.parse("device_lost:1.0:bulldozer", seed=5)
+        ),
+        obs=obs,
+    )
+
+
+class TestMultiDeviceLossTrace:
+    def test_device_loss_is_visible_in_the_trace(self):
+        obs = Observability(seed=5)
+        fleet = lossy_fleet(obs)
+        a, b = _operands()
+        result = fleet(a, b)
+        assert result.lost_devices == ("bulldozer",)
+        trace = obs.tracer.last_trace()
+        root = trace.root
+        assert root.name == "multidev.gemm"
+        assert root.attributes["fleet"] == 2
+        assert "bulldozer" in root.attributes["lost_devices"]
+        # The failed partition span records the error without swallowing
+        # the recovery: its columns re-run on a surviving device.
+        failed = trace.find("partition:bulldozer")[0]
+        assert failed.status == "error"
+        assert failed.attributes["error"] == "DeviceLostError"
+        assert [e for _, e, _ in root.events].count("device_lost") == 1
+        survivors = trace.find("partition:tahiti")
+        assert len(survivors) >= 2  # original share + the re-run columns
+        assert all(s.status == "ok" for s in survivors)
+
+    def test_partition_spans_bridge_kernel_launches(self):
+        obs = Observability(seed=5)
+        fleet = MultiDeviceGemm(["tahiti", "cayman"], "d", obs=obs)
+        a, b = _operands()
+        fleet(a, b)
+        trace = obs.tracer.last_trace()
+        partitions = [s for s in trace.spans if s.name.startswith("partition:")]
+        assert {s.name for s in partitions} \
+            == {"partition:tahiti", "partition:cayman"}
+        for part in partitions:
+            kernels = [s for s in trace.children(part.span_id)
+                       if s.name.startswith("kernel:")]
+            assert kernels, f"{part.name} bridged no kernel spans"
+            assert part.attributes["compute_s"] > 0
+
+    def test_lost_device_counter_increments(self):
+        obs = Observability(seed=5)
+        fleet = lossy_fleet(obs)
+        a, b = _operands()
+        fleet(a, b)
+        metric = obs.metrics.get("multidev_device_lost_total")
+        assert metric.labels(device="bulldozer").value == 1
+
+    def test_loss_trace_is_deterministic(self):
+        def run():
+            obs = Observability(seed=5)
+            a, b = _operands()
+            lossy_fleet(obs)(a, b)
+            return [t.to_dict() for t in obs.traces]
+
+        assert run() == run()
+
+    def test_whole_fleet_lost_traces_the_host_fallback(self):
+        obs = Observability(seed=5)
+        fleet = MultiDeviceGemm(
+            ["tahiti", "cayman"], "d",
+            fault_injector=FaultInjector(FaultPlan.parse("device_lost:1.0")),
+            obs=obs,
+        )
+        a, b = _operands()
+        fleet(a, b)
+        trace = obs.tracer.last_trace()
+        assert trace.find("host.fallback")
+        assert trace.root.status == "ok"  # recovery succeeded
+
+    def test_untraced_fleet_matches_traced_numbers(self):
+        a, b = _operands()
+        plain = lossy_fleet(obs=None)(a, b)
+        traced = lossy_fleet(Observability(seed=5))(a, b)
+        np.testing.assert_array_equal(plain.c, traced.c)
+        assert plain.lost_devices == traced.lost_devices
+
+
+class TestDispatchTrace:
+    def selector(self, obs=None):
+        return KernelSelector(
+            "tahiti", [pretuned_params("tahiti", "d")], obs=obs,
+            measurement_noise=False,
+        )
+
+    def test_dispatch_span_records_the_selected_band(self):
+        obs = Observability(seed=1)
+        selector = self.selector(obs)
+        a, b = _operands(M=48, K=48, N=48)
+        selector(a, b)
+        trace = obs.tracer.last_trace()
+        root = trace.root
+        assert root.name == "gemm.dispatch"
+        assert (root.attributes["M"], root.attributes["N"],
+                root.attributes["K"]) == (48, 48, 48)
+        entry = selector.entry_for(48, 48, 48)
+        assert root.attributes["band"] == entry.max_size
+        assert root.attributes["direct"] == entry.direct
+        kernels = [s for s in trace.spans if s.name.startswith("kernel:")]
+        assert kernels and all(s.parent_id == root.span_id for s in kernels)
+
+    def test_dispatch_without_obs_is_untraced(self):
+        selector = self.selector()
+        a, b = _operands(M=48, K=48, N=48)
+        result = selector(a, b)
+        assert result.c.shape == (48, 48)

@@ -1,0 +1,154 @@
+"""Tracer/Span/Trace semantics: determinism, nesting, error capture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_SPAN, Observability, Trace, Tracer
+
+
+def build_sample(seed: int = 7) -> Tracer:
+    """A small two-trace workload, fully determined by ``seed``."""
+    tracer = Tracer(seed=seed)
+    with tracer.trace("request", request_id=1) as root:
+        with tracer.span("validate"):
+            pass
+        with tracer.span("rung:tahiti:tuned") as rung:
+            rung.event("launch", kernel="gemm")
+            with tracer.span("kernel:gemm"):
+                pass
+            rung.set(outcome="served")
+        root.set(rung="tuned")
+    with tracer.trace("request", request_id=2):
+        with tracer.span("validate"):
+            pass
+    return tracer
+
+
+class TestDeterminism:
+    def test_same_seed_traces_are_bit_identical(self):
+        t1 = [t.to_dict() for t in build_sample(seed=7).traces]
+        t2 = [t.to_dict() for t in build_sample(seed=7).traces]
+        assert t1 == t2
+
+    def test_trace_ids_depend_on_the_seed(self):
+        ids1 = [t.trace_id for t in build_sample(seed=7).traces]
+        ids2 = [t.trace_id for t in build_sample(seed=8).traces]
+        assert set(ids1).isdisjoint(ids2)
+
+    def test_trace_ids_are_distinct_within_a_run(self):
+        ids = [t.trace_id for t in build_sample().traces]
+        assert len(ids) == len(set(ids)) == 2
+
+    def test_ticks_are_logical_not_wall_clock(self):
+        # Every boundary advances the tick by exactly one, so the whole
+        # timeline is a permutation-free sequence 1..N.
+        tracer = build_sample()
+        ticks = []
+        for trace in tracer.traces:
+            for span in trace.spans:
+                ticks.extend([span.start_tick, span.end_tick])
+                ticks.extend(t for t, _, _ in span.events)
+        assert sorted(ticks) == list(range(1, len(ticks) + 1))
+
+
+class TestStructure:
+    def test_parentage_and_lookup(self):
+        trace = build_sample().traces[0]
+        assert trace.root.name == "request"
+        assert trace.root.parent_id is None
+        rung = trace.find("rung:tahiti:tuned")[0]
+        assert rung.parent_id == trace.root.span_id
+        kernel = trace.find("kernel:gemm")[0]
+        assert kernel.parent_id == rung.span_id
+        assert [s.name for s in trace.children(trace.root.span_id)] == [
+            "validate", "rung:tahiti:tuned",
+        ]
+        assert trace.span_names() == [
+            "request", "validate", "rung:tahiti:tuned", "kernel:gemm",
+        ]
+
+    def test_events_and_attributes_recorded(self):
+        trace = build_sample().traces[0]
+        rung = trace.find("rung:tahiti:tuned")[0]
+        assert rung.attributes["outcome"] == "served"
+        (tick, name, attrs), = rung.events
+        assert name == "launch" and attrs == {"kernel": "gemm"}
+        assert rung.start_tick < tick < rung.end_tick
+
+    def test_serialization_round_trip(self):
+        trace = build_sample().traces[0]
+        clone = Trace.from_dict(trace.to_dict())
+        assert clone.to_dict() == trace.to_dict()
+        assert clone.span_names() == trace.span_names()
+
+    def test_lookup_helpers(self):
+        tracer = build_sample()
+        assert tracer.last_trace() is tracer.traces[-1]
+        first = tracer.traces[0]
+        assert tracer.find_trace(first.trace_id) is first
+        assert tracer.find_trace("no-such-trace") is None
+
+
+class TestErrorHandling:
+    def test_exception_marks_status_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.trace("request"):
+                with tracer.span("rung:x"):
+                    raise RuntimeError("boom")
+        trace = tracer.last_trace()
+        rung = trace.find("rung:x")[0]
+        assert rung.status == "error"
+        assert rung.attributes["error"] == "RuntimeError"
+        assert trace.root.status == "error"
+
+    def test_out_of_order_close_marks_abandoned(self):
+        tracer = Tracer()
+        root = tracer.trace("request")
+        tracer.span("watchdog")  # never closed by its owner
+        root.__exit__(None, None, None)
+        trace = tracer.last_trace()
+        dangling = trace.find("watchdog")[0]
+        assert dangling.status == "abandoned"
+        assert dangling.end_tick is not None
+
+
+class TestRetention:
+    def test_keep_limit_counts_dropped_traces(self):
+        tracer = Tracer(keep=2)
+        for i in range(5):
+            with tracer.trace("request", request_id=i):
+                pass
+        assert len(tracer.traces) == 2
+        assert tracer.dropped == 3
+        # The *first* traces stay inspectable (deterministic replay
+        # reproduces them).
+        assert [t.root.attributes["request_id"] for t in tracer.traces] == [0, 1]
+
+
+class TestObservabilityFacade:
+    def test_disabled_obs_hands_out_the_shared_null_span(self):
+        obs = Observability.disabled()
+        span = obs.span("anything", key="value")
+        assert span is NULL_SPAN
+        assert span.set(x=1) is span and span.event("e") is span
+        with span:
+            pass
+        assert obs.current_trace_id == ""
+        assert obs.traces == []
+
+    def test_enabled_obs_records_and_exposes_trace_id(self):
+        obs = Observability(seed=3)
+        with obs.trace("request") as root:
+            assert obs.current_trace_id == root.trace_id
+        assert obs.current_trace_id == ""
+        assert len(obs.traces) == 1
+
+    def test_trace_limit_flows_to_the_tracer(self):
+        obs = Observability(seed=0, trace_limit=1)
+        for _ in range(3):
+            with obs.trace("request"):
+                pass
+        assert len(obs.traces) == 1
+        assert obs.tracer.dropped == 2
