@@ -1,0 +1,68 @@
+"""Static kernel verifier (ahead-of-time safety analysis).
+
+The paper's tuner discovers invalid parameter vectors *dynamically*: it
+generates, builds and runs every candidate and "does not count" the ones
+that fail (Section III-F).  This package performs the same
+classification *statically* — no kernel is emitted, built or executed —
+the shift ATLAS-style generators and CLBlast's constraint solver make to
+keep huge search spaces tractable:
+
+:mod:`~repro.analyze.constraints`
+    proves every Section-III divisibility/derivation rule and every
+    device budget (work-group size, local-memory bytes, private
+    footprint, occupancy, execution quirks) over a raw parameter dict
+    or a :class:`~repro.codegen.params.KernelParams`;
+:mod:`~repro.analyze.bounds`
+    symbolic index-range analysis over the emitter's addressing
+    expressions, proving every global/local/private load and store
+    in-bounds for *any* matrix size the blocking admits;
+:mod:`~repro.analyze.races`
+    injectivity proofs for the ``MdimA``/``NdimB`` staging reshape
+    (write-write races) and a barrier-phase model of the BA/PL/DB
+    schedules (write-read races across barriers);
+:mod:`~repro.analyze.source_checks`
+    cross-checks the *emitted OpenCL C* against the parameter vector
+    (defines, local-array extents, staged-access expressions) and
+    verifies barrier uniformity (no barrier under id-dependent control
+    flow);
+:mod:`~repro.analyze.verifier`
+    the :class:`StaticVerifier` facade and the search-gate entry point.
+
+Every finding is a structured :class:`~repro.analyze.diagnostics.Diagnostic`
+(rule id, severity, witness indices) collected into an
+:class:`~repro.analyze.diagnostics.AnalysisReport` with text and JSON
+renderers.  The analyzer agrees with the simulator by construction: the
+gate's rules mirror exactly the checks
+:func:`repro.tuner.parallel.measure_once` performs, and the differential
+test-suite holds the deeper passes to "never reject what the simulator
+runs" over the fuzz corpus and sampled search spaces.
+"""
+
+from repro.analyze.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    render_reports,
+    reports_to_json,
+)
+from repro.analyze.constraints import failure_class, prove_constraints
+from repro.analyze.verifier import (
+    StaticVerifier,
+    analyze_catalog,
+    analyze_params,
+    analyze_space_sample,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "StaticVerifier",
+    "analyze_catalog",
+    "analyze_params",
+    "analyze_space_sample",
+    "failure_class",
+    "prove_constraints",
+    "render_reports",
+    "reports_to_json",
+]

@@ -1,0 +1,115 @@
+"""Symbolic index-range analysis over the kernel model.
+
+Proves every access of a :class:`~repro.analyze.sites.KernelModel`
+in-bounds for any matrix size the blocking admits, or produces a
+witness assignment (concrete loop/lane indices) at which the access
+escapes its buffer.
+
+* Local/private accesses are flat indices against declared extents:
+  ``0 <= index`` and ``index + vector_pad < extent`` with the exact
+  interval bounds of :class:`~repro.analyze.intervals.LinearIndex`.
+* Global accesses are checked per-dimension via residue containment
+  (see :mod:`repro.analyze.sites`): the M/N residue must fit in the
+  work-group tile, the K residue in the loop-guaranteed base slack.
+  For edge-guarded kernels the grid over-covers the matrices, so the
+  upper-bound check is replaced by the requirement that the site is
+  *guarded* in the source; the lower bound must hold either way (the
+  ``READ_*`` guards only test the upper edge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analyze.diagnostics import Diagnostic, Severity
+from repro.analyze.sites import KernelModel
+
+__all__ = ["BOUNDS_RULES", "check_bounds"]
+
+BOUNDS_RULES: Dict[str, tuple] = {
+    "bounds.local-index": (
+        "III-C",
+        "every __local load/store stays inside the declared tile buffer",
+    ),
+    "bounds.private-index": (
+        "III-B",
+        "every private-array access stays inside its declared extent",
+    ),
+    "bounds.global-range": (
+        "III-B",
+        "global access residues fit the tile extent / guaranteed K slack "
+        "for every admissible matrix size",
+    ),
+    "bounds.global-unguarded": (
+        "III-F",
+        "edge-guarded kernels bounds-check every global access "
+        "(the group grid over-covers the matrices)",
+    ),
+}
+
+
+def check_bounds(model: KernelModel) -> List[Diagnostic]:
+    """All bounds findings for one kernel model (empty when proved safe)."""
+    diags: List[Diagnostic] = []
+    p = model.params
+
+    for acc in model.flat:
+        rule = f"bounds.{acc.space}-index"
+        paper = BOUNDS_RULES[rule][0]
+        lo, hi = acc.index.lo, acc.index.hi + acc.vector_pad
+        if lo < 0:
+            diags.append(Diagnostic(
+                rule, Severity.ERROR,
+                f"{acc.site}: {acc.kind} of {acc.buffer}[{acc.index.render()}] "
+                f"reaches element {lo} (below 0)",
+                witness={"site": acc.site, "buffer": acc.buffer,
+                         "offset": lo, "extent": acc.extent,
+                         **acc.index.witness_min()},
+                paper=paper))
+        if hi >= acc.extent:
+            diags.append(Diagnostic(
+                rule, Severity.ERROR,
+                f"{acc.site}: {acc.kind} of {acc.buffer}[{acc.index.render()}]"
+                f"{f' (+{acc.vector_pad} vector lanes)' if acc.vector_pad else ''} "
+                f"reaches element {hi}, extent {acc.extent}",
+                witness={"site": acc.site, "buffer": acc.buffer,
+                         "offset": hi, "extent": acc.extent,
+                         **acc.index.witness_max()},
+                paper=paper))
+
+    for acc in model.global_accesses:
+        if p.guard_edges and not acc.guarded:
+            diags.append(Diagnostic(
+                "bounds.global-unguarded", Severity.ERROR,
+                f"{acc.site}: unguarded global {acc.kind} of matrix "
+                f"{acc.matrix.upper()} in an edge-guarded kernel",
+                witness={"site": acc.site, "matrix": acc.matrix},
+                paper=BOUNDS_RULES["bounds.global-unguarded"][0]))
+        for res in acc.residues:
+            lo = res.index.lo
+            if lo < 0:
+                diags.append(Diagnostic(
+                    "bounds.global-range", Severity.ERROR,
+                    f"{acc.site}: {res.dim}-residue {res.index.render()} of "
+                    f"matrix {acc.matrix.upper()} reaches {lo} (below 0; "
+                    "guards only test the upper edge)",
+                    witness={"site": acc.site, "matrix": acc.matrix,
+                             "dim": res.dim, "offset": lo,
+                             **res.index.witness_min()},
+                    paper=BOUNDS_RULES["bounds.global-range"][0]))
+            if p.guard_edges:
+                continue  # upper edge handled by residue-grid exactness
+            hi = res.index.hi + res.vector_pad
+            if hi >= res.extent:
+                diags.append(Diagnostic(
+                    "bounds.global-range", Severity.ERROR,
+                    f"{acc.site}: {res.dim}-residue {res.index.render()}"
+                    f"{f' (+{res.vector_pad} vector lanes)' if res.vector_pad else ''} "
+                    f"of matrix {acc.matrix.upper()} reaches {hi}, "
+                    f"admissible extent {res.extent}",
+                    witness={"site": acc.site, "matrix": acc.matrix,
+                             "dim": res.dim, "offset": hi,
+                             "extent": res.extent,
+                             **res.index.witness_max()},
+                    paper=BOUNDS_RULES["bounds.global-range"][0]))
+    return diags

@@ -1,0 +1,168 @@
+"""Structured diagnostics for the static kernel verifier.
+
+A :class:`Diagnostic` is one finding: a stable rule id (the catalog in
+``docs/static_analysis.md``), a severity, a human-readable message, the
+paper section the rule encodes, and — crucially — a **witness**: the
+concrete indices/values that prove the violation (e.g. the work-item and
+loop counters at which an access leaves its buffer).  Rejections without
+witnesses are not allowed past the test-suite; the witness is what makes
+a static rejection auditable rather than folklore.
+
+An :class:`AnalysisReport` collects the diagnostics for one subject
+(a parameter vector, optionally with its emitted source) and renders as
+text or JSON; :func:`render_reports`/:func:`reports_to_json` aggregate
+reports for the CLI's catalog and space modes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "AnalysisReport",
+    "render_reports",
+    "reports_to_json",
+]
+
+
+class Severity(Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make the subject unbuildable/unsafe (the gate and
+    ``Program.build`` reject); ``WARNING`` findings are suspicious but
+    not disqualifying; ``INFO`` records proved facts (rule passed).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    #: Stable rule identifier, dot-namespaced: ``param.*`` (Section-III
+    #: structural rules), ``device.*`` (budgets/quirks), ``bounds.*``,
+    #: ``race.*``, ``barrier.*``, ``source.*``.
+    rule: str
+    severity: Severity
+    message: str
+    #: Concrete values proving the finding — loop/lane indices, the
+    #: offending offset and the violated limit.  Always non-empty for
+    #: ERROR diagnostics.
+    witness: Mapping[str, object] = field(default_factory=dict)
+    #: Paper citation for the rule ("III-C", "IV-A", ...), "" when the
+    #: rule guards an extension beyond the paper.
+    paper: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "witness": dict(self.witness),
+            "paper": self.paper,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "Diagnostic":
+        return cls(
+            rule=str(d["rule"]),
+            severity=Severity(d.get("severity", "error")),
+            message=str(d.get("message", "")),
+            witness=dict(d.get("witness", {})),  # type: ignore[arg-type]
+            paper=str(d.get("paper", "")),
+        )
+
+    def render(self) -> str:
+        cite = f" [{self.paper}]" if self.paper else ""
+        wit = ""
+        if self.witness:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.witness.items()))
+            wit = f" (witness: {pairs})"
+        return f"{self.severity.value.upper():7s} {self.rule}{cite}: {self.message}{wit}"
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one analysis subject."""
+
+    #: Subject label, e.g. ``"tahiti/s pretuned"`` or a params summary.
+    subject: str
+    device: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Rule ids the analysis actually evaluated (passed or failed) —
+    #: lets a consumer distinguish "proved clean" from "not checked".
+    checked_rules: Tuple[str, ...] = ()
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """Clean: no ERROR-severity finding."""
+        return not self.errors
+
+    @property
+    def rejected_rules(self) -> Tuple[str, ...]:
+        """Sorted, de-duplicated ERROR rule ids."""
+        return tuple(sorted({d.rule for d in self.errors}))
+
+    def extend(self, diagnostics: Sequence[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "device": self.device,
+            "ok": self.ok,
+            "rejected_rules": list(self.rejected_rules),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "checked_rules": list(self.checked_rules),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self, verbose: bool = False) -> str:
+        head = f"static analysis: {self.subject}"
+        if self.device:
+            head += f" on {self.device}"
+        status = "CLEAN" if self.ok else "REJECTED (" + ", ".join(self.rejected_rules) + ")"
+        lines = [f"{head}: {status}"]
+        shown = self.diagnostics if verbose else self.errors + self.warnings
+        lines.extend("  " + d.render() for d in shown)
+        if verbose and not self.diagnostics:
+            lines.append("  (no findings)")
+        lines.append(f"  rules checked: {len(self.checked_rules)}")
+        return "\n".join(lines)
+
+
+def render_reports(reports: Sequence[AnalysisReport], verbose: bool = False) -> str:
+    """Aggregate text rendering (catalog / space-sample modes)."""
+    lines = [r.render(verbose=verbose) for r in reports]
+    clean = sum(1 for r in reports if r.ok)
+    lines.append(f"{clean}/{len(reports)} subjects clean")
+    return "\n".join(lines)
+
+
+def reports_to_json(reports: Sequence[AnalysisReport], indent: int = 2) -> str:
+    """The CLI's ``--json`` artifact: every report plus a summary."""
+    payload = {
+        "format": "repro-analyze/1",
+        "clean": sum(1 for r in reports if r.ok),
+        "total": len(reports),
+        "reports": [r.to_dict() for r in reports],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -1,0 +1,93 @@
+"""Linear index forms: the symbolic core of the bounds analysis.
+
+Every addressing expression the emitter generates is, after the
+substitutions described in :mod:`repro.analyze.sites`, a **non-negative
+linear combination of bounded loop/lane variables** plus a constant:
+
+``index = c0 + sum_i  coeff_i * var_i``   with ``coeff_i >= 0`` and
+``var_i in [lo_i, hi_i]``.
+
+(The raw expressions contain ``tid / MDIMA``, ``tid % MDIMA``,
+``a / VW`` and ``a % VW`` terms, but the structural divisibility rules
+make those decompositions exact, so quotient and remainder become
+*independent* full-range variables — e.g. ``tid`` over
+``[0, MDIMA*KDIMA)`` splits into ``u = tid/MDIMA`` over ``[0, KDIMA)``
+and ``v = tid%MDIMA`` over ``[0, MDIMA)``.  The model builder performs
+that split; this module only ever sees the linear form.)
+
+For such forms the extreme values are exact (each variable at its own
+bound), which gives both sound bounds *and* concrete witnesses: the
+assignment achieving the violating extreme, which is what a
+:class:`~repro.analyze.diagnostics.Diagnostic` carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = ["Term", "LinearIndex"]
+
+
+@dataclass(frozen=True)
+class Term:
+    """``coeff * var`` with ``var`` ranging over ``[lo, hi]``."""
+
+    var: str
+    coeff: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.coeff < 0:
+            raise ValueError(f"negative coefficient for {self.var}: {self.coeff}")
+        if self.lo > self.hi:
+            raise ValueError(f"empty range for {self.var}: [{self.lo}, {self.hi}]")
+
+
+@dataclass(frozen=True)
+class LinearIndex:
+    """A linear index form with exact interval bounds and witnesses."""
+
+    terms: Tuple[Term, ...] = ()
+    const: int = 0
+
+    @classmethod
+    def build(cls, terms: Sequence[Tuple[str, int, int, int]], const: int = 0
+              ) -> "LinearIndex":
+        """From ``(var, coeff, lo, hi)`` tuples; zero-coeff terms dropped."""
+        kept = tuple(Term(*t) for t in terms if t[1] != 0)
+        names = [t.var for t in kept]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variable in index form: {names}")
+        return cls(kept, const)
+
+    def shifted(self, delta: int) -> "LinearIndex":
+        return LinearIndex(self.terms, self.const + delta)
+
+    @property
+    def lo(self) -> int:
+        return self.const + sum(t.coeff * t.lo for t in self.terms)
+
+    @property
+    def hi(self) -> int:
+        return self.const + sum(t.coeff * t.hi for t in self.terms)
+
+    def value(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate at a concrete assignment (missing vars at their lo)."""
+        return self.const + sum(
+            t.coeff * assignment.get(t.var, t.lo) for t in self.terms
+        )
+
+    def witness_max(self) -> Dict[str, int]:
+        """The assignment achieving :attr:`hi` (every var at its hi)."""
+        return {t.var: t.hi for t in self.terms}
+
+    def witness_min(self) -> Dict[str, int]:
+        return {t.var: t.lo for t in self.terms}
+
+    def render(self) -> str:
+        parts = [f"{t.coeff}*{t.var}[{t.lo}..{t.hi}]" for t in self.terms]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)

@@ -1,0 +1,115 @@
+"""Race analysis: staging-reshape injectivity and barrier phases.
+
+Two classes of local-memory race are possible in the generated kernels:
+
+**Write-write within one staging loop.**  The Section III-C reshape
+splits ``tid`` into a ``(tid / DIM, tid % DIM)`` loader grid; two
+work-items collide exactly when either the K-part map ``(u, li) ->
+u*height + li`` or the M-part map ``(v, lj) -> v*width + lj`` is
+non-injective (the local index is ``kpart * m_extent + mpart`` and the
+bounds pass pins ``mpart`` inside ``[0, m_extent)``, so the combined map
+is injective iff both parts are).  Each part ranges over at most a few
+thousand values, so injectivity is decided by exhaustive enumeration,
+which also yields the two colliding work-item/loop assignments as the
+witness.
+
+**Write-read across a missing barrier.**  The BA/PL/DB schedules are
+modelled as barrier-delimited :class:`~repro.analyze.sites.Phase` lists
+(covering the prologue, two main-loop iterations — to expose the
+loop-carried wrap-around — and the epilogue).  The safety condition is
+that no local buffer is both written and read inside one phase; DB is
+the interesting case, where correctness rests on the half-buffers
+strictly alternating roles between consecutive phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analyze.diagnostics import Diagnostic, Severity
+from repro.analyze.intervals import LinearIndex
+from repro.analyze.sites import KernelModel
+
+__all__ = ["RACE_RULES", "check_staging", "check_phases", "check_races"]
+
+RACE_RULES: Dict[str, tuple] = {
+    "race.staging-overlap": (
+        "III-C",
+        "the MdimA/NdimB loader-grid reshape assigns each local element "
+        "to exactly one work-item (no write-write race)",
+    ),
+    "race.barrier-phase": (
+        "III-E",
+        "no local buffer is both written and read within one "
+        "barrier-delimited phase of the BA/PL/DB schedule",
+    ),
+    "barrier.missing": (
+        "III-E",
+        "kernels staging through local memory separate staging from "
+        "compute with barrier(CLK_LOCAL_MEM_FENCE)",
+    ),
+}
+
+
+def _first_collision(index: LinearIndex) -> Tuple[dict, dict, int] | None:
+    """Exhaustively search for two assignments mapping to one value."""
+    seen: Dict[int, dict] = {}
+    assignments = [dict()]
+    for t in index.terms:
+        assignments = [
+            {**a, t.var: v} for a in assignments for v in range(t.lo, t.hi + 1)
+        ]
+    for a in assignments:
+        v = index.value(a)
+        if v in seen and seen[v] != a:
+            return seen[v], a, v
+        seen.setdefault(v, a)
+    return None
+
+
+def check_staging(model: KernelModel) -> List[Diagnostic]:
+    """Write-write race findings for every staging map."""
+    diags: List[Diagnostic] = []
+    paper = RACE_RULES["race.staging-overlap"][0]
+    for st in model.staging:
+        for part, index in (("k", st.kpart), ("m", st.mpart)):
+            hit = _first_collision(index)
+            if hit is None:
+                continue
+            first, second, value = hit
+            diags.append(Diagnostic(
+                "race.staging-overlap", Severity.ERROR,
+                f"{st.site}: two loader work-items write "
+                f"{st.buffer} {part}-part {index.render()} = {value}",
+                witness={"site": st.site, "buffer": st.buffer,
+                         "part": part, "value": value,
+                         "first": first, "second": second},
+                paper=paper))
+    return diags
+
+
+def check_phases(model: KernelModel) -> List[Diagnostic]:
+    """Write-read conflicts inside barrier-delimited phases."""
+    diags: List[Diagnostic] = []
+    for ph in model.phases:
+        clash = sorted(set(ph.writes) & set(ph.reads))
+        if clash:
+            diags.append(Diagnostic(
+                "race.barrier-phase", Severity.ERROR,
+                f"phase {ph.name}: buffer(s) {', '.join(clash)} both "
+                "written and read with no intervening barrier",
+                witness={"phase": ph.name, "buffers": clash},
+                paper=RACE_RULES["race.barrier-phase"][0]))
+    if model.local_extents and model.barrier_count == 0:
+        diags.append(Diagnostic(
+            "barrier.missing", Severity.ERROR,
+            "kernel stages through local memory but its schedule "
+            "contains no barrier",
+            witness={"local_buffers": sorted(model.local_extents)},
+            paper=RACE_RULES["barrier.missing"][0]))
+    return diags
+
+
+def check_races(model: KernelModel) -> List[Diagnostic]:
+    """All race findings for one kernel model."""
+    return check_staging(model) + check_phases(model)

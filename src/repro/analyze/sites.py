@@ -1,0 +1,406 @@
+"""Shadow model of the emitter's memory accesses and barrier schedule.
+
+:func:`build_model` re-derives, from a validated
+:class:`~repro.codegen.params.KernelParams` alone, every memory access
+the emitted kernel performs — as :class:`LinearIndex` forms over the
+loop/lane variables — plus the cooperative staging maps and the
+barrier-phase schedule of the BA/PL/DB algorithm bodies (paper
+Figs. 4-6).  The bounds and race analyses operate on this model;
+:mod:`repro.analyze.source_checks` independently cross-checks the
+emitted C text against it, so a drift between emitter and model is
+itself a detectable finding.
+
+Global accesses are decomposed **per dimension**: an A read at
+``(gk, gm)`` with ``gm = get_group_id(0)*MWG + r`` is in-bounds in M for
+every admissible size exactly when the within-tile residue ``r`` lies in
+``[0, MWG)`` — because the ND-range gives ``get_group_id(0) < M/MWG``
+(unguarded kernels run on blocking-multiple sizes;
+``KernelPlan.check_problem``).  The K dimension works the same way with
+one extra ingredient, the **base-slack lemma**: every k-expression is
+``base + offset`` where the loop structure bounds ``base`` by
+``kSizeK - slack`` (e.g. the BA ``pwg`` loop gives ``slack = KWG``; the
+DB main loop ``pwg < kSizeK - KWG`` gives ``slack = 2*KWG``; the
+prologue base ``0`` gives ``slack = min_k_iterations*KWG``).  The model
+stores each global access as residue forms with their dimension extents
+(the slack, for K), and the bounds pass proves ``0 <= residue < extent``.
+
+For edge-guarded kernels the group grid over-covers the matrices, so
+residue containment is *not* sufficient; instead every global access
+must be guarded (the bounds-checked ``READ_A``/``READ_B`` macros, or the
+per-lane guarded merge).  The model records a ``guarded`` bit per site
+and the bounds pass enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analyze.intervals import LinearIndex
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.params import KernelParams
+
+__all__ = [
+    "FlatAccess",
+    "DimResidue",
+    "GlobalAccess",
+    "StagingMap",
+    "Phase",
+    "KernelModel",
+    "build_model",
+]
+
+
+@dataclass(frozen=True)
+class FlatAccess:
+    """One local/private-buffer access, as a flat element index."""
+
+    site: str
+    buffer: str
+    space: str  # "local" | "private"
+    kind: str   # "read" | "write"
+    index: LinearIndex
+    extent: int          # declared buffer size, in elements
+    vector_pad: int = 0  # vload/vstore touch [index, index + pad]
+
+
+@dataclass(frozen=True)
+class DimResidue:
+    """A global access's within-tile residue along one dimension."""
+
+    dim: str  # "m" | "n" | "k"
+    index: LinearIndex
+    #: Containment target: the tile extent (MWG/NWG) or, for K, the
+    #: guaranteed base slack (see module docstring).
+    extent: int
+    vector_pad: int = 0
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """One global-memory access, decomposed per dimension."""
+
+    site: str
+    matrix: str  # "a" | "b" | "c"
+    kind: str    # "read" | "write"
+    #: True when the access is bounds-checked in the source (guarded
+    #: READ macro / per-lane guarded merge); required for guard_edges.
+    guarded: bool
+    residues: Tuple[DimResidue, ...]
+
+
+@dataclass(frozen=True)
+class StagingMap:
+    """The cooperative write map of one global->local staging loop.
+
+    Work-item ``tid`` splits into ``u = tid / dim_major`` and
+    ``v = tid % dim_major`` (Section III-C reshape); the map writes
+    local element ``kpart * m_extent + mpart``.  Injectivity of
+    ``(u, li, v, lj) -> index`` is what excludes write-write races.
+    """
+
+    site: str
+    buffer: str
+    kpart: LinearIndex  # over u (stride = rows per loader) and li
+    mpart: LinearIndex  # over v and lj
+    k_extent: int       # buffer height (KWG, or KWG/2 for DB halves)
+    m_extent: int       # buffer width (MWG or NWG)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One barrier-delimited region of the schedule.
+
+    Consecutive phases are separated by ``barrier(CLK_LOCAL_MEM_FENCE)``;
+    the list covers the prologue, two main-loop iterations (to expose
+    loop-carried adjacency) and the epilogue.
+    """
+
+    name: str
+    writes: Tuple[str, ...]  # local buffers written in this phase
+    reads: Tuple[str, ...]   # local buffers read in this phase
+
+
+@dataclass
+class KernelModel:
+    """Everything the static analyses need, derived from the params."""
+
+    params: KernelParams
+    #: Declared local buffers -> element extents.
+    local_extents: Dict[str, int] = field(default_factory=dict)
+    #: Declared private arrays -> element extents.
+    private_extents: Dict[str, int] = field(default_factory=dict)
+    flat: List[FlatAccess] = field(default_factory=list)
+    global_accesses: List[GlobalAccess] = field(default_factory=list)
+    staging: List[StagingMap] = field(default_factory=list)
+    phases: List[Phase] = field(default_factory=list)
+    #: barrier() calls the emitted body must contain.
+    barrier_count: int = 0
+
+
+# -- ownership expressions (mirror emitter._row_expr/_colv_expr) --------
+def _row_terms(p: KernelParams) -> List[Tuple[str, int, int, int]]:
+    """C/A-tile row owned by (i0, a): the M-direction ownership map."""
+    if p.stride.m:
+        return [
+            ("a_div_vw", p.vw * p.mdimc, 0, p.mwi // p.vw - 1),
+            ("i0", p.vw, 0, p.mdimc - 1),
+            ("a_mod_vw", 1, 0, p.vw - 1),
+        ]
+    return [("i0", p.mwi, 0, p.mdimc - 1), ("a", 1, 0, p.mwi - 1)]
+
+
+def _colv_terms(p: KernelParams) -> List[Tuple[str, int, int, int]]:
+    """First column of vector slot (j0, bv): N-direction ownership."""
+    nwiv = p.nwi // p.vw
+    if p.stride.n:
+        return [("bv", p.vw * p.ndimc, 0, nwiv - 1), ("j0", p.vw, 0, p.ndimc - 1)]
+    return [("j0", p.nwi, 0, p.ndimc - 1), ("bv", p.vw, 0, nwiv - 1)]
+
+
+def build_model(p: KernelParams) -> KernelModel:
+    """Derive the access-site/schedule model for one parameter vector."""
+    m = KernelModel(params=p)
+    nwiv = p.nwi // p.vw
+    copies = p.algorithm.local_buffer_copies
+    half = copies == 2  # DB: two half-height buffers per shared matrix
+
+    # -- declarations (mirror _emit_local_decls/_emit_private_decls) ----
+    if p.shared_a:
+        kext = p.kwg // 2 if half else p.kwg
+        for buf in (("alm0", "alm1") if half else ("alm",)):
+            m.local_extents[buf] = kext * p.mwg
+    if p.shared_b:
+        kext = p.kwg // 2 if half else p.kwg
+        for buf in (("blm0", "blm1") if half else ("blm",)):
+            m.local_extents[buf] = kext * p.nwg
+    m.private_extents["cpm"] = p.mwi * nwiv
+    m.private_extents["apm"] = p.mwi * p.kwi
+    m.private_extents["bpm"] = p.kwi * nwiv
+    if p.algorithm.uses_private_staging:
+        if p.shared_a:
+            m.private_extents["apm0"] = p.mwia * p.kwia
+        if p.shared_b:
+            m.private_extents["bpm0"] = p.kwib * p.nwib
+
+    # -- helpers mirroring the emitter's loop bodies --------------------
+    def stage(site: str, matrix: str, buf: str, khalf: bool,
+              koff: int, slack: int) -> None:
+        """_emit_stage_to_local: cooperative global -> local staging."""
+        if matrix == "a":
+            dim_major, wi_major, wi_k, extent = (
+                p.effective_mdima, p.mwia, p.kwia, p.mwg)
+            dim_k = p.kdima
+        else:
+            dim_major, wi_major, wi_k, extent = (
+                p.effective_ndimb, p.nwib, p.kwib, p.nwg)
+            dim_k = p.kdimb
+        height = wi_k // 2 if khalf else wi_k
+        u, v = f"tid/{dim_major}", f"tid%{dim_major}"
+        kpart = LinearIndex.build(
+            [(u, height, 0, dim_k - 1), ("li", 1, 0, height - 1)])
+        mpart = LinearIndex.build(
+            [(v, wi_major, 0, dim_major - 1), ("lj", 1, 0, wi_major - 1)])
+        k_extent = m.local_extents[buf] // extent
+        m.staging.append(StagingMap(site, buf, kpart, mpart, k_extent, extent))
+        m.flat.append(FlatAccess(
+            site, buf, "local", "write",
+            LinearIndex.build(
+                [(u, height * extent, 0, dim_k - 1), ("li", extent, 0, height - 1),
+                 (v, wi_major, 0, dim_major - 1), ("lj", 1, 0, wi_major - 1)]),
+            m.local_extents[buf]))
+        m.global_accesses.append(GlobalAccess(
+            site, matrix, "read", guarded=p.guard_edges, residues=(
+                DimResidue("k", LinearIndex.build(
+                    [(u, height, 0, dim_k - 1), ("li", 1, 0, height - 1)],
+                    const=koff), slack),
+                DimResidue("m" if matrix == "a" else "n", mpart, extent),
+            )))
+
+    def prefetch(site: str, matrix: str, koff: int, slack: int) -> None:
+        """_emit_prefetch_private: PL next-tile -> private staging."""
+        if matrix == "a":
+            dim_major, wi_major, wi_k, extent, pmbuf = (
+                p.effective_mdima, p.mwia, p.kwia, p.mwg, "apm0")
+            dim_k = p.kdima
+        else:
+            dim_major, wi_major, wi_k, extent, pmbuf = (
+                p.effective_ndimb, p.nwib, p.kwib, p.nwg, "bpm0")
+            dim_k = p.kdimb
+        u, v = f"tid/{dim_major}", f"tid%{dim_major}"
+        m.flat.append(FlatAccess(
+            site, pmbuf, "private", "write",
+            LinearIndex.build(
+                [("li", wi_major, 0, wi_k - 1), ("lj", 1, 0, wi_major - 1)]),
+            m.private_extents[pmbuf]))
+        m.global_accesses.append(GlobalAccess(
+            site, matrix, "read", guarded=p.guard_edges, residues=(
+                DimResidue("k", LinearIndex.build(
+                    [(u, wi_k, 0, dim_k - 1), ("li", 1, 0, wi_k - 1)],
+                    const=koff), slack),
+                DimResidue("m" if matrix == "a" else "n", LinearIndex.build(
+                    [(v, wi_major, 0, dim_major - 1), ("lj", 1, 0, wi_major - 1)]),
+                    extent),
+            )))
+
+    def commit(site: str, matrix: str, buf: str) -> None:
+        """_emit_commit_local: PL private staging -> local."""
+        if matrix == "a":
+            dim_major, wi_major, wi_k, extent, pmbuf = (
+                p.effective_mdima, p.mwia, p.kwia, p.mwg, "apm0")
+            dim_k = p.kdima
+        else:
+            dim_major, wi_major, wi_k, extent, pmbuf = (
+                p.effective_ndimb, p.nwib, p.kwib, p.nwg, "bpm0")
+            dim_k = p.kdimb
+        u, v = f"tid/{dim_major}", f"tid%{dim_major}"
+        kpart = LinearIndex.build(
+            [(u, wi_k, 0, dim_k - 1), ("li", 1, 0, wi_k - 1)])
+        mpart = LinearIndex.build(
+            [(v, wi_major, 0, dim_major - 1), ("lj", 1, 0, wi_major - 1)])
+        m.staging.append(StagingMap(
+            site, buf, kpart, mpart, m.local_extents[buf] // extent, extent))
+        m.flat.append(FlatAccess(
+            site, buf, "local", "write",
+            LinearIndex.build(
+                [(u, wi_k * extent, 0, dim_k - 1), ("li", extent, 0, wi_k - 1),
+                 (v, wi_major, 0, dim_major - 1), ("lj", 1, 0, wi_major - 1)]),
+            m.local_extents[buf]))
+        m.flat.append(FlatAccess(
+            site, pmbuf, "private", "read",
+            LinearIndex.build(
+                [("li", wi_major, 0, wi_k - 1), ("lj", 1, 0, wi_major - 1)]),
+            m.private_extents[pmbuf]))
+
+    def inner(site: str, kstart: int, kend: int, la: str, lb: str,
+              kslack: int, local_koff: int = 0) -> None:
+        """_emit_inner_loop: the pwi loop over one staged tile."""
+        pwi = ("pwi", 1, kstart, kend - p.kwi)
+        kk = ("kk", 1, 0, p.kwi - 1)
+        row = _row_terms(p)
+        colv = _colv_terms(p)
+        pad = p.vw - 1 if p.vw > 1 else 0
+        if p.shared_a:
+            m.flat.append(FlatAccess(
+                f"{site}.load_a", la, "local", "read",
+                LinearIndex.build(
+                    [("pwi", p.mwg, kstart, kend - p.kwi),
+                     ("kk", p.mwg, 0, p.kwi - 1)] + row,
+                    const=-local_koff * p.mwg),
+                m.local_extents[la]))
+        else:
+            m.global_accesses.append(GlobalAccess(
+                f"{site}.load_a", "a", "read", guarded=p.guard_edges, residues=(
+                    DimResidue("k", LinearIndex.build([pwi, kk]), kslack),
+                    DimResidue("m", LinearIndex.build(row), p.mwg),
+                )))
+        m.flat.append(FlatAccess(
+            f"{site}.load_a", "apm", "private", "write",
+            LinearIndex.build(
+                [("a", p.kwi, 0, p.mwi - 1), ("kk", 1, 0, p.kwi - 1)]),
+            m.private_extents["apm"]))
+        if p.shared_b:
+            m.flat.append(FlatAccess(
+                f"{site}.load_b", lb, "local", "read",
+                LinearIndex.build(
+                    [("pwi", p.nwg, kstart, kend - p.kwi),
+                     ("kk", p.nwg, 0, p.kwi - 1)] + colv,
+                    const=-local_koff * p.nwg),
+                m.local_extents[lb], vector_pad=pad))
+        else:
+            m.global_accesses.append(GlobalAccess(
+                f"{site}.load_b", "b", "read", guarded=p.guard_edges, residues=(
+                    DimResidue("k", LinearIndex.build([pwi, kk]), kslack),
+                    DimResidue("n", LinearIndex.build(colv), p.nwg,
+                               vector_pad=pad),
+                )))
+        m.flat.append(FlatAccess(
+            f"{site}.load_b", "bpm", "private", "write",
+            LinearIndex.build(
+                [("kk", nwiv, 0, p.kwi - 1), ("bv", 1, 0, nwiv - 1)]),
+            m.private_extents["bpm"]))
+        m.flat.append(FlatAccess(
+            f"{site}.mad", "cpm", "private", "write",
+            LinearIndex.build(
+                [("a", nwiv, 0, p.mwi - 1), ("bv", 1, 0, nwiv - 1)]),
+            m.private_extents["cpm"]))
+
+    # -- algorithm bodies (mirror _emit_body_ba/_pl/_db) ----------------
+    uses_local = p.shared_a or p.shared_b
+    min_k = p.algorithm.min_k_iterations * p.kwg
+    alg = p.algorithm
+    if alg is Algorithm.PL and not uses_local:
+        alg = Algorithm.BA  # degenerate PL collapses to BA
+
+    if alg is Algorithm.BA:
+        if p.shared_a:
+            stage("ba.stage_a", "a", "alm", False, 0, p.kwg)
+        if p.shared_b:
+            stage("ba.stage_b", "b", "blm", False, 0, p.kwg)
+        inner("ba", 0, p.kwg, "alm", "blm", p.kwg)
+        if uses_local:
+            m.barrier_count = 2
+            w = tuple(b for b, on in (("alm", p.shared_a), ("blm", p.shared_b)) if on)
+            m.phases = [
+                Phase("ba.stage", w, ()), Phase("ba.compute", (), w),
+                Phase("ba.stage'", w, ()), Phase("ba.compute'", (), w),
+            ]
+    elif alg is Algorithm.PL:
+        # Prologue stages tile 0 (base 0, slack = min_k buffers of K).
+        if p.shared_a:
+            stage("pl.prologue_a", "a", "alm", False, 0, min_k)
+            prefetch("pl.prefetch_a", "a", p.kwg, 2 * p.kwg)
+            commit("pl.commit_a", "a", "alm")
+        if p.shared_b:
+            stage("pl.prologue_b", "b", "blm", False, 0, min_k)
+            prefetch("pl.prefetch_b", "b", p.kwg, 2 * p.kwg)
+            commit("pl.commit_b", "b", "blm")
+        inner("pl", 0, p.kwg, "alm", "blm", p.kwg)
+        m.barrier_count = 3
+        w = tuple(b for b, on in (("alm", p.shared_a), ("blm", p.shared_b)) if on)
+        m.phases = [
+            Phase("pl.prologue", w, ()),
+            Phase("pl.compute", (), w), Phase("pl.commit", w, ()),
+            Phase("pl.compute'", (), w), Phase("pl.commit'", w, ()),
+            Phase("pl.epilogue", (), w),
+        ]
+    else:  # DB
+        la0, la1 = ("alm0", "alm1") if p.shared_a else ("alm", "alm")
+        lb0, lb1 = ("blm0", "blm1") if p.shared_b else ("blm", "blm")
+        if p.shared_a:
+            stage("db.prologue_a", "a", la0, True, 0, min_k)
+            stage("db.stage_a1", "a", la1, True, p.kwg // 2, 2 * p.kwg)
+            stage("db.stage_a0", "a", la0, True, p.kwg, 2 * p.kwg)
+            stage("db.epilogue_a", "a", la1, True, 0, p.kwg // 2)
+        if p.shared_b:
+            stage("db.prologue_b", "b", lb0, True, 0, min_k)
+            stage("db.stage_b1", "b", lb1, True, p.kwg // 2, 2 * p.kwg)
+            stage("db.stage_b0", "b", lb0, True, p.kwg, 2 * p.kwg)
+            stage("db.epilogue_b", "b", lb1, True, 0, p.kwg // 2)
+        inner("db.first", 0, p.kwg // 2, la0, lb0, p.kwg)
+        inner("db.second", p.kwg // 2, p.kwg, la1, lb1, p.kwg,
+              local_koff=p.kwg // 2)
+        m.barrier_count = 4
+        w0 = tuple(b for b, on in ((la0, p.shared_a), (lb0, p.shared_b)) if on)
+        w1 = tuple(b for b, on in ((la1, p.shared_a), (lb1, p.shared_b)) if on)
+        m.phases = [
+            Phase("db.prologue", w0, ()),
+            Phase("db.iter.first", w1, w0), Phase("db.iter.second", w0, w1),
+            Phase("db.iter.first'", w1, w0), Phase("db.iter.second'", w0, w1),
+            Phase("db.epilogue.first", w1, w0), Phase("db.epilogue.second", (), w1),
+        ]
+
+    # -- the merge (alpha/beta update of C) -----------------------------
+    pad = p.vw - 1 if p.vw > 1 else 0
+    for kind in ("read", "write"):
+        m.global_accesses.append(GlobalAccess(
+            "merge", "c", kind, guarded=p.guard_edges, residues=(
+                DimResidue("m", LinearIndex.build(_row_terms(p)), p.mwg),
+                DimResidue("n", LinearIndex.build(_colv_terms(p)), p.nwg,
+                           vector_pad=pad),
+            )))
+    m.flat.append(FlatAccess(
+        "merge", "cpm", "private", "read",
+        LinearIndex.build([("a", nwiv, 0, p.mwi - 1), ("bv", 1, 0, nwiv - 1)]),
+        m.private_extents["cpm"]))
+    return m

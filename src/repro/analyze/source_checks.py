@@ -1,0 +1,377 @@
+"""Cross-checks of the emitted OpenCL C text against the kernel model.
+
+The model-level analyses (:mod:`~repro.analyze.bounds`,
+:mod:`~repro.analyze.races`) prove properties of what the emitter is
+*supposed* to generate.  This module closes the loop on what it
+*actually* generated: it parses the emitted source and verifies
+
+* the ``#define`` table matches the parameter vector
+  (``source.define-mismatch``) and the metadata header round-trips
+  (``source.meta-mismatch``),
+* every ``__local`` declaration has the extent the model expects
+  (``source.local-decl``),
+* every local/private array subscript stays inside its *declared*
+  extent, by bounded evaluation of the actual index expression over the
+  access's enclosing loop nest — corner assignments (every variable at
+  a range end) plus seeded random samples (``source.local-index``),
+* barriers are work-group-uniform — no ``barrier()`` under control flow
+  that depends on ``get_local_id``/derived values
+  (``barrier.divergent``) — and at least as many barriers exist as the
+  schedule requires (``source.barrier-count``).
+
+The evaluator understands exactly the C subset the emitter produces:
+integer expressions over defines, loop counters, ``const int``
+assignments and the ``get_local_id``/``get_group_id`` intrinsics
+(bound to a concrete admissible problem size).  Corner sampling is what
+makes the check effective: index extremes of non-negative linear forms
+are attained at range ends, so a reintroduced off-by-a-tile bug (e.g.
+dropping the DB half-buffer rebase) is caught deterministically, with
+the offending counter values as the witness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.analyze.diagnostics import Diagnostic, Severity
+from repro.analyze.sites import KernelModel, build_model
+from repro.codegen.emitter import parse_any_meta
+from repro.codegen.params import KernelParams
+from repro.errors import BuildError
+
+__all__ = ["SOURCE_RULES", "check_source"]
+
+SOURCE_RULES: Dict[str, Tuple[str, str]] = {
+    "source.meta-mismatch": (
+        "", "the GEMMGEN metadata header matches the parameter vector"),
+    "source.define-mismatch": (
+        "III", "the emitted #define table matches the derived blocking"),
+    "source.local-decl": (
+        "III-C", "__local declarations have the model's tile extents"),
+    "source.local-index": (
+        "III-C", "sampled evaluation keeps every local/private subscript "
+                 "inside its declared extent"),
+    "source.barrier-count": (
+        "III-E", "the body contains the barriers its schedule requires"),
+    "barrier.divergent": (
+        "III-E", "no barrier is reachable by only a subset of work-items"),
+}
+
+_RANDOM_SEED = 0xA11A
+_MAX_CORNER_VARS = 8  # 2^8 corner assignments, then random samples
+
+_FOR_RE = re.compile(
+    r"^for \(int (\w+) = (.+?); \w+ < (.+?); (?:\+\+\w+|\w+ \+= (.+?))\)\s*$"
+)
+_ASSIGN_RE = re.compile(r"^const int (\w+) = (.+);$")
+_DEFINE_RE = re.compile(r"^#define (\w+) (-?\d+)\b")
+_DECL_RE = re.compile(r"^(?:__local )?\w+ (\w+)\[([^\]]+)\];$")
+_VLOADSTORE_RE = re.compile(r"\bv(?:load|store)(\d+)\(")
+
+#: names whose value differs between work-items of one group
+_TAINT_ROOTS = ("glid0", "glid1", "get_global_id")
+
+
+def _strip_comments(source: str) -> str:
+    """Blank out comments, preserving line structure."""
+    source = re.sub(r"/\*.*?\*/", lambda m: re.sub(r"[^\n]", " ", m.group()),
+                    source, flags=re.S)
+    return re.sub(r"//[^\n]*", "", source)
+
+
+def _translate(expr: str) -> str:
+    """C index expression -> evaluable Python (integer semantics)."""
+    e = expr.replace("get_local_id(0)", "glid0")
+    e = e.replace("get_local_id(1)", "glid1")
+    e = e.replace("get_group_id(0)", "ggid0")
+    e = e.replace("get_group_id(1)", "ggid1")
+    return e.replace("/", "//")
+
+
+def _expected_defines(p: KernelParams) -> Dict[str, int]:
+    return {
+        "MWG": p.mwg, "NWG": p.nwg, "KWG": p.kwg,
+        "MDIMC": p.mdimc, "NDIMC": p.ndimc,
+        "MWI": p.mwi, "NWI": p.nwi, "KWI": p.kwi,
+        "MDIMA": p.effective_mdima, "KDIMA": p.kdima,
+        "KDIMB": p.kdimb, "NDIMB": p.effective_ndimb,
+        "MWIA": p.mwia, "KWIA": p.kwia, "KWIB": p.kwib, "NWIB": p.nwib,
+        "VW": p.vw, "NWIV": p.nwi // p.vw,
+    }
+
+
+class _Frame:
+    """One brace-delimited scope in the line walker."""
+
+    __slots__ = ("loop", "cond_tainted", "assigns")
+
+    def __init__(self, loop=None, cond_tainted: bool = False) -> None:
+        self.loop = loop  # (var, start_code, end_code, step_code) or None
+        self.cond_tainted = cond_tainted
+        self.assigns: List[Tuple[str, object]] = []  # (name, code object)
+
+
+def _extract_index(line: str, start: int) -> Optional[str]:
+    """The balanced ``[...]`` contents starting at ``line[start] == '['``."""
+    depth = 0
+    for i in range(start, len(line)):
+        if line[i] == "[":
+            depth += 1
+        elif line[i] == "]":
+            depth -= 1
+            if depth == 0:
+                return line[start + 1:i]
+    return None
+
+
+def check_source(params: KernelParams, source: str,
+                 model: Optional[KernelModel] = None,
+                 samples: int = 64) -> List[Diagnostic]:
+    """All source-level findings for one emitted kernel."""
+    p = params
+    model = model or build_model(p)
+    diags: List[Diagnostic] = []
+
+    # -- metadata header round-trip ------------------------------------
+    try:
+        meta = parse_any_meta(source)
+        if meta.get("params") != p.to_dict():
+            diags.append(Diagnostic(
+                "source.meta-mismatch", Severity.ERROR,
+                "metadata header params differ from the analyzed vector",
+                witness={"meta": meta.get("params"), "params": p.to_dict()},
+                paper=SOURCE_RULES["source.meta-mismatch"][0]))
+    except BuildError as exc:
+        diags.append(Diagnostic(
+            "source.meta-mismatch", Severity.ERROR, str(exc),
+            witness={"error": str(exc)}))
+
+    text = _strip_comments(source)
+    lines = text.splitlines()
+
+    # -- #define table --------------------------------------------------
+    defines: Dict[str, int] = {}
+    for ln in lines:
+        m = _DEFINE_RE.match(ln.strip())
+        if m:
+            defines[m.group(1)] = int(m.group(2))
+    for name, want in _expected_defines(p).items():
+        got = defines.get(name)
+        if got != want:
+            diags.append(Diagnostic(
+                "source.define-mismatch", Severity.ERROR,
+                f"#define {name} is {got}, parameters derive {want}",
+                witness={"define": name, "found": got, "expected": want},
+                paper=SOURCE_RULES["source.define-mismatch"][0]))
+
+    # A concrete admissible problem for bounded evaluation.
+    sizes = {
+        "kSizeM": 2 * p.mwg,
+        "kSizeN": 2 * p.nwg,
+        "kSizeK": (p.algorithm.min_k_iterations + 1) * p.kwg,
+    }
+    consts = {**defines, **sizes}
+
+    def c_eval(code, env: Dict[str, int]) -> int:
+        return eval(code, {"__builtins__": {}}, env)  # noqa: S307
+
+    code_cache: Dict[str, object] = {}
+
+    def compile_expr(expr: str):
+        code = code_cache.get(expr)
+        if code is None:
+            code = compile(_translate(expr), "<kernel>", "eval")
+            code_cache[expr] = code
+        return code
+
+    # -- declarations ----------------------------------------------------
+    declared: Dict[str, int] = {}
+    expected_extents = {**model.local_extents, **model.private_extents}
+    for ln in lines:
+        m = _DECL_RE.match(ln.strip())
+        if not m or m.group(1) not in expected_extents:
+            continue
+        name = m.group(1)
+        try:
+            declared[name] = c_eval(compile_expr(m.group(2)), dict(consts))
+        except Exception:
+            continue
+        if declared[name] != expected_extents[name]:
+            diags.append(Diagnostic(
+                "source.local-decl", Severity.ERROR,
+                f"declaration {name}[{m.group(2).strip()}] has extent "
+                f"{declared[name]}, model expects {expected_extents[name]}",
+                witness={"buffer": name, "declared": declared[name],
+                         "expected": expected_extents[name]},
+                paper=SOURCE_RULES["source.local-decl"][0]))
+    for name in expected_extents:
+        if name not in declared:
+            diags.append(Diagnostic(
+                "source.local-decl", Severity.ERROR,
+                f"expected declaration of {name} not found in source",
+                witness={"buffer": name},
+                paper=SOURCE_RULES["source.local-decl"][0]))
+
+    # -- barrier count ---------------------------------------------------
+    nbar = text.count("barrier(CLK_LOCAL_MEM_FENCE)")
+    if nbar < model.barrier_count:
+        diags.append(Diagnostic(
+            "source.barrier-count", Severity.ERROR,
+            f"source contains {nbar} barrier(s); the "
+            f"{p.algorithm.value} schedule requires {model.barrier_count}",
+            witness={"found": nbar, "required": model.barrier_count},
+            paper=SOURCE_RULES["source.barrier-count"][0]))
+
+    # -- scoped walk: divergent barriers + index sampling ----------------
+    rng = random.Random(_RANDOM_SEED)
+    tainted = set(_TAINT_ROOTS)
+    stack: List[_Frame] = [_Frame()]
+    access_re = {
+        name: re.compile(rf"(?:(&)\s*)?\b{name}\[")
+        for name in expected_extents
+    }
+    flagged: set = set()
+
+    def sample_once(corner_bits: Optional[int], var_order: List[str]) -> Optional[Dict[str, int]]:
+        """One assignment over the current scope; None if a loop is empty."""
+        env: Dict[str, int] = dict(consts)
+        env["glid0"] = 0
+        env["glid1"] = 0
+        env["ggid0"] = 0
+        env["ggid1"] = 0
+        base_ranges = {
+            "glid0": p.mdimc - 1, "glid1": p.ndimc - 1,
+            "ggid0": sizes["kSizeM"] // p.mwg - 1,
+            "ggid1": sizes["kSizeN"] // p.nwg - 1,
+        }
+
+        def pick(var: str, lo: int, hi: int) -> int:
+            if hi <= lo:
+                return lo
+            if corner_bits is None:
+                return rng.randint(lo, hi)
+            return hi if (corner_bits >> var_order.index(var)) & 1 else lo
+
+        for var, hi in base_ranges.items():
+            env[var] = pick(var, 0, hi)
+        for frame in stack:
+            if frame.loop is not None:
+                var, start_c, end_c, step_c = frame.loop
+                start = c_eval(start_c, env)
+                end = c_eval(end_c, env)
+                step = c_eval(step_c, env)
+                if start >= end or step <= 0:
+                    return None
+                values = range(start, end, step)
+                if corner_bits is None:
+                    env[var] = values[rng.randrange(len(values))]
+                else:
+                    env[var] = pick(var, values[0], values[-1])
+            for name, code in frame.assigns:
+                env[name] = c_eval(code, env)
+        return env
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        while line.startswith("}"):
+            if len(stack) > 1:
+                stack.pop()
+            line = line[1:].strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.endswith("{"):
+            header = line[:-1].strip()
+            m = _FOR_RE.match(header)
+            if m:
+                var, start, end, step = m.group(1), m.group(2), m.group(3), m.group(4)
+                loop = (var, compile_expr(start), compile_expr(end),
+                        compile_expr(step or "1"))
+                body_tainted = any(
+                    re.search(rf"\b{t}\b", _translate(header)) for t in tainted)
+                stack.append(_Frame(loop=loop, cond_tainted=body_tainted))
+            else:
+                cond_tainted = header.startswith("if") and any(
+                    re.search(rf"\b{t}\b", _translate(header)) for t in tainted)
+                stack.append(_Frame(cond_tainted=cond_tainted))
+            continue
+
+        m = _ASSIGN_RE.match(line)
+        if m:
+            name, expr = m.group(1), m.group(2)
+            texpr = _translate(expr)
+            try:
+                code = compile_expr(expr)
+            except SyntaxError:
+                continue
+            stack[-1].assigns.append((name, code))
+            if any(re.search(rf"\b{t}\b", texpr) for t in tainted):
+                tainted.add(name)
+            continue
+
+        if "barrier(" in line:
+            guards = [f for f in stack if f.cond_tainted]
+            if guards:
+                diags.append(Diagnostic(
+                    "barrier.divergent", Severity.ERROR,
+                    f"line {lineno}: barrier under work-item-dependent "
+                    "control flow",
+                    witness={"line": lineno, "statement": line},
+                    paper=SOURCE_RULES["barrier.divergent"][0]))
+            continue
+
+        # Array accesses on this statement: bounded evaluation.
+        first_token = line.split(" ", 1)[0]
+        if first_token in ("__local",) or _DECL_RE.match(line):
+            continue
+        for name, rx in access_re.items():
+            for m in rx.finditer(line):
+                if (name, lineno) in flagged:
+                    break
+                idx = _extract_index(line, m.end() - 1)
+                if idx is None:
+                    continue
+                try:
+                    code = compile_expr(idx)
+                except SyntaxError:
+                    continue
+                pad = 0
+                if m.group(1):  # &name[...] inside vloadN/vstoreN
+                    vm = _VLOADSTORE_RE.search(line)
+                    if vm:
+                        pad = int(vm.group(1)) - 1
+                extent = declared.get(name, expected_extents[name])
+                var_order = ["glid0", "glid1", "ggid0", "ggid1"] + [
+                    f.loop[0] for f in stack if f.loop is not None]
+                ncorner = 2 ** min(len(var_order), _MAX_CORNER_VARS)
+                trials = itertools.chain(
+                    range(ncorner), itertools.repeat(None, samples))
+                for corner in trials:
+                    env = sample_once(corner, var_order)
+                    if env is None:
+                        continue
+                    try:
+                        value = c_eval(code, env)
+                    except Exception:
+                        break
+                    if 0 <= value and value + pad < extent:
+                        continue
+                    witness = {
+                        "buffer": name, "line": lineno, "index": idx.strip(),
+                        "value": value, "extent": extent,
+                        **{v: env[v] for v in var_order if v in env},
+                    }
+                    if pad:
+                        witness["vector_pad"] = pad
+                    diags.append(Diagnostic(
+                        "source.local-index", Severity.ERROR,
+                        f"line {lineno}: {name}[{idx.strip()}] evaluates to "
+                        f"{value}{f' (+{pad} lanes)' if pad else ''}, "
+                        f"declared extent {extent}",
+                        witness=witness,
+                        paper=SOURCE_RULES["source.local-index"][0]))
+                    flagged.add((name, lineno))
+                    break
+    return diags

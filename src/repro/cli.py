@@ -53,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict the search to bounds-checked kernels")
     p_tune.add_argument("--no-refine", action="store_true",
                         help="disable hill climbing (the paper's pure search)")
+    p_tune.add_argument("--no-static-gate", action="store_true",
+                        help="measure statically rejectable candidates "
+                             "anyway (same winner, more evaluations; see "
+                             "docs/static_analysis.md)")
     p_tune.add_argument("--save", metavar="DB.json",
                         help="store the winner in a tuned-kernel database")
     p_tune.add_argument("--workers", type=int, default=1, metavar="N",
@@ -195,10 +199,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="render figures as terminal line plots")
 
     p_analyze = sub.add_parser(
-        "analyze", help="explain a tuned kernel (cost factors, sensitivity)"
+        "analyze",
+        help="explain a tuned kernel and statically verify kernels "
+             "(constraints, index bounds, races, source cross-checks)",
     )
-    p_analyze.add_argument("device")
+    p_analyze.add_argument(
+        "device", nargs="?",
+        help="codename scoping the device rules (required except with "
+             "--catalog, which defaults to every shipped device)",
+    )
     p_analyze.add_argument("--precision", choices=["s", "d"], default="d")
+    p_analyze.add_argument(
+        "--params", metavar="JSON|@FILE",
+        help="statically analyze one raw parameter vector (inline JSON "
+             "or @file) instead of the pretuned kernel",
+    )
+    p_analyze.add_argument(
+        "--catalog", action="store_true",
+        help="statically analyze every shipped pretuned kernel; exits "
+             "non-zero unless all are clean (the CI gate)",
+    )
+    p_analyze.add_argument(
+        "--space", action="store_true",
+        help="statically analyze a deterministic sample of the device's "
+             "search space; exits non-zero on any finding beyond the "
+             "device-budget rules",
+    )
+    p_analyze.add_argument("--sample", type=int, default=500, metavar="N",
+                           help="space sample size for --space")
+    p_analyze.add_argument("--seed", type=int, default=0,
+                           help="space sample seed for --space")
+    p_analyze.add_argument(
+        "--samples", type=int, default=64, metavar="N",
+        help="random samples per source-level bounded-evaluation check",
+    )
+    p_analyze.add_argument("--json", metavar="OUT.json", dest="out_json",
+                           help="persist the diagnostic reports as JSON")
+    p_analyze.add_argument("--verbose", action="store_true",
+                           help="include passing rules in the report")
 
     p_report = sub.add_parser(
         "report", help="run all experiments and write a reproduction report"
@@ -285,6 +323,7 @@ def _cmd_tune(args) -> int:
         injector=injector,
         resilience=resilience,
         obs=obs,
+        static_gate=not args.no_static_gate,
     )
     result = engine.run()
     spec = get_device_spec(args.device)
@@ -506,7 +545,51 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _finish_analyze(reports, args) -> int:
+    """Render static-analysis reports, persist --json, set the exit code."""
+    from repro.analyze import render_reports, reports_to_json
+
+    print(render_reports(reports, verbose=args.verbose))
+    if args.out_json:
+        with open(args.out_json, "w", encoding="utf-8") as fh:
+            fh.write(reports_to_json(reports))
+        print(f"report        : {args.out_json}")
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def _cmd_analyze(args) -> int:
+    from repro.analyze import analyze_catalog, analyze_params, analyze_space_sample
+
+    if args.catalog:
+        reports = analyze_catalog(device=args.device, samples=args.samples)
+        if not reports:
+            print(f"error: no pretuned kernels for device {args.device!r}",
+                  file=sys.stderr)
+            return 1
+        return _finish_analyze(reports, args)
+    if args.device is None and not args.params:
+        # --params alone is fine: the structural rules are
+        # device-neutral, so a vector can be analyzed with no device.
+        print("error: a device codename is required except with "
+              "--catalog or --params", file=sys.stderr)
+        return 2
+    if args.space:
+        reports = analyze_space_sample(
+            args.device, args.precision,
+            sample=args.sample, seed=args.seed, samples=args.samples,
+        )
+        return _finish_analyze(reports, args)
+    if args.params:
+        import json
+
+        if args.params.startswith("@"):
+            with open(args.params[1:], encoding="utf-8") as fh:
+                raw = json.load(fh)
+        else:
+            raw = json.loads(args.params)
+        report = analyze_params(raw, device=args.device, samples=args.samples)
+        return _finish_analyze([report], args)
+
     from repro.perfmodel.roofline import roofline_point
     from repro.tuner.analysis import analyze_kernel
     from repro.tuner.pretuned import pretuned_params
@@ -517,7 +600,9 @@ def _cmd_analyze(args) -> int:
     print()
     n = analysis.size
     print(roofline_point(args.device, params, n, n, n).render())
-    return 0
+    print()
+    report = analyze_params(params, device=args.device, samples=args.samples)
+    return _finish_analyze([report], args)
 
 
 def _cmd_report(args) -> int:

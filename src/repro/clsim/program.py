@@ -25,6 +25,10 @@ from repro.perfmodel.model import check_resources
 
 __all__ = ["Program"]
 
+#: Memoized static-analysis verdicts, keyed by ``KernelParams.cache_key``
+#: — a tuple of rendered ERROR diagnostics, empty when the plan is safe.
+_ANALYSIS_VERDICTS: Dict[tuple, tuple] = {}
+
 
 class Program:
     """A program object (``cl_program`` analogue)."""
@@ -137,6 +141,7 @@ class Program:
             plan = build_plan(params)
         except (ParameterError, KeyError, TypeError) as exc:
             raise BuildError(f"plan verification failed: {exc}") from exc
+        self._analyze_gemm(params, log_lines)
         for device in self.context.devices:
             spec = device.spec
             if params.precision == "d" and not device.double_fp_config:
@@ -149,6 +154,39 @@ class Program:
         self._params = params
         self._plan = plan
         self._kernels[KERNEL_NAME] = Kernel(self, KERNEL_NAME)
+
+    @staticmethod
+    def _analyze_gemm(params: KernelParams, log_lines: list) -> None:
+        """Static safety analysis of the kernel plan, alongside the lint.
+
+        Proves the model-level properties (index bounds, staging races,
+        barrier phases) a real compiler could not: an ERROR here means
+        the generator produced an unsafe kernel, reported the way a
+        compiler diagnostic would be.  The text-level source cross-checks
+        are too slow for the build path and run in ``repro analyze``/CI
+        instead.  Verdicts are memoized per parameter vector — stage-2
+        size sweeps rebuild the same kernel many times.
+        """
+        key = params.cache_key()
+        verdict = _ANALYSIS_VERDICTS.get(key)
+        if verdict is None:
+            from repro.analyze.bounds import check_bounds
+            from repro.analyze.diagnostics import Severity
+            from repro.analyze.races import check_races
+            from repro.analyze.sites import build_model
+
+            model = build_model(params)
+            errors = [
+                d for d in check_bounds(model) + check_races(model)
+                if d.severity is Severity.ERROR
+            ]
+            verdict = tuple(d.render() for d in errors)
+            _ANALYSIS_VERDICTS[key] = verdict
+        if verdict:
+            raise BuildError(
+                "static analysis failed: " + "; ".join(verdict)
+            )
+        log_lines.append("static analysis: clean (bounds, races, phases)")
 
     def _build_pack(self, meta: dict, log_lines: list) -> None:
         from repro.clsim.kernel import PackKernel

@@ -41,7 +41,7 @@ __all__ = [
 
 KERNEL_NAME = "gemm_atb"
 META_PREFIX = "// GEMMGEN-META: "
-GENERATOR_VERSION = "repro-gemmgen/1.0.0"
+GENERATOR_VERSION = "repro-gemmgen/1.1.0"
 
 
 class _Src:
@@ -145,11 +145,19 @@ def _emit_read_macros(s: _Src, p: KernelParams, real: str) -> None:
         s.emit("                            CLK_ADDRESS_NONE | CLK_FILTER_NEAREST;")
         s.emit("/* operands read through the texture cache (image objects) */")
         if p.precision == "d":
-            s.emit("#define READ_A(k, m) as_double(read_imageui(agm, SMP, (int2)((m), (k))).xy)")
-            s.emit("#define READ_B(k, n) as_double(read_imageui(bgm, SMP, (int2)((n), (k))).xy)")
+            fetch_a = "as_double(read_imageui(agm, SMP, (int2)((m), (k))).xy)"
+            fetch_b = "as_double(read_imageui(bgm, SMP, (int2)((n), (k))).xy)"
         else:
-            s.emit("#define READ_A(k, m) read_imagef(agm, SMP, (int2)((m), (k))).x")
-            s.emit("#define READ_B(k, n) read_imagef(bgm, SMP, (int2)((n), (k))).x")
+            fetch_a = "read_imagef(agm, SMP, (int2)((m), (k))).x"
+            fetch_b = "read_imagef(bgm, SMP, (int2)((n), (k))).x"
+        if p.guard_edges:
+            # CLK_ADDRESS_NONE leaves out-of-range texel fetches undefined,
+            # so guarded kernels must bounds-check image reads too.
+            s.emit("/* bounds-checked: CLK_ADDRESS_NONE makes OOB fetches undefined */")
+            fetch_a = f"(((k) < kSizeK && (m) < kSizeM) ? {fetch_a} : ({real})(0))"
+            fetch_b = f"(((k) < kSizeK && (n) < kSizeN) ? {fetch_b} : ({real})(0))"
+        s.emit(f"#define READ_A(k, m) {fetch_a}")
+        s.emit(f"#define READ_B(k, n) {fetch_b}")
     elif p.guard_edges:
         off_a = _offset_expr(p.layout_a, "(k)", "(m)", "kSizeK", "kSizeM", p.kwg, p.mwg)
         off_b = _offset_expr(p.layout_b, "(k)", "(n)", "kSizeK", "kSizeN", p.kwg, p.nwg)
@@ -253,7 +261,9 @@ def _emit_load_b(s: _Src, p: KernelParams, buf: str, kbase: str, from_local: boo
     else:
         s.emit(f"const int gk = {kbase} + kk;")
         s.emit(f"const int gn = get_group_id(1) * NWG + ({col});")
-        if p.vw > 1 and p.use_images:
+        if p.vw > 1 and (p.use_images or p.guard_edges):
+            # Per-lane gather: images have no vector fetch, and a raw
+            # vload would bypass the READ_B edge guard.
             lanes = ", ".join(f"READ_B(gk, gn + {i})" for i in range(p.vw))
             s.emit(f"bpm[kk * NWIV + bv] = ({_vec_type(p.precision, p.vw)})({lanes});")
         elif p.vw > 1:
@@ -289,15 +299,23 @@ def _emit_inner_loop(
     local_a: str,
     local_b: str,
     kglobal_base: str = "pwg",
+    local_koff: str = "0",
 ) -> None:
-    """The ``pwi`` loop over one staged tile (paper Fig. 4 lines 6-10)."""
+    """The ``pwi`` loop over one staged tile (paper Fig. 4 lines 6-10).
+
+    ``local_koff`` rebases ``pwi`` for local reads when the staged
+    buffer holds only part of the k-range (DB half-buffers: the second
+    half iterates ``pwi`` over ``[KWG/2, KWG)`` but its buffer rows
+    start at 0).
+    """
+    local_k = "pwi" if local_koff == "0" else f"pwi - ({local_koff})"
     s.open(f"for (int pwi = {kstart}; pwi < {kend}; pwi += KWI) {{")
     if p.shared_a:
-        _emit_load_a(s, p, local_a, "pwi", from_local=True)
+        _emit_load_a(s, p, local_a, local_k, from_local=True)
     else:
         _emit_load_a(s, p, "", f"{kglobal_base} + pwi", from_local=False)
     if p.shared_b:
-        _emit_load_b(s, p, local_b, "pwi", from_local=True)
+        _emit_load_b(s, p, local_b, local_k, from_local=True)
     else:
         _emit_load_b(s, p, "", f"{kglobal_base} + pwi", from_local=False)
     _emit_multiply_add(s, p, realv)
@@ -314,16 +332,30 @@ def _emit_merge(s: _Src, p: KernelParams, real: str) -> None:
     s.open("for (int bv = 0; bv < NWIV; ++bv) {")
     s.emit(f"const int gi = get_group_id(0) * MWG + ({_row_expr(p, 'a')});")
     s.emit(f"const int gj = get_group_id(1) * NWG + ({_colv_expr(p, 'bv')});")
-    if p.guard_edges:
-        s.emit("if (gi >= kSizeM || gj >= kSizeN) continue; /* edge guard */")
-    s.emit("const size_t ci = (size_t)gi * kSizeN + gj;")
-    if p.vw > 1:
-        s.emit(f"const {_vec_type(p.precision, p.vw)} cold = vload{p.vw}(0, &cgm[ci]);")
-        s.emit(
-            f"vstore{p.vw}(alpha * cpm[a * NWIV + bv] + beta * cold, 0, &cgm[ci]);"
-        )
+    if p.guard_edges and p.vw > 1:
+        # A vector store of VW lanes may straddle the right edge even when
+        # its first lane is in range, so the guard must be per lane
+        # (vector components are addressed .s0../.sf; OpenCL C forbids
+        # dynamic component indices, hence the unrolled lanes).
+        s.emit("if (gi >= kSizeM) continue; /* edge guard (row) */")
+        for lane in range(p.vw):
+            s.open(f"if (gj + {lane} < kSizeN) {{ /* edge guard (lane) */")
+            s.emit(f"const size_t ci = (size_t)gi * kSizeN + (gj + {lane});")
+            s.emit(
+                f"cgm[ci] = alpha * cpm[a * NWIV + bv].s{lane:x} + beta * cgm[ci];"
+            )
+            s.close("}")
     else:
-        s.emit("cgm[ci] = alpha * cpm[a * NWIV + bv] + beta * cgm[ci];")
+        if p.guard_edges:
+            s.emit("if (gi >= kSizeM || gj >= kSizeN) continue; /* edge guard */")
+        s.emit("const size_t ci = (size_t)gi * kSizeN + gj;")
+        if p.vw > 1:
+            s.emit(f"const {_vec_type(p.precision, p.vw)} cold = vload{p.vw}(0, &cgm[ci]);")
+            s.emit(
+                f"vstore{p.vw}(alpha * cpm[a * NWIV + bv] + beta * cold, 0, &cgm[ci]);"
+            )
+        else:
+            s.emit("cgm[ci] = alpha * cpm[a * NWIV + bv] + beta * cgm[ci];")
     s.close("}")
     s.close("}")
 
@@ -437,7 +469,7 @@ def _emit_body_db(s: _Src, p: KernelParams, realv: str) -> None:
         _emit_stage_to_local(s, p, "a", la0, True, "pwg + KWG")
     if p.shared_b:
         _emit_stage_to_local(s, p, "b", lb0, True, "pwg + KWG")
-    _emit_inner_loop(s, p, realv, "KWG / 2", "KWG", la1, lb1)
+    _emit_inner_loop(s, p, realv, "KWG / 2", "KWG", la1, lb1, local_koff="KWG / 2")
     s.close("}")
     s.emit("/* epilogue (Fig. 6 lines 22-35) */")
     _emit_barrier(s)
@@ -447,7 +479,9 @@ def _emit_body_db(s: _Src, p: KernelParams, realv: str) -> None:
         _emit_stage_to_local(s, p, "b", lb1, True, "kSizeK - KWG / 2")
     _emit_inner_loop(s, p, realv, "0", "KWG / 2", la0, lb0, "kSizeK - KWG")
     _emit_barrier(s)
-    _emit_inner_loop(s, p, realv, "KWG / 2", "KWG", la1, lb1, "kSizeK - KWG")
+    _emit_inner_loop(
+        s, p, realv, "KWG / 2", "KWG", la1, lb1, "kSizeK - KWG", local_koff="KWG / 2"
+    )
 
 
 def emit_kernel_source(params: KernelParams) -> str:

@@ -19,7 +19,11 @@ __all__ = ["lint_source"]
 _DELIMS = {"{": "}", "(": ")", "[": "]"}
 _CLOSERS = {v: k for k, v in _DELIMS.items()}
 _DEFINE_RE = re.compile(r"^\s*#define\s+([A-Za-z_][A-Za-z_0-9]*)")
-_MACRO_CALL_RE = re.compile(r"\b(READ_[AB])\s*\(")
+#: calls of function-like macros we know the generator defines; the
+#: use-before-definition check applies to every defined macro, this set
+#: only marks the ones that MUST exist in any generated kernel.
+_REQUIRED_MACROS = ("READ_A", "READ_B")
+_MACRO_CALL_RE = re.compile(r"\b([A-Z][A-Z_0-9]*)\s*\(")
 
 
 def _strip_comments_and_strings(source: str) -> str:
@@ -48,29 +52,34 @@ def lint_source(source: str) -> List[str]:
     if stack:
         diagnostics.append(f"unclosed delimiter {stack[-1]!r}")
 
-    # 2. unique #define names
-    defined = []
+    # 2. unique #define names (set membership: O(n) over n defines)
+    defined: set = set()
     for line in code.splitlines():
         m = _DEFINE_RE.match(line)
         if m:
             name = m.group(1)
             if name in defined:
                 diagnostics.append(f"duplicate #define {name}")
-            defined.append(name)
+            defined.add(name)
 
-    # 3. READ_A/READ_B used only after definition
-    define_pos = {
-        name: code.find(f"#define {name}") for name in ("READ_A", "READ_B")
-    }
+    # 3. no function-like macro used before its definition.  Applies to
+    # every #define in the source, not just READ_A/READ_B; the required
+    # macros are additionally flagged when missing entirely.
+    define_pos = {name: code.find(f"#define {name}") for name in defined}
+    for name in _REQUIRED_MACROS:
+        define_pos.setdefault(name, -1)
+    flagged: set = set()
     for m in _MACRO_CALL_RE.finditer(code):
         name = m.group(1)
-        pos = define_pos.get(name, -1)
+        if name not in define_pos or name in flagged:
+            continue  # not a generator macro (e.g. CLK_*, builtin calls)
+        pos = define_pos[name]
         if pos < 0:
             diagnostics.append(f"{name} used but never defined")
-            break
-        if m.start() < pos:
+            flagged.add(name)
+        elif m.start() < pos:
             diagnostics.append(f"{name} used before its definition")
-            break
+            flagged.add(name)
 
     # 4. barriers imply local memory (and a sampler implies images)
     if "barrier(CLK_LOCAL_MEM_FENCE)" in code and "__local" not in code:

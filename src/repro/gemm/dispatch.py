@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analyze.verifier import StaticVerifier
 from repro.codegen.params import KernelParams
 from repro.devices.catalog import get_device_spec
 from repro.devices.specs import DeviceSpec
@@ -98,9 +99,47 @@ class KernelSelector:
         if len(precisions) != 1:
             raise ReproError(f"candidates mix precisions: {sorted(precisions)}")
         self.precision = precisions.pop()
+        self._verifier = StaticVerifier(self.spec)
+        candidates = self._reject_unsafe(candidates)
+        if not candidates:
+            fallback = self._fallback_params(self.precision)
+            if fallback is None or self._verifier.gate(fallback) is not None:
+                raise ReproError(
+                    f"every candidate kernel failed static analysis on "
+                    f"{self.spec.codename} and no safe pretuned fallback "
+                    f"exists"
+                )
+            candidates = [fallback]
+            self.degradations.append(
+                f"every candidate rejected by static analysis; fell back to "
+                f"the pretuned {self.spec.codename}/{self.precision} kernel"
+            )
         self._routine_kwargs = routine_kwargs
         self._routines: Dict[Tuple, GemmRoutine] = {}
         self.table = self._build_table(candidates, list(bands), include_direct)
+
+    def _reject_unsafe(
+        self, candidates: List[KernelParams]
+    ) -> List[KernelParams]:
+        """Refuse candidates the static verifier proves unsafe here.
+
+        ``_predict_total`` models time, not validity — a kernel the
+        device would refuse to launch (e.g. the Bulldozer PL-DGEMM
+        quirk) can still "win" a band on predicted speed.  Gating on the
+        constraint prover keeps such kernels out of the table; each
+        rejection is recorded as a degradation for the caller's log.
+        """
+        admitted: List[KernelParams] = []
+        for params in candidates:
+            rule = self._verifier.gate(params)
+            if rule is None:
+                admitted.append(params)
+            else:
+                self.degradations.append(
+                    f"candidate rejected by static analysis ({rule}): "
+                    f"{params.summary()}"
+                )
+        return admitted
 
     def _fallback_params(self, precision: str) -> Optional[KernelParams]:
         """The shipped pretuned kernel, as a last-resort table entry."""
@@ -264,7 +303,8 @@ class KernelSelector:
         self._routine_kwargs = routine_kwargs
         self._routines = {}
         self.degradations = []
-        self.table = [
+        self._verifier = StaticVerifier(self.spec)
+        table = [
             DispatchEntry(
                 max_size=int(entry["max_size"]),
                 params=KernelParams.from_dict(entry["params"]),
@@ -272,6 +312,23 @@ class KernelSelector:
             )
             for entry in payload["table"]
         ]
+        # A saved table may predate a device-spec or generator change;
+        # re-prove every row rather than trusting the file.
+        self.table = []
+        for entry in table:
+            rule = self._verifier.gate(entry.params)
+            if rule is None:
+                self.table.append(entry)
+            else:
+                self.degradations.append(
+                    f"saved entry <= {entry.max_size} rejected by static "
+                    f"analysis ({rule}): {entry.params.summary()}"
+                )
         if not self.table:
-            raise ReproError(f"{path} holds an empty selection table")
+            raise ReproError(
+                f"{path} holds an empty selection table"
+                if not table else
+                f"every entry of {path} failed static analysis on "
+                f"{self.spec.codename}"
+            )
         return self

@@ -36,6 +36,7 @@ INCIDENT_KINDS = (
     "canary_fail",      # a quarantined kernel failed a canary
     "readmit",          # a quarantined kernel was re-admitted
     "deadline_missed",  # the response came back after its deadline
+    "static_reject",    # static analysis refused a ladder rung's kernel
 )
 
 
@@ -85,6 +86,7 @@ class ServiceCounters:
     readmitted: int = 0
     canaries_run: int = 0
     deadline_missed: int = 0
+    static_rejects: int = 0
     #: Responses per ladder rung name ("tuned", "pretuned", "direct",
     #: "reference"), e.g. {"tuned": 950, "reference": 3}.
     served_by_rung: Dict[str, int] = field(default_factory=dict)
@@ -94,7 +96,7 @@ class ServiceCounters:
     COUNTER_FIELDS = (
         "requests", "admitted", "shed", "invalid", "completed", "degraded",
         "breaker_trips", "verified", "corruption_caught", "quarantined",
-        "readmitted", "canaries_run", "deadline_missed",
+        "readmitted", "canaries_run", "deadline_missed", "static_rejects",
     )
 
     def bind_registry(self, registry, prefix: str = "serve") -> None:
@@ -151,7 +153,7 @@ class ServiceCounters:
         for name in ("requests", "admitted", "shed", "invalid", "completed",
                      "degraded", "breaker_trips", "verified",
                      "corruption_caught", "quarantined", "readmitted",
-                     "canaries_run", "deadline_missed"):
+                     "canaries_run", "deadline_missed", "static_rejects"):
             lines.append(f"  {name:18s}: {getattr(self, name)}")
         for rung in sorted(self.served_by_rung):
             lines.append(f"  served by {rung:9s}: {self.served_by_rung[rung]}")

@@ -190,9 +190,41 @@ class GemmService:
             self._wait_hist = None
         #: rung.key -> consecutive canary passes since quarantine.
         self._quarantined: Dict[str, int] = {}
+        #: rung.key -> violated rule id, for rungs the static verifier
+        #: refuses to serve through (see :mod:`repro.analyze`).  Filled
+        #: once at construction: rung kernels never change afterwards.
+        self._static_rejected: Dict[str, str] = self._verify_rungs()
         self._tick = 0
         self._backlog_s = 0.0
         self._canary_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def _verify_rungs(self) -> Dict[str, str]:
+        """Statically verify every device rung's kernel up front.
+
+        A failing rung is never attempted — its launch failure is a
+        foregone conclusion the prover can state in advance — and the
+        refusal is incident-logged (request_id -1: a service-lifetime
+        decision, not a per-request one) and counted.
+        """
+        from repro.analyze.verifier import StaticVerifier
+
+        verifiers: Dict[str, StaticVerifier] = {}
+        rejected: Dict[str, str] = {}
+        for rung in self.ladder.rungs:
+            if rung.is_reference or rung.params is None:
+                continue
+            verifier = verifiers.setdefault(
+                rung.device, StaticVerifier(rung.spec)
+            )
+            rule = verifier.gate(rung.params)
+            if rule is not None:
+                rejected[rung.key] = rule
+                self.counters.static_rejects += 1
+                self.log.record(
+                    -1, "static_reject", device=rung.device, rung=rung.name,
+                    detail=f"{rule}: {rung.params.summary()}",
+                )
+        return rejected
 
     # -- deterministic decisions ---------------------------------------
     def _unit(self, label: str, request_id: int) -> float:
@@ -351,6 +383,14 @@ class GemmService:
 
         for rung in self.ladder.rungs:
             with self.obs.span(f"rung:{rung.key}") as rung_span:
+                if rung.key in self._static_rejected:
+                    rung_span.set(outcome="skipped", reason="static_reject")
+                    degrade(
+                        rung,
+                        "static analysis: "
+                        f"{self._static_rejected[rung.key]}",
+                    )
+                    continue
                 if rung.key in self._quarantined:
                     rung_span.set(outcome="skipped", reason="quarantined")
                     degrade(rung, "kernel quarantined")

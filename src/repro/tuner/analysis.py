@@ -43,6 +43,15 @@ def render_stats(stats: TuningStats) -> str:
         f"(generation {stats.failed_generation}, build {stats.failed_build}, "
         f"launch {stats.failed_launch}); {stats.failed_validation} failed validation",
     ]
+    if stats.static_rejects:
+        by_rule = ", ".join(
+            f"{rule} {count}"
+            for rule, count in sorted(stats.static_rejects_by_rule.items())
+        )
+        lines.append(
+            f"  static gate  : {stats.static_rejects} rejected "
+            f"pre-measurement ({by_rule})"
+        )
     if (
         stats.retries or stats.timeouts or stats.quarantined
         or stats.failed_transient or stats.faults_by_class

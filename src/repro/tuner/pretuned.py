@@ -13,11 +13,11 @@ way clBLAS and ATLAS ship tuned parameter stores.  Regenerate with::
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.codegen.params import KernelParams
 
-__all__ = ["PRETUNED", "pretuned_params"]
+__all__ = ["PRETUNED", "pretuned_catalog", "pretuned_params"]
 
 #: (device codename, precision) -> winning parameter dict from a frozen
 #: full-budget search run.
@@ -65,6 +65,18 @@ def pretuned_params(device: str, precision: str) -> KernelParams:
             f"available (device, precision) pairs: {pairs}"
         ) from None
     return KernelParams.from_dict(raw)
+
+
+def pretuned_catalog() -> List[Tuple[str, str, KernelParams]]:
+    """Every shipped ``(device, precision, params)`` entry, sorted.
+
+    The static-analysis CLI and the CI ``analyze`` job iterate this to
+    verify the whole shipped catalog.
+    """
+    return [
+        (device, precision, KernelParams.from_dict(raw))
+        for (device, precision), raw in sorted(_PRETUNED_RAW.items())
+    ]
 
 
 PRETUNED = _PRETUNED_RAW

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analyze.verifier import StaticVerifier
 from repro.codegen.params import KernelParams
 from repro.codegen.space import SpaceRestrictions, enumerate_space
 from repro.devices.catalog import get_device_spec
@@ -118,6 +119,12 @@ class TuningStats:
     #: Candidates whose evaluation exhausted the transient-retry budget.
     failed_transient: int = 0
     refined: int = 0
+    #: Candidates rejected by the static verifier before any evaluation
+    #: (only non-zero with the gate enabled; mirrors per-rule as the
+    #: labeled ``tuner_static_rejects_total{rule=...}`` series).
+    static_rejects: int = 0
+    #: Static rejections by rule id, e.g. {"device.occupancy": 12}.
+    static_rejects_by_rule: Dict[str, int] = field(default_factory=dict)
     #: Resilience-layer accounting (all zero without fault injection).
     retries: int = 0
     timeouts: int = 0
@@ -167,6 +174,11 @@ class TuningStats:
             "Absorbed fault events by class.",
             labelnames=("kind",),
         )
+        static_mirror = registry.counter(
+            f"{prefix}_static_rejects_total",
+            "Candidates rejected by the static verifier, by rule id.",
+            labelnames=("rule",),
+        )
         # Registry counters are cumulative across instances (Prometheus
         # semantics): each bind contributes on top of whatever earlier
         # searches already mirrored, via a per-field base offset.
@@ -176,9 +188,13 @@ class TuningStats:
         for kind, count in self.faults_by_class.items():
             child = fault_mirror.labels(kind=kind)
             child.set_total(child.value + count)
+        for rule, count in self.static_rejects_by_rule.items():
+            child = static_mirror.labels(rule=rule)
+            child.set_total(child.value + count)
         self.__dict__["_mirrors"] = mirrors
         self.__dict__["_mirror_bases"] = bases
         self.__dict__["_fault_mirror"] = fault_mirror
+        self.__dict__["_static_mirror"] = static_mirror
 
     def __setattr__(self, name: str, value) -> None:
         super().__setattr__(name, value)
@@ -194,12 +210,23 @@ class TuningStats:
         if fault_mirror is not None:
             fault_mirror.labels(kind=kind).inc()
 
+    def count_static_reject(self, rule: str) -> None:
+        """Record one statically rejected candidate under its rule id."""
+        self.static_rejects += 1
+        self.static_rejects_by_rule[rule] = (
+            self.static_rejects_by_rule.get(rule, 0) + 1
+        )
+        static_mirror = self.__dict__.get("_static_mirror")
+        if static_mirror is not None:
+            static_mirror.labels(rule=rule).inc()
+
     @property
     def pruned(self) -> int:
-        """Candidates discarded before scoring (all failure categories)."""
+        """Candidates discarded before scoring (all failure categories,
+        whether established statically or by a failed evaluation)."""
         return (
             self.failed_generation + self.failed_build + self.failed_launch
-            + self.failed_transient
+            + self.failed_transient + self.static_rejects
         )
 
     @property
@@ -236,6 +263,8 @@ class TuningStats:
         kwargs = {k: v for k, v in d.items() if k in names}
         if "faults_by_class" in kwargs:
             kwargs["faults_by_class"] = dict(kwargs["faults_by_class"])
+        if "static_rejects_by_rule" in kwargs:
+            kwargs["static_rejects_by_rule"] = dict(kwargs["static_rejects_by_rule"])
         return cls(**kwargs)
 
 
@@ -328,6 +357,7 @@ class SearchEngine:
         injector=None,
         resilience: Optional[ResilienceConfig] = None,
         obs=None,
+        static_gate: bool = True,
     ):
         self.spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
         if precision not in ("s", "d"):
@@ -350,6 +380,13 @@ class SearchEngine:
         self.resilience = resilience
         if injector is not None and resilience is None:
             self.resilience = ResilienceConfig()
+        #: Static pre-measurement gate (see :mod:`repro.analyze`): prunes
+        #: candidates the constraint prover shows the simulator would
+        #: fail, before spending an evaluation on them.  The gate proves
+        #: exactly what ``measure_once`` checks, so disabling it changes
+        #: only the work done, never the winner.
+        self.static_gate = bool(static_gate)
+        self._verifier = StaticVerifier(self.spec) if self.static_gate else None
         #: Candidates demoted for flaking out (exhausted retry budgets).
         self.quarantine = Quarantine()
         #: Testing/abort hook: raise :class:`SearchInterrupted` (after
@@ -595,6 +632,25 @@ class SearchEngine:
     def _allowed(self, params: KernelParams) -> bool:
         return self.quarantine.allows(params_digest(params))
 
+    def _gate_batch(self, batch: List[KernelParams]) -> List[KernelParams]:
+        """Drop candidates the static verifier proves would fail.
+
+        Rejected candidates still count as ``generated`` (the stream
+        position is what checkpoints record), but are tallied under
+        their violated rule instead of consuming an evaluation.
+        """
+        if self._verifier is None:
+            return batch
+        admitted: List[KernelParams] = []
+        for params in batch:
+            rule = self._verifier.gate(params)
+            if rule is None:
+                admitted.append(params)
+            else:
+                self.stats.generated += 1
+                self.stats.count_static_reject(rule)
+        return admitted
+
     # -- checkpointing ---------------------------------------------------
     def _fingerprint(self) -> str:
         """Digest identifying a search: device, precision, config, space,
@@ -619,6 +675,10 @@ class SearchEngine:
                     self.resilience.to_dict()
                     if self.resilience is not None else None
                 ),
+                # Gated and ungated runs consume the enumeration stream
+                # identically but accrue different stats; keep their
+                # checkpoints apart.
+                "static_gate": self.static_gate,
             },
             sort_keys=True,
             default=str,
@@ -696,7 +756,9 @@ class SearchEngine:
             batch = list(itertools.islice(candidates, _CHUNK))
             if not batch:
                 break
-            tasks = [EvalTask(p, self.base_shape(p)) for p in batch]
+            tasks = [
+                EvalTask(p, self.base_shape(p)) for p in self._gate_batch(batch)
+            ]
             for outcome in self._evaluate_batch(tasks):
                 self.stats.generated += 1
                 self._tally_resilience(outcome)
@@ -756,12 +818,16 @@ class SearchEngine:
                     )
                     if c.cache_key() not in refined
                 ]
-                tasks = [EvalTask(c, self.base_shape(c)) for c in candidates]
+                tasks = [
+                    EvalTask(c, self.base_shape(c))
+                    for c in self._gate_batch(candidates)
+                ]
                 improved: Optional[MeasuredKernel] = None
                 for outcome in self._evaluate_batch(tasks):
                     self.stats.generated += 1
                     self._tally_resilience(outcome)
                     if not outcome.ok:
+                        self._tally_failure(outcome)
                         continue
                     self.stats.measured += 1
                     if not self._allowed(outcome.params):

@@ -1,0 +1,124 @@
+"""Golden diagnostics and the gate's agreement with the simulator.
+
+The acceptance contract of the constraint prover: its verdict on any
+parameter vector equals what :func:`repro.tuner.parallel.measure_once`
+would decide by building and launching — nothing the gate passes fails
+the simulator, and every gate rejection carries a provable witness.
+"""
+
+import pytest
+
+from repro.analyze import StaticVerifier, prove_constraints
+from repro.analyze.constraints import failure_class
+from repro.analyze.diagnostics import Severity
+from repro.codegen.params import KernelParams
+from repro.codegen.space import enumerate_space
+from repro.devices.catalog import get_device_spec
+from repro.tuner.parallel import evaluate_candidate, EvalTask
+from repro.tuner.pretuned import PRETUNED
+
+
+def _base_raw(**overrides):
+    raw = dict(PRETUNED[("tahiti", "d")])
+    raw.update(overrides)
+    return raw
+
+
+#: (mutation, rule id the prover must report) — golden pairs, one per
+#: Section-III derivation rule a raw vector can break.
+GOLDEN_VIOLATIONS = [
+    ({"precision": "q"}, "param.precision"),
+    ({"mwg": 0}, "param.positive"),
+    ({"vw": 3}, "param.vector-width"),
+    ({"stride": "K"}, "param.stride"),
+    ({"layout_a": "ZIG"}, "param.layout"),
+    ({"algorithm": "XX"}, "param.algorithm"),
+    ({"mdimc": 7}, "param.mwg-mdimc"),
+    ({"ndimc": 7}, "param.nwg-ndimc"),
+    ({"kwi": 7}, "param.kwg-kwi"),
+    ({"mdima": 7}, "param.wg-mdima"),
+    ({"mdima": 32}, "param.mwg-mdima"),
+    ({"ndimb": 7}, "param.wg-ndimb"),
+    ({"mwg": 96, "mdimc": 16, "vw": 4, "kwi": 16}, "param.mwi-vw"),
+    ({"use_images": True}, "param.image-layout"),
+    ({"guard_edges": True}, "param.guard-layout"),
+    ({"algorithm": "DB", "shared_a": False, "shared_b": False,
+      "mdima": 0, "ndimb": 0}, "param.db-shared"),
+    ({"mwg": 48, "nwg": 96, "kwg": 24, "kwi": 8, "algorithm": "DB",
+      "mdima": 16, "ndimb": 8}, "param.db-half-kdima"),
+]
+
+
+class TestGoldenDiagnostics:
+    @pytest.mark.parametrize("overrides,rule", GOLDEN_VIOLATIONS,
+                             ids=[r for _, r in GOLDEN_VIOLATIONS])
+    def test_known_bad_vector_hits_its_rule(self, overrides, rule):
+        raw = _base_raw(**overrides)
+        diags = prove_constraints(None, raw)
+        errors = {d.rule for d in diags if d.severity is Severity.ERROR}
+        assert rule in errors
+
+    @pytest.mark.parametrize("overrides,rule", GOLDEN_VIOLATIONS,
+                             ids=[r for _, r in GOLDEN_VIOLATIONS])
+    def test_every_rejection_carries_a_witness(self, overrides, rule):
+        raw = _base_raw(**overrides)
+        for d in prove_constraints(None, raw):
+            if d.severity is Severity.ERROR:
+                assert d.witness, f"{d.rule} has no witness"
+
+    def test_clean_vector_has_no_errors(self):
+        diags = prove_constraints(None, _base_raw())
+        assert not [d for d in diags if d.severity is Severity.ERROR]
+
+    def test_device_budget_rules_need_a_spec(self):
+        spec = get_device_spec("bulldozer")
+        params = KernelParams.from_dict(_base_raw())  # tahiti-sized tiles
+        rule = StaticVerifier(spec).gate(params)
+        assert rule == "device.local-memory"
+        assert StaticVerifier(None).gate(params) is None
+
+    def test_quirk_rule_matches_the_simulator(self):
+        spec = get_device_spec("bulldozer")
+        params = KernelParams.from_dict(PRETUNED[("tahiti", "d")])
+        assert params.algorithm.name == "PL"
+        diags = prove_constraints(spec, params)
+        assert failure_class(diags) in ("build", "launch")
+
+
+class TestGateAgreesWithSimulator:
+    """gate(p) is None exactly when measure_once succeeds."""
+
+    DEVICES = ("tahiti", "cayman", "bulldozer", "sandybridge")
+
+    def _differential(self, codename, precision, limit, seed=0):
+        spec = get_device_spec(codename)
+        verifier = StaticVerifier(spec)
+        checked = 0
+        for params in enumerate_space(spec, precision, limit=limit, seed=seed):
+            n = max(params.lcm, params.algorithm.min_k_iterations * params.kwg)
+            outcome = evaluate_candidate(
+                spec, EvalTask(params, (n, n, n)), noise=False
+            )
+            rule = verifier.gate(params)
+            assert (rule is None) == outcome.ok, (
+                f"{codename}: gate={rule!r} but simulator "
+                f"failure={outcome.failure!r} for {params.summary()}"
+            )
+            if not outcome.ok:
+                assert verifier.gate_class(params) == outcome.failure
+            checked += 1
+        return checked
+
+    @pytest.mark.parametrize("codename", DEVICES)
+    def test_sampled_space_agreement(self, codename):
+        assert self._differential(codename, "d", limit=150) == 150
+
+    def test_sgemm_agreement(self):
+        assert self._differential("kepler", "s", limit=100) == 100
+
+    def test_gate_is_memoized(self):
+        spec = get_device_spec("tahiti")
+        verifier = StaticVerifier(spec)
+        params = KernelParams.from_dict(_base_raw())
+        assert verifier.gate(params) is verifier.gate(params)
+        assert params.cache_key() in verifier._gate_cache

@@ -1,0 +1,82 @@
+"""Diagnostic model, report aggregation, and renderers."""
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    render_reports,
+    reports_to_json,
+)
+
+
+def _diag(rule="param.mwg-mdimc", severity=Severity.ERROR):
+    return Diagnostic(
+        rule, severity, "mwg=48 not divisible by mdimc=7",
+        witness={"mwg": 48, "mdimc": 7, "remainder": 6},
+        paper="III-B",
+    )
+
+
+class TestDiagnostic:
+    def test_round_trips_through_dict(self):
+        d = _diag()
+        assert Diagnostic.from_dict(d.to_dict()) == d
+
+    def test_render_carries_rule_witness_and_citation(self):
+        text = _diag().render()
+        assert "param.mwg-mdimc" in text
+        assert "III-B" in text
+        assert "mdimc=7" in text
+        assert "ERROR" in text
+
+    def test_is_frozen(self):
+        with pytest.raises(Exception):
+            _diag().rule = "other"
+
+
+class TestAnalysisReport:
+    def test_ok_means_no_errors(self):
+        report = AnalysisReport(subject="s")
+        assert report.ok
+        report.extend([_diag(severity=Severity.WARNING)])
+        assert report.ok
+        report.extend([_diag()])
+        assert not report.ok
+
+    def test_rejected_rules_deduplicate_and_sort(self):
+        report = AnalysisReport(subject="s")
+        report.extend([_diag("b.rule"), _diag("a.rule"), _diag("b.rule")])
+        assert report.rejected_rules == ("a.rule", "b.rule")
+
+    def test_render_verbose_includes_info(self):
+        report = AnalysisReport(subject="s", device="tahiti")
+        report.extend([_diag(severity=Severity.INFO)])
+        assert "param.mwg-mdimc" not in report.render()
+        assert "param.mwg-mdimc" in report.render(verbose=True)
+
+    def test_to_json_is_valid(self):
+        report = AnalysisReport(subject="s", checked_rules=("a", "b"))
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is True
+        assert payload["checked_rules"] == ["a", "b"]
+
+
+class TestAggregates:
+    def test_render_reports_summarizes_clean_count(self):
+        clean = AnalysisReport(subject="a")
+        dirty = AnalysisReport(subject="b")
+        dirty.extend([_diag()])
+        assert "1/2 subjects clean" in render_reports([clean, dirty])
+
+    def test_reports_to_json_format(self):
+        dirty = AnalysisReport(subject="b")
+        dirty.extend([_diag()])
+        payload = json.loads(reports_to_json([AnalysisReport(subject="a"), dirty]))
+        assert payload["format"] == "repro-analyze/1"
+        assert payload["clean"] == 1
+        assert payload["total"] == 2
+        assert len(payload["reports"]) == 2

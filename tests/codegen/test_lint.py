@@ -61,6 +61,36 @@ class TestDetections:
                'const char* s = "}"; }')
         assert lint_source(src) == []
 
+    def test_any_generator_macro_used_before_definition(self):
+        """The check generalizes beyond READ_A/READ_B to every #define."""
+        src = ("#define READ_A(k, m) agm[(k) + (m)]\n"
+               "#define READ_B(k, n) bgm[(k) + (n)]\n"
+               "__kernel void f() { float x = STORE_C(0, 0); }\n"
+               "#define STORE_C(i, j) cgm[(i) + (j)]")
+        diags = lint_source(src)
+        assert any("STORE_C used before its definition" in d for d in diags)
+
+    def test_builtin_calls_are_not_flagged(self):
+        src = ("#define READ_A(k, m) agm[(k) + (m)]\n"
+               "#define READ_B(k, n) bgm[(k) + (n)]\n"
+               "__kernel void f() { __local float lds[8]; "
+               "barrier(CLK_LOCAL_MEM_FENCE); "
+               "float x = READ_A(0, 0) + READ_B(0, 0); lds[0] = x; }")
+        assert lint_source(src) == []
+
+    def test_duplicate_reported_once_per_name(self):
+        src = ("#define MWG 16\n#define MWG 32\n#define MWG 64\n"
+               "__kernel void f() {}")
+        diags = [d for d in lint_source(src) if "duplicate" in d]
+        assert diags == ["duplicate #define MWG", "duplicate #define MWG"]
+
+    def test_use_before_definition_flagged_once_per_macro(self):
+        src = ("__kernel void f() { float x = READ_A(0, 0) + READ_A(1, 1); }\n"
+               "#define READ_A(k, m) agm[(k) + (m)]\n"
+               "#define READ_B(k, n) bgm[(k) + (n)]")
+        diags = [d for d in lint_source(src) if "READ_A" in d]
+        assert len(diags) == 1
+
 
 class TestBuildIntegration:
     def test_build_rejects_structurally_broken_source(self):

@@ -98,10 +98,21 @@ class TestRun:
         assert a.best.gflops == b.best.gflops
 
     def test_bulldozer_counts_pl_dgemm_launch_failures(self, bulldozer):
+        """The quirk shows up as launch failures without the static gate
+        and as per-rule static rejects with it — same candidates, same
+        winner, no measurement spent in the gated run."""
         cfg = TuningConfig(budget=500, verify_finalists=0)
-        result = SearchEngine(bulldozer, "d", cfg).run()
+        result = SearchEngine(bulldozer, "d", cfg, static_gate=False).run()
         assert result.stats.failed_launch > 0
         assert result.best.params.algorithm is not Algorithm.PL
+
+        gated = SearchEngine(bulldozer, "d", cfg).run()
+        assert gated.stats.failed_launch == 0
+        assert gated.stats.static_rejects == result.stats.failed_launch
+        assert gated.stats.static_rejects_by_rule == {
+            "device.quirk-pl-dgemm": result.stats.failed_launch
+        }
+        assert gated.best.params == result.best.params
 
     def test_bulldozer_sgemm_has_no_launch_failures(self, bulldozer):
         cfg = TuningConfig(budget=500, verify_finalists=0)
