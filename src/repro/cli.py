@@ -249,6 +249,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_emit = sub.add_parser("emit", help="print generated OpenCL C source")
     p_emit.add_argument("device")
     p_emit.add_argument("--precision", choices=["s", "d"], default="d")
+
+    p_spec = sub.add_parser(
+        "spec",
+        help="model-based differential testing against the executable "
+             "OpenCL mini-spec",
+    )
+    p_spec.add_argument("--enumerate", type=int, default=1000, metavar="N",
+                        dest="enumerate_n",
+                        help="run the cheapest N enumerated MBT programs "
+                             "(default 1000)")
+    p_spec.add_argument("--fuzz-corpus", action="store_true",
+                        help="also replay the full random fuzz corpus "
+                             "through the spec interpreter")
+    p_spec.add_argument("--device", default="tahiti",
+                        help="simulated device for the clsim leg")
+    p_spec.add_argument("--max-ops", type=int, default=50_000_000,
+                        help="per-run interpreter operation budget")
+    p_spec.add_argument("--json", metavar="OUT.json", dest="out_json",
+                        help="write the disagreement/coverage report as JSON")
     return parser
 
 
@@ -622,6 +641,52 @@ def _cmd_emit(args) -> int:
     return 0
 
 
+def _cmd_spec(args) -> int:
+    from repro.persist import dump_json_atomic
+    from repro.spec.corpus import as_spec_programs, fuzz_cases
+    from repro.spec.differential import run_differential
+    from repro.spec.enumerate import enumerate_programs
+
+    programs = list(enumerate_programs(limit=args.enumerate_n))
+    print(f"enumerated MBT programs : {len(programs)}")
+    if args.fuzz_corpus:
+        cases = fuzz_cases()
+        programs += list(as_spec_programs(cases))
+        print(f"fuzz corpus replays     : {len(cases)}")
+
+    done = {"n": 0}
+
+    def progress(record) -> None:
+        done["n"] += 1
+        if record.is_disagreement:
+            print(f"  [{record.origin}:{record.index}] "
+                  f"{record.classification}: {record.description}")
+        if done["n"] % 200 == 0:
+            print(f"  ... {done['n']}/{len(programs)} programs classified")
+
+    report = run_differential(
+        programs, device=args.device, max_ops=args.max_ops,
+        progress=progress,
+    )
+    print(f"classified              : {report.by_class()}")
+    disagreements = report.disagreements()
+    if args.fuzz_corpus:
+        card = report.coverage_scorecard()
+        print(f"constructs MBT-only     : {len(card['mbt_only'])} "
+              f"{card['mbt_only'][:8]}")
+        print(f"constructs fuzz-only    : {len(card['fuzz_only'])} "
+              f"{card['fuzz_only'][:8]}")
+        print(f"constructs shared       : {len(card['both'])}")
+    if args.out_json:
+        dump_json_atomic(args.out_json, report.to_dict(), indent=2)
+        print(f"report                  : {args.out_json}")
+    if disagreements:
+        print(f"DISAGREEMENTS           : {len(disagreements)}")
+        return 1
+    print("all programs agree across spec / clsim / numpy / analyzer")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "tune": _cmd_tune,
@@ -634,6 +699,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "report": _cmd_report,
     "emit": _cmd_emit,
+    "spec": _cmd_spec,
 }
 
 

@@ -41,7 +41,16 @@ __all__ = [
 
 KERNEL_NAME = "gemm_atb"
 META_PREFIX = "// GEMMGEN-META: "
-GENERATOR_VERSION = "repro-gemmgen/1.1.0"
+GENERATOR_VERSION = "repro-gemmgen/1.2.0"
+
+#: Base of the last staged K-tile: ``KWG * floor((kSizeK - 1) / KWG)``.
+#: For K a multiple of KWG (the only launchable case for unguarded
+#: PL/DB) this equals ``kSizeK - KWG``; for guarded kernels with ragged
+#: K it is the base the prologue/steady-state staging actually used for
+#: the final tile, where the naive ``kSizeK - KWG`` would misalign the
+#: direct-loaded operand against the staged tile (double-counting some k
+#: and, for K < KWG, reading negative indices).
+_LAST_TILE_BASE = "((kSizeK - 1) / KWG) * KWG"
 
 
 class _Src:
@@ -443,7 +452,7 @@ def _emit_body_pl(s: _Src, p: KernelParams, realv: str) -> None:
     _emit_barrier(s)
     s.close("}")
     s.emit("/* epilogue: last staged tiles (Fig. 5 lines 19-23) */")
-    _emit_inner_loop(s, p, realv, "0", "KWG", "alm", "blm", "kSizeK - KWG")
+    _emit_inner_loop(s, p, realv, "0", "KWG", "alm", "blm", _LAST_TILE_BASE)
 
 
 def _emit_body_db(s: _Src, p: KernelParams, realv: str) -> None:
@@ -474,13 +483,14 @@ def _emit_body_db(s: _Src, p: KernelParams, realv: str) -> None:
     s.emit("/* epilogue (Fig. 6 lines 22-35) */")
     _emit_barrier(s)
     if p.shared_a:
-        _emit_stage_to_local(s, p, "a", la1, True, "kSizeK - KWG / 2")
+        _emit_stage_to_local(s, p, "a", la1, True, f"{_LAST_TILE_BASE} + KWG / 2")
     if p.shared_b:
-        _emit_stage_to_local(s, p, "b", lb1, True, "kSizeK - KWG / 2")
-    _emit_inner_loop(s, p, realv, "0", "KWG / 2", la0, lb0, "kSizeK - KWG")
+        _emit_stage_to_local(s, p, "b", lb1, True, f"{_LAST_TILE_BASE} + KWG / 2")
+    _emit_inner_loop(s, p, realv, "0", "KWG / 2", la0, lb0, _LAST_TILE_BASE)
     _emit_barrier(s)
     _emit_inner_loop(
-        s, p, realv, "KWG / 2", "KWG", la1, lb1, "kSizeK - KWG", local_koff="KWG / 2"
+        s, p, realv, "KWG / 2", "KWG", la1, lb1, _LAST_TILE_BASE,
+        local_koff="KWG / 2",
     )
 
 

@@ -1,0 +1,54 @@
+"""Executable OpenCL mini-spec and model-based differential testing.
+
+An independent, deliberately slow executable semantics for the OpenCL C
+subset the kernel generator emits, plus the machinery that uses it as a
+test oracle:
+
+* :mod:`repro.spec.cparse` — preprocessor, lexer and parser for the
+  emitted source text;
+* :mod:`repro.spec.machine` — the interpreter ("sloppy VM"):
+  work-item/barrier-phase scheduling, address spaces with
+  poison-on-uninitialised reads, race and bounds tracking, fp32/fp64
+  rounding, vectors and images;
+* :mod:`repro.spec.enumerate` — enumerative model-based program
+  generation over a grammar of kernel shapes, small-to-large with
+  canonical-form pruning;
+* :mod:`repro.spec.differential` — the three-way harness (spec vs
+  clsim vs repro.analyze) with disagreement classification and
+  per-construct coverage;
+* :mod:`repro.spec.corpus` — the shared fuzz-corpus definition, reused
+  by ``tests/fuzz`` so both corpora feed one coverage scorecard.
+"""
+
+from repro.spec.cparse import SpecParseError, parse_kernel_source
+from repro.spec.machine import (
+    LocalArray,
+    Machine,
+    Poison,
+    PrivateArray,
+    SpecBuffer,
+    SpecError,
+    SpecImage,
+    SpecOutcome,
+    SpecViolation,
+    Vec,
+    fp32,
+    run_kernel,
+)
+
+__all__ = [
+    "SpecParseError",
+    "parse_kernel_source",
+    "SpecError",
+    "SpecBuffer",
+    "SpecImage",
+    "LocalArray",
+    "PrivateArray",
+    "Machine",
+    "Poison",
+    "Vec",
+    "SpecOutcome",
+    "SpecViolation",
+    "fp32",
+    "run_kernel",
+]

@@ -1,0 +1,142 @@
+"""The shared random fuzz corpus, importable by tests and the harness.
+
+This is the corpus ``tests/fuzz/test_fuzz_kernels.py`` has always run —
+the construction (seed handling, enumeration order, RNG draw order) is
+moved here verbatim so the spec harness and the fuzz tests replay the
+*identical* case list and the coverage scorecard can compare the two
+corpora.  Changing the draw order here silently changes every
+downstream corpus; the fuzz suite pins case 0 to guard against that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.codegen.params import KernelParams
+from repro.codegen.space import SpaceRestrictions, enumerate_space
+from repro.devices import get_device_spec
+from repro.spec.enumerate import SpecProgram
+
+__all__ = [
+    "DEFAULT_FUZZ_SEED",
+    "DEFAULT_FUZZ_COUNT",
+    "FUZZ_DEVICES",
+    "FUZZ_PRECISIONS",
+    "FuzzCase",
+    "fuzz_cases",
+    "fuzz_operands",
+    "as_spec_programs",
+]
+
+DEFAULT_FUZZ_SEED = 20260806
+DEFAULT_FUZZ_COUNT = 200
+
+#: One GPU and one CPU: different blocking regimes, local-memory types
+#: and vector widths, so the sample crosses the interesting axes.
+FUZZ_DEVICES = ("tahiti", "sandybridge")
+FUZZ_PRECISIONS = ("s", "d")
+
+#: The full generator surface: buffers, images, and guarded variants.
+_RESTRICTIONS = SpaceRestrictions(allow_images=True, allow_guarded=True)
+
+_ALPHAS = (1.0, -1.0, 1.5, 0.25)
+_BETAS = (0.0, 1.0, -0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    index: int
+    seed: int
+    device: str
+    precision: str
+    params: KernelParams
+    shape: Tuple[int, int, int]
+    alpha: float
+    beta: float
+
+    def describe(self) -> str:
+        M, N, K = self.shape
+        return (
+            f"case {self.index} [seed {self.seed}]: {self.device}/"
+            f"{self.precision} {M}x{N}x{K} alpha={self.alpha} "
+            f"beta={self.beta} :: {self.params.summary()}"
+        )
+
+
+def _shape_for(params: KernelParams, rng: np.random.Generator) -> Tuple[int, int, int]:
+    """A random launchable (M, N, K) for this kernel, kept small.
+
+    Unguarded kernels need blocking multiples (1-2 work-group tiles per
+    dimension); guarded kernels get ragged sizes — whole tiles plus a
+    partial remainder — to exercise every edge-guard path.
+    """
+    if params.guard_edges:
+        def ragged(block: int) -> int:
+            return max(1, int(rng.integers(0, 3)) * block + int(rng.integers(0, block)))
+
+        return ragged(params.mwg), ragged(params.nwg), ragged(params.kwg)
+    M = params.mwg * int(rng.integers(1, 3))
+    N = params.nwg * int(rng.integers(1, 3))
+    k_min = params.algorithm.min_k_iterations
+    K = params.kwg * int(rng.integers(k_min, k_min + 2))
+    return M, N, K
+
+
+def fuzz_cases(
+    seed: int = DEFAULT_FUZZ_SEED,
+    count: int = DEFAULT_FUZZ_COUNT,
+    devices: Tuple[str, ...] = FUZZ_DEVICES,
+    precisions: Tuple[str, ...] = FUZZ_PRECISIONS,
+) -> Tuple[FuzzCase, ...]:
+    """The deterministic fuzz corpus (same sweep the fuzz tests run)."""
+    rng = np.random.default_rng(seed)
+    per_pool = -(-count // (len(devices) * len(precisions)))
+    cases = []
+    for codename in devices:
+        spec = get_device_spec(codename)
+        for precision in precisions:
+            pool = enumerate_space(
+                spec, precision, _RESTRICTIONS,
+                limit=per_pool, per_blocking=4, seed=seed,
+            )
+            for params in pool:
+                cases.append(FuzzCase(
+                    index=len(cases),
+                    seed=seed,
+                    device=codename,
+                    precision=precision,
+                    params=params,
+                    shape=_shape_for(params, rng),
+                    alpha=float(rng.choice(_ALPHAS)),
+                    beta=float(rng.choice(_BETAS)),
+                ))
+    return tuple(cases)
+
+
+def fuzz_operands(case: FuzzCase):
+    """Deterministic per-case random operands (independent of run order)."""
+    M, N, K = case.shape
+    dtype = np.float64 if case.precision == "d" else np.float32
+    rng = np.random.default_rng([case.seed, case.index])
+    a = rng.standard_normal((K, M)).astype(dtype)  # A^T, as the kernels read it
+    b = rng.standard_normal((K, N)).astype(dtype)
+    c = rng.standard_normal((M, N)).astype(dtype)
+    return a, b, c
+
+
+def as_spec_programs(cases: Tuple[FuzzCase, ...]) -> Tuple[SpecProgram, ...]:
+    """Adapt fuzz cases to harness programs (origin ``fuzz``)."""
+    return tuple(
+        SpecProgram(
+            index=case.index,
+            params=case.params,
+            shape=case.shape,
+            alpha=case.alpha,
+            beta=case.beta,
+            origin="fuzz",
+        )
+        for case in cases
+    )

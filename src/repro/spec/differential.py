@@ -1,0 +1,443 @@
+"""Three-way differential harness: spec vs clsim vs the static analyzer.
+
+For every :class:`~repro.spec.enumerate.SpecProgram` the harness runs
+
+1. the **spec interpreter** on the emitted source text (sampled
+   work-groups; work-groups are independent so sampling is sound),
+2. the **simulator** (``clsim``, WORKGROUP mode — the faithful blocked
+   execution of the plan reconstructed from the metadata header),
+3. the **numpy reference** (the mathematical contract), and
+4. the **static analyzer** (``repro.analyze``) over the same vector,
+
+then classifies the outcome.  Agreement means four independent
+implementations of the same contract concur; every disagreement is
+binned so a report can say *who* is wrong:
+
+=============================  ==========================================
+``agree``                      all legs concur within tolerance
+``value_mismatch:source``      spec (executing the source) disagrees with
+                               clsim+numpy: the *emitted text* is wrong
+``value_mismatch:clsim``       clsim disagrees with spec+numpy: the
+                               *simulator* is wrong
+``value_mismatch:both``        spec and clsim disagree with numpy and
+                               each other — two distinct bugs
+``spec_ub_unflagged:<kinds>``  the spec observed UB (race, OOB, poison
+                               escape, divergent barrier) that the
+                               analyzer did not report
+``spec_ub_flagged:<kinds>``    UB observed and the analyzer reported an
+                               error for the same vector
+``analyzer_spurious``          the analyzer reports an error but the
+                               program executes cleanly and agrees
+``reject:<leg>``               a leg refused the program (build/launch)
+``spec_error``                 the interpreter itself failed (budget,
+                               unsupported construct) — a harness gap
+=============================  ==========================================
+
+Tolerances are the tuner's verification tolerances (accumulation order
+legitimately differs between a blocked kernel and one big matmul):
+1e-10 relative for fp64, 1e-4 for fp32.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.codegen.emitter import emit_kernel_source
+from repro.codegen.layouts import pack_matrix
+from repro.codegen.params import KernelParams
+from repro.errors import ReproError
+from repro.gemm.reference import relative_error
+from repro.spec.enumerate import SpecProgram
+from repro.spec.machine import (
+    SpecBuffer,
+    SpecError,
+    SpecImage,
+    SpecOutcome,
+    run_kernel,
+)
+
+__all__ = [
+    "TOLERANCES",
+    "construct_keys",
+    "sample_groups",
+    "program_operands",
+    "run_spec_leg",
+    "run_clsim_leg",
+    "ProgramRecord",
+    "DifferentialReport",
+    "run_differential",
+]
+
+TOLERANCES = {"d": 1e-10, "s": 1e-4}
+
+#: Run every work-group when the grid is at most this many groups;
+#: otherwise sample corners + centre.
+_FULL_GRID_LIMIT = 6
+
+
+def construct_keys(params: KernelParams,
+                   shape: Tuple[int, int, int]) -> Set[str]:
+    """Static per-construct coverage keys for the scorecard.
+
+    Keys name *structural* constructs (which loops, guards, widths and
+    layouts exist in the emitted program), so the MBT-vs-fuzz scorecard
+    compares language coverage, not parameter-space coverage.
+    """
+    p = params
+    M, N, K = shape
+    shared = ("A" if p.shared_a else "") + ("B" if p.shared_b else "") or "-"
+    keys = {
+        f"alg:{p.algorithm.value}",
+        f"alg:{p.algorithm.value}:shared={shared}",
+        f"vw:{p.vw}",
+        f"stride:{p.stride.label()}",
+        f"layoutA:{p.layout_a.value}",
+        f"layoutB:{p.layout_b.value}",
+        f"kwi:{p.kwi}",
+        f"wgsize:{p.mdimc}x{p.ndimc}",
+        f"blocking:{p.mwg}x{p.nwg}x{p.kwg}",
+        "guarded" if p.guard_edges else "unguarded",
+    }
+    if p.mdimc * p.ndimc == 1:
+        keys.add("wg:single-item")
+    if p.use_images:
+        keys.add("images")
+        keys.add("images:fp64-uint2-idiom" if p.precision == "d"
+                 else "images:fp32-readf")
+    if p.effective_mdima != p.mdimc:
+        keys.add("reshape:A")
+    if p.effective_ndimb != p.ndimc:
+        keys.add("reshape:B")
+    if p.guard_edges and p.vw > 1:
+        keys.add("guarded-vector-merge")
+    k_blocks = -(-K // p.kwg)
+    keys.add(f"kblocks:{min(k_blocks, 4)}")
+    ragged = []
+    if M % p.mwg:
+        ragged.append("M")
+    if N % p.nwg:
+        ragged.append("N")
+    if K % p.kwg:
+        ragged.append("K")
+    keys.add("ragged:" + ("".join(ragged) or "none"))
+    if K < p.kwg:
+        keys.add("ragged:K<Kwg")  # pipelined body never runs; epilogue-only
+    return keys
+
+
+def sample_groups(params: KernelParams, shape: Tuple[int, int, int],
+                  limit: int = _FULL_GRID_LIMIT) -> List[Tuple[int, int]]:
+    """Work-groups to interpret: the full grid when small, else a
+    deterministic sample (corners + centre) of the independent groups."""
+    M, N, _ = shape
+    gx = -(-M // params.mwg)
+    gy = -(-N // params.nwg)
+    if gx * gy <= limit:
+        return [(i, j) for i in range(gx) for j in range(gy)]
+    picks = {
+        (0, 0), (gx - 1, 0), (0, gy - 1), (gx - 1, gy - 1),
+        (gx // 2, gy // 2),
+    }
+    return sorted(picks)
+
+
+def group_mask(params: KernelParams, shape: Tuple[int, int, int],
+               groups: Sequence[Tuple[int, int]]) -> np.ndarray:
+    M, N, _ = shape
+    mask = np.zeros((M, N), dtype=bool)
+    for gx, gy in groups:
+        mask[gx * params.mwg:(gx + 1) * params.mwg,
+             gy * params.nwg:(gy + 1) * params.nwg] = True
+    return mask
+
+
+def program_operands(program: SpecProgram):
+    """Deterministic operands derived from the program's content digest."""
+    import hashlib
+
+    p = program.params
+    M, N, K = program.shape
+    digest = hashlib.sha256(
+        f"{p.cache_key()}|{program.shape}|{program.origin}".encode()
+    ).digest()
+    seed = list(digest[:16])
+    rng = np.random.default_rng(seed)
+    dtype = np.float64 if p.precision == "d" else np.float32
+    a = rng.standard_normal((K, M)).astype(dtype)
+    b = rng.standard_normal((K, N)).astype(dtype)
+    c = rng.standard_normal((M, N)).astype(dtype)
+    return a, b, c
+
+
+def run_spec_leg(
+    program: SpecProgram,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    groups: Optional[Sequence[Tuple[int, int]]] = None,
+    max_ops: Optional[int] = None,
+) -> Tuple[np.ndarray, SpecOutcome, List[Tuple[int, int]]]:
+    """Interpret the emitted source; returns (C, outcome, groups run).
+
+    Cells owned by unsampled groups keep the host values of ``c``;
+    poisoned cells surface as NaN in the returned matrix (the violation
+    list is the authoritative UB record).
+    """
+    p = program.params
+    M, N, K = program.shape
+    source = emit_kernel_source(p)
+    if p.use_images:
+        abuf: object = SpecImage(a.tolist(), p.precision, "agm")
+        bbuf: object = SpecImage(b.tolist(), p.precision, "bgm")
+    else:
+        abuf = SpecBuffer(
+            pack_matrix(a, p.layout_a, p.kwg, p.mwg).tolist(), "agm")
+        bbuf = SpecBuffer(
+            pack_matrix(b, p.layout_b, p.kwg, p.nwg).tolist(), "bgm")
+    cbuf = SpecBuffer(c.reshape(-1).tolist(), "cgm")
+    if groups is None:
+        groups = sample_groups(p, program.shape)
+    outcome = run_kernel(
+        source,
+        [M, N, K, program.alpha, program.beta, abuf, bbuf, cbuf],
+        groups=groups,
+        max_ops=max_ops,
+    )
+    dtype = np.float64 if p.precision == "d" else np.float32
+    values = [v if isinstance(v, (int, float)) else math.nan
+              for v in cbuf.values]
+    return np.array(values, dtype=dtype).reshape(M, N), outcome, list(groups)
+
+
+def run_clsim_leg(program: SpecProgram, a: np.ndarray, b: np.ndarray,
+                  c: np.ndarray, device: str = "tahiti") -> np.ndarray:
+    """Execute the same launch through the simulator (WORKGROUP mode)."""
+    import repro.clsim as cl
+    from repro.clsim.queue import ExecutionMode
+    from repro.devices import get_device_spec
+
+    p = program.params
+    M, N, K = program.shape
+    spec = get_device_spec(device)
+    dev = cl.Device(spec)
+    ctx = cl.Context([dev])
+    queue = cl.CommandQueue(ctx, dev, measurement_noise=False,
+                            execution_mode=ExecutionMode.WORKGROUP)
+    if p.use_images:
+        abuf = cl.Image2D(ctx, width=M, height=K, dtype=a.dtype, hostbuf=a)
+        bbuf = cl.Image2D(ctx, width=N, height=K, dtype=b.dtype, hostbuf=b)
+    else:
+        abuf = cl.Buffer(ctx, hostbuf=pack_matrix(a, p.layout_a, p.kwg, p.mwg))
+        bbuf = cl.Buffer(ctx, hostbuf=pack_matrix(b, p.layout_b, p.kwg, p.nwg))
+    cbuf = cl.Buffer(ctx, hostbuf=c.copy())
+    kernel = cl.Program(ctx, emit_kernel_source(p)).build().get_kernel("gemm_atb")
+    kernel.set_args(M, N, K, program.alpha, program.beta, abuf, bbuf, cbuf)
+    queue.launch(kernel, kernel.expected_global_size(), kernel.plan.local_size())
+    return cbuf.read().reshape(M, N)
+
+
+@dataclass
+class ProgramRecord:
+    """Classified outcome of one program through the harness."""
+
+    index: int
+    origin: str
+    description: str
+    classification: str
+    detail: str = ""
+    coverage: Set[str] = field(default_factory=set)
+    spec_violations: Tuple[str, ...] = ()
+    errors: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_disagreement(self) -> bool:
+        return self.classification != "agree"
+
+
+@dataclass
+class DifferentialReport:
+    records: List[ProgramRecord] = field(default_factory=list)
+
+    def by_class(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.classification] = out.get(r.classification, 0) + 1
+        return dict(sorted(out.items()))
+
+    def disagreements(self) -> List[ProgramRecord]:
+        return [r for r in self.records if r.is_disagreement]
+
+    def coverage_by_origin(self) -> Dict[str, Dict[str, int]]:
+        out: Dict[str, Dict[str, int]] = {}
+        for r in self.records:
+            bucket = out.setdefault(r.origin, {})
+            for key in r.coverage:
+                bucket[key] = bucket.get(key, 0) + 1
+        return out
+
+    def coverage_scorecard(self) -> Dict[str, List[str]]:
+        """Construct classes reached by each corpus, and the deltas."""
+        cov = self.coverage_by_origin()
+        mbt = set(cov.get("mbt", ()))
+        fuzz = set(cov.get("fuzz", ()))
+        return {
+            "mbt_only": sorted(mbt - fuzz),
+            "fuzz_only": sorted(fuzz - mbt),
+            "both": sorted(mbt & fuzz),
+        }
+
+    def to_dict(self) -> dict:
+        payload = {
+            "programs": len(self.records),
+            "by_class": self.by_class(),
+            "disagreements": [
+                {
+                    "index": r.index,
+                    "origin": r.origin,
+                    "description": r.description,
+                    "classification": r.classification,
+                    "detail": r.detail,
+                    "spec_violations": list(r.spec_violations),
+                    "errors": r.errors,
+                }
+                for r in self.disagreements()
+            ],
+            "coverage": self.coverage_by_origin(),
+        }
+        if {r.origin for r in self.records} >= {"mbt", "fuzz"}:
+            payload["scorecard"] = self.coverage_scorecard()
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _masked_error(result: np.ndarray, reference: np.ndarray,
+                  mask: np.ndarray) -> float:
+    r = result[mask]
+    if np.isnan(r).any():
+        return math.inf
+    return relative_error(r, reference[mask])
+
+
+def classify_program(
+    program: SpecProgram,
+    device: str = "tahiti",
+    analyzer_device: Optional[str] = None,
+    max_ops: Optional[int] = None,
+    analysis_samples: int = 32,
+) -> ProgramRecord:
+    """Run one program through all legs and classify the outcome."""
+    from repro.analyze.verifier import analyze_params
+
+    p = program.params
+    tol = TOLERANCES[p.precision]
+    coverage = construct_keys(p, program.shape)
+    record = ProgramRecord(
+        index=program.index,
+        origin=program.origin,
+        description=program.describe(),
+        classification="agree",
+        coverage=coverage,
+    )
+
+    a, b, c = program_operands(program)
+    dtype = a.dtype.type
+    reference = (dtype(program.alpha) * (a.T @ b)
+                 + dtype(program.beta) * c).astype(a.dtype)
+
+    analyzer_errors: List[str] = []
+    try:
+        report = analyze_params(p, device=analyzer_device,
+                                samples=analysis_samples)
+        analyzer_errors = [d.rule for d in report.errors]
+    except ReproError as exc:  # pragma: no cover - analyzer crash
+        analyzer_errors = [f"analyzer-crash:{exc}"]
+
+    try:
+        spec_c, outcome, groups = run_spec_leg(program, a, b, c,
+                                               max_ops=max_ops)
+    except SpecError as exc:
+        record.classification = "spec_error"
+        record.detail = str(exc)
+        return record
+    except ReproError as exc:
+        record.classification = "reject:spec"
+        record.detail = str(exc)
+        return record
+    record.coverage = coverage | set(outcome.coverage)
+    record.spec_violations = outcome.kinds()
+
+    try:
+        clsim_c = run_clsim_leg(program, a, b, c, device=device)
+    except ReproError as exc:
+        record.classification = "reject:clsim"
+        record.detail = str(exc)
+        return record
+
+    if outcome.violations:
+        flagged = bool(analyzer_errors)
+        kinds = ",".join(outcome.kinds())
+        record.classification = (
+            f"spec_ub_flagged:{kinds}" if flagged
+            else f"spec_ub_unflagged:{kinds}"
+        )
+        record.detail = "; ".join(
+            f"{v.kind} at {v.site} (wi {v.wi}, phase {v.phase}): {v.detail}"
+            for v in outcome.violations[:5]
+        )
+        return record
+
+    mask = group_mask(p, program.shape, groups)
+    spec_vs_ref = _masked_error(spec_c, reference, mask)
+    clsim_vs_ref = _masked_error(clsim_c, reference, mask)
+    spec_vs_clsim = _masked_error(spec_c, clsim_c, mask)
+    record.errors = {
+        "spec_vs_ref": spec_vs_ref,
+        "clsim_vs_ref": clsim_vs_ref,
+        "spec_vs_clsim": spec_vs_clsim,
+    }
+
+    spec_ok = spec_vs_ref <= tol
+    clsim_ok = clsim_vs_ref <= tol
+    if spec_vs_clsim <= tol and spec_ok and clsim_ok:
+        if analyzer_errors:
+            record.classification = "analyzer_spurious"
+            record.detail = ", ".join(analyzer_errors)
+        return record
+    if spec_ok and not clsim_ok:
+        record.classification = "value_mismatch:clsim"
+    elif clsim_ok and not spec_ok:
+        record.classification = "value_mismatch:source"
+    else:
+        record.classification = "value_mismatch:both"
+    record.detail = (
+        f"spec_vs_ref={spec_vs_ref:.3e} clsim_vs_ref={clsim_vs_ref:.3e} "
+        f"spec_vs_clsim={spec_vs_clsim:.3e} tol={tol:g}"
+    )
+    return record
+
+
+def run_differential(
+    programs: Sequence[SpecProgram],
+    device: str = "tahiti",
+    analyzer_device: Optional[str] = None,
+    max_ops: Optional[int] = None,
+    progress=None,
+) -> DifferentialReport:
+    """Classify a corpus; ``progress`` (if given) is called per record."""
+    report = DifferentialReport()
+    for program in programs:
+        record = classify_program(
+            program, device=device, analyzer_device=analyzer_device,
+            max_ops=max_ops,
+        )
+        report.records.append(record)
+        if progress is not None:
+            progress(record)
+    return report

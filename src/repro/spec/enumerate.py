@@ -1,0 +1,214 @@
+"""Enumerative model-based program generation for the spec harness.
+
+Random fuzzing (``tests/fuzz``) samples the *production* parameter space
+through :func:`repro.codegen.space.enumerate_space`, inheriting its
+device filters (minimum work-group occupancy, register-budget caps) and
+its hash-sampling bias.  This module is the complementary strategy from
+the MBT-vs-fuzzing methodology: walk a *grammar* of kernel shapes
+systematically, smallest programs first, with canonical-form pruning —
+so the corpus includes exactly the structural corner cases the fuzzer's
+filters exclude (single-work-item groups, ``Kwg``-sized problems,
+``K < Kwg`` guarded pipelines, every shared/guarded/image/layout
+combination at minimal blocking).
+
+Every enumerated program is a (:class:`KernelParams`, shape, alpha,
+beta) quadruple that is *expected to be correct*: the generator only
+emits validated parameter vectors, and shapes satisfy
+``KernelPlan.check_problem``.  Any spec-observed violation or
+spec/clsim value disagreement on an enumerated program is therefore a
+finding, not noise.
+
+Determinism: the walk order is a fixed nested iteration; alpha/beta are
+chosen by a content digest of the program, not by a shared RNG, so
+inserting new grammar axes never reshuffles existing programs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.layouts import Layout
+from repro.codegen.params import KernelParams, StrideMode
+from repro.errors import ParameterError
+
+__all__ = ["SpecProgram", "enumerate_programs", "program_cost"]
+
+_ALPHAS = (1.0, -1.0, 1.5)
+_BETAS = (0.0, 1.0, 0.75)
+
+
+@dataclass(frozen=True)
+class SpecProgram:
+    """One differential-harness input: a kernel plus a launch."""
+
+    index: int
+    params: KernelParams
+    shape: Tuple[int, int, int]
+    alpha: float
+    beta: float
+    origin: str = "mbt"
+
+    def describe(self) -> str:
+        M, N, K = self.shape
+        return (
+            f"{self.origin}[{self.index}] {M}x{N}x{K} "
+            f"alpha={self.alpha} beta={self.beta} :: {self.params.summary()}"
+        )
+
+
+def program_cost(params: KernelParams, shape: Tuple[int, int, int]) -> int:
+    """Rough interpreter cost: multiply-adds in one work-group's tile."""
+    _, _, K = shape
+    k_span = -(-K // params.kwg) * params.kwg
+    return params.mwg * params.nwg * k_span
+
+
+def _digest_pick(seq, *key_parts) -> object:
+    digest = hashlib.sha256("|".join(str(p) for p in key_parts).encode()).digest()
+    return seq[digest[0] % len(seq)]
+
+
+def _shapes_for(p: KernelParams) -> List[Tuple[int, int, int]]:
+    """Launchable shapes, small-to-large, for one parameter vector."""
+    kmin = p.algorithm.min_k_iterations
+    if not p.guard_edges:
+        shapes = [
+            (p.mwg, p.nwg, p.kwg * kmin),           # single tile, minimal K
+            (p.mwg * 2, p.nwg, p.kwg * (kmin + 1)),  # multi-tile, longer pipe
+        ]
+        return shapes
+    half = max(1, p.kwg // 2)
+    return [
+        (p.mwg, p.nwg, p.kwg),                       # exact tile via guards
+        (p.mwg + 1, max(1, p.nwg - 1), p.kwg + half),  # ragged all dims
+        (max(1, p.mwg - 1), p.nwg + 1, half),        # K < Kwg: empty pipe body
+    ]
+
+
+def _grammar() -> Iterator[Tuple[KernelParams, str]]:
+    """Walk the kernel-shape grammar; yields (params, canonical key).
+
+    The axes are deliberately minimal-blocking: the goal is structural
+    coverage (which loops, barriers, guards, vector widths exist), not
+    performance-space coverage, so each axis contributes its smallest
+    interesting values and the combination count stays enumerable.
+    """
+    blockings = (
+        # (mwg, nwg, kwg, mdimc, ndimc)
+        (4, 4, 4, 2, 2),    # minimal square
+        (8, 4, 4, 2, 2),    # M-heavy work per item
+        (4, 8, 4, 2, 4),    # N-heavy group
+        (8, 8, 8, 2, 2),    # room for vw=4 and reshapes
+        (4, 4, 4, 1, 1),    # single-work-item group (never fuzzed)
+        (8, 8, 4, 4, 4),    # one C element per item, wide group
+        (16, 8, 8, 4, 2),   # vw=8-capable N... via nwi=4? kept for kwi=4
+    )
+    shared_modes = ((False, False), (True, False), (False, True), (True, True))
+    for (mwg, nwg, kwg, mdimc, ndimc) in blockings:
+        for algorithm in (Algorithm.BA, Algorithm.PL, Algorithm.DB):
+            for shared_a, shared_b in shared_modes:
+                if algorithm is Algorithm.PL and not (shared_a or shared_b):
+                    continue  # canonical: PL without sharing emits the BA body
+                for kwi in (1, 2):
+                    for vw in (1, 2, 4):
+                        for stride_m, stride_n in (
+                            (False, False), (True, True), (False, True),
+                        ):
+                            for guard_edges in (False, True):
+                                for use_images in (False, True):
+                                    if use_images and not guard_edges:
+                                        variants = _layout_variants(False)
+                                    elif use_images:
+                                        variants = ((Layout.ROW, Layout.ROW, 0, 0),)
+                                    else:
+                                        variants = _layout_variants(guard_edges)
+                                    for la, lb, mdima, ndimb in variants:
+                                        try:
+                                            p = KernelParams(
+                                                precision="d",
+                                                mwg=mwg, nwg=nwg, kwg=kwg,
+                                                mdimc=mdimc, ndimc=ndimc,
+                                                kwi=kwi, vw=vw,
+                                                stride=StrideMode(stride_m, stride_n),
+                                                shared_a=shared_a,
+                                                shared_b=shared_b,
+                                                mdima=mdima, ndimb=ndimb,
+                                                layout_a=la, layout_b=lb,
+                                                algorithm=algorithm,
+                                                use_images=use_images,
+                                                guard_edges=guard_edges,
+                                            )
+                                        except ParameterError:
+                                            continue
+                                        yield p, p.cache_key()
+
+
+def _layout_variants(include_blocked: bool):
+    """(layout_a, layout_b, mdima, ndimb) combinations for one grammar node."""
+    variants = [(Layout.ROW, Layout.ROW, 0, 0)]
+    if include_blocked:
+        return tuple(variants)
+    variants += [
+        (Layout.CBL, Layout.RBL, 0, 0),
+        (Layout.RBL, Layout.CBL, 0, 0),
+        # staging reshape: tall and wide loader grids
+        (Layout.ROW, Layout.ROW, 1, 0),
+        (Layout.ROW, Layout.ROW, 0, 1),
+    ]
+    return tuple(variants)
+
+
+def enumerate_programs(
+    limit: Optional[int] = None,
+    precisions: Tuple[str, ...] = ("d", "s"),
+) -> List[SpecProgram]:
+    """Enumerate the MBT corpus, smallest interpreter cost first.
+
+    ``limit`` truncates *after* ordering, so a bounded run is always a
+    fixed prefix of the unbounded corpus — tier-1 runs a prefix of
+    exactly what CI runs in full.  Cost ties are broken by each
+    program's rank *within its blocking row*, which interleaves the
+    blockings: a bounded prefix then crosses every structural axis that
+    has programs at that cost (notably the single-work-item blocking)
+    instead of draining the grammar's first blocking row.
+    """
+    entries: List[Tuple[int, int, int, KernelParams, Tuple[int, int, int]]] = []
+    seen = set()
+    ranks: dict = {}
+    order = 0
+    for base_params, key in _grammar():
+        for precision in precisions:
+            p = base_params if precision == "d" else _with_precision(base_params)
+            cache_key = p.cache_key()
+            if cache_key in seen:
+                continue  # canonical-form pruning (e.g. mdima == mdimc)
+            seen.add(cache_key)
+            blocking = (p.mwg, p.nwg, p.kwg, p.mdimc, p.ndimc)
+            for shape in _shapes_for(p):
+                rank = ranks.get(blocking, 0)
+                ranks[blocking] = rank + 1
+                entries.append((program_cost(p, shape), rank, order, p, shape))
+                order += 1
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+    if limit is not None:
+        entries = entries[:limit]
+    programs = []
+    for index, (_, _, _, p, shape) in enumerate(entries):
+        programs.append(SpecProgram(
+            index=index,
+            params=p,
+            shape=shape,
+            alpha=float(_digest_pick(_ALPHAS, "alpha", p.cache_key(), shape)),
+            beta=float(_digest_pick(_BETAS, "beta", p.cache_key(), shape)),
+        ))
+    return programs
+
+
+def _with_precision(p: KernelParams) -> KernelParams:
+    from dataclasses import replace
+
+    return replace(p, precision="s")

@@ -1,0 +1,1285 @@
+"""Executable semantics for the emitted OpenCL subset (the "sloppy VM").
+
+This is the spec half of the differential harness: a deliberately slow,
+deliberately literal interpreter for the kernel *source text* that
+:func:`repro.codegen.emitter.emit_kernel_source` produces.  Where the
+simulator executes a plan reconstructed from the metadata header, the
+spec executes the C — so the two agree only if the emitted text itself
+is correct.
+
+Semantics implemented (simplifications are documented in
+``docs/spec_testing.md``):
+
+* **Work-items and phases** — every work-item of a work-group runs
+  lock-step between barriers.  Work-items are advanced sequentially
+  within a phase; this is sound because any same-phase conflicting
+  access pair to local memory is reported as a race, making the
+  interleaving unobservable for race-free programs.
+* **Barriers** — all live work-items must arrive at the *same* barrier
+  call site, or all must finish; anything else is divergent-barrier UB
+  and is reported.
+* **Address spaces** — ``__global`` buffers (host-initialised),
+  ``__local`` arrays (group-shared, poison until written) and private
+  arrays/scalars (per-work-item, poison until written).  Reads of
+  uninitialised local/private cells return poison *and* record a
+  violation; poison that reaches a global store, a branch condition, an
+  index or an image coordinate is a separate escape violation.
+* **Races** — per-cell last-reader/last-writer tracking with the phase
+  counter flags same-phase cross-work-item R/W, W/R and W/W pairs on
+  local memory, and cross-work-item W/W on global memory.
+* **Arithmetic** — fp64 is Python float (IEEE binary64) exactly; fp32
+  rounds *every* operation result through binary32
+  (``struct`` round-trip), including each ``mad`` step; integer ``/``
+  and ``%`` use C truncating semantics.
+* **Vectors** — ``vloadN``/``vstoreN`` on ``&buf[i]`` pointers, vector
+  constructors, ``.x/.xy/.sN`` component access; a vector whose lanes
+  include poison collapses to poison.
+* **Images** — ``read_imagef``/``read_imageui`` with
+  ``CLK_ADDRESS_NONE`` (out-of-range is UB: violation + poison),
+  ``CLK_ADDRESS_CLAMP`` (zero border) and ``CLK_ADDRESS_CLAMP_TO_EDGE``
+  (coordinate clamp); the fp64 idiom
+  ``as_double(read_imageui(...).xy)`` reassembles the double from its
+  two little-endian 32-bit halves.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.spec.cparse import (
+    AddrOf,
+    Assign,
+    Barrier,
+    Bin,
+    Block,
+    Call,
+    Cond,
+    Construct,
+    Continue,
+    DeclArray,
+    DeclVar,
+    Deref,
+    ExprStmt,
+    For,
+    If,
+    Index,
+    KernelDef,
+    Member,
+    Num,
+    SpecParseError,
+    Un,
+    Var,
+    parse_kernel_source,
+)
+
+__all__ = [
+    "SpecError",
+    "Poison",
+    "Vec",
+    "SpecBuffer",
+    "SpecImage",
+    "LocalArray",
+    "PrivateArray",
+    "SpecViolation",
+    "SpecOutcome",
+    "Machine",
+    "run_kernel",
+    "OPENCL_CONSTANTS",
+    "fp32",
+]
+
+
+class SpecError(ReproError):
+    """The spec interpreter could not execute the program."""
+
+
+_F32 = struct.Struct("<f")
+_U32X2 = struct.Struct("<II")
+_F64 = struct.Struct("<d")
+
+
+def fp32(x: float) -> float:
+    """Round ``x`` to the nearest IEEE binary32 value (round-to-nearest-even)."""
+    try:
+        return _F32.unpack(_F32.pack(x))[0]
+    except OverflowError:
+        return math.inf if x > 0 else -math.inf
+
+
+class Poison:
+    """An indeterminate value (uninitialised read / UB result)."""
+
+    __slots__ = ("origin",)
+
+    def __init__(self, origin: str):
+        self.origin = origin
+
+    def __repr__(self) -> str:
+        return f"<poison from {self.origin}>"
+
+
+class Vec:
+    """An OpenCL vector value: a flat list of scalar lanes."""
+
+    __slots__ = ("v",)
+
+    def __init__(self, comps: List[object]):
+        self.v = comps
+
+    def __repr__(self) -> str:
+        return f"Vec({self.v!r})"
+
+
+class _Uninit:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<uninit>"
+
+
+UNINIT = _Uninit()
+CONTINUE = object()  # statement result sentinel for C `continue`
+
+#: Spec-internal encodings for the OpenCL named constants the emitted
+#: source uses.  The *values* are private to the spec (a real OpenCL
+#: implementation defines its own); only the decode in `_read_image`
+#: depends on them.
+OPENCL_CONSTANTS: Dict[str, int] = {
+    "CLK_LOCAL_MEM_FENCE": 1,
+    "CLK_GLOBAL_MEM_FENCE": 2,
+    "CLK_NORMALIZED_COORDS_FALSE": 0,
+    "CLK_NORMALIZED_COORDS_TRUE": 1,
+    "CLK_ADDRESS_NONE": 1 << 4,
+    "CLK_ADDRESS_CLAMP": 2 << 4,
+    "CLK_ADDRESS_CLAMP_TO_EDGE": 3 << 4,
+    "CLK_ADDRESS_REPEAT": 4 << 4,
+    "CLK_FILTER_NEAREST": 0,
+    "CLK_FILTER_LINEAR": 1 << 8,
+}
+
+_ADDRESS_NAMES = {1: "none", 2: "clamp", 3: "clamp_to_edge", 4: "repeat"}
+
+
+@dataclass(frozen=True)
+class SpecViolation:
+    kind: str
+    site: str
+    wi: Tuple[int, ...]
+    phase: int
+    detail: str = ""
+
+
+@dataclass
+class SpecOutcome:
+    violations: List[SpecViolation]
+    coverage: Dict[str, int]
+    ops: int
+    groups: List[Tuple[int, int]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({v.kind for v in self.violations}))
+
+
+class Machine:
+    """Shared interpreter state for one kernel launch."""
+
+    def __init__(self, precision: str, max_ops: Optional[int] = None):
+        self.precision = precision
+        self.round32 = precision == "s"
+        self.wi: Tuple[int, ...] = (0, 0)  # local id within the group
+        self.gwi: Tuple[int, ...] = (0, 0, 0, 0)  # global identity
+        self.phase = 0
+        self.group_locals: Dict[str, "LocalArray"] = {}
+        self.violations: List[SpecViolation] = []
+        self._seen: set = set()
+        self.coverage: Dict[str, int] = {}
+        self.ops = 0
+        self.max_ops = max_ops
+
+    def violate(self, kind: str, site: str, detail: str = "") -> None:
+        key = (kind, site)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if len(self.violations) < 200:
+            self.violations.append(
+                SpecViolation(kind=kind, site=site, wi=self.wi,
+                              phase=self.phase, detail=detail)
+            )
+
+    def cov(self, key: str, n: int = 1) -> None:
+        self.coverage[key] = self.coverage.get(key, 0) + n
+
+    def tick(self, n: int = 1) -> None:
+        self.ops += n
+        if self.max_ops is not None and self.ops > self.max_ops:
+            raise SpecError(
+                f"spec interpreter exceeded its operation budget "
+                f"({self.max_ops} ops)"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Memory objects
+# ---------------------------------------------------------------------------
+
+class SpecBuffer:
+    """A ``__global`` buffer; host-initialised, flat scalar storage."""
+
+    __slots__ = ("name", "values", "readonly", "_writer")
+
+    def __init__(self, values: Sequence[float], name: str = "buf",
+                 readonly: bool = False):
+        self.name = name
+        self.values: List[object] = list(values)
+        self.readonly = readonly
+        self._writer: Dict[int, Tuple[int, ...]] = {}
+
+    def load(self, i: object, m: Machine) -> object:
+        if type(i) is not int:
+            m.violate("noninteger_index", f"read {self.name}")
+            return Poison(f"{self.name}[non-int]")
+        if not 0 <= i < len(self.values):
+            m.violate("global_oob_read", f"{self.name}[{i}]",
+                      f"size {len(self.values)}")
+            return Poison(f"{self.name}[{i}] out of bounds")
+        m.tick()
+        return self.values[i]
+
+    def store(self, i: object, v: object, m: Machine) -> None:
+        if type(i) is not int:
+            m.violate("noninteger_index", f"write {self.name}")
+            return
+        if not 0 <= i < len(self.values):
+            m.violate("global_oob_write", f"{self.name}[{i}]",
+                      f"size {len(self.values)}")
+            return
+        if self.readonly:
+            m.violate("readonly_write", f"{self.name}[{i}]")
+            return
+        if isinstance(v, Poison):
+            m.violate("poison_escape", f"{self.name}[{i}]", v.origin)
+        prev = self._writer.get(i)
+        if prev is not None and prev != m.gwi:
+            m.violate("global_write_race", f"{self.name}[{i}]",
+                      f"written by work-items {prev} and {m.gwi}")
+        self._writer[i] = m.gwi
+        m.tick()
+        self.values[i] = v
+
+
+class LocalArray:
+    """A ``__local`` array: group-shared, uninitialised, race-tracked."""
+
+    __slots__ = ("name", "values", "_w_wi", "_w_ph", "_r_wi", "_r_ph")
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.values: List[object] = [UNINIT] * size
+        self._w_wi: List[object] = [None] * size
+        self._w_ph = [-1] * size
+        self._r_wi: List[object] = [None] * size
+        self._r_ph = [-1] * size
+
+    def load(self, i: object, m: Machine) -> object:
+        if type(i) is not int:
+            m.violate("noninteger_index", f"read {self.name}")
+            return Poison(f"{self.name}[non-int]")
+        if not 0 <= i < len(self.values):
+            m.violate("local_oob_read", f"{self.name}[{i}]",
+                      f"size {len(self.values)}")
+            return Poison(f"{self.name}[{i}] out of bounds")
+        if self._w_ph[i] == m.phase and self._w_wi[i] != m.wi:
+            m.violate("local_race", f"{self.name}[{i}]",
+                      f"read by {m.wi} races write by {self._w_wi[i]} "
+                      f"in phase {m.phase}")
+        self._r_wi[i] = m.wi
+        self._r_ph[i] = m.phase
+        m.tick()
+        v = self.values[i]
+        if v is UNINIT:
+            m.violate("uninit_local_read", f"{self.name}[{i}]")
+            return Poison(f"uninitialised {self.name}[{i}]")
+        return v
+
+    def store(self, i: object, v: object, m: Machine) -> None:
+        if type(i) is not int:
+            m.violate("noninteger_index", f"write {self.name}")
+            return
+        if not 0 <= i < len(self.values):
+            m.violate("local_oob_write", f"{self.name}[{i}]",
+                      f"size {len(self.values)}")
+            return
+        if self._w_ph[i] == m.phase and self._w_wi[i] != m.wi:
+            m.violate("local_race", f"{self.name}[{i}]",
+                      f"writes by {self._w_wi[i]} and {m.wi} "
+                      f"in phase {m.phase}")
+        if self._r_ph[i] == m.phase and self._r_wi[i] != m.wi:
+            m.violate("local_race", f"{self.name}[{i}]",
+                      f"write by {m.wi} races read by {self._r_wi[i]} "
+                      f"in phase {m.phase}")
+        self._w_wi[i] = m.wi
+        self._w_ph[i] = m.phase
+        m.tick()
+        self.values[i] = v
+
+
+class PrivateArray:
+    """A per-work-item array; uninitialised cells read as poison."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.values: List[object] = [UNINIT] * size
+
+    def load(self, i: object, m: Machine) -> object:
+        if type(i) is not int:
+            m.violate("noninteger_index", f"read {self.name}")
+            return Poison(f"{self.name}[non-int]")
+        if not 0 <= i < len(self.values):
+            m.violate("private_oob_read", f"{self.name}[{i}]",
+                      f"size {len(self.values)}")
+            return Poison(f"{self.name}[{i}] out of bounds")
+        m.tick()
+        v = self.values[i]
+        if v is UNINIT:
+            m.violate("uninit_private_read", f"{self.name}[{i}]")
+            return Poison(f"uninitialised {self.name}[{i}]")
+        return v
+
+    def store(self, i: object, v: object, m: Machine) -> None:
+        if type(i) is not int:
+            m.violate("noninteger_index", f"write {self.name}")
+            return
+        if not 0 <= i < len(self.values):
+            m.violate("private_oob_write", f"{self.name}[{i}]",
+                      f"size {len(self.values)}")
+            return
+        m.tick()
+        self.values[i] = v
+
+
+class SpecImage:
+    """A 2-D read-only image: ``texel(x, y) == rows[y][x]``."""
+
+    __slots__ = ("name", "width", "height", "rows", "precision")
+
+    def __init__(self, rows: Sequence[Sequence[float]], precision: str,
+                 name: str = "img"):
+        self.name = name
+        self.rows = [list(r) for r in rows]
+        self.height = len(self.rows)
+        self.width = len(self.rows[0]) if self.rows else 0
+        self.precision = precision
+
+    def load(self, i: object, m: Machine) -> object:  # pragma: no cover
+        m.violate("image_subscript", self.name,
+                  "images are read through read_image*, not subscripts")
+        return Poison(f"{self.name} subscripted")
+
+    def store(self, i: object, v: object, m: Machine) -> None:  # pragma: no cover
+        m.violate("image_subscript", self.name)
+
+
+class Ptr:
+    """``&buf[i]`` — the only pointer value the subset produces."""
+
+    __slots__ = ("arr", "base")
+
+    def __init__(self, arr: object, base: int):
+        self.arr = arr
+        self.base = base
+
+
+# ---------------------------------------------------------------------------
+# Scalar / vector arithmetic
+# ---------------------------------------------------------------------------
+
+def _c_idiv(a: int, b: int, m: Machine, site: str) -> object:
+    if b == 0:
+        m.violate("division_by_zero", site)
+        return Poison(f"{site}: division by zero")
+    q = a // b
+    if (a % b != 0) and ((a < 0) != (b < 0)):
+        q += 1  # C rounds toward zero, Python toward -inf
+    return q
+
+
+def _scalar_op(op: str, a: object, b: object, m: Machine) -> object:
+    if isinstance(a, Poison):
+        return a
+    if isinstance(b, Poison):
+        return b
+    if op == "+":
+        r = a + b
+    elif op == "-":
+        r = a - b
+    elif op == "*":
+        r = a * b
+    elif op == "/":
+        if isinstance(a, int) and isinstance(b, int):
+            return _c_idiv(a, b, m, "integer division")
+        if b == 0:
+            m.violate("division_by_zero", "fp division")
+            try:
+                r = math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+            except TypeError:  # pragma: no cover
+                r = math.nan
+        else:
+            r = a / b
+    elif op == "%":
+        if not (isinstance(a, int) and isinstance(b, int)):
+            m.violate("fp_modulo", "%")
+            return Poison("% on non-integers")
+        q = _c_idiv(a, b, m, "integer modulo")
+        if isinstance(q, Poison):
+            return q
+        return a - q * b
+    elif op == "==":
+        return int(a == b)
+    elif op == "!=":
+        return int(a != b)
+    elif op == "<":
+        return int(a < b)
+    elif op == ">":
+        return int(a > b)
+    elif op == "<=":
+        return int(a <= b)
+    elif op == ">=":
+        return int(a >= b)
+    elif op in ("|", "&", "^"):
+        if not (isinstance(a, int) and isinstance(b, int)):
+            m.violate("bitwise_on_float", op)
+            return Poison("bitwise op on non-integers")
+        r = a | b if op == "|" else (a & b if op == "&" else a ^ b)
+    else:  # pragma: no cover
+        raise SpecError(f"unknown binary operator {op!r}")
+    if m.round32 and isinstance(r, float):
+        r = fp32(r)
+    return r
+
+
+def _binop(op: str, a: object, b: object, m: Machine) -> object:
+    av, bv = isinstance(a, Vec), isinstance(b, Vec)
+    if not av and not bv:
+        return _scalar_op(op, a, b, m)
+    if isinstance(a, Poison):
+        return a
+    if isinstance(b, Poison):
+        return b
+    if av and bv:
+        if len(a.v) != len(b.v):
+            m.violate("vector_width_mismatch", op)
+            return Poison("vector width mismatch")
+        comps = [_scalar_op(op, x, y, m) for x, y in zip(a.v, b.v)]
+    elif av:
+        comps = [_scalar_op(op, x, b, m) for x in a.v]
+    else:
+        comps = [_scalar_op(op, a, y, m) for y in b.v]
+    for c in comps:
+        if isinstance(c, Poison):
+            return c
+    return Vec(comps)
+
+
+def _is_poison(v: object) -> Optional[Poison]:
+    if isinstance(v, Poison):
+        return v
+    if isinstance(v, Vec):
+        for c in v.v:
+            if isinstance(c, Poison):
+                return c
+    return None
+
+
+def _truthy(v: object, m: Machine, site: str) -> bool:
+    p = _is_poison(v)
+    if p is not None:
+        m.violate("poison_branch", site, p.origin)
+        return False
+    return v != 0
+
+
+# ---------------------------------------------------------------------------
+# Compiler: AST -> Python closures
+# ---------------------------------------------------------------------------
+
+_COMP_XYZW = {"x": 0, "y": 1, "z": 2, "w": 3}
+_VEC_WIDTHS = (2, 4, 8, 16)
+
+
+def _component_indices(name: str) -> List[int]:
+    if name and name[0] == "s" and len(name) > 1 and \
+            all(c in "0123456789abcdefABCDEF" for c in name[1:]):
+        return [int(c, 16) for c in name[1:]]
+    if name and all(c in _COMP_XYZW for c in name):
+        return [_COMP_XYZW[c] for c in name]
+    raise SpecParseError(f"unsupported vector component accessor .{name}")
+
+
+class _Compiler:
+    def __init__(self, m: Machine):
+        self.m = m
+
+    # -- expressions ----------------------------------------------------
+    def expr(self, node: object):
+        m = self.m
+        if isinstance(node, Num):
+            v = float(node.value) if node.is_float else int(node.value)
+            if node.is_float and m.round32:
+                v = fp32(v)
+            return lambda env: v
+        if isinstance(node, Var):
+            name = node.name
+            def var(env, _name=name):
+                try:
+                    return env[_name]
+                except KeyError:
+                    raise SpecError(f"undefined identifier {_name!r}")
+            return var
+        if isinstance(node, Bin):
+            return self._bin(node)
+        if isinstance(node, Un):
+            return self._un(node)
+        if isinstance(node, Cond):
+            c = self.expr(node.cond)
+            t = self.expr(node.then)
+            o = self.expr(node.other)
+            def cond(env):
+                return t(env) if _truthy(c(env), m, "?:") else o(env)
+            return cond
+        if isinstance(node, Index):
+            name = node.base
+            idx = self.expr(node.index)
+            def index(env):
+                i = idx(env)
+                p = _is_poison(i)
+                if p is not None:
+                    m.violate("poison_index", f"read {name}", p.origin)
+                    return p
+                return env[name].load(i, m)
+            return index
+        if isinstance(node, Member):
+            base = self.expr(node.base)
+            comps = _component_indices(node.name)
+            single = comps[0] if len(comps) == 1 else None
+            def member(env):
+                v = base(env)
+                if isinstance(v, Poison):
+                    return v
+                if not isinstance(v, Vec):
+                    m.violate("component_of_scalar", f".{node.name}")
+                    return Poison(f"component .{node.name} of a scalar")
+                if max(comps) >= len(v.v):
+                    m.violate("component_out_of_range", f".{node.name}")
+                    return Poison(f".{node.name} out of range")
+                if single is not None:
+                    return v.v[single]
+                return Vec([v.v[i] for i in comps])
+            return member
+        if isinstance(node, Construct):
+            return self._construct(node)
+        if isinstance(node, Call):
+            return self._call(node)
+        if isinstance(node, AddrOf):
+            name = node.target.base
+            idx = self.expr(node.target.index)
+            def addrof(env):
+                i = idx(env)
+                p = _is_poison(i)
+                if p is not None:
+                    m.violate("poison_index", f"&{name}[...]", p.origin)
+                    return p
+                return Ptr(env[name], i)
+            return addrof
+        if isinstance(node, Deref):
+            ptr = self.expr(node.pointer)
+            def deref(env):
+                p = ptr(env)
+                if isinstance(p, Poison):
+                    return p
+                if not isinstance(p, Ptr):
+                    raise SpecError("dereference of a non-pointer value")
+                return p.arr.load(p.base, m)
+            return deref
+        raise SpecError(f"cannot compile expression node {node!r}")
+
+    def _bin(self, node: Bin):
+        m = self.m
+        op = node.op
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        if op == "&&":
+            def land(env):
+                a = left(env)
+                p = _is_poison(a)
+                if p is not None:
+                    m.violate("poison_branch", "&&", p.origin)
+                    return 0
+                if a == 0:
+                    return 0
+                return 1 if _truthy(right(env), m, "&&") else 0
+            return land
+        if op == "||":
+            def lor(env):
+                a = left(env)
+                p = _is_poison(a)
+                if p is not None:
+                    m.violate("poison_branch", "||", p.origin)
+                    return 1
+                if a != 0:
+                    return 1
+                return 1 if _truthy(right(env), m, "||") else 0
+            return lor
+        def bin_(env):
+            return _binop(op, left(env), right(env), m)
+        return bin_
+
+    def _un(self, node: Un):
+        m = self.m
+        operand = self.expr(node.operand)
+        op = node.op
+        def un(env):
+            v = operand(env)
+            if isinstance(v, Poison):
+                return v
+            if isinstance(v, Vec):
+                if op == "-":
+                    return _binop("-", Vec([0] * len(v.v)), v, m)
+                m.violate("unsupported_vector_unary", op)
+                return Poison(f"unary {op} on a vector")
+            if op == "-":
+                r = -v
+                if m.round32 and isinstance(r, float):
+                    r = fp32(r)
+                return r
+            if op == "!":
+                return int(v == 0)
+            if op == "~":
+                if not isinstance(v, int):
+                    m.violate("bitwise_on_float", "~")
+                    return Poison("~ on a non-integer")
+                return ~v
+            raise SpecError(f"unknown unary operator {op!r}")  # pragma: no cover
+        return un
+
+    def _construct(self, node: Construct):
+        m = self.m
+        ctype = node.ctype
+        args = [self.expr(a) for a in node.args]
+        vm = re.match(r"^(float|double|int|uint)(\d+)$", ctype)
+        if vm:
+            base, width = vm.group(1), int(vm.group(2))
+            is_float = base in ("float", "double")
+            def cast_lane(x):
+                if isinstance(x, Poison):
+                    return x
+                if is_float:
+                    x = float(x)
+                    return fp32(x) if (base == "float" or m.round32) else x
+                return int(x)
+            if len(args) == 1:
+                a0 = args[0]
+                def broadcast(env):
+                    v = a0(env)
+                    if isinstance(v, Poison):
+                        return v
+                    if isinstance(v, Vec):
+                        if len(v.v) != width:
+                            m.violate("vector_width_mismatch", f"({ctype})")
+                            return Poison("constructor width mismatch")
+                        comps = [cast_lane(x) for x in v.v]
+                    else:
+                        comps = [cast_lane(v)] * width
+                    for c in comps:
+                        if isinstance(c, Poison):
+                            return c
+                    return Vec(comps)
+                return broadcast
+            if len(args) != width:
+                raise SpecParseError(
+                    f"({ctype}) constructor takes 1 or {width} arguments, "
+                    f"got {len(args)}"
+                )
+            def construct(env):
+                comps = []
+                for a in args:
+                    v = a(env)
+                    if isinstance(v, Vec):
+                        m.violate("nested_vector_constructor", f"({ctype})")
+                        return Poison("vector inside vector constructor")
+                    if isinstance(v, Poison):
+                        return v
+                    comps.append(cast_lane(v))
+                return Vec(comps)
+            return construct
+        if len(args) != 1:
+            raise SpecParseError(f"({ctype}) cast takes one operand")
+        a0 = args[0]
+        if ctype == "void":
+            def void(env):
+                a0(env)
+                return None
+            return void
+        if ctype in ("float", "double"):
+            def fcast(env):
+                v = a0(env)
+                if isinstance(v, Poison):
+                    return v
+                if isinstance(v, Vec):
+                    m.violate("scalar_cast_of_vector", f"({ctype})")
+                    return Poison("scalar cast of a vector")
+                v = float(v)
+                return fp32(v) if (ctype == "float" or m.round32) else v
+            return fcast
+        def icast(env):
+            v = a0(env)
+            if isinstance(v, Poison):
+                return v
+            if isinstance(v, Vec):
+                m.violate("scalar_cast_of_vector", f"({ctype})")
+                return Poison("scalar cast of a vector")
+            return int(v)  # trunc toward zero, matching C conversions
+        return icast
+
+    def _call(self, node: Call):
+        m = self.m
+        name = node.name
+        args = [self.expr(a) for a in node.args]
+        if name in ("get_local_id", "get_group_id", "get_global_id",
+                    "get_local_size", "get_global_size", "get_num_groups"):
+            if len(args) != 1 or not isinstance(node.args[0], Num):
+                raise SpecParseError(
+                    f"line {node.line}: {name} wants a literal dimension"
+                )
+            d = int(node.args[0].value)
+            if name == "get_local_id":
+                return lambda env: env["__lid"][d]
+            if name == "get_group_id":
+                return lambda env: env["__gid"][d]
+            if name == "get_global_id":
+                return lambda env: (env["__gid"][d] * env["__lsz"][d]
+                                    + env["__lid"][d])
+            if name == "get_local_size":
+                return lambda env: env["__lsz"][d]
+            if name == "get_num_groups":
+                return lambda env: env["__ngrp"][d]
+            return lambda env: env["__ngrp"][d] * env["__lsz"][d]
+        if name == "mad":
+            if len(args) != 3:
+                raise SpecParseError(f"line {node.line}: mad takes 3 arguments")
+            a0, a1, a2 = args
+            def mad(env):
+                m.cov("mad")
+                m.tick()
+                return _binop("+", _binop("*", a0(env), a1(env), m),
+                              a2(env), m)
+            return mad
+        vl = re.match(r"^vload(\d+)$", name)
+        if vl:
+            width = int(vl.group(1))
+            if width not in _VEC_WIDTHS or len(args) != 2:
+                raise SpecParseError(f"line {node.line}: bad {name} call")
+            offc, ptrc = args
+            def vload(env):
+                off = offc(env)
+                p = ptrc(env)
+                if isinstance(p, Poison):
+                    return p
+                if isinstance(off, Poison):
+                    m.violate("poison_index", name, off.origin)
+                    return off
+                if not isinstance(p, Ptr):
+                    raise SpecError(f"{name}: second argument is not &buf[i]")
+                base = p.base + off * width
+                comps = [p.arr.load(base + j, m) for j in range(width)]
+                m.cov(f"vload{width}")
+                for c in comps:
+                    if isinstance(c, Poison):
+                        return c
+                return Vec(comps)
+            return vload
+        vs = re.match(r"^vstore(\d+)$", name)
+        if vs:
+            width = int(vs.group(1))
+            if width not in _VEC_WIDTHS or len(args) != 3:
+                raise SpecParseError(f"line {node.line}: bad {name} call")
+            valc, offc, ptrc = args
+            def vstore(env):
+                val = valc(env)
+                off = offc(env)
+                p = ptrc(env)
+                if isinstance(p, Poison):
+                    return None
+                if isinstance(off, Poison):
+                    m.violate("poison_index", name, off.origin)
+                    return None
+                if not isinstance(p, Ptr):
+                    raise SpecError(f"{name}: third argument is not &buf[i]")
+                if isinstance(val, Poison):
+                    comps: List[object] = [val] * width
+                elif isinstance(val, Vec) and len(val.v) == width:
+                    comps = val.v
+                else:
+                    m.violate("vector_width_mismatch", name)
+                    return None
+                base = p.base + off * width
+                m.cov(f"vstore{width}")
+                for j, c in enumerate(comps):
+                    p.arr.store(base + j, c, m)
+                return None
+            return vstore
+        if name in ("read_imagef", "read_imageui"):
+            if len(args) != 3:
+                raise SpecParseError(f"line {node.line}: bad {name} call")
+            imgc, smpc, coordc = args
+            return self._read_image(name, imgc, smpc, coordc)
+        if name == "as_double":
+            if len(args) != 1:
+                raise SpecParseError(f"line {node.line}: bad as_double call")
+            a0 = args[0]
+            def as_double(env):
+                v = a0(env)
+                p = _is_poison(v)
+                if p is not None:
+                    return p
+                if not isinstance(v, Vec) or len(v.v) != 2:
+                    m.violate("as_double_operand", "as_double",
+                              "expects a uint2 (two 32-bit halves)")
+                    return Poison("as_double of a non-uint2")
+                lo, hi = int(v.v[0]) & 0xFFFFFFFF, int(v.v[1]) & 0xFFFFFFFF
+                return _F64.unpack(_U32X2.pack(lo, hi))[0]
+            return as_double
+        if name == "barrier":
+            raise SpecParseError(
+                f"line {node.line}: barrier() in an expression context"
+            )
+        raise SpecParseError(
+            f"line {node.line}: unsupported builtin {name!r}"
+        )
+
+    def _read_image(self, func: str, imgc, smpc, coordc):
+        m = self.m
+        def read(env):
+            img = imgc(env)
+            flags = smpc(env)
+            coord = coordc(env)
+            if not isinstance(img, SpecImage):
+                raise SpecError(f"{func}: first argument is not an image")
+            p = _is_poison(coord)
+            if p is not None:
+                m.violate("poison_index", func, p.origin)
+                return p
+            if not isinstance(coord, Vec) or len(coord.v) != 2:
+                raise SpecError(f"{func}: coordinate is not an int2")
+            x, y = int(coord.v[0]), int(coord.v[1])
+            addressing = (int(flags) >> 4) & 0xF
+            mode = _ADDRESS_NAMES.get(addressing, "none")
+            m.cov(f"image:{func}:{mode}")
+            m.tick()
+            if int(flags) & OPENCL_CONSTANTS["CLK_FILTER_LINEAR"]:
+                m.violate("unsupported_sampler", func, "CLK_FILTER_LINEAR")
+                return Poison("linear filtering unsupported")
+            oob = not (0 <= x < img.width and 0 <= y < img.height)
+            if oob:
+                if mode == "none":
+                    m.violate("image_oob_read",
+                              f"{img.name}({x}, {y})",
+                              f"{img.width}x{img.height}, CLK_ADDRESS_NONE")
+                    return Poison(f"OOB image read {img.name}({x}, {y})")
+                if mode == "clamp":
+                    return Vec([0, 0, 0, 0] if func == "read_imageui"
+                               else [0.0, 0.0, 0.0, 0.0])
+                if mode == "clamp_to_edge":
+                    x = min(max(x, 0), img.width - 1)
+                    y = min(max(y, 0), img.height - 1)
+                else:
+                    m.violate("unsupported_sampler", func, mode)
+                    return Poison(f"sampler mode {mode} unsupported")
+            v = img.rows[y][x]
+            if func == "read_imagef":
+                if img.precision != "s":
+                    m.violate("image_channel_mismatch", func,
+                              "read_imagef on a 64-bit-texel image")
+                    return Poison("read_imagef on an fp64 image")
+                return Vec([fp32(v), 0.0, 0.0, 1.0])
+            if img.precision != "d":
+                m.violate("image_channel_mismatch", func,
+                          "read_imageui on a 32-bit float image")
+                return Poison("read_imageui on an fp32 image")
+            lo, hi = _U32X2.unpack(_F64.pack(float(v)))
+            return Vec([lo, hi, 0, 1])
+        return read
+
+    # -- statements -----------------------------------------------------
+    def has_barrier(self, node: object) -> bool:
+        if isinstance(node, Barrier):
+            return True
+        if isinstance(node, Block):
+            return any(self.has_barrier(s) for s in node.stmts)
+        if isinstance(node, For):
+            return self.has_barrier(node.body)
+        if isinstance(node, If):
+            return self.has_barrier(node.then) or (
+                node.other is not None and self.has_barrier(node.other)
+            )
+        return False
+
+    def block(self, node: Block) -> Tuple[bool, object]:
+        parts = [self.stmt(s) for s in node.stmts]
+        if not any(is_gen for is_gen, _ in parts):
+            fns = [f for _, f in parts]
+            def run(env):
+                for f in fns:
+                    if f(env) is CONTINUE:
+                        return CONTINUE
+                return None
+            return False, run
+        def gen(env):
+            for is_gen, f in parts:
+                r = (yield from f(env)) if is_gen else f(env)
+                if r is CONTINUE:
+                    return CONTINUE
+            return None
+        return True, gen
+
+    def stmt(self, node: object) -> Tuple[bool, object]:
+        m = self.m
+        if isinstance(node, Block):
+            return self.block(node)
+        if isinstance(node, Barrier):
+            site = node.site
+            def barrier(env):
+                m.cov("barrier")
+                yield site
+                return None
+            return True, barrier
+        if isinstance(node, Continue):
+            return False, lambda env: CONTINUE
+        if isinstance(node, DeclArray):
+            size_c = self.expr(node.size)
+            name = node.name
+            if node.space == "local":
+                def decl_local(env):
+                    arr = m.group_locals.get(name)
+                    if arr is None:
+                        size = size_c(env)
+                        if not isinstance(size, int) or size <= 0:
+                            raise SpecError(
+                                f"__local {name}: invalid size {size!r}"
+                            )
+                        arr = LocalArray(name, size)
+                        m.group_locals[name] = arr
+                    env[name] = arr
+                    return None
+                return False, decl_local
+            def decl_private(env):
+                size = size_c(env)
+                if not isinstance(size, int) or size <= 0:
+                    raise SpecError(f"array {name}: invalid size {size!r}")
+                env[name] = PrivateArray(name, size)
+                return None
+            return False, decl_private
+        if isinstance(node, DeclVar):
+            init = self.expr(node.init)
+            name = node.name
+            ctype = node.ctype
+            if ctype in ("float", "double"):
+                def decl_f(env):
+                    v = init(env)
+                    if not isinstance(v, (Poison, Vec)):
+                        v = float(v)
+                        if ctype == "float" or m.round32:
+                            v = fp32(v)
+                    env[name] = v
+                    return None
+                return False, decl_f
+            if ctype in ("int", "uint", "size_t", "long", "ulong", "short",
+                         "ushort", "char"):
+                def decl_i(env):
+                    v = init(env)
+                    if not isinstance(v, (Poison, Vec)):
+                        v = int(v)
+                    env[name] = v
+                    return None
+                return False, decl_i
+            def decl_v(env):  # vector-typed scalar declarations
+                env[name] = init(env)
+                return None
+            return False, decl_v
+        if isinstance(node, Assign):
+            value = self.expr(node.value)
+            target = node.target
+            if isinstance(target, Var):
+                name = target.name
+                def assign_var(env):
+                    env[name] = value(env)
+                    return None
+                return False, assign_var
+            if isinstance(target, Index):
+                name = target.base
+                idx = self.expr(target.index)
+                def assign_idx(env):
+                    i = idx(env)
+                    p = _is_poison(i)
+                    if p is not None:
+                        m.violate("poison_index", f"write {name}", p.origin)
+                        return None
+                    env[name].store(i, value(env), m)
+                    return None
+                return False, assign_idx
+            ptr = self.expr(target.pointer)
+            def assign_deref(env):
+                p = ptr(env)
+                if isinstance(p, Poison):
+                    return None
+                if not isinstance(p, Ptr):
+                    raise SpecError("assignment through a non-pointer")
+                p.arr.store(p.base, value(env), m)
+                return None
+            return False, assign_deref
+        if isinstance(node, ExprStmt):
+            e = self.expr(node.expr)
+            def exprstmt(env):
+                e(env)
+                return None
+            return False, exprstmt
+        if isinstance(node, For):
+            return self._for(node)
+        if isinstance(node, If):
+            return self._if(node)
+        raise SpecError(f"cannot compile statement {node!r}")
+
+    def _for(self, node: For) -> Tuple[bool, object]:
+        m = self.m
+        var = node.var
+        init = self.expr(node.init)
+        cond = self.expr(node.cond)
+        step = self.expr(node.step)
+        is_gen, body = self.block(node.body)
+        site = f"for@{node.line}"
+        if not is_gen:
+            def run(env):
+                env[var] = int(init(env))
+                while _truthy(cond(env), m, site):
+                    m.tick()
+                    body(env)  # CONTINUE lands here: proceed to the step
+                    env[var] = env[var] + int(step(env))
+                return None
+            return False, run
+        def gen(env):
+            env[var] = int(init(env))
+            while _truthy(cond(env), m, site):
+                m.tick()
+                yield from body(env)
+                env[var] = env[var] + int(step(env))
+            return None
+        return True, gen
+
+    def _if(self, node: If) -> Tuple[bool, object]:
+        m = self.m
+        cond = self.expr(node.cond)
+        then_gen, then = self.block(node.then)
+        if node.other is None:
+            other_gen, other = False, None
+        else:
+            other_gen, other = self.block(node.other)
+        site = f"if@{node.line}"
+        if not then_gen and not other_gen:
+            def run(env):
+                if _truthy(cond(env), m, site):
+                    return then(env)
+                if other is not None:
+                    return other(env)
+                return None
+            return False, run
+        def gen(env):
+            if _truthy(cond(env), m, site):
+                r = (yield from then(env)) if then_gen else then(env)
+                return r
+            if other is not None:
+                r = (yield from other(env)) if other_gen else other(env)
+                return r
+            return None
+        return True, gen
+
+
+# ---------------------------------------------------------------------------
+# Launch: bind arguments, iterate work-groups, schedule barrier phases
+# ---------------------------------------------------------------------------
+
+def _detect_precision(kd: KernelDef) -> str:
+    for arg in kd.args:
+        if arg.kind == "double" or (arg.kind == "global" and arg.elem == "double"):
+            return "d"
+    return "s"
+
+
+def _bind_args(kd: KernelDef, values: Sequence[object],
+               round32: bool) -> Dict[str, object]:
+    if len(values) != len(kd.args):
+        raise SpecError(
+            f"kernel {kd.name} takes {len(kd.args)} arguments, "
+            f"got {len(values)}"
+        )
+    env: Dict[str, object] = {}
+    for arg, v in zip(kd.args, values):
+        if arg.kind == "global":
+            if not isinstance(v, SpecBuffer):
+                raise SpecError(f"argument {arg.name} must be a SpecBuffer")
+            if arg.readonly:
+                v.readonly = True
+            env[arg.name] = v
+        elif arg.kind == "image":
+            if not isinstance(v, SpecImage):
+                raise SpecError(f"argument {arg.name} must be a SpecImage")
+            env[arg.name] = v
+        elif arg.kind in ("float", "double"):
+            fv = float(v)
+            env[arg.name] = fp32(fv) if (arg.kind == "float" or round32) else fv
+        else:
+            env[arg.name] = int(v)
+    return env
+
+
+def run_kernel(
+    source: str,
+    args: Sequence[object],
+    global_size: Optional[Tuple[int, int]] = None,
+    local_size: Optional[Tuple[int, int]] = None,
+    groups: Optional[Sequence[Tuple[int, int]]] = None,
+    max_ops: Optional[int] = None,
+    kernel_name: Optional[str] = None,
+) -> SpecOutcome:
+    """Interpret one kernel launch under the executable spec.
+
+    ``groups`` selects which work-groups to actually execute (all by
+    default).  Work-groups in the emitted subset are independent — they
+    share no local memory and write disjoint C tiles — so sampling them
+    is sound: every executed group sees exactly the state it would see
+    in a full launch, and unexecuted groups simply leave their output
+    cells untouched.
+    """
+    tu = parse_kernel_source(source)
+    if kernel_name is None:
+        if len(tu.kernels) != 1:
+            raise SpecError(
+                f"source defines {len(tu.kernels)} kernels; pass kernel_name"
+            )
+        kd = next(iter(tu.kernels.values()))
+    else:
+        if kernel_name not in tu.kernels:
+            raise SpecError(f"no kernel named {kernel_name!r} in source")
+        kd = tu.kernels[kernel_name]
+
+    if local_size is None:
+        if kd.reqd_size is None:
+            raise SpecError("no local_size given and no reqd_work_group_size")
+        local_size = (kd.reqd_size[0], kd.reqd_size[1])
+    ls0, ls1 = int(local_size[0]), int(local_size[1])
+    if ls0 <= 0 or ls1 <= 0:
+        raise SpecError(f"invalid local size {local_size!r}")
+    if kd.reqd_size is not None and (ls0, ls1) != kd.reqd_size[:2]:
+        raise SpecError(
+            f"local size {local_size!r} contradicts "
+            f"reqd_work_group_size{kd.reqd_size!r}"
+        )
+
+    if groups is None:
+        if global_size is None:
+            raise SpecError("pass either global_size or groups")
+        gs0, gs1 = int(global_size[0]), int(global_size[1])
+        if gs0 % ls0 or gs1 % ls1:
+            raise SpecError(
+                f"global size {global_size!r} is not a multiple of the "
+                f"local size {local_size!r}"
+            )
+        groups = [(gx, gy) for gy in range(gs1 // ls1)
+                  for gx in range(gs0 // ls0)]
+        ngrp = (gs0 // ls0, gs1 // ls1, 1)
+    else:
+        groups = [(int(g[0]), int(g[1])) for g in groups]
+        ngrp = (max((g[0] for g in groups), default=0) + 1,
+                max((g[1] for g in groups), default=0) + 1, 1)
+
+    precision = _detect_precision(kd)
+    m = Machine(precision, max_ops=max_ops)
+    compiler = _Compiler(m)
+
+    base_env: Dict[str, object] = dict(OPENCL_CONSTANTS)
+    base_env.update(_bind_args(kd, args, m.round32))
+    for smp in tu.samplers:
+        base_env[smp.name] = compiler.expr(smp.expr)(base_env)
+    base_env["__lsz"] = (ls0, ls1, 1)
+    base_env["__ngrp"] = ngrp
+
+    body_is_gen, body = compiler.block(kd.body)
+
+    for gx, gy in groups:
+        m.group_locals = {}
+        m.phase = 0
+        wi_ids = [(l0, l1) for l1 in range(ls1) for l0 in range(ls0)]
+        envs = []
+        for l0, l1 in wi_ids:
+            env = dict(base_env)
+            env["__lid"] = (l0, l1, 0)
+            env["__gid"] = (gx, gy, 0)
+            envs.append(env)
+
+        if not body_is_gen:
+            for (l0, l1), env in zip(wi_ids, envs):
+                m.wi = (l0, l1)
+                m.gwi = (gx, gy, l0, l1)
+                body(env)
+            continue
+
+        gens = [body(env) for env in envs]
+        live = list(range(len(gens)))
+        while live:
+            arrived: Dict[int, List[int]] = {}
+            finished: List[int] = []
+            for wi in live:
+                l0, l1 = wi_ids[wi]
+                m.wi = (l0, l1)
+                m.gwi = (gx, gy, l0, l1)
+                try:
+                    site = next(gens[wi])
+                except StopIteration:
+                    finished.append(wi)
+                else:
+                    arrived.setdefault(site, []).append(wi)
+            if arrived and finished:
+                m.violate(
+                    "barrier_divergence", f"group ({gx}, {gy})",
+                    f"work-items {sorted(finished)} finished while "
+                    f"{sorted(sum(arrived.values(), []))} wait at a barrier"
+                )
+                break
+            if len(arrived) > 1:
+                m.violate(
+                    "barrier_divergence", f"group ({gx}, {gy})",
+                    "work-items reached different barrier sites: "
+                    + ", ".join(
+                        f"site {s}: {sorted(w)}" for s, w in sorted(arrived.items())
+                    )
+                )
+                break
+            live = [wi for wi in live if wi not in finished]
+            m.phase += 1
+
+    return SpecOutcome(
+        violations=list(m.violations),
+        coverage=dict(m.coverage),
+        ops=m.ops,
+        groups=list(groups),
+    )

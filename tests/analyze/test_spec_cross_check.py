@@ -1,0 +1,63 @@
+"""Spec-vs-analyzer cross-checks.
+
+The static analyzer reasons about *parameter vectors*; the spec
+interpreter executes the *emitted text*.  A tampered emitter therefore
+produces programs whose UB the analyzer cannot see — the harness must
+classify those as ``spec_ub_unflagged`` (the spec is the only leg that
+catches them), and a clean emitter must produce no UB at all.
+"""
+
+import pytest
+
+import repro.spec.differential as diff
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.emitter import emit_kernel_source
+from repro.codegen.params import KernelParams
+from repro.spec.enumerate import SpecProgram
+
+
+def program(**overrides):
+    d = dict(precision="d", mwg=8, nwg=8, kwg=8, mdimc=2, ndimc=2, kwi=2,
+             algorithm=Algorithm.BA, shared_a=True, shared_b=True)
+    d.update(overrides)
+    return SpecProgram(index=0, params=KernelParams(**d), shape=(8, 8, 16),
+                       alpha=1.0, beta=1.0, origin="mbt")
+
+
+def test_missing_staging_barrier_is_spec_ub_the_analyzer_misses(monkeypatch):
+    """Dropping the first barrier races the staged tile against its
+    consumers.  The analyzer, which never reads the source, stays
+    silent — the classification must say so."""
+
+    def racy(params):
+        return emit_kernel_source(params).replace(
+            "  barrier(CLK_LOCAL_MEM_FENCE);\n", "", 1)
+
+    monkeypatch.setattr(diff, "emit_kernel_source", racy)
+    record = diff.classify_program(program())
+    assert record.classification.startswith("spec_ub_unflagged"), \
+        record.classification
+    kinds = set(record.spec_violations)
+    assert kinds & {"local_race", "uninit_local_read"}
+
+
+def test_undersized_local_buffer_is_spec_ub(monkeypatch):
+    """Shrinking the declared __local array turns staging stores into
+    out-of-bounds writes the spec must flag."""
+
+    def shrunk(params):
+        src = emit_kernel_source(params)
+        assert "__local double alm[KWG * MWG];" in src
+        return src.replace("__local double alm[KWG * MWG];",
+                           "__local double alm[KWG * MWG / 2];")
+
+    monkeypatch.setattr(diff, "emit_kernel_source", shrunk)
+    record = diff.classify_program(program())
+    assert record.classification.startswith("spec_ub_")
+    assert "local_oob_write" in record.spec_violations
+
+
+def test_clean_emitter_produces_no_ub_for_the_analyzer_to_miss():
+    record = diff.classify_program(program())
+    assert record.classification == "agree", record.detail
+    assert record.spec_violations == ()

@@ -1,0 +1,92 @@
+"""Tamper regressions: the differential harness catches the bug class
+that the spec interpreter surfaced in the guarded pipelined emitters.
+
+The guarded PL/DB epilogues once based their final k-tile on
+``kSizeK - KWG``.  For ragged K that double-counts part of the k range
+against the staged tile; for ``K < KWG`` it reads negative indices.
+The simulator never noticed — it executes the *plan* reconstructed
+from the metadata header, not the source text — which is exactly the
+blind spot the spec interpreter exists to cover.  These tests tamper
+the emitted text back to the broken base and assert each failure mode
+is classified, then pin the shipped emitter against re-introduction.
+"""
+
+import pytest
+
+import repro.spec.differential as diff
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.emitter import emit_kernel_source
+from repro.codegen.params import KernelParams
+from repro.spec.enumerate import SpecProgram
+
+FIXED_BASE = "((kSizeK - 1) / KWG) * KWG"
+BROKEN_BASE = "kSizeK - KWG"
+
+
+def guarded_program(algorithm, shape, shared_a=True, shared_b=True):
+    params = KernelParams(
+        precision="d", mwg=8, nwg=8, kwg=8, mdimc=2, ndimc=2, kwi=2,
+        algorithm=algorithm, shared_a=shared_a, shared_b=shared_b,
+        guard_edges=True,
+    )
+    return SpecProgram(index=0, params=params, shape=shape,
+                       alpha=1.5, beta=0.75, origin="mbt")
+
+
+def tamper(monkeypatch):
+    """Re-break the epilogue base in the emitted source text only."""
+
+    def broken(params):
+        return emit_kernel_source(params).replace(FIXED_BASE, BROKEN_BASE)
+
+    monkeypatch.setattr(diff, "emit_kernel_source", broken)
+
+
+def test_fixed_emitter_agrees_on_the_original_failure_cases():
+    for algorithm, shape, kw in (
+        (Algorithm.PL, (8, 8, 10), dict(shared_a=False)),
+        (Algorithm.PL, (8, 8, 5), dict(shared_a=False)),
+        (Algorithm.DB, (8, 8, 10), {}),
+        (Algorithm.DB, (8, 8, 3), {}),
+        (Algorithm.DB, (8, 8, 10), dict(shared_b=False)),
+    ):
+        record = diff.classify_program(guarded_program(algorithm, shape, **kw))
+        assert record.classification == "agree", \
+            f"{record.description}: {record.classification} {record.detail}"
+
+
+def test_broken_epilogue_base_is_a_source_mismatch(monkeypatch):
+    """Ragged K: wrong values, no UB — the spec leg alone disagrees."""
+    tamper(monkeypatch)
+    record = diff.classify_program(
+        guarded_program(Algorithm.PL, (8, 8, 10), shared_a=False))
+    assert record.classification == "value_mismatch:source", record.detail
+    assert record.errors["clsim_vs_ref"] <= 1e-10  # clsim runs the plan
+
+
+def test_broken_epilogue_base_below_kwg_is_flagged_ub(monkeypatch):
+    """K < KWG: the broken base goes negative — an out-of-bounds read."""
+    tamper(monkeypatch)
+    record = diff.classify_program(
+        guarded_program(Algorithm.PL, (8, 8, 5), shared_a=False))
+    assert record.classification.startswith("spec_ub_")
+    assert "global_oob_read" in record.spec_violations
+
+
+def test_broken_db_epilogue_is_caught_even_fully_shared(monkeypatch):
+    tamper(monkeypatch)
+    record = diff.classify_program(guarded_program(Algorithm.DB, (8, 8, 10)))
+    assert record.classification != "agree"
+
+
+def test_emitted_source_never_bases_an_index_on_the_broken_form():
+    for algorithm in (Algorithm.PL, Algorithm.DB):
+        for shared_a, shared_b in ((True, True), (False, True), (True, False)):
+            params = KernelParams(
+                precision="d", mwg=8, nwg=8, kwg=8, mdimc=2, ndimc=2, kwi=2,
+                algorithm=algorithm, shared_a=shared_a, shared_b=shared_b,
+                guard_edges=True,
+            )
+            for line in emit_kernel_source(params).splitlines():
+                if BROKEN_BASE in line:
+                    assert "pwg <" in line, f"{params.summary()}: {line!r}"

@@ -1,10 +1,9 @@
 """Differential fuzzing: generated kernels vs the numpy reference GEMM.
 
-Random valid :class:`KernelParams` are drawn from :func:`enumerate_space`
-(images and edge-guarded variants included), paired with random
-launchable shapes and random ``alpha``/``beta``, and executed through
-the full clsim stack (source -> program -> buffers -> ND-range).  Each
-configuration runs twice:
+The corpus itself now lives in :mod:`repro.spec.corpus` so the spec
+harness (``repro spec --fuzz-corpus``) and these tests replay the
+identical case list.  Each configuration runs through the full clsim
+stack (source -> program -> buffers -> ND-range) twice:
 
 * ``ExecutionMode.WORKGROUP`` — the faithful blocked simulation, whose
   tile-by-tile accumulation order legitimately differs from a single
@@ -14,14 +13,19 @@ configuration runs twice:
   value- and layout-identical to the originals, so the same BLAS
   dispatch must produce the same floats.
 
+A third leg replays a cost-stratified slice of the corpus through the
+**spec interpreter** (``repro.spec``) — executing the emitted *source
+text* rather than the plan from the metadata header — and checks all
+three against each other (``REPRO_SPEC_REPLAY_COUNT`` overrides the
+slice size; CI's spec-mbt job replays the full corpus).
+
 The sweep is seeded and bounded (``REPRO_FUZZ_SEED`` /
 ``REPRO_FUZZ_COUNT`` override) so it runs deterministically inside the
 tier-1 budget while still covering >= 200 configurations.
 """
 
+import json
 import os
-from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 import pytest
@@ -30,100 +34,34 @@ import repro.clsim as cl
 from repro.clsim.queue import ExecutionMode
 from repro.codegen.emitter import emit_kernel_source
 from repro.codegen.layouts import pack_matrix
-from repro.codegen.params import KernelParams
-from repro.codegen.space import SpaceRestrictions, enumerate_space
 from repro.devices import get_device_spec
 from repro.gemm.reference import relative_error
+from repro.spec.corpus import (
+    DEFAULT_FUZZ_SEED,
+    FUZZ_DEVICES,
+    FUZZ_PRECISIONS,
+    FuzzCase,
+    as_spec_programs,
+    fuzz_cases,
+    fuzz_operands,
+)
+from repro.spec.differential import (
+    construct_keys,
+    group_mask,
+    run_spec_leg,
+)
+from repro.spec.enumerate import enumerate_programs, program_cost
 
-FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260806"))
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", str(DEFAULT_FUZZ_SEED)))
 FUZZ_COUNT = int(os.environ.get("REPRO_FUZZ_COUNT", "200"))
 
-#: One GPU and one CPU: different blocking regimes, local-memory types
-#: and vector widths, so the sample crosses the interesting axes.
-FUZZ_DEVICES = ("tahiti", "sandybridge")
-_PRECISIONS = ("s", "d")
+#: How many corpus cases the tier-1 run replays through the spec
+#: interpreter (cost-stratified; the CI spec-mbt job replays all).
+SPEC_REPLAY_COUNT = int(os.environ.get("REPRO_SPEC_REPLAY_COUNT", "24"))
 
-#: The full generator surface: buffers, images, and guarded variants.
-_RESTRICTIONS = SpaceRestrictions(allow_images=True, allow_guarded=True)
+CASES = fuzz_cases(seed=FUZZ_SEED, count=FUZZ_COUNT)
 
-_ALPHAS = (1.0, -1.0, 1.5, 0.25)
-_BETAS = (0.0, 1.0, -0.5, 0.75)
-
-
-@dataclass(frozen=True)
-class FuzzCase:
-    index: int
-    device: str
-    precision: str
-    params: KernelParams
-    shape: Tuple[int, int, int]
-    alpha: float
-    beta: float
-
-    def describe(self) -> str:
-        M, N, K = self.shape
-        return (
-            f"case {self.index} [seed {FUZZ_SEED}]: {self.device}/"
-            f"{self.precision} {M}x{N}x{K} alpha={self.alpha} "
-            f"beta={self.beta} :: {self.params.summary()}"
-        )
-
-
-def _shape_for(params: KernelParams, rng: np.random.Generator) -> Tuple[int, int, int]:
-    """A random launchable (M, N, K) for this kernel, kept small.
-
-    Unguarded kernels need blocking multiples (1-2 work-group tiles per
-    dimension); guarded kernels get ragged sizes — whole tiles plus a
-    partial remainder — to exercise every edge-guard path.
-    """
-    if params.guard_edges:
-        def ragged(block: int) -> int:
-            return max(1, int(rng.integers(0, 3)) * block + int(rng.integers(0, block)))
-
-        return ragged(params.mwg), ragged(params.nwg), ragged(params.kwg)
-    M = params.mwg * int(rng.integers(1, 3))
-    N = params.nwg * int(rng.integers(1, 3))
-    k_min = params.algorithm.min_k_iterations
-    K = params.kwg * int(rng.integers(k_min, k_min + 2))
-    return M, N, K
-
-
-def _sample_cases() -> Tuple[FuzzCase, ...]:
-    rng = np.random.default_rng(FUZZ_SEED)
-    per_pool = -(-FUZZ_COUNT // (len(FUZZ_DEVICES) * len(_PRECISIONS)))
-    cases = []
-    for codename in FUZZ_DEVICES:
-        spec = get_device_spec(codename)
-        for precision in _PRECISIONS:
-            pool = enumerate_space(
-                spec, precision, _RESTRICTIONS,
-                limit=per_pool, per_blocking=4, seed=FUZZ_SEED,
-            )
-            for params in pool:
-                cases.append(FuzzCase(
-                    index=len(cases),
-                    device=codename,
-                    precision=precision,
-                    params=params,
-                    shape=_shape_for(params, rng),
-                    alpha=float(rng.choice(_ALPHAS)),
-                    beta=float(rng.choice(_BETAS)),
-                ))
-    return tuple(cases)
-
-
-CASES = _sample_cases()
-
-
-def _operands(case: FuzzCase):
-    """Deterministic per-case random operands (independent of run order)."""
-    M, N, K = case.shape
-    dtype = np.float64 if case.precision == "d" else np.float32
-    rng = np.random.default_rng([FUZZ_SEED, case.index])
-    a = rng.standard_normal((K, M)).astype(dtype)  # A^T, as the kernels read it
-    b = rng.standard_normal((K, N)).astype(dtype)
-    c = rng.standard_normal((M, N)).astype(dtype)
-    return a, b, c
+_operands = fuzz_operands  # the historical local-helper name
 
 
 def _execute(case: FuzzCase, a, b, c, mode: ExecutionMode) -> np.ndarray:
@@ -157,6 +95,23 @@ def _cases(codename: str, precision: str):
     return [c for c in CASES if c.device == codename and c.precision == precision]
 
 
+def test_corpus_case_zero_is_pinned():
+    """Guard the corpus RNG draw order across the move into repro.spec.
+
+    Any change to the draw order in :func:`fuzz_cases` silently
+    reshuffles every downstream corpus; this pin is computed from the
+    default seed regardless of the session's env overrides.
+    """
+    case = fuzz_cases()[0]
+    assert (case.device, case.precision) == ("tahiti", "s")
+    assert case.shape == (96, 96, 16)
+    assert (case.alpha, case.beta) == (-1.0, 0.75)
+    assert case.params.cache_key() == (
+        "s", 96, 96, 16, 16, 16, 2, 1, True, False, True, True,
+        16, 16, "CBL", "CBL", "BA", False, False,
+    )
+
+
 def test_fuzz_volume_meets_acceptance():
     """The sweep covers at least FUZZ_COUNT (default 200) configurations."""
     assert len(CASES) >= FUZZ_COUNT
@@ -166,7 +121,7 @@ def test_fuzz_volume_meets_acceptance():
 
 
 @pytest.mark.parametrize("codename", FUZZ_DEVICES)
-@pytest.mark.parametrize("precision", _PRECISIONS)
+@pytest.mark.parametrize("precision", FUZZ_PRECISIONS)
 def test_fuzzed_kernels_match_numpy_reference(codename, precision):
     """Workgroup mode within verify() tolerance on every fuzzed config."""
     cases = _cases(codename, precision)
@@ -185,7 +140,7 @@ def test_fuzzed_kernels_match_numpy_reference(codename, precision):
 
 
 @pytest.mark.parametrize("codename", FUZZ_DEVICES)
-@pytest.mark.parametrize("precision", _PRECISIONS)
+@pytest.mark.parametrize("precision", FUZZ_PRECISIONS)
 def test_fast_mode_is_bit_identical_to_reference(codename, precision):
     """Bit-level agreement: FAST unpack+BLAS vs the same numpy expression.
 
@@ -205,3 +160,95 @@ def test_fast_mode_is_bit_identical_to_reference(codename, precision):
         assert np.array_equal(result, bit_reference), (
             f"fast-mode bit mismatch for {case.describe()}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Spec-interpreter replay (three-way: spec source / clsim plan / numpy)
+# ---------------------------------------------------------------------------
+
+def _replay_slice(count: int):
+    """A cost-stratified slice: cheapest case from each structural
+    bucket first, so the slice crosses algorithms/guards/images without
+    blowing the tier-1 interpreter budget."""
+    by_cost = sorted(CASES, key=lambda c: program_cost(c.params, c.shape))
+    buckets = {}
+    for case in by_cost:
+        key = (case.params.algorithm.value, case.params.guard_edges,
+               case.params.use_images, case.precision)
+        buckets.setdefault(key, []).append(case)
+    picked = []
+    while len(picked) < count and any(buckets.values()):
+        for key in sorted(buckets):
+            if buckets[key] and len(picked) < count:
+                picked.append(buckets[key].pop(0))
+    return picked
+
+
+@pytest.mark.parametrize(
+    "case", _replay_slice(SPEC_REPLAY_COUNT),
+    ids=lambda c: f"{c.index}-{c.params.algorithm.value}"
+                  f"{'-g' if c.params.guard_edges else ''}"
+                  f"{'-img' if c.params.use_images else ''}")
+def test_fuzz_corpus_replays_through_the_spec_interpreter(case):
+    """The spec (executing the source text) agrees with clsim (executing
+    the plan) and numpy (the contract) on sampled work-groups."""
+    program = as_spec_programs((case,))[0]
+    a, b, c = _operands(case)
+    spec_c, outcome, groups = run_spec_leg(program, a, b, c)
+    assert not outcome.violations, (
+        f"{case.describe()}: {outcome.violations[:3]}"
+    )
+    dtype = a.dtype.type
+    reference = dtype(case.alpha) * (a.T @ b) + dtype(case.beta) * c
+    clsim_c = _execute(case, a, b, c, ExecutionMode.WORKGROUP)
+    mask = group_mask(case.params, case.shape, groups)
+    assert mask.any()
+    tolerance = 1e-10 if case.precision == "d" else 1e-4
+    spec_err = relative_error(spec_c[mask], reference[mask])
+    cross_err = relative_error(spec_c[mask], clsim_c[mask])
+    assert spec_err <= tolerance, (
+        f"spec vs numpy {spec_err:.3e} for {case.describe()}"
+    )
+    assert cross_err <= tolerance, (
+        f"spec vs clsim {cross_err:.3e} for {case.describe()}"
+    )
+
+
+def test_construct_coverage_artifact(tmp_path):
+    """Write the per-construct coverage JSON for both corpora.
+
+    ``REPRO_SPEC_COVERAGE_OUT`` redirects the artifact (the CI fuzz job
+    uploads it); by default it lands in the test tmpdir and the test
+    just checks the scorecard's acceptance property: the MBT grammar
+    reaches construct classes the fuzz corpus never draws.
+    """
+    out_path = os.environ.get("REPRO_SPEC_COVERAGE_OUT") or str(
+        tmp_path / "spec-construct-coverage.json")
+
+    def tally(programs):
+        cov = {}
+        for p in programs:
+            for key in construct_keys(p.params, p.shape):
+                cov[key] = cov.get(key, 0) + 1
+        return cov
+
+    mbt_programs = enumerate_programs()
+    fuzz_cov = tally(as_spec_programs(CASES))
+    mbt_cov = tally(mbt_programs)
+    payload = {
+        "format": "repro-spec-coverage/1",
+        "fuzz": {"cases": len(CASES), "seed": FUZZ_SEED,
+                 "constructs": dict(sorted(fuzz_cov.items()))},
+        "mbt": {"programs": len(mbt_programs),
+                "constructs": dict(sorted(mbt_cov.items()))},
+        "scorecard": {
+            "mbt_only": sorted(set(mbt_cov) - set(fuzz_cov)),
+            "fuzz_only": sorted(set(fuzz_cov) - set(mbt_cov)),
+            "both": sorted(set(mbt_cov) & set(fuzz_cov)),
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    assert payload["scorecard"]["mbt_only"], (
+        "the MBT grammar must reach construct classes fuzzing never draws"
+    )

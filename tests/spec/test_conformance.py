@@ -1,0 +1,362 @@
+"""Hand-written conformance goldens that pin the spec interpreter.
+
+These mini-kernels exercise the semantics the differential harness
+relies on — barrier phasing, poison-on-uninitialised reads, race
+detection, vload edge behaviour, image addressing modes, fp32
+rounding, C integer division — so the interpreter is itself pinned
+before it is trusted as an oracle for the emitted GEMM kernels.
+"""
+
+import math
+
+import pytest
+
+from repro.spec.machine import (
+    Poison,
+    SpecBuffer,
+    SpecError,
+    SpecImage,
+    fp32,
+    run_kernel,
+)
+
+
+def run(source, args, groups=((0, 0),), **kw):
+    return run_kernel(source, args, groups=list(groups), **kw)
+
+
+# ---------------------------------------------------------------------------
+# Barrier phasing
+# ---------------------------------------------------------------------------
+
+PHASED = """
+__kernel __attribute__((reqd_work_group_size(4, 1, 1)))
+void k(__global double* out) {
+  __local double lm[4];
+  const int lid = get_local_id(0);
+  lm[lid] = (double)(lid + 1);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    acc = acc + lm[i];
+  }
+  out[lid] = acc;
+}
+"""
+
+
+def test_barrier_separates_producer_from_consumer():
+    out = SpecBuffer([0.0] * 4, "out")
+    outcome = run(PHASED, [out])
+    assert outcome.ok, outcome.violations
+    assert out.values == [10.0] * 4
+
+
+def test_missing_barrier_is_a_local_race():
+    racy = PHASED.replace("  barrier(CLK_LOCAL_MEM_FENCE);\n", "")
+    outcome = run(racy, [SpecBuffer([0.0] * 4, "out")])
+    assert "local_race" in outcome.kinds()
+
+
+def test_same_phase_write_write_conflict_is_a_race():
+    src = PHASED.replace("lm[lid] = (double)(lid + 1);",
+                         "lm[0] = (double)(lid + 1);")
+    outcome = run(src, [SpecBuffer([0.0] * 4, "out")])
+    assert "local_race" in outcome.kinds()
+
+
+def test_barrier_divergence_is_reported():
+    src = """
+__kernel __attribute__((reqd_work_group_size(2, 1, 1)))
+void k(__global double* out) {
+  const int lid = get_local_id(0);
+  if (lid == 0) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[lid] = 1.0;
+}
+"""
+    outcome = run(src, [SpecBuffer([0.0] * 2, "out")])
+    assert "barrier_divergence" in outcome.kinds()
+
+
+# ---------------------------------------------------------------------------
+# Uninitialised memory is poison
+# ---------------------------------------------------------------------------
+
+UNINIT_LOCAL = """
+__kernel __attribute__((reqd_work_group_size(2, 1, 1)))
+void k(__global double* out) {
+  __local double lm[2];
+  const int lid = get_local_id(0);
+  if (lid == 0) {
+    lm[0] = 3.0;
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lid] = lm[lid];
+}
+"""
+
+
+def test_uninitialised_local_read_poisons_the_store():
+    out = SpecBuffer([0.0] * 2, "out")
+    outcome = run(UNINIT_LOCAL, [out])
+    kinds = outcome.kinds()
+    assert "uninit_local_read" in kinds
+    assert "poison_escape" in kinds
+    assert out.values[0] == 3.0  # the initialised lane is unaffected
+    assert isinstance(out.values[1], Poison)
+
+
+def test_poison_in_branch_condition_is_flagged():
+    src = UNINIT_LOCAL.replace(
+        "out[lid] = lm[lid];",
+        "if (lm[lid] > 0.0) { out[lid] = 1.0; }",
+    )
+    outcome = run(src, [SpecBuffer([0.0] * 2, "out")])
+    assert "poison_branch" in outcome.kinds()
+
+
+def test_uninitialised_private_read_is_poison():
+    src = """
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(__global double* out) {
+  double apm[2];
+  apm[0] = 5.0;
+  out[0] = apm[0] + apm[1];
+}
+"""
+    out = SpecBuffer([0.0], "out")
+    outcome = run(src, [out])
+    assert "uninit_private_read" in outcome.kinds()
+    assert isinstance(out.values[0], Poison)
+
+
+# ---------------------------------------------------------------------------
+# vload edge behaviour
+# ---------------------------------------------------------------------------
+
+VLOAD = """
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(const int base, __global double* in, __global double* out) {
+  double2 v = vload2(0, &in[base]);
+  out[0] = v.x + v.y;
+}
+"""
+
+
+def test_vload_within_bounds():
+    out = SpecBuffer([0.0], "out")
+    outcome = run(VLOAD, [4, SpecBuffer([1.0, 2, 3, 4, 5, 6], "in"), out])
+    assert outcome.ok, outcome.violations
+    assert out.values[0] == 11.0
+
+
+def test_vload_straddling_the_edge_is_oob():
+    out = SpecBuffer([0.0], "out")
+    outcome = run(VLOAD, [5, SpecBuffer([1.0, 2, 3, 4, 5, 6], "in"), out])
+    kinds = outcome.kinds()
+    assert "global_oob_read" in kinds
+    assert "poison_escape" in kinds  # the poisoned lane reached out[0]
+
+
+def test_vstore_width_mismatch_is_flagged():
+    src = VLOAD.replace("out[0] = v.x + v.y;", "vstore4(v, 0, &out[0]);")
+    outcome = run(src, [0, SpecBuffer([1.0, 2, 3, 4], "in"),
+                        SpecBuffer([0.0] * 4, "out")])
+    assert "vector_width_mismatch" in outcome.kinds()
+
+
+# ---------------------------------------------------------------------------
+# Image addressing modes
+# ---------------------------------------------------------------------------
+
+def image_kernel(mode):
+    return f"""
+__constant sampler_t S =
+    CLK_NORMALIZED_COORDS_FALSE | {mode} | CLK_FILTER_NEAREST;
+
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(const int x, const int y, __read_only image2d_t img,
+       __global float* out) {{
+  float4 t = read_imagef(img, S, (int2)(x, y));
+  out[0] = t.x;
+}}
+"""
+
+
+IMG = [[1.0, 2.0], [3.0, 4.0]]  # texel (x, y) == rows[y][x]
+
+
+def test_image_read_in_range():
+    out = SpecBuffer([0.0], "out")
+    outcome = run(image_kernel("CLK_ADDRESS_CLAMP"),
+                  [1, 0, SpecImage(IMG, "s"), out])
+    assert outcome.ok, outcome.violations
+    assert out.values[0] == 2.0
+
+
+def test_clk_address_clamp_returns_zero_border():
+    out = SpecBuffer([9.0], "out")
+    outcome = run(image_kernel("CLK_ADDRESS_CLAMP"),
+                  [2, 0, SpecImage(IMG, "s"), out])
+    assert outcome.ok, outcome.violations
+    assert out.values[0] == 0.0
+
+
+def test_clk_address_clamp_to_edge_clamps_the_coordinate():
+    out = SpecBuffer([0.0], "out")
+    outcome = run(image_kernel("CLK_ADDRESS_CLAMP_TO_EDGE"),
+                  [5, 1, SpecImage(IMG, "s"), out])
+    assert outcome.ok, outcome.violations
+    assert out.values[0] == 4.0  # edge texel (1, 1)
+
+
+def test_clk_address_none_out_of_range_is_ub():
+    out = SpecBuffer([0.0], "out")
+    outcome = run(image_kernel("CLK_ADDRESS_NONE"),
+                  [2, 0, SpecImage(IMG, "s"), out])
+    kinds = outcome.kinds()
+    assert "image_oob_read" in kinds
+    assert "poison_escape" in kinds
+    assert isinstance(out.values[0], Poison)
+
+
+def test_fp64_image_uses_the_uint2_as_double_idiom():
+    src = """
+__constant sampler_t S =
+    CLK_NORMALIZED_COORDS_FALSE | CLK_ADDRESS_NONE | CLK_FILTER_NEAREST;
+
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(__read_only image2d_t img, __global double* out) {
+  uint4 t = read_imageui(img, S, (int2)(0, 0));
+  out[0] = as_double(t.xy);
+}
+"""
+    out = SpecBuffer([0.0], "out")
+    outcome = run(src, [SpecImage([[1.25]], "d"), out])
+    assert outcome.ok, outcome.violations
+    assert out.values[0] == 1.25
+
+
+def test_channel_mismatch_readf_on_fp64_image():
+    out = SpecBuffer([0.0], "out")
+    outcome = run(image_kernel("CLK_ADDRESS_CLAMP"),
+                  [0, 0, SpecImage([[1.25]], "d"), out])
+    assert "image_channel_mismatch" in outcome.kinds()
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic semantics
+# ---------------------------------------------------------------------------
+
+def test_fp32_kernels_round_every_operation():
+    src = """
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(const float big, const float tiny, __global float* out) {
+  out[0] = big + tiny;
+  out[1] = 0.1f;
+}
+"""
+    out = SpecBuffer([0.0, 0.0], "out")
+    outcome = run(src, [16777216.0, 1.0, out])
+    assert outcome.ok, outcome.violations
+    assert out.values[0] == 16777216.0  # 2^24 + 1 is not representable
+    assert out.values[1] == fp32(0.1)
+    assert out.values[1] != 0.1
+
+
+def test_fp64_kernels_do_not_round():
+    src = """
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(const double big, const double tiny, __global double* out) {
+  out[0] = big + tiny;
+}
+"""
+    out = SpecBuffer([0.0], "out")
+    outcome = run(src, [16777216.0, 1.0, out])
+    assert outcome.ok
+    assert out.values[0] == 16777217.0
+
+
+def test_integer_division_truncates_toward_zero():
+    src = """
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(const int a, const int b, __global double* out) {
+  out[0] = (double)(a / b);
+  out[1] = (double)(a % b);
+}
+"""
+    out = SpecBuffer([0.0, 0.0], "out")
+    outcome = run(src, [-7, 2, out])
+    assert outcome.ok
+    assert out.values == [-3.0, -1.0]  # C semantics, not Python's -4 / 1
+
+
+def test_integer_division_by_zero_is_flagged():
+    src = """
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(const int a, const int b, __global double* out) {
+  out[0] = (double)(a / b);
+}
+"""
+    outcome = run(src, [7, 0, SpecBuffer([0.0], "out")])
+    assert "division_by_zero" in outcome.kinds()
+
+
+# ---------------------------------------------------------------------------
+# Global memory discipline
+# ---------------------------------------------------------------------------
+
+def test_cross_work_item_global_write_write_is_a_race():
+    src = """
+__kernel __attribute__((reqd_work_group_size(2, 1, 1)))
+void k(__global double* out) {
+  out[0] = (double)(get_local_id(0));
+}
+"""
+    outcome = run(src, [SpecBuffer([0.0], "out")])
+    assert "global_write_race" in outcome.kinds()
+
+
+def test_global_oob_write_is_flagged_and_dropped():
+    src = """
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(const int i, __global double* out) {
+  out[i] = 1.0;
+}
+"""
+    out = SpecBuffer([0.0], "out")
+    outcome = run(src, [3, out])
+    assert "global_oob_write" in outcome.kinds()
+    assert out.values == [0.0]
+
+
+def test_readonly_buffer_write_is_flagged():
+    src = """
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(const __global double* in, __global double* out) {
+  in[0] = 1.0;
+  out[0] = in[0];
+}
+"""
+    outcome = run(src, [SpecBuffer([2.0], "in"), SpecBuffer([0.0], "out")])
+    assert "readonly_write" in outcome.kinds()
+
+
+def test_op_budget_aborts_with_spec_error():
+    with pytest.raises(SpecError, match="operation budget"):
+        run(PHASED, [SpecBuffer([0.0] * 4, "out")], max_ops=3)
+
+
+def test_work_group_sampling_only_touches_sampled_tiles():
+    src = """
+__kernel __attribute__((reqd_work_group_size(1, 1, 1)))
+void k(__global double* out) {
+  out[get_group_id(0)] = 1.0;
+}
+"""
+    out = SpecBuffer([0.0] * 4, "out")
+    outcome = run(src, [out], groups=[(0, 0), (2, 0)])
+    assert outcome.ok
+    assert out.values == [1.0, 0.0, 1.0, 0.0]

@@ -1,0 +1,56 @@
+"""Properties of the enumerative MBT program generator."""
+
+from repro.codegen.plan import build_plan
+from repro.spec.enumerate import enumerate_programs, program_cost
+
+
+def test_enumeration_is_deterministic():
+    a = enumerate_programs(limit=100)
+    b = enumerate_programs(limit=100)
+    assert [(p.params.cache_key(), p.shape, p.alpha, p.beta) for p in a] == \
+           [(p.params.cache_key(), p.shape, p.alpha, p.beta) for p in b]
+
+
+def test_corpus_meets_the_thousand_program_floor():
+    programs = enumerate_programs(limit=1001)
+    assert len(programs) == 1001  # the full corpus far exceeds 1000
+
+
+def test_bounded_run_is_the_cheapest_prefix():
+    full = enumerate_programs(limit=300)
+    prefix = enumerate_programs(limit=120)
+    assert [p.params.cache_key() for p in prefix] == \
+           [p.params.cache_key() for p in full[:120]]
+    costs = [program_cost(p.params, p.shape) for p in full]
+    assert costs == sorted(costs)
+
+
+def test_canonical_pruning_yields_unique_vectors():
+    programs = enumerate_programs(limit=500)
+    seen = set()
+    for p in programs:
+        seen.add((p.params.cache_key(), p.shape))
+    assert len(seen) == len(programs)
+
+
+def test_every_program_is_launchable():
+    for p in enumerate_programs(limit=200):
+        build_plan(p.params).check_problem(*p.shape)
+
+
+def test_grammar_reaches_structural_corners_fuzz_filters_exclude():
+    programs = enumerate_programs(limit=None)
+    assert any(p.params.mdimc * p.params.ndimc == 1 for p in programs), \
+        "single-work-item groups must be enumerated"
+    assert any(
+        p.params.guard_edges and p.shape[2] < p.params.kwg
+        for p in programs
+    ), "K < Kwg guarded pipelines must be enumerated"
+    assert any(p.params.use_images for p in programs)
+    assert any(p.params.algorithm.value == "DB" for p in programs)
+
+
+def test_indices_are_contiguous_and_origin_is_mbt():
+    programs = enumerate_programs(limit=50)
+    assert [p.index for p in programs] == list(range(50))
+    assert all(p.origin == "mbt" for p in programs)

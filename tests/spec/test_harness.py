@@ -1,0 +1,164 @@
+"""The three-way differential harness: classification and coverage."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.params import KernelParams, StrideMode
+from repro.spec.differential import (
+    DifferentialReport,
+    ProgramRecord,
+    classify_program,
+    construct_keys,
+    group_mask,
+    program_operands,
+    run_differential,
+    sample_groups,
+)
+from repro.spec.enumerate import SpecProgram, enumerate_programs
+
+
+def make_program(shape=(8, 8, 8), origin="mbt", index=0, **overrides):
+    d = dict(precision="d", mwg=8, nwg=8, kwg=8, mdimc=2, ndimc=2, kwi=2,
+             algorithm=Algorithm.BA, shared_a=True, shared_b=True)
+    d.update(overrides)
+    return SpecProgram(index=index, params=KernelParams(**d), shape=shape,
+                       alpha=1.5, beta=0.75, origin=origin)
+
+
+# ---------------------------------------------------------------------------
+# Construct keys and coverage bookkeeping
+# ---------------------------------------------------------------------------
+
+def test_construct_keys_name_structural_constructs():
+    prog = make_program(shape=(8, 8, 5), guard_edges=True,
+                        vw=2, stride=StrideMode(m=True, n=True))
+    keys = construct_keys(prog.params, prog.shape)
+    assert "alg:BA" in keys
+    assert "vw:2" in keys
+    assert "guarded" in keys
+    assert "guarded-vector-merge" in keys
+    assert "ragged:K" in keys
+    assert "ragged:K<Kwg" in keys
+
+
+def test_construct_keys_flag_single_item_groups_and_images():
+    prog = make_program(mwg=4, nwg=4, kwg=4, mdimc=1, ndimc=1, kwi=1,
+                        shared_a=False, shared_b=False, shape=(4, 4, 4))
+    keys = construct_keys(prog.params, prog.shape)
+    assert "wg:single-item" in keys
+    img = make_program(use_images=True)
+    keys = construct_keys(img.params, img.shape)
+    assert "images" in keys and "images:fp64-uint2-idiom" in keys
+
+
+def test_sample_groups_runs_small_grids_in_full():
+    prog = make_program(shape=(16, 16, 8))
+    assert sample_groups(prog.params, prog.shape) == \
+        [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_sample_groups_picks_corners_and_centre_for_large_grids():
+    prog = make_program(shape=(64, 64, 8))  # 8x8 groups
+    groups = sample_groups(prog.params, prog.shape)
+    assert set(groups) == {(0, 0), (7, 0), (0, 7), (7, 7), (4, 4)}
+
+
+def test_group_mask_covers_exactly_the_sampled_tiles():
+    prog = make_program(shape=(16, 16, 8))
+    mask = group_mask(prog.params, prog.shape, [(0, 1)])
+    assert mask[:8, 8:].all()
+    assert mask.sum() == 64
+
+
+def test_program_operands_are_deterministic_and_origin_sensitive():
+    prog = make_program()
+    a1, b1, c1 = program_operands(prog)
+    a2, b2, c2 = program_operands(prog)
+    assert (a1 == a2).all() and (b1 == b2).all() and (c1 == c2).all()
+    fuzz_twin = make_program(origin="fuzz")
+    a3, _, _ = program_operands(fuzz_twin)
+    assert not (a1 == a3).all()
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+def test_correct_programs_classify_as_agree():
+    record = classify_program(make_program())
+    assert record.classification == "agree", record.detail
+    assert record.errors["spec_vs_clsim"] <= 1e-10
+    assert "alg:BA" in record.coverage
+
+
+def test_run_differential_over_an_enumerated_prefix_all_agree():
+    programs = enumerate_programs(limit=12)
+    report = run_differential(programs)
+    assert report.by_class() == {"agree": 12}, report.to_dict()
+    assert report.disagreements() == []
+
+
+def test_scorecard_separates_mbt_only_constructs():
+    report = DifferentialReport(records=[
+        ProgramRecord(index=0, origin="mbt", description="", coverage={
+            "wg:single-item", "alg:BA"}, classification="agree"),
+        ProgramRecord(index=1, origin="fuzz", description="", coverage={
+            "alg:BA", "vw:2"}, classification="agree"),
+    ])
+    card = report.coverage_scorecard()
+    assert card == {"mbt_only": ["wg:single-item"], "fuzz_only": ["vw:2"],
+                    "both": ["alg:BA"]}
+    payload = report.to_dict()
+    assert payload["scorecard"] == card
+    json.loads(report.to_json())  # serialisable
+
+
+def test_scorecard_omitted_when_one_corpus_ran():
+    report = DifferentialReport(records=[
+        ProgramRecord(index=0, origin="mbt", description="",
+                      classification="agree"),
+    ])
+    assert "scorecard" not in report.to_dict()
+
+
+def test_spec_error_budget_classifies_without_raising():
+    record = classify_program(make_program(), max_ops=10)
+    assert record.classification == "spec_error"
+    assert "budget" in record.detail
+
+
+def test_clsim_divergence_classifies_as_value_mismatch(monkeypatch):
+    import repro.spec.differential as diff
+
+    real = diff.run_clsim_leg
+
+    def skewed(program, a, b, c, device="tahiti"):
+        out = real(program, a, b, c, device=device)
+        return out + 0.5  # a wrong simulator
+
+    monkeypatch.setattr(diff, "run_clsim_leg", skewed)
+    record = diff.classify_program(make_program())
+    assert record.classification == "value_mismatch:clsim"
+    assert record.errors["clsim_vs_ref"] > 1e-10
+
+
+def test_spec_ub_detection_classifies_and_records_kinds(monkeypatch):
+    import repro.spec.differential as diff
+    from repro.codegen import emitter
+
+    real = emitter.emit_kernel_source
+
+    def racy(params):
+        # Drop the first barrier: staged tiles are then consumed in the
+        # same phase they are written — a local race the spec must see.
+        return real(params).replace(
+            "  barrier(CLK_LOCAL_MEM_FENCE);\n", "", 1)
+
+    monkeypatch.setattr(diff, "emit_kernel_source", racy)
+    record = diff.classify_program(make_program())
+    assert record.classification.startswith("spec_ub_")
+    assert any("local_race" in k or "uninit_local_read" in k
+               for k in record.spec_violations)

@@ -1,0 +1,199 @@
+"""The spec interpreter vs numpy on representative emitted kernels.
+
+Each case interprets the full emitted source text — preprocessor,
+barrier scheduling, address spaces, vectors, images — and checks the
+result against the numpy contract with zero violations.  The guarded
+PL/DB ragged-K cases pin the epilogue-base fix in the emitter
+(``_LAST_TILE_BASE``): before that fix these exact cases produced
+wrong values or out-of-bounds reads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.emitter import emit_kernel_source
+from repro.codegen.layouts import Layout, pack_matrix
+from repro.codegen.params import KernelParams, StrideMode
+from repro.gemm.reference import relative_error
+from repro.spec.machine import SpecBuffer, SpecImage, run_kernel
+
+BASE = dict(mwg=8, nwg=8, kwg=8, mdimc=2, ndimc=2, kwi=2, precision="d")
+
+
+def make_params(**overrides):
+    d = dict(BASE, **overrides)
+    d.setdefault("algorithm", Algorithm.BA)
+    return KernelParams(**d)
+
+
+def interpret(params, shape, alpha=1.5, beta=0.75, seed=7):
+    """Run the emitted kernel under the spec; return (result, ref, outcome)."""
+    M, N, K = shape
+    dtype = np.float64 if params.precision == "d" else np.float32
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((K, M)).astype(dtype)
+    b = rng.standard_normal((K, N)).astype(dtype)
+    c = rng.standard_normal((M, N)).astype(dtype)
+    if params.use_images:
+        abuf = SpecImage(a.tolist(), params.precision, "agm")
+        bbuf = SpecImage(b.tolist(), params.precision, "bgm")
+    else:
+        abuf = SpecBuffer(
+            pack_matrix(a, params.layout_a, params.kwg, params.mwg).tolist(),
+            "agm")
+        bbuf = SpecBuffer(
+            pack_matrix(b, params.layout_b, params.kwg, params.nwg).tolist(),
+            "bgm")
+    cbuf = SpecBuffer(c.reshape(-1).tolist(), "cgm")
+    gx, gy = -(-M // params.mwg), -(-N // params.nwg)
+    outcome = run_kernel(
+        emit_kernel_source(params),
+        [M, N, K, alpha, beta, abuf, bbuf, cbuf],
+        groups=[(i, j) for i in range(gx) for j in range(gy)],
+    )
+    vals = [v if isinstance(v, (int, float)) else np.nan for v in cbuf.values]
+    result = np.array(vals, dtype=dtype).reshape(M, N)
+    ref = dtype(alpha) * (a.T @ b) + dtype(beta) * c
+    return result, ref, outcome
+
+
+def check(params, shape, **kw):
+    result, ref, outcome = interpret(params, shape, **kw)
+    assert outcome.ok, f"{params.summary()}: {outcome.violations[:3]}"
+    tol = 1e-10 if params.precision == "d" else 1e-4
+    err = relative_error(result, ref)
+    assert err <= tol, f"{params.summary()} shape={shape}: err={err:.3e}"
+    return outcome
+
+
+CASES = [
+    # (name, param overrides, shape)
+    ("ba-shared", dict(algorithm=Algorithm.BA, shared_a=True, shared_b=True),
+     (16, 8, 16)),
+    ("ba-unshared", dict(algorithm=Algorithm.BA), (8, 8, 8)),
+    ("pl-shared", dict(algorithm=Algorithm.PL, shared_a=True, shared_b=True),
+     (8, 8, 16)),
+    ("db-shared", dict(algorithm=Algorithm.DB, shared_a=True, shared_b=True),
+     (8, 8, 16)),
+    ("fp32-vw2", dict(precision="s", vw=2, shared_a=True, shared_b=True),
+     (8, 8, 16)),
+    ("fp32-vw4-strided",
+     dict(precision="s", vw=4, stride=StrideMode(m=True, n=True),
+          shared_a=True, shared_b=True), (16, 16, 8)),
+    ("guarded-ragged-ba",
+     dict(guard_edges=True, shared_a=True, shared_b=True), (13, 7, 10)),
+    ("images-fp64",
+     dict(use_images=True, shared_a=True, shared_b=True), (8, 8, 8)),
+    ("images-fp32",
+     dict(precision="s", use_images=True, shared_a=True, shared_b=True),
+     (8, 8, 8)),
+    ("layouts-cbl-rbl",
+     dict(shared_a=True, shared_b=True, layout_a=Layout.CBL,
+          layout_b=Layout.RBL), (16, 16, 16)),
+    ("staging-reshape",
+     dict(shared_a=True, shared_b=True, mdima=4, ndimb=4), (8, 8, 8)),
+]
+
+
+@pytest.mark.parametrize("name,overrides,shape",
+                         CASES, ids=[c[0] for c in CASES])
+def test_emitted_kernel_matches_numpy(name, overrides, shape):
+    check(make_params(**overrides), shape)
+
+
+# The epilogue-base regression family: guarded PL/DB with ragged K.
+# `kSizeK - KWG` as the last-tile base double-counts k ranges (or goes
+# negative when K < KWG); the fix bases the epilogue on the last whole
+# KWG multiple below K.
+EPILOGUE_CASES = [
+    ("pl-unshared-ragged-k",
+     dict(algorithm=Algorithm.PL, shared_b=True, guard_edges=True),
+     (8, 8, 10)),
+    ("pl-unshared-k-below-kwg",
+     dict(algorithm=Algorithm.PL, shared_b=True, guard_edges=True),
+     (8, 8, 5)),
+    ("pl-shared-ragged-k",
+     dict(algorithm=Algorithm.PL, shared_a=True, shared_b=True,
+          guard_edges=True), (8, 8, 10)),
+    ("db-shared-ragged-k",
+     dict(algorithm=Algorithm.DB, shared_a=True, shared_b=True,
+          guard_edges=True), (8, 8, 10)),
+    ("db-shared-k-below-kwg",
+     dict(algorithm=Algorithm.DB, shared_a=True, shared_b=True,
+          guard_edges=True), (8, 8, 3)),
+    ("db-unshared-ragged-k",
+     dict(algorithm=Algorithm.DB, shared_a=True, guard_edges=True),
+     (8, 8, 10)),
+]
+
+
+@pytest.mark.parametrize("name,overrides,shape",
+                         EPILOGUE_CASES, ids=[c[0] for c in EPILOGUE_CASES])
+def test_guarded_pipeline_epilogue_bases(name, overrides, shape):
+    check(make_params(**overrides), shape)
+
+
+def test_emitter_pins_last_tile_base():
+    """The epilogue base must be the last whole-KWG multiple below K.
+
+    The base expression reaches the emitted text whenever an epilogue
+    reads an operand directly (unshared) or stages it (DB).  The naive
+    ``kSizeK - KWG`` may remain only as the *main-loop bound*
+    (``pwg < kSizeK - KWG``), never as an index base.
+    """
+    for alg, overrides in (
+        (Algorithm.PL, dict(shared_b=True)),
+        (Algorithm.DB, dict(shared_a=True, shared_b=True)),
+        (Algorithm.DB, dict(shared_a=True)),
+    ):
+        params = make_params(algorithm=alg, guard_edges=True, **overrides)
+        source = emit_kernel_source(params)
+        assert "((kSizeK - 1) / KWG) * KWG" in source, params.summary()
+        for line in source.splitlines():
+            if "kSizeK - KWG" in line:
+                assert "pwg <" in line, f"{params.summary()}: {line!r}"
+
+
+def test_fp32_interpretation_rounds_like_the_simulator():
+    """fp32 spec results match clsim bit-for-bit on a mad-free kernel."""
+    import repro.clsim as cl
+    from repro.clsim.queue import ExecutionMode
+    from repro.devices import get_device_spec
+
+    params = make_params(precision="s", shared_a=True, shared_b=True)
+    shape = (8, 8, 8)
+    result, _, outcome = interpret(params, shape)
+    assert outcome.ok
+
+    M, N, K = shape
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((K, M)).astype(np.float32)
+    b = rng.standard_normal((K, N)).astype(np.float32)
+    c = rng.standard_normal((M, N)).astype(np.float32)
+    dev = cl.Device(get_device_spec("tahiti"))
+    ctx = cl.Context([dev])
+    queue = cl.CommandQueue(ctx, dev, measurement_noise=False,
+                            execution_mode=ExecutionMode.WORKGROUP)
+    abuf = cl.Buffer(ctx, hostbuf=pack_matrix(a, params.layout_a,
+                                              params.kwg, params.mwg))
+    bbuf = cl.Buffer(ctx, hostbuf=pack_matrix(b, params.layout_b,
+                                              params.kwg, params.nwg))
+    cbuf = cl.Buffer(ctx, hostbuf=c.copy())
+    kernel = cl.Program(ctx, emit_kernel_source(params)).build() \
+        .get_kernel("gemm_atb")
+    kernel.set_args(M, N, K, 1.5, 0.75, abuf, bbuf, cbuf)
+    queue.launch(kernel, kernel.expected_global_size(),
+                 kernel.plan.local_size())
+    clsim_c = cbuf.read().reshape(M, N)
+    assert relative_error(result, clsim_c) <= 1e-6
+
+
+def test_interpreter_coverage_records_constructs():
+    outcome = check(make_params(precision="s", vw=2, shared_a=True,
+                                shared_b=True), (8, 8, 16))
+    assert "vload2" in outcome.coverage
+    assert "mad" in outcome.coverage
+    outcome = check(make_params(use_images=True, shared_a=True,
+                                shared_b=True), (8, 8, 8))
+    assert any(k.startswith("image:read_imageui") for k in outcome.coverage)

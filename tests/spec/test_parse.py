@@ -1,0 +1,158 @@
+"""Front-end units: preprocessor, macro expansion, parser shape."""
+
+import pytest
+
+from repro.codegen.algorithms import Algorithm
+from repro.codegen.params import KernelParams
+from repro.codegen.emitter import emit_kernel_source
+from repro.spec.cparse import (
+    Barrier,
+    Call,
+    SpecParseError,
+    parse_kernel_source,
+    preprocess,
+    tokenize,
+)
+
+
+def test_tokenizer_splits_punctuators_longest_first():
+    toks = [t.text for t in tokenize("a<=b&&c||d!=e++")]
+    assert toks == ["a", "<=", "b", "&&", "c", "||", "d", "!=", "e", "++"]
+
+
+def test_tokenizer_tracks_line_numbers():
+    toks = tokenize("a\nb\n\nc")
+    assert [(t.text, t.line) for t in toks] == [("a", 1), ("b", 2), ("c", 4)]
+
+
+def test_tokenizer_rejects_stray_characters():
+    with pytest.raises(SpecParseError, match="unexpected character"):
+        tokenize("a @ b")
+
+
+def test_object_macro_expansion():
+    pp = preprocess("#define KWG 16\nint x = KWG;")
+    assert [t.text for t in pp.tokens] == ["int", "x", "=", "16", ";"]
+
+
+def test_function_macro_expands_arguments_and_rescans():
+    src = (
+        "#define TWICE(x) ((x) + (x))\n"
+        "#define FOUR TWICE(TWICE(1))\n"
+        "int y = FOUR;"
+    )
+    pp = preprocess(src)
+    text = " ".join(t.text for t in pp.tokens)
+    assert text.count("1") == 4  # fully expanded, rescanned
+
+
+def test_function_macro_argument_commas_respect_parens():
+    src = "#define F(a, b) (a + b)\nint z = F((1, 2), 3);"
+    # "(1, 2)" is one argument because of the parentheses
+    pp = preprocess(src)
+    assert "3" in [t.text for t in pp.tokens]
+
+
+def test_macro_wrong_arity_is_an_error():
+    with pytest.raises(SpecParseError, match="expects 2"):
+        preprocess("#define F(a, b) a\nint x = F(1);")
+
+
+def test_pragma_extension_is_recorded_and_unroll_ignored():
+    src = (
+        "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"
+        "#pragma unroll\n"
+        "int x = 1;"
+    )
+    pp = preprocess(src)
+    assert pp.extensions == ("cl_khr_fp64",)
+
+
+def test_comments_preserve_line_numbers():
+    src = "/* one\ntwo */ int x = 1;\n// tail\nint y = 2;"
+    pp = preprocess(src)
+    xs = [t for t in pp.tokens if t.text == "x"]
+    ys = [t for t in pp.tokens if t.text == "y"]
+    assert xs[0].line == 2 and ys[0].line == 4
+
+
+def test_unknown_directive_is_rejected():
+    with pytest.raises(SpecParseError, match="unsupported preprocessor"):
+        preprocess("#include <stdio.h>")
+
+
+MINI = """
+__kernel __attribute__((reqd_work_group_size(2, 2, 1)))
+void k(const int n, __global float* out) {
+  const int i = get_global_id(0);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (i < n) {
+    out[i] = (float)(i) * 2.0f;
+  }
+}
+"""
+
+
+def test_parse_mini_kernel_signature_and_sites():
+    tu = parse_kernel_source(MINI)
+    kd = tu.kernels["k"]
+    assert kd.reqd_size == (2, 2, 1)
+    assert [a.kind for a in kd.args] == ["int", "global"]
+    assert kd.args[1].elem == "float"
+    assert kd.barrier_sites == 1
+
+
+def test_parse_rejects_unsupported_builtins():
+    src = MINI.replace("get_global_id(0)", "async_work_group_copy(0)")
+    from repro.spec.machine import run_kernel, SpecBuffer
+    with pytest.raises(SpecParseError, match="unsupported builtin"):
+        run_kernel(src, [1, SpecBuffer([0.0], "out")], groups=[(0, 0)])
+
+
+def test_every_emitted_kernel_shape_parses():
+    """The parser accepts the full emitted subset (spot-check axes)."""
+    cases = [
+        dict(algorithm=Algorithm.BA, shared_a=True, shared_b=True),
+        dict(algorithm=Algorithm.PL, shared_a=True, shared_b=True),
+        dict(algorithm=Algorithm.DB, shared_a=True, shared_b=True),
+        dict(algorithm=Algorithm.BA, use_images=True, shared_a=True,
+             shared_b=True),
+        dict(algorithm=Algorithm.BA, guard_edges=True, vw=2),
+        dict(algorithm=Algorithm.BA, vw=4, shared_a=True, shared_b=True),
+    ]
+    for extra in cases:
+        params = KernelParams(
+            precision="d", mwg=8, nwg=8, kwg=8, mdimc=2, ndimc=2, kwi=2,
+            **extra,
+        )
+        tu = parse_kernel_source(emit_kernel_source(params))
+        kd = tu.kernels["gemm_atb"]
+        assert kd.reqd_size == (2, 2, 1)
+        uses_local = extra.get("shared_a") or extra.get("shared_b")
+        assert (kd.barrier_sites > 0) == bool(uses_local)
+
+
+def test_barrier_sites_are_distinct_per_call_site():
+    params = KernelParams(
+        precision="d", mwg=8, nwg=8, kwg=8, mdimc=2, ndimc=2,
+        shared_a=True, shared_b=True, algorithm=Algorithm.DB,
+    )
+    tu = parse_kernel_source(emit_kernel_source(params))
+
+    sites = []
+
+    def walk(node):
+        if isinstance(node, Barrier):
+            sites.append(node.site)
+        for attr in ("stmts", "body", "then", "other"):
+            child = getattr(node, attr, None)
+            if child is None:
+                continue
+            if isinstance(child, tuple):
+                for c in child:
+                    walk(c)
+            else:
+                walk(child)
+
+    walk(tu.kernels["gemm_atb"].body)
+    assert len(sites) == len(set(sites)) and len(sites) >= 3
