@@ -125,9 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--deadline", type=float, default=0.5,
                        metavar="SECONDS",
                        help="per-request deadline; 0 disables")
-        p.add_argument("--canary-interval", type=int, default=50, metavar="N",
+        p.add_argument("--canary-interval", type=int, default=None,
+                       metavar="N",
                        help="known-answer canary cadence for quarantined "
-                            "kernels (0 disables)")
+                            "kernels (0 disables; default 50, or 3 with "
+                            "--async where ticks advance per batch)")
         p.add_argument("--attempt-timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="wall-clock watchdog per ladder-rung attempt")
@@ -146,6 +148,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-limit", type=int, default=256, metavar="N",
                        help="per-request traces kept in memory (oldest "
                             "dropped first)")
+        # -- async multi-tenant mode (repro.serve.sched) ----------------
+        p.add_argument("--async", dest="async_mode", action="store_true",
+                       help="serve through the async multi-tenant "
+                            "scheduler (fair queueing, coalesced "
+                            "batching, sharding, graceful drain)")
+        p.add_argument("--tenants", type=int, default=None, metavar="N",
+                       help="tenant count for the async workload "
+                            "(implies --async; default 4)")
+        p.add_argument("--interarrival", type=float, default=2.5e-5,
+                       metavar="SECONDS",
+                       help="mean simulated inter-arrival of the merged "
+                            "async workload")
+        p.add_argument("--max-batch", type=int, default=24, metavar="N",
+                       help="coalescing cap for same-shape small requests")
+        p.add_argument("--bench-json", metavar="BENCH.json",
+                       help="persist the async serving benchmark "
+                            "(BENCH_serving.json payload)")
+        p.add_argument("--tenant-latency-json", metavar="FILE.json",
+                       help="persist per-tenant latency histograms")
 
     p_serve = sub.add_parser(
         "serve", help="run the resilient GEMM serving layer"
@@ -405,18 +426,29 @@ def _run_serving(args, check_clean: bool) -> int:
     from repro.persist import dump_json_atomic
     from repro.serve import GemmService, ServiceConfig, SoakConfig, run_soak
 
+    async_mode = args.async_mode or args.tenants is not None
     injector = None
     if args.inject_faults:
         plan = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
         injector = FaultInjector(plan)
         print(f"fault plan    : {args.inject_faults} "
               f"(seed {plan.seed}, digest {plan.digest()})")
+    canary_interval = args.canary_interval
+    if canary_interval is None:
+        # Ticks advance once per dispatch; with coalesced batches a tick
+        # covers many requests, so async mode canaries far more often.
+        canary_interval = 3 if async_mode else 50
     config = ServiceConfig(
         seed=args.seed,
         max_backlog_s=args.max_backlog,
-        default_deadline_s=args.deadline if args.deadline > 0 else None,
+        # In async mode the scheduler owns deadlines (per tenant or per
+        # request); the service-level default would double-count them.
+        default_deadline_s=(None if async_mode
+                            else args.deadline if args.deadline > 0
+                            else None),
         verify_rate=args.verify_rate,
-        canary_interval=args.canary_interval,
+        canary_interval=canary_interval,
+        canary_passes=1 if async_mode else 2,
         attempt_timeout_s=args.attempt_timeout,
     )
     obs = Observability(seed=args.seed, trace_limit=max(1, args.trace_limit))
@@ -425,9 +457,12 @@ def _run_serving(args, check_clean: bool) -> int:
         obs=obs,
     )
     print(service.ladder.describe())
-    report = run_soak(
-        service, SoakConfig(requests=args.requests, seed=args.seed)
-    )
+    if async_mode:
+        report = _run_async_soak(args, service)
+    else:
+        report = run_soak(
+            service, SoakConfig(requests=args.requests, seed=args.seed)
+        )
     print(report.render())
     print(service.counters.render())
     if args.incident_log:
@@ -439,6 +474,27 @@ def _run_serving(args, check_clean: bool) -> int:
     if args.report_json:
         report.save(args.report_json)
         print(f"report        : {args.report_json}")
+    if args.bench_json and hasattr(report, "aggregate_gflops"):
+        report.save(args.bench_json)
+        print(f"bench         : {args.bench_json}")
+    if args.tenant_latency_json and hasattr(report, "per_tenant"):
+        dump_json_atomic(
+            args.tenant_latency_json,
+            {
+                "format": "repro-tenant-latency/1",
+                "tenants": {
+                    name: {
+                        "p50_ms": t["p50_ms"],
+                        "p99_ms": t["p99_ms"],
+                        "max_wait_ms": t["max_wait_ms"],
+                        "latency_hist_ms": t["latency_hist_ms"],
+                    }
+                    for name, t in report.per_tenant.items()
+                },
+            },
+            indent=2,
+        )
+        print(f"tenant latency: {args.tenant_latency_json}")
     if args.trace_json:
         save_traces(args.trace_json, list(obs.traces))
         print(f"trace         : {args.trace_json} ({len(obs.traces)} traces "
@@ -447,10 +503,44 @@ def _run_serving(args, check_clean: bool) -> int:
         save_metrics(args.metrics_json, obs.metrics)
         print(f"metrics       : {args.metrics_json}")
     if check_clean and not report.clean:
-        print(f"FAILED: {report.wrong_answers} numerically incorrect "
-              f"responses escaped the serving layer")
+        reasons = [f"{report.wrong_answers} numerically incorrect "
+                   f"responses escaped the serving layer"]
+        if getattr(report, "starved_tenants", None):
+            reasons.append(
+                f"starved tenants: {', '.join(report.starved_tenants)}"
+            )
+        print("FAILED: " + "; ".join(reasons))
         return 1
     return 0
+
+
+def _run_async_soak(args, service):
+    """The --async workload: N tenants over the default load mix."""
+    from dataclasses import replace
+
+    from repro.serve import AsyncSoakConfig, DEFAULT_TENANT_LOADS, run_async_soak
+
+    count = args.tenants if args.tenants is not None else 4
+    if count < 1:
+        raise SystemExit("--tenants must be >= 1")
+    # Cycle the canonical four-load mix, suffixing extra generations so
+    # any tenant count keeps distinct names and deterministic streams.
+    loads = tuple(
+        base if i < len(DEFAULT_TENANT_LOADS)
+        else replace(base, name=f"{base.name}{i // len(DEFAULT_TENANT_LOADS)}")
+        for i, base in (
+            (j, DEFAULT_TENANT_LOADS[j % len(DEFAULT_TENANT_LOADS)])
+            for j in range(count)
+        )
+    )
+    config = AsyncSoakConfig(
+        requests=args.requests,
+        seed=args.seed,
+        tenants=loads,
+        interarrival_s=args.interarrival,
+        max_batch=args.max_batch,
+    )
+    return run_async_soak(service, config)
 
 
 def _cmd_serve(args) -> int:

@@ -11,6 +11,8 @@ checker), and testing failures are :class:`LaunchError` /
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "ReproError",
     "ParameterError",
@@ -26,6 +28,7 @@ __all__ = [
     "TuningError",
     "SearchInterrupted",
     "InvalidRequestError",
+    "InvalidBatchError",
     "AdmissionError",
     "ResultCorruptionError",
 ]
@@ -141,14 +144,46 @@ class InvalidRequestError(ReproError, ValueError):
         self.argument = argument
 
 
+class InvalidBatchError(ReproError, ValueError):
+    """A batched-GEMM request failed up-front batch validation.
+
+    Raised by :class:`repro.gemm.batched.BatchedGemm` *before* any
+    member is computed — an empty batch, mismatched operand-list
+    lengths, or a member whose shapes/dtype fail
+    :func:`~repro.gemm.routine.validate_gemm_request` — instead of
+    failing mid-batch with some members already served.  ``member`` is
+    the index of the offending batch member (``None`` for batch-level
+    problems such as emptiness).
+    """
+
+    def __init__(self, message: str, member: Optional[int] = None) -> None:
+        super().__init__(f"invalid GEMM batch: {message}")
+        #: Index of the offending member, or None for batch-level errors.
+        self.member = member
+
+
 class AdmissionError(ReproError):
     """A request was shed by the serving layer's admission control.
 
-    The bounded queue in front of :class:`repro.serve.GemmService` was
-    full (the simulated backlog exceeded its budget), so the request was
-    rejected instead of queued — load shedding keeps tail latency
-    bounded for the requests that *are* admitted.
+    The bounded queue in front of :class:`repro.serve.GemmService` (or a
+    tenant's bounded queue in the async scheduler) was full, so the
+    request was rejected instead of queued — load shedding keeps tail
+    latency bounded for the requests that *are* admitted.
+
+    ``retry_after_s`` is the shedder's estimate, derived from the
+    backlog drain rate, of how many simulated seconds until capacity
+    frees up; a cooperative client that resubmits after that delay is
+    counted as *shed-then-retried* rather than hard-shed.  ``None``
+    means the shedder offers no hint (e.g. the scheduler is draining
+    for shutdown and will never re-admit).
     """
+
+    def __init__(self, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        #: Estimated simulated seconds until the backlog drains enough
+        #: to admit a resubmission (None: no retry will ever succeed).
+        self.retry_after_s = retry_after_s
 
 
 class ResultCorruptionError(ReproError):

@@ -3,10 +3,21 @@
 Small problems cannot amortise per-launch and packing overheads one at a
 time (the paper's small-size weakness); batching them reuses one routine
 and, on out-of-order capable devices, models the launch-overhead saving
-of submitting the whole batch back to back.  Functionally each problem
-is computed exactly; timing aggregates the member calls and discounts
-all but the first launch overhead (the queue pipeline keeps the device
-busy between members).
+of submitting the whole batch back to back.  Functionally each member
+is computed exactly — bit-identically to a stand-alone
+:class:`~repro.gemm.routine.GemmRoutine` call, which is what lets the
+serving scheduler coalesce independent requests without changing their
+answers.  Timing follows the pipeline model: the first member pays its
+full launch latency; every later member's launches (2 packs + 1 kernel)
+are hidden behind the previous member's execution, so the batch costs
+one pipeline fill plus the members' pure device-occupancy time.
+
+Members may differ in shape, transpose, alpha, and beta: ``alpha``,
+``beta``, ``transa`` and ``transb`` accept either one value for the
+whole batch or one value per member.  All batch-level structure and
+every member's operands are validated up front
+(:class:`~repro.errors.InvalidBatchError`) so a malformed batch never
+computes a partial prefix.
 """
 
 from __future__ import annotations
@@ -17,10 +28,37 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.codegen.params import KernelParams
-from repro.errors import ReproError
-from repro.gemm.routine import GemmResult, GemmRoutine, GemmTimings
+from repro.errors import InvalidBatchError, InvalidRequestError
+from repro.gemm.routine import (
+    GemmResult,
+    GemmRoutine,
+    validate_gemm_request,
+)
 
 __all__ = ["BatchedGemmResult", "BatchedGemm"]
+
+def _member_launches(result: GemmResult) -> int:
+    """Device launches one member enqueued, derived from its timing
+    decomposition: two pack kernels when packing time was charged (the
+    direct routine charges none), the GEMM kernel itself, and the crop
+    copy-out when the problem was padded."""
+    timings = result.timings
+    return (
+        (2 if timings.copy_in_s > 0.0 else 0)
+        + 1
+        + (1 if timings.copy_out_s > 0.0 else 0)
+    )
+
+
+def _per_member(name: str, value, n: int) -> List:
+    """Broadcast a scalar batch argument, or validate a per-member list."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != n:
+            raise InvalidBatchError(
+                f"{name} has {len(value)} entries for {n} members"
+            )
+        return list(value)
+    return [value] * n
 
 
 @dataclass(frozen=True)
@@ -28,7 +66,7 @@ class BatchedGemmResult:
     """Results and aggregate accounting of one batch."""
 
     results: Tuple[GemmResult, ...]
-    #: Simulated wall time with back-to-back submission.
+    #: Simulated wall time with back-to-back (pipelined) submission.
     batched_seconds: float
     #: Simulated wall time if each member were run stand-alone.
     unbatched_seconds: float
@@ -55,6 +93,19 @@ class BatchedGemmResult:
     def batching_speedup(self) -> float:
         return self.unbatched_seconds / self.batched_seconds
 
+    def member_seconds(self) -> List[float]:
+        """The batch wall time attributed back to each member.
+
+        Shares are proportional to each member's stand-alone time, so
+        they sum to ``batched_seconds`` exactly and a request-level
+        accountant can charge every member its fair slice of the batch.
+        """
+        if not self.results:
+            return []
+        totals = [r.timings.total_s for r in self.results]
+        denom = sum(totals) or 1.0
+        return [self.batched_seconds * t / denom for t in totals]
+
 
 class BatchedGemm:
     """Runs batches of (A, B[, C]) problems through one GEMM routine."""
@@ -74,38 +125,70 @@ class BatchedGemm:
     def launch_overhead_s(self) -> float:
         return self.routine.device.spec.model.launch_overhead_us * 1e-6
 
+    def _validate(self, a_list, b_list, c_list, alphas, betas,
+                  transas, transbs) -> None:
+        """Prove the whole batch well-formed before computing member 0."""
+        for i, (a, b) in enumerate(zip(a_list, b_list)):
+            c = c_list[i] if c_list is not None else None
+            try:
+                validate_gemm_request(
+                    a, b, c, alphas[i], betas[i], transas[i], transbs[i]
+                )
+            except InvalidRequestError as exc:
+                raise InvalidBatchError(
+                    f"member {i}: {exc}", member=i
+                ) from exc
+
     def __call__(
         self,
         a_list: Sequence[np.ndarray],
         b_list: Sequence[np.ndarray],
-        c_list: Optional[Sequence[np.ndarray]] = None,
-        alpha: float = 1.0,
-        beta: float = 0.0,
-        transa: str = "N",
-        transb: str = "N",
+        c_list: Optional[Sequence[Optional[np.ndarray]]] = None,
+        alpha: Union[float, Sequence[float]] = 1.0,
+        beta: Union[float, Sequence[float]] = 0.0,
+        transa: Union[str, Sequence[str]] = "N",
+        transb: Union[str, Sequence[str]] = "N",
     ) -> BatchedGemmResult:
         if len(a_list) != len(b_list):
-            raise ReproError(
+            raise InvalidBatchError(
                 f"batch size mismatch: {len(a_list)} A operands, "
                 f"{len(b_list)} B operands"
             )
         if not a_list:
-            raise ReproError("empty batch")
+            raise InvalidBatchError("empty batch")
         if c_list is not None and len(c_list) != len(a_list):
-            raise ReproError("C operand list length must match the batch")
+            raise InvalidBatchError(
+                f"C operand list length {len(c_list)} must match the "
+                f"batch size {len(a_list)}"
+            )
+        n = len(a_list)
+        alphas = _per_member("alpha", alpha, n)
+        betas = _per_member("beta", beta, n)
+        transas = _per_member("transa", transa, n)
+        transbs = _per_member("transb", transb, n)
+        self._validate(a_list, b_list, c_list, alphas, betas,
+                       transas, transbs)
 
         results = []
         for i, (a, b) in enumerate(zip(a_list, b_list)):
             c = c_list[i] if c_list is not None else None
             results.append(
-                self.routine(a, b, c, alpha=alpha, beta=beta,
-                             transa=transa, transb=transb)
+                self.routine(a, b, c, alpha=alphas[i], beta=betas[i],
+                             transa=transas[i], transb=transbs[i])
             )
 
         unbatched = sum(r.timings.total_s for r in results)
-        # Back-to-back submission: every command after the first batch
-        # member starts while the previous one runs, so per-member launch
-        # latencies (2 packs + 1 kernel) are hidden behind execution.
-        saved = 3 * self.launch_overhead_s * (len(results) - 1)
-        batched = max(unbatched - saved, unbatched * 0.5)
+        # Pipeline model: the batch pays one pipeline fill (the deepest
+        # member's launch latency), after which every launch overlaps
+        # the previous command's execution, leaving each member's pure
+        # device-occupancy time (total minus its hidden launches,
+        # floored at zero for members that are nothing *but* launch
+        # overhead).
+        oh = self.launch_overhead_s
+        fill = max(_member_launches(r) for r in results) * oh
+        occupancy = sum(
+            max(r.timings.total_s - _member_launches(r) * oh, 0.0)
+            for r in results
+        )
+        batched = min(fill + occupancy, unbatched)
         return BatchedGemmResult(tuple(results), batched, unbatched)

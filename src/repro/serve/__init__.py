@@ -21,30 +21,71 @@ fronts the tuned routines with production-grade robustness:
 * a structured incident log and service counters, persisted crash-safe
   through :mod:`repro.persist`.
 
+On top of the service sits the async multi-tenant scheduler
+(:mod:`repro.serve.sched`): bounded per-tenant queues under weighted
+fair queueing, coalescing of small same-shape requests into pipelined
+:class:`~repro.gemm.batched.BatchedGemm` launches, sharding of large
+requests across the fleet, deadline-aware cancellation, hedged
+re-launches, mid-run hot swaps of the serving kernel, and graceful
+drain — exercised end to end by :func:`run_async_soak`.
+
 See ``docs/serving.md`` for the architecture walk-through and
-``repro serve`` / ``repro soak`` for the CLI entry points.
+``repro serve`` / ``repro soak`` (plus ``--async``/``--tenants``) for
+the CLI entry points.
 """
 
 from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.incident import Incident, IncidentLog, ServiceCounters
 from repro.serve.ladder import DegradationLadder, Rung
-from repro.serve.service import GemmService, ServeResult, ServiceConfig
-from repro.serve.soak import SoakConfig, SoakReport, run_soak
+from repro.serve.sched import (
+    AsyncScheduler,
+    SchedulerConfig,
+    TenantConfig,
+    Ticket,
+)
+from repro.serve.service import (
+    BatchingAccount,
+    GemmCall,
+    GemmService,
+    ServeResult,
+    ServiceConfig,
+)
+from repro.serve.soak import (
+    DEFAULT_TENANT_LOADS,
+    AsyncSoakConfig,
+    AsyncSoakReport,
+    SoakConfig,
+    SoakReport,
+    TenantLoad,
+    run_async_soak,
+    run_soak,
+)
 from repro.serve.verify import FreivaldsCheck, FreivaldsVerifier
 
 __all__ = [
+    "AsyncScheduler",
+    "AsyncSoakConfig",
+    "AsyncSoakReport",
+    "BatchingAccount",
     "BreakerState",
     "CircuitBreaker",
+    "DEFAULT_TENANT_LOADS",
     "DegradationLadder",
     "FreivaldsCheck",
     "FreivaldsVerifier",
+    "GemmCall",
     "GemmService",
     "Incident",
     "IncidentLog",
     "Rung",
+    "SchedulerConfig",
     "ServeResult",
     "ServiceConfig",
     "SoakConfig",
     "SoakReport",
+    "TenantConfig",
+    "TenantLoad",
+    "Ticket",
+    "run_async_soak",
     "run_soak",
 ]

@@ -37,6 +37,13 @@ INCIDENT_KINDS = (
     "readmit",          # a quarantined kernel was re-admitted
     "deadline_missed",  # the response came back after its deadline
     "static_reject",    # static analysis refused a ladder rung's kernel
+    "batch",            # a coalesced batch was dispatched
+    "shard",            # a large request was sharded across the fleet
+    "hedge",            # a hedged re-launch was attempted
+    "deadline_cancel",  # queued work provably unable to meet its deadline
+    "shed_retry",       # a previously shed request was re-admitted
+    "hot_swap",         # a serving kernel was hot-swapped in place
+    "drain",            # the scheduler drained gracefully
 )
 
 
@@ -75,7 +82,14 @@ class ServiceCounters:
 
     requests: int = 0
     admitted: int = 0
+    #: Shed *events* (one request shed twice counts twice).
     shed: int = 0
+    #: Requests that were shed at least once but later served on a
+    #: retry after the shedder's ``retry_after_s`` hint — kept separate
+    #: from ``shed`` so shed-rate numbers aren't double-counted: the
+    #: hard-shed count is ``shed - (shed events of retried requests)``,
+    #: which the async soak report derives per request.
+    shed_retried: int = 0
     invalid: int = 0
     completed: int = 0
     degraded: int = 0
@@ -87,6 +101,19 @@ class ServiceCounters:
     canaries_run: int = 0
     deadline_missed: int = 0
     static_rejects: int = 0
+    # -- async scheduler accounting (see repro.serve.sched) -------------
+    #: Coalesced batches dispatched, and the members they carried.
+    batches: int = 0
+    batched_members: int = 0
+    #: Large requests sharded across the multi-device fleet.
+    sharded: int = 0
+    #: Hedged re-launches attempted after a risky (half-open) serve.
+    hedges: int = 0
+    #: Queued requests cancelled because they provably could not meet
+    #: their deadline.
+    cancelled: int = 0
+    #: Serving kernels replaced in place by a hot swap.
+    hot_swaps: int = 0
     #: Responses per ladder rung name ("tuned", "pretuned", "direct",
     #: "reference"), e.g. {"tuned": 950, "reference": 3}.
     served_by_rung: Dict[str, int] = field(default_factory=dict)
@@ -94,9 +121,11 @@ class ServiceCounters:
     #: Integer fields mirrored into a bound metrics registry, in the
     #: render order.  ``served_by_rung`` mirrors as a labeled series.
     COUNTER_FIELDS = (
-        "requests", "admitted", "shed", "invalid", "completed", "degraded",
-        "breaker_trips", "verified", "corruption_caught", "quarantined",
-        "readmitted", "canaries_run", "deadline_missed", "static_rejects",
+        "requests", "admitted", "shed", "shed_retried", "invalid",
+        "completed", "degraded", "breaker_trips", "verified",
+        "corruption_caught", "quarantined", "readmitted", "canaries_run",
+        "deadline_missed", "static_rejects", "batches", "batched_members",
+        "sharded", "hedges", "cancelled", "hot_swaps",
     )
 
     def bind_registry(self, registry, prefix: str = "serve") -> None:
@@ -150,10 +179,7 @@ class ServiceCounters:
 
     def render(self) -> str:
         lines = ["service counters:"]
-        for name in ("requests", "admitted", "shed", "invalid", "completed",
-                     "degraded", "breaker_trips", "verified",
-                     "corruption_caught", "quarantined", "readmitted",
-                     "canaries_run", "deadline_missed", "static_rejects"):
+        for name in self.COUNTER_FIELDS:
             lines.append(f"  {name:18s}: {getattr(self, name)}")
         for rung in sorted(self.served_by_rung):
             lines.append(f"  served by {rung:9s}: {self.served_by_rung[rung]}")

@@ -134,6 +134,10 @@ class DegradationLadder:
         from repro.tuner.pretuned import pretuned_params
 
         self.precision = precision
+        self.host_gflops = host_gflops
+        #: Kept for rung rebuilds (hot swaps construct replacement
+        #: routines with the same build options the ladder started with).
+        self._routine_kwargs = dict(routine_kwargs)
         self.rungs: List[Rung] = []
         specs = [
             d if isinstance(d, DeviceSpec) else get_device_spec(d)
@@ -172,6 +176,35 @@ class DegradationLadder:
         self.rungs.append(Rung(
             "reference", "", precision, None, None, host_gflops=host_gflops,
         ))
+
+    def primary_rung(self, device: str) -> Rung:
+        """The ``tuned`` rung serving ``device`` (KeyError if absent)."""
+        for rung in self.rungs:
+            if rung.name == "tuned" and rung.device == device:
+                return rung
+        raise KeyError(f"no tuned rung for device {device!r}")
+
+    def replace_primary(self, device: str, params: KernelParams) -> Rung:
+        """Swap the ``tuned`` rung's kernel for ``device`` in place.
+
+        Builds a fresh :class:`Rung` around ``params`` (same position,
+        same build options, lazily constructed routine) and returns it.
+        The old rung object — and any in-flight request already holding
+        it — is untouched; only *future* dispatches see the new kernel.
+        """
+        old = self.primary_rung(device)
+        index = self.rungs.index(old)
+        spec = old.spec
+        kwargs = self._routine_kwargs
+        new = Rung(
+            "tuned", device, self.precision, params,
+            lambda injector: GemmRoutine(
+                spec, params, fault_injector=injector, **kwargs
+            ),
+            spec=spec, host_gflops=self.host_gflops,
+        )
+        self.rungs[index] = new
+        return new
 
     def describe(self) -> str:
         lines = ["degradation ladder:"]

@@ -1,0 +1,32 @@
+"""Async multi-tenant scheduling over the GEMM service.
+
+The package splits in two:
+
+* :mod:`repro.serve.sched.tenancy` — bounded per-tenant queues and the
+  weighted-fair-queueing (SFQ) policy that picks what runs next;
+* :mod:`repro.serve.sched.scheduler` — the discrete-event
+  :class:`AsyncScheduler` that admits arrivals, coalesces small
+  same-shape requests into batches, shards large requests across the
+  fleet, hedges risky dispatches, cancels hopeless deadlines, applies
+  hot swaps at dispatch boundaries, and drains gracefully.
+
+See ``docs/serving.md`` (async scheduling section) for the full tour.
+"""
+
+from repro.serve.sched.scheduler import AsyncScheduler, SchedulerConfig, Ticket
+from repro.serve.sched.tenancy import (
+    FairQueue,
+    QueuedRequest,
+    TenantConfig,
+    TenantState,
+)
+
+__all__ = [
+    "AsyncScheduler",
+    "SchedulerConfig",
+    "Ticket",
+    "TenantConfig",
+    "TenantState",
+    "QueuedRequest",
+    "FairQueue",
+]

@@ -56,7 +56,62 @@ from repro.serve.ladder import DegradationLadder, Rung
 from repro.serve.verify import FreivaldsVerifier
 from repro.tuner.resilience import call_with_timeout
 
-__all__ = ["ServiceConfig", "ServeResult", "GemmService"]
+__all__ = [
+    "ServiceConfig", "ServeResult", "GemmCall", "GemmService",
+    "BatchingAccount", "SMALL_GEMM_DIM",
+]
+
+#: Problems with every dimension at or below this are "small" for the
+#: batching-throughput ledger — the size band where the paper's kernels
+#: cannot amortise launch overhead and coalescing pays off.
+SMALL_GEMM_DIM = 128
+
+
+@dataclass
+class BatchingAccount:
+    """Small-GEMM throughput ledger: actual device seconds (pipelined
+    when the member rode a coalesced batch) against what the very same
+    members would have cost served stand-alone on the synchronous path.
+    ``speedup`` is therefore the aggregate throughput lift coalescing
+    delivered, measured over identical work."""
+
+    members: int = 0
+    flops: float = 0.0
+    #: Actual seconds charged (a batch member's fair share of the
+    #: pipelined batch wall time; a single's full service time).
+    batched_s: float = 0.0
+    #: Stand-alone seconds the same members cost on the sync path.
+    sync_s: float = 0.0
+
+    def add(self, flops: float, batched_s: float, sync_s: float) -> None:
+        self.members += 1
+        self.flops += flops
+        self.batched_s += batched_s
+        self.sync_s += sync_s
+
+    @property
+    def speedup(self) -> float:
+        return self.sync_s / self.batched_s if self.batched_s > 0 else 1.0
+
+    @property
+    def sync_gflops(self) -> float:
+        return self.flops / self.sync_s / 1e9 if self.sync_s > 0 else 0.0
+
+    @property
+    def batched_gflops(self) -> float:
+        return (self.flops / self.batched_s / 1e9
+                if self.batched_s > 0 else 0.0)
+
+    def as_dict(self) -> Dict:
+        return {
+            "members": self.members,
+            "flops": self.flops,
+            "batched_s": self.batched_s,
+            "sync_s": self.sync_s,
+            "sync_gflops": self.sync_gflops,
+            "batched_gflops": self.batched_gflops,
+            "speedup": self.speedup,
+        }
 
 
 @dataclass(frozen=True)
@@ -97,6 +152,43 @@ class ServiceConfig:
     host_gflops: float = 8.0
 
 
+@dataclass(frozen=True)
+class GemmCall:
+    """One GEMM problem, as the batch path carries it.
+
+    A value object the async scheduler queues and
+    :meth:`GemmService.submit_batch` consumes; ``validate`` returns a
+    normalized copy (arrays coerced, transposes upper-cased) or raises
+    :class:`~repro.errors.InvalidRequestError`.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: Optional[np.ndarray] = None
+    alpha: float = 1.0
+    beta: float = 0.0
+    transa: str = "N"
+    transb: str = "N"
+
+    def validate(self) -> "GemmCall":
+        a, b, c, transa, transb = validate_gemm_request(
+            self.a, self.b, self.c, self.alpha, self.beta,
+            self.transa, self.transb,
+        )
+        return GemmCall(a, b, c, self.alpha, self.beta, transa, transb)
+
+    def dims(self) -> Tuple[int, int, int]:
+        """Problem dimensions (M, N, K) after transpose resolution."""
+        M, K = (self.a.shape if self.transa == "N" else self.a.shape[::-1])
+        N = self.b.shape[1] if self.transb == "N" else self.b.shape[0]
+        return M, N, K
+
+    @property
+    def flops(self) -> float:
+        M, N, K = self.dims()
+        return 2.0 * M * N * K
+
+
 @dataclass
 class ServeResult:
     """One served response plus its robustness trail."""
@@ -118,6 +210,9 @@ class ServeResult:
     deadline_missed: bool = False
     #: Rungs skipped or failed before the serving one, with reasons.
     degradations: List[Tuple[str, str]] = field(default_factory=list)
+    #: Members of the coalesced batch this response was served in
+    #: (1: a stand-alone submission).
+    batch_size: int = 1
     #: The request's observability trace ID ("" when tracing is off);
     #: joins the response to ``repro trace`` output and incident records.
     trace_id: str = ""
@@ -196,6 +291,8 @@ class GemmService:
         self._static_rejected: Dict[str, str] = self._verify_rungs()
         self._tick = 0
         self._backlog_s = 0.0
+        #: Small-GEMM throughput ledger (see :class:`BatchingAccount`).
+        self.small_gemm = BatchingAccount()
         self._canary_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def _verify_rungs(self) -> Dict[str, str]:
@@ -321,10 +418,14 @@ class GemmService:
                             f"budget {cfg.max_backlog_s * 1e3:.3f} ms"),
                     trace_id=self._trace_id,
                 )
+                # The backlog drains at one simulated second per second
+                # of arrivals, so the excess over the budget *is* the
+                # time until a resubmission clears admission.
                 raise AdmissionError(
                     f"request {rid} shed: simulated backlog "
                     f"{self._backlog_s * 1e3:.3f} ms exceeds the "
-                    f"{cfg.max_backlog_s * 1e3:.3f} ms budget"
+                    f"{cfg.max_backlog_s * 1e3:.3f} ms budget",
+                    retry_after_s=self._backlog_s - cfg.max_backlog_s,
                 )
             admission.set(outcome="admitted")
         self.counters.admitted += 1
@@ -332,11 +433,7 @@ class GemmService:
         deadline = cfg.default_deadline_s if deadline_s is None else deadline_s
 
         # Quarantine maintenance: periodic known-answer canaries.
-        if (self._quarantined and cfg.canary_interval > 0
-                and tick % cfg.canary_interval == 0):
-            with self.obs.span("canaries",
-                               quarantined=len(self._quarantined)):
-                self._run_canaries(tick, rid)
+        self._maybe_canaries(tick, rid)
 
         # Gates 3+4: the ladder with verification.
         result = self._serve_ladder(
@@ -482,6 +579,9 @@ class GemmService:
                     self.counters.verified += 1
                 rung_span.set(outcome="served", verified=verified,
                               service_ms=round((spent + seconds) * 1e3, 6))
+                if not rung.is_reference and max(M, N, K) <= SMALL_GEMM_DIM:
+                    # A stand-alone serve is its own sync baseline.
+                    self.small_gemm.add(2.0 * M * N * K, seconds, seconds)
                 return ServeResult(
                     c=out, request_id=rid, rung=rung.name, device=rung.device,
                     degraded=bool(degradations), verified=verified,
@@ -523,7 +623,347 @@ class GemmService:
 
         return attempt
 
+    # -- the batch request path ----------------------------------------
+    def submit_batch(
+        self,
+        members: Sequence[GemmCall],
+        deadline_s: Optional[float] = None,
+        arrival_dt_s: Optional[float] = None,
+        request_ids: Optional[Sequence[int]] = None,
+    ) -> List[ServeResult]:
+        """Serve a coalesced batch of requests through the five gates.
+
+        The whole batch is validated up front
+        (:class:`~repro.errors.InvalidBatchError` before any device
+        work), admitted as one unit, and launched back to back through
+        one ladder rung via :class:`~repro.gemm.batched.BatchedGemm`,
+        paying one pipeline fill instead of per-member launch latencies.
+        Members may mix shapes, transposes, alpha and beta.  Every
+        member is still individually Freivalds-sampled: a corrupt
+        member quarantines the rung and is re-served by the rungs below
+        it, exactly like a stand-alone request, so batching never
+        weakens the correctness story.  Returns one
+        :class:`ServeResult` per member, in order.
+        """
+        from repro.errors import InvalidBatchError
+        from repro.gemm.batched import BatchedGemm
+
+        cfg = self.config
+        self._tick += 1
+        tick = self._tick
+        n = len(members)
+        if n == 0:
+            raise InvalidBatchError("empty batch")
+        if request_ids is None:
+            rids = [tick] * n
+        else:
+            rids = list(request_ids)
+            if len(rids) != n:
+                raise InvalidBatchError(
+                    f"{len(rids)} request ids for {n} members"
+                )
+        self.counters.requests += n
+        with self.obs.trace("serve.batch", members=n,
+                            request_id=rids[0]) as root:
+            self._trace_id = root.trace_id
+            try:
+                # Gate 1: the whole batch validates before any member runs.
+                with self.obs.span("gate.validate", members=n):
+                    normalized = []
+                    for i, member in enumerate(members):
+                        try:
+                            normalized.append(member.validate())
+                        except InvalidRequestError as exc:
+                            self.counters.invalid += n
+                            self.log.record(rids[i], "invalid",
+                                            detail=f"batch member {i}: {exc}",
+                                            trace_id=self._trace_id)
+                            raise InvalidBatchError(
+                                f"member {i}: {exc}", member=i
+                            ) from exc
+
+                # Gate 2: admission — the batch is one unit of backlog.
+                with self.obs.span("gate.admission") as admission:
+                    dt = (cfg.interarrival_s if arrival_dt_s is None
+                          else arrival_dt_s)
+                    self._backlog_s = max(0.0, self._backlog_s - max(0.0, dt))
+                    admission.set(backlog_ms=round(self._backlog_s * 1e3, 6))
+                    if self._backlog_s > cfg.max_backlog_s:
+                        self.counters.shed += n
+                        admission.set(outcome="shed")
+                        self.log.record(
+                            rids[0], "shed",
+                            detail=(f"batch of {n} shed: backlog "
+                                    f"{self._backlog_s * 1e3:.3f} ms exceeds "
+                                    f"budget {cfg.max_backlog_s * 1e3:.3f} ms"),
+                            trace_id=self._trace_id,
+                        )
+                        raise AdmissionError(
+                            f"batch of {n} shed: simulated backlog "
+                            f"{self._backlog_s * 1e3:.3f} ms exceeds the "
+                            f"{cfg.max_backlog_s * 1e3:.3f} ms budget",
+                            retry_after_s=self._backlog_s - cfg.max_backlog_s,
+                        )
+                    admission.set(outcome="admitted")
+                self.counters.admitted += n
+                queue_wait = self._backlog_s
+                deadline = (cfg.default_deadline_s if deadline_s is None
+                            else deadline_s)
+                self._maybe_canaries(tick, rids[0])
+                results = self._serve_batch_ladder(
+                    BatchedGemm, tick, normalized, rids, queue_wait, deadline,
+                )
+                root.set(members=n, rung=results[0].rung)
+            finally:
+                self._trace_id = ""
+        for result in results:
+            result.trace_id = root.trace_id
+        return results
+
+    def _serve_batch_ladder(
+        self, batched_cls, tick, members, rids, queue_wait, deadline,
+    ) -> List[ServeResult]:
+        """Gates 3-5 for a batch: one pipelined launch per rung, with
+        per-member verification and per-member fallback on corruption."""
+        cfg = self.config
+        n = len(members)
+        if n > 1:
+            self.counters.batches += 1
+            self.counters.batched_members += n
+            shapes = sorted({f"{m.dims()[0]}x{m.dims()[1]}x{m.dims()[2]}"
+                             for m in members})
+            self.log.record(
+                rids[0], "batch",
+                detail=f"{n} members coalesced ({', '.join(shapes[:4])})",
+                trace_id=self._trace_id,
+            )
+        pending = list(range(n))
+        outs: List[Optional[ServeResult]] = [None] * n
+        spent = [0.0] * n
+        degradations: List[List[Tuple[str, str]]] = [[] for _ in range(n)]
+
+        def degrade(rung: Rung, reason: str, indices) -> None:
+            for i in indices:
+                degradations[i].append((rung.key, reason))
+            if self._fallbacks is not None:
+                self._fallbacks.labels(rung=rung.key).inc(len(indices))
+            self.log.record(rids[indices[0]], "degraded", device=rung.device,
+                            rung=rung.name,
+                            detail=f"{reason} ({len(indices)} members)",
+                            trace_id=self._trace_id)
+
+        def finish(i: int, rung: Rung, out, seconds: float,
+                   verified: bool, standalone_s: Optional[float] = None) -> None:
+            member = members[i]
+            service_s = spent[i] + seconds
+            if (not rung.is_reference
+                    and max(member.dims()) <= SMALL_GEMM_DIM):
+                self.small_gemm.add(
+                    member.flops, seconds,
+                    seconds if standalone_s is None else standalone_s,
+                )
+            self.counters.completed += 1
+            self.counters.count_rung(rung.name)
+            if degradations[i]:
+                self.counters.degraded += 1
+            if self._service_hist is not None:
+                self._service_hist.observe(service_s)
+                self._wait_hist.observe(queue_wait)
+            result = ServeResult(
+                c=out, request_id=rids[i], rung=rung.name, device=rung.device,
+                degraded=bool(degradations[i]), verified=verified,
+                service_s=service_s, queue_wait_s=queue_wait,
+                degradations=degradations[i], batch_size=n,
+            )
+            if (deadline is not None
+                    and queue_wait + service_s > deadline):
+                result.deadline_missed = True
+                self.counters.deadline_missed += 1
+                self.log.record(
+                    rids[i], "deadline_missed", device=rung.device,
+                    rung=rung.name,
+                    detail=(f"served in "
+                            f"{(queue_wait + service_s) * 1e3:.3f} ms against "
+                            f"a {deadline * 1e3:.3f} ms deadline"),
+                    trace_id=self._trace_id,
+                )
+            outs[i] = result
+            self._backlog_s += seconds
+
+        for rung in self.ladder.rungs:
+            if not pending:
+                break
+            with self.obs.span(f"rung:{rung.key}",
+                               members=len(pending)) as rung_span:
+                if rung.key in self._static_rejected:
+                    rung_span.set(outcome="skipped", reason="static_reject")
+                    degrade(rung, "static analysis: "
+                            f"{self._static_rejected[rung.key]}", pending)
+                    continue
+                if rung.key in self._quarantined:
+                    rung_span.set(outcome="skipped", reason="quarantined")
+                    degrade(rung, "kernel quarantined", pending)
+                    continue
+                breaker = self.breakers.get(rung.device) if rung.device else None
+                if breaker is not None and not breaker.allow(tick):
+                    rung_span.set(outcome="skipped", reason="breaker_open")
+                    degrade(rung, "circuit breaker open", pending)
+                    continue
+                if rung.is_reference:
+                    # The host floor: serve each pending member exactly.
+                    for i in pending:
+                        m = members[i]
+                        out, seconds = rung.call(
+                            m.a, m.b, m.c, m.alpha, m.beta,
+                            m.transa, m.transb,
+                        )
+                        finish(i, rung, out, seconds, verified=False)
+                    pending = []
+                    continue
+                if deadline is not None:
+                    # Conservative pipelined estimate for the batch.
+                    predicted = sum(
+                        rung.predict_s(*members[i].dims()) for i in pending
+                    )
+                    remaining = deadline - queue_wait - max(spent[i] for i in pending)
+                    if predicted > remaining:
+                        rung_span.set(outcome="skipped", reason="deadline")
+                        degrade(
+                            rung,
+                            f"deadline: predicted {predicted * 1e3:.3f} ms > "
+                            f"remaining {max(remaining, 0.0) * 1e3:.3f} ms",
+                            pending,
+                        )
+                        continue
+                injector = self._salted_injector(
+                    f"req:{rids[pending[0]]}:batch:{rung.key}"
+                )
+                live = list(pending)
+
+                def attempt(rung=rung, live=live, injector=injector):
+                    routine = rung.routine(injector)
+                    batched = batched_cls(routine)
+                    return batched(
+                        [members[i].a for i in live],
+                        [members[i].b for i in live],
+                        [members[i].c for i in live],
+                        alpha=[members[i].alpha for i in live],
+                        beta=[members[i].beta for i in live],
+                        transa=[members[i].transa for i in live],
+                        transb=[members[i].transb for i in live],
+                    )
+
+                try:
+                    batch_result = call_with_timeout(
+                        attempt, cfg.attempt_timeout_s
+                    )
+                except (CLError, MeasurementTimeout) as exc:
+                    rung_span.set(outcome="failed", error=type(exc).__name__)
+                    if breaker is not None and breaker.record_failure(tick):
+                        self.counters.breaker_trips += 1
+                        self.log.record(
+                            rids[pending[0]], "breaker_trip",
+                            device=rung.device, rung=rung.name,
+                            detail=f"opened after: {exc}",
+                            trace_id=self._trace_id,
+                        )
+                    degrade(rung, f"{type(exc).__name__}: {exc}", pending)
+                    continue
+                if breaker is not None:
+                    breaker.record_success(tick)
+                shares = batch_result.member_seconds()
+                corrupt: List[int] = []
+                for slot, i in enumerate(live):
+                    m = members[i]
+                    verified = False
+                    if self._unit("verify", rids[i]) < cfg.verify_rate:
+                        check = self.verifier.check(
+                            m.a, m.b, batch_result[slot].c, m.alpha, m.beta,
+                            m.c, m.transa, m.transb, key=f"req:{rids[i]}",
+                        )
+                        if not check.passed:
+                            self.counters.corruption_caught += 1
+                            self.log.record(
+                                rids[i], "corruption", device=rung.device,
+                                rung=rung.name,
+                                detail=(f"Freivalds residual "
+                                        f"{check.max_residual:.3e} "
+                                        f"> tolerance {check.tolerance:.3e}"),
+                                trace_id=self._trace_id,
+                            )
+                            # The corrupt attempt burned real device time:
+                            # it counts against both the member's service
+                            # accounting and the admission backlog.
+                            spent[i] += shares[slot]
+                            self._backlog_s += shares[slot]
+                            corrupt.append(i)
+                            continue
+                        verified = True
+                        self.counters.verified += 1
+                    finish(i, rung, batch_result[slot].c, shares[slot],
+                           verified,
+                           standalone_s=batch_result[slot].timings.total_s)
+                if corrupt:
+                    rung_span.set(outcome="partial_corrupt",
+                                  corrupt=len(corrupt))
+                    self._quarantine(rung, rids[corrupt[0]])
+                    degrade(rung, "result corruption caught; re-serving",
+                            corrupt)
+                else:
+                    rung_span.set(outcome="served")
+                pending = corrupt
+        assert not pending, "batch ladder exhausted with members pending"
+        return [r for r in outs if r is not None]
+
+    # -- hot swap -------------------------------------------------------
+    def hot_swap(self, device: str, params, request_id: int = -1) -> Rung:
+        """Replace ``device``'s primary serving kernel in place.
+
+        The background tuner calls this when it beats the serving
+        configuration: the new kernel is statically verified first
+        (a provably unsafe swap is refused with
+        :class:`~repro.errors.ParameterError` and the old kernel keeps
+        serving), then the ``tuned`` rung is rebuilt around the new
+        parameters.  In-flight and queued requests are untouched — only
+        future dispatches see the new kernel — and the rung's
+        quarantine state is reset because it no longer describes the
+        kernel now serving.
+        """
+        from repro.analyze.verifier import StaticVerifier
+        from repro.errors import ParameterError
+
+        old = self.ladder.primary_rung(device)
+        rule = StaticVerifier(old.spec).gate(params)
+        if rule is not None:
+            self.log.record(
+                request_id, "static_reject", device=device, rung="tuned",
+                detail=f"hot swap refused: {rule}: {params.summary()}",
+                trace_id=self._trace_id,
+            )
+            self.counters.static_rejects += 1
+            raise ParameterError(
+                f"hot swap refused: replacement kernel violates {rule}"
+            )
+        rung = self.ladder.replace_primary(device, params)
+        self._quarantined.pop(rung.key, None)
+        self._static_rejected.pop(rung.key, None)
+        self.counters.hot_swaps += 1
+        self.log.record(
+            request_id, "hot_swap", device=device, rung="tuned",
+            detail=f"serving kernel replaced: {params.summary()}",
+            trace_id=self._trace_id,
+        )
+        return rung
+
     # -- quarantine and canaries ---------------------------------------
+    def _maybe_canaries(self, tick: int, rid: int) -> None:
+        cfg = self.config
+        if (self._quarantined and cfg.canary_interval > 0
+                and tick % cfg.canary_interval == 0):
+            with self.obs.span("canaries",
+                               quarantined=len(self._quarantined)):
+                self._run_canaries(tick, rid)
+
     def _quarantine(self, rung: Rung, rid: int) -> None:
         if rung.key not in self._quarantined:
             self._quarantined[rung.key] = 0

@@ -15,6 +15,7 @@ and the end-to-end wrong-answer count, and persists crash-safe through
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,7 +26,11 @@ from repro.gemm.reference import reference_gemm, relative_error
 from repro.persist import dump_json_atomic
 from repro.serve.service import GemmService
 
-__all__ = ["SoakConfig", "SoakReport", "run_soak"]
+__all__ = [
+    "SoakConfig", "SoakReport", "run_soak",
+    "TenantLoad", "AsyncSoakConfig", "AsyncSoakReport", "run_async_soak",
+    "DEFAULT_TENANT_LOADS",
+]
 
 
 @dataclass(frozen=True)
@@ -150,5 +155,440 @@ def run_soak(service: GemmService, config: Optional[SoakConfig] = None) -> SoakR
         worst_error=worst_error,
         counters=service.counters.as_dict(),
         incident_kinds=service.log.kind_counts(),
+        failures=failures,
+    )
+
+
+# ======================================================================
+# The async multi-tenant soak (see repro.serve.sched)
+# ======================================================================
+
+@dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's offered load in the async soak.
+
+    ``load_share`` sets how many of the soak's requests this tenant
+    generates relative to the others (a 10:1 skew is two tenants with
+    shares 10 and 1) — deliberately decoupled from ``weight``, the fair
+    share the scheduler grants, so the starvation tests can overload one
+    tenant without letting it crowd the rest out.
+    """
+
+    name: str
+    weight: float = 1.0
+    load_share: float = 1.0
+    sizes: Tuple[int, ...] = (16, 24, 32, 48, 64)
+    #: Square problems (M=N=K) coalesce readily; rectangular draws all
+    #: three dims independently.
+    square: bool = True
+    trans_rate: float = 0.25
+    beta_rate: float = 0.25
+    queue_capacity: int = 64
+    shed_retries: int = 1
+    hedge_budget: int = 4
+    deadline_s: Optional[float] = None
+
+    def tenant_config(self):
+        from repro.serve.sched import TenantConfig
+
+        return TenantConfig(
+            name=self.name, weight=self.weight,
+            queue_capacity=self.queue_capacity,
+            shed_retries=self.shed_retries,
+            hedge_budget=self.hedge_budget,
+            deadline_s=self.deadline_s,
+        )
+
+
+#: The acceptance-soak tenant mix: four tenants, mixed sizes, a 10:1
+#: offered-load skew between "burst" and "steady", one latency-sensitive
+#: tenant with deadlines, and one bulk tenant whose large NN problems
+#: shard across the fleet when the service has one.
+DEFAULT_TENANT_LOADS: Tuple[TenantLoad, ...] = (
+    TenantLoad("burst", weight=1.0, load_share=10.0,
+               sizes=(16, 16, 24, 32, 32, 48, 64), queue_capacity=96),
+    TenantLoad("steady", weight=2.0, load_share=1.0,
+               sizes=(32, 48, 64, 96, 128), square=False,
+               queue_capacity=64),
+    TenantLoad("latency", weight=4.0, load_share=2.0,
+               sizes=(16, 32), trans_rate=0.0, beta_rate=0.0,
+               queue_capacity=32, deadline_s=0.005),
+    TenantLoad("bulk", weight=1.0, load_share=0.5,
+               sizes=(256, 320), trans_rate=0.0, beta_rate=0.25,
+               queue_capacity=16, shed_retries=2),
+)
+
+
+@dataclass(frozen=True)
+class AsyncSoakConfig:
+    """Workload shape of one async soak (fully determined by ``seed``)."""
+
+    requests: int = 10_000
+    seed: int = 0
+    tenants: Tuple[TenantLoad, ...] = DEFAULT_TENANT_LOADS
+    #: Mean simulated inter-arrival across the merged workload; the
+    #: default overloads the service enough to exercise queueing,
+    #: coalescing, and shedding without drowning every tenant.
+    interarrival_s: float = 2.5e-5
+    #: How far ahead of simulated time arrivals are materialised; keeps
+    #: the in-flight operand working set bounded for 1e5-request runs.
+    lookahead_s: float = 5e-4
+    tolerance: float = 1e-10
+    #: Hot-swap the first device's serving kernel at this fraction of
+    #: the arrival horizon (0 disables).
+    hot_swap_at: float = 0.5
+    #: Time-trajectory resolution of the benchmark report.
+    trajectory_buckets: int = 20
+    #: Coalescing cap forwarded to the scheduler.
+    max_batch: int = 16
+
+
+#: Fixed latency-histogram bucket bounds (milliseconds) for the
+#: per-tenant artifact — fixed so runs diff cleanly.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0,
+)
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Deterministic nearest-rank percentile (0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _histogram_ms(latencies_s: List[float]) -> Dict[str, int]:
+    """Latency histogram over the fixed millisecond buckets."""
+    counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+    for lat in latencies_s:
+        ms = lat * 1e3
+        for i, bound in enumerate(LATENCY_BUCKETS_MS):
+            if ms <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    labels = [f"le_{b:g}" for b in LATENCY_BUCKETS_MS] + ["overflow"]
+    return dict(zip(labels, counts))
+
+
+@dataclass
+class AsyncSoakReport:
+    """Outcome of one async multi-tenant soak (BENCH_serving payload)."""
+
+    FORMAT = "repro-bench-serving/1"
+
+    requests: int
+    served: int
+    #: Requests dropped for good (out of shed retries).
+    hard_shed: int
+    #: Shed *events* including ones later retried successfully.
+    shed_events: int
+    #: Requests served after at least one shed (never double-counted
+    #: against ``hard_shed``).
+    shed_retried: int
+    cancelled: int
+    wrong_answers: int
+    worst_error: float
+    #: Simulated duration of the whole soak.
+    duration_s: float
+    aggregate_gflops: float
+    p50_ms: float
+    p99_ms: float
+    #: Small-GEMM (every dim <= 128) throughput: the synchronous path
+    #: vs the coalesced batching path, over identical work.
+    small_gemm: Dict
+    #: Tenants that submitted work but had none served — MUST be empty.
+    starved_tenants: List[str]
+    per_tenant: Dict[str, Dict]
+    counters: Dict
+    incident_kinds: Dict[str, int]
+    #: Time-bucketed (p50/p99 latency, shed, GFlop/s) trajectory.
+    trajectory: List[Dict]
+    failures: List[Tuple[int, str, float]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.wrong_answers == 0 and not self.starved_tenants
+
+    def as_dict(self) -> Dict:
+        return {
+            "format": self.FORMAT,
+            "requests": self.requests,
+            "served": self.served,
+            "hard_shed": self.hard_shed,
+            "shed_events": self.shed_events,
+            "shed_retried": self.shed_retried,
+            "cancelled": self.cancelled,
+            "wrong_answers": self.wrong_answers,
+            "worst_error": self.worst_error,
+            "duration_s": self.duration_s,
+            "aggregate_gflops": self.aggregate_gflops,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "shed_rate": (self.hard_shed / self.requests
+                          if self.requests else 0.0),
+            "small_gemm": self.small_gemm,
+            "starved_tenants": list(self.starved_tenants),
+            "tenants": self.per_tenant,
+            "counters": self.counters,
+            "incident_kinds": self.incident_kinds,
+            "trajectory": self.trajectory,
+            "failures": [list(f) for f in self.failures],
+        }
+
+    def save(self, path: str) -> str:
+        return dump_json_atomic(path, self.as_dict(), indent=2)
+
+    def render(self) -> str:
+        lines = [
+            f"async soak: {self.served}/{self.requests} served, "
+            f"{self.hard_shed} hard-shed ({self.shed_retried} recovered "
+            f"by retry), {self.cancelled} cancelled, "
+            f"{self.wrong_answers} wrong answers",
+            f"  simulated duration {self.duration_s * 1e3:.3f} ms, "
+            f"aggregate {self.aggregate_gflops:.2f} GFlop/s, "
+            f"p50 {self.p50_ms:.3f} ms, p99 {self.p99_ms:.3f} ms",
+        ]
+        sg = self.small_gemm
+        if sg.get("members"):
+            lines.append(
+                f"  small GEMM (<=128): {sg['sync_gflops']:.2f} -> "
+                f"{sg['batched_gflops']:.2f} GFlop/s via coalescing "
+                f"({sg['speedup']:.2f}x over the synchronous path)"
+            )
+        for name in sorted(self.per_tenant):
+            t = self.per_tenant[name]
+            lines.append(
+                f"  {name:10s} served {t['served']:6d}/{t['submitted']:<6d} "
+                f"p50 {t['p50_ms']:8.3f} ms  p99 {t['p99_ms']:8.3f} ms  "
+                f"shed {t['hard_shed']:4d}  cancelled {t['cancelled']}"
+            )
+        if self.starved_tenants:
+            lines.append(f"  STARVED: {', '.join(self.starved_tenants)}")
+        for rid, rung, err in self.failures[:10]:
+            lines.append(f"  FAILURE request {rid} via {rung}: "
+                         f"relative error {err:.3e}")
+        return "\n".join(lines)
+
+
+def _tenant_stream(load: TenantLoad, count: int, horizon_s: float,
+                   rng: np.random.Generator, dtype):
+    """Yield ``(arrival_s, load, problem)`` for one tenant, in arrival
+    order; operands materialise lazily (one problem ahead per tenant)."""
+    if count <= 0:
+        return
+    gap = horizon_s / count
+    t = gap * float(rng.uniform(0.0, 1.0))
+    for _ in range(count):
+        if load.square:
+            m = n = k = int(rng.choice(load.sizes))
+        else:
+            m = int(rng.choice(load.sizes))
+            n = int(rng.choice(load.sizes))
+            k = int(rng.choice(load.sizes))
+        transa = "T" if rng.random() < load.trans_rate else "N"
+        transb = "T" if rng.random() < load.trans_rate else "N"
+        alpha = float(rng.uniform(-2.0, 2.0))
+        use_beta = rng.random() < load.beta_rate
+        beta = float(rng.uniform(-1.0, 1.0)) if use_beta else 0.0
+        a = rng.standard_normal((m, k) if transa == "N" else (k, m)).astype(dtype)
+        b = rng.standard_normal((k, n) if transb == "N" else (n, k)).astype(dtype)
+        c = rng.standard_normal((m, n)).astype(dtype) if use_beta else None
+        yield (t, load, (a, b, c, alpha, beta, transa, transb))
+        t += gap * float(rng.uniform(0.2, 1.8))
+
+
+def _tenant_counts(tenants: Sequence[TenantLoad], requests: int) -> List[int]:
+    """Split the request budget by load share (sum is exact)."""
+    total = sum(t.load_share for t in tenants)
+    counts = [int(requests * t.load_share / total) for t in tenants]
+    # Hand out the rounding remainder deterministically, largest first.
+    order = sorted(range(len(tenants)),
+                   key=lambda i: (-tenants[i].load_share, i))
+    i = 0
+    while sum(counts) < requests:
+        counts[order[i % len(order)]] += 1
+        i += 1
+    return counts
+
+
+def run_async_soak(
+    service: GemmService, config: Optional[AsyncSoakConfig] = None,
+) -> AsyncSoakReport:
+    """Drive the async scheduler with a seeded multi-tenant workload.
+
+    Streams ``config.requests`` arrivals through an
+    :class:`~repro.serve.sched.AsyncScheduler` (submissions stay within
+    ``lookahead_s`` of simulated time so memory stays bounded), hot-swaps
+    the first device's serving kernel mid-run, ground-truths **every**
+    served response against the host reference, and drains gracefully.
+    Returns the :class:`AsyncSoakReport` whose ``as_dict()`` is the
+    ``BENCH_serving.json`` payload.
+    """
+    from repro.serve.sched import AsyncScheduler, SchedulerConfig
+
+    config = config or AsyncSoakConfig()
+    dtype = service.dtype
+    tolerance = config.tolerance if dtype == np.float64 else max(
+        config.tolerance, 1e-4
+    )
+    scheduler = AsyncScheduler(
+        service,
+        [t.tenant_config() for t in config.tenants],
+        SchedulerConfig(max_batch=config.max_batch),
+        obs=service.obs,
+    )
+
+    horizon_s = config.requests * config.interarrival_s
+    counts = _tenant_counts(config.tenants, config.requests)
+    streams = [
+        _tenant_stream(
+            load, counts[i], horizon_s,
+            np.random.default_rng([config.seed, i]), dtype,
+        )
+        for i, load in enumerate(config.tenants)
+    ]
+    merged = heapq.merge(*streams, key=lambda item: item[0])
+
+    if config.hot_swap_at > 0:
+        # Mid-soak routine replacement: re-install the primary kernel's
+        # parameters through the full hot-swap path (static verification,
+        # rung rebuild, quarantine reset) while requests are in flight.
+        first_device = next(
+            (r.device for r in service.ladder.rungs if r.device), None
+        )
+        if first_device is not None:
+            scheduler.request_hot_swap(
+                first_device,
+                service.ladder.primary_rung(first_device).params,
+                at_s=config.hot_swap_at * horizon_s,
+            )
+
+    # -- completion-time accounting (verify + release as we go) ---------
+    wrong = 0
+    worst_error = 0.0
+    failures: List[Tuple[int, str, float]] = []
+    served_events: List[Tuple[float, float, float]] = []  # (t, latency, flops)
+    shed_times: List[float] = []
+    operands: Dict[int, Tuple] = {}
+
+    def on_complete(ticket, request) -> None:
+        nonlocal wrong, worst_error
+        problem = operands.pop(ticket.rid, None)
+        if ticket.status == "shed":
+            shed_times.append(scheduler.now)
+            return
+        if ticket.status != "served" or problem is None:
+            return
+        a, b, c, alpha, beta, transa, transb = problem
+        expected = reference_gemm(transa, transb, alpha, a, b, beta, c)
+        err = relative_error(ticket.result.c, expected)
+        if not np.isfinite(err) or err > tolerance:
+            wrong += 1
+            failures.append((ticket.rid, ticket.result.rung, float(err)))
+        else:
+            worst_error = max(worst_error, float(err))
+        M, N, K = request.shape
+        served_events.append(
+            (ticket.completed_s, ticket.latency_s, 2.0 * M * N * K)
+        )
+        ticket.result.c = None  # release the response matrix
+
+    scheduler.on_complete = on_complete
+
+    # -- the streaming drive loop ---------------------------------------
+    pending = next(merged, None)
+    while pending is not None or scheduler.queues.queued or scheduler._arrivals:
+        progressed = False
+        while (pending is not None
+               and pending[0] <= scheduler.now + config.lookahead_s):
+            arrival, load, problem = pending
+            a, b, c, alpha, beta, transa, transb = problem
+            ticket = scheduler.submit(
+                load.name, a, b, c, alpha, beta, transa, transb,
+                arrival_s=arrival,
+            )
+            operands[ticket.rid] = problem
+            progressed = True
+            pending = next(merged, None)
+        if scheduler.step():
+            progressed = True
+        if not progressed:
+            if pending is not None:
+                # Idle gap: jump the clock to the next arrival.
+                scheduler.now = max(scheduler.now, pending[0])
+            else:
+                break
+    scheduler.drain()
+
+    # -- aggregate and per-tenant report --------------------------------
+    duration = scheduler.now
+    served_flops = sum(f for _, _, f in served_events)
+    latencies = [lat for _, lat, _ in served_events]
+    per_tenant: Dict[str, Dict] = {}
+    starved: List[str] = []
+    for state in scheduler.queues:
+        name = state.config.name
+        if state.submitted > 0 and state.served == 0:
+            starved.append(name)
+        per_tenant[name] = {
+            "submitted": state.submitted,
+            "served": state.served,
+            "shed_events": state.shed_events,
+            "shed_retried": state.shed_retried,
+            "hard_shed": state.hard_shed,
+            "cancelled": state.cancelled,
+            "invalid": state.invalid,
+            "weight": state.config.weight,
+            "p50_ms": _percentile(state.latencies_s, 50) * 1e3,
+            "p99_ms": _percentile(state.latencies_s, 99) * 1e3,
+            "max_wait_ms": state.max_wait_s * 1e3,
+            "latency_hist_ms": _histogram_ms(state.latencies_s),
+        }
+
+    buckets = max(1, config.trajectory_buckets)
+    width = duration / buckets if duration > 0 else 1.0
+    trajectory: List[Dict] = []
+    for i in range(buckets):
+        lo, hi = i * width, (i + 1) * width
+        window = [(t, lat, f) for t, lat, f in served_events
+                  if lo < t <= hi or (i == 0 and t == 0.0)]
+        lats = [lat for _, lat, _ in window]
+        flops = sum(f for _, _, f in window)
+        sheds = sum(1 for t in shed_times if lo < t <= hi)
+        trajectory.append({
+            "t_ms": hi * 1e3,
+            "completed": len(window),
+            "shed": sheds,
+            "p50_ms": _percentile(lats, 50) * 1e3,
+            "p99_ms": _percentile(lats, 99) * 1e3,
+            "gflops": flops / width / 1e9 if width > 0 else 0.0,
+        })
+
+    counters = service.counters
+    return AsyncSoakReport(
+        requests=config.requests,
+        served=len(served_events),
+        hard_shed=sum(state.hard_shed for state in scheduler.queues),
+        shed_events=sum(state.shed_events for state in scheduler.queues),
+        shed_retried=sum(state.shed_retried for state in scheduler.queues),
+        cancelled=sum(state.cancelled for state in scheduler.queues),
+        wrong_answers=wrong,
+        worst_error=worst_error,
+        duration_s=duration,
+        aggregate_gflops=(served_flops / duration / 1e9
+                          if duration > 0 else 0.0),
+        p50_ms=_percentile(latencies, 50) * 1e3,
+        p99_ms=_percentile(latencies, 99) * 1e3,
+        small_gemm=service.small_gemm.as_dict(),
+        starved_tenants=starved,
+        per_tenant=per_tenant,
+        counters=counters.as_dict(),
+        incident_kinds=service.log.kind_counts(),
+        trajectory=trajectory,
         failures=failures,
     )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import InvalidBatchError, ReproError
 from repro.gemm.batched import BatchedGemm
 from repro.gemm.reference import relative_error
 from repro.gemm.routine import GemmRoutine
@@ -87,6 +87,29 @@ class TestBatchedValidation:
         a = [rng.standard_normal((4, 4))] * 2
         with pytest.raises(ReproError, match="C operand"):
             batched(a, a, c_list=[rng.standard_normal((4, 4))])
+
+    def test_bad_member_reports_its_index(self, batched, rng):
+        # Member 2's inner dimensions do not agree; the error names it
+        # and nothing is computed (validation runs before member 0).
+        a = [rng.standard_normal((8, 4))] * 3
+        b = [rng.standard_normal((4, 8)), rng.standard_normal((4, 8)),
+             rng.standard_normal((5, 8))]
+        with pytest.raises(InvalidBatchError, match="member 2") as exc:
+            batched(a, b)
+        assert exc.value.member == 2
+
+    def test_per_member_scalars_broadcast_or_match(self, batched, rng):
+        a = [rng.standard_normal((8, 8)) for _ in range(3)]
+        out = batched(a, a, alpha=[1.0, 2.0, -0.5],
+                      transa=["N", "T", "N"])
+        assert relative_error(out[0].c, a[0] @ a[0]) < 1e-12
+        assert relative_error(out[1].c, 2.0 * a[1].T @ a[1]) < 1e-12
+        assert relative_error(out[2].c, -0.5 * a[2] @ a[2]) < 1e-12
+
+    def test_per_member_list_length_mismatch(self, batched, rng):
+        a = [rng.standard_normal((8, 8))] * 3
+        with pytest.raises(InvalidBatchError, match="alpha has 2 entries"):
+            batched(a, a, alpha=[1.0, 2.0])
 
     def test_construct_from_device_name(self, rng):
         b = BatchedGemm("fermi", params=make_params())

@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.clsim.faults import CANNED_PLANS, FaultInjector
-from repro.serve import GemmService, ServiceConfig, SoakConfig, run_soak
+from repro.serve import (
+    AsyncSoakConfig,
+    GemmService,
+    ServiceConfig,
+    SoakConfig,
+    run_async_soak,
+    run_soak,
+)
 
 
 def chaos_service(seed=0, fault_seed=7, **config_kw):
@@ -83,3 +90,71 @@ def test_float32_service_uses_a_loosened_tolerance():
     assert service.dtype == np.dtype(np.float32)
     report = run_soak(service, SoakConfig(requests=50, seed=3))
     assert report.clean
+
+
+# -- async multi-tenant soak ------------------------------------------------
+
+def async_chaos_service(fault_seed=7):
+    plan = CANNED_PLANS["serve-chaos"].with_seed(fault_seed)
+    config = ServiceConfig(
+        seed=0, canary_interval=3, canary_passes=1, default_deadline_s=None
+    )
+    return GemmService(["tahiti", "cypress"], "d", config=config,
+                       fault_injector=FaultInjector(plan))
+
+
+def test_async_soak_under_chaos_is_clean():
+    # The async acceptance property in miniature: a seeded multi-tenant
+    # chaos soak completes with zero wrong answers and zero starved
+    # tenants, while coalescing, sharding, sheds, and retries all fire.
+    report = run_async_soak(async_chaos_service(),
+                            AsyncSoakConfig(requests=600, seed=0))
+    assert report.clean, (report.failures[:5], report.starved_tenants)
+    assert report.served + report.hard_shed + report.cancelled \
+        == report.requests
+    counters = report.counters
+    assert counters["batched_members"] > 0
+    assert counters["sharded"] > 0
+    assert counters["corruption_caught"] > 0
+    assert counters["hot_swaps"] == 1
+    # Retried-then-served requests are tracked apart from hard sheds.
+    assert report.shed_retried == counters["shed_retried"]
+    assert report.shed_events >= report.hard_shed + report.shed_retried
+
+
+def test_async_soak_coalescing_beats_the_synchronous_path():
+    # Small-GEMM throughput must improve under coalesced batching; the
+    # full 1e5-request CLI soak demands >= 2x, the miniature >= 1.5x.
+    report = run_async_soak(async_chaos_service(),
+                            AsyncSoakConfig(requests=600, seed=0,
+                                            max_batch=24))
+    assert report.small_gemm["members"] > 0
+    assert report.small_gemm["speedup"] >= 1.5
+
+
+def test_async_soak_is_deterministic():
+    def run():
+        report = run_async_soak(async_chaos_service(),
+                                AsyncSoakConfig(requests=300, seed=4))
+        return report.as_dict()
+
+    assert run() == run()
+
+
+def test_async_report_payload(tmp_path):
+    import json
+
+    report = run_async_soak(async_chaos_service(),
+                            AsyncSoakConfig(requests=200, seed=1))
+    path = str(tmp_path / "BENCH_serving.json")
+    report.save(path)
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert payload["format"] == "repro-bench-serving/1"
+    assert payload["starved_tenants"] == []
+    assert set(payload["tenants"]) == {"burst", "steady", "latency", "bulk"}
+    for stats in payload["tenants"].values():
+        assert stats["served"] + stats["hard_shed"] + stats["cancelled"] \
+            == stats["submitted"] - stats["invalid"]
+    assert len(payload["trajectory"]) <= 20
+    assert "async soak:" in report.render()
