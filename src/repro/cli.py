@@ -167,6 +167,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "(BENCH_serving.json payload)")
         p.add_argument("--tenant-latency-json", metavar="FILE.json",
                        help="persist per-tenant latency histograms")
+        # -- elastic fleet mode (repro.serve.fleet) ---------------------
+        p.add_argument("--fleet", action="store_true",
+                       help="serve under the elastic fleet manager: "
+                            "health-checked membership, failure "
+                            "detection, autoscaling (implies --async)")
+        p.add_argument("--fleet-json", metavar="BENCH.json",
+                       help="persist the churn-soak report "
+                            "(BENCH_fleet.json payload; implies --fleet)")
+        p.add_argument("--scale-log", metavar="FILE.json",
+                       help="persist the autoscale event log "
+                            "(implies --fleet)")
+        p.add_argument("--max-devices", type=int, default=6, metavar="N",
+                       help="autoscaler fleet ceiling (with --fleet)")
+        p.add_argument("--grow-depth", type=float, default=48.0,
+                       metavar="REQUESTS",
+                       help="queue depth above which the fleet grows")
+        p.add_argument("--shrink-depth", type=float, default=16.0,
+                       metavar="REQUESTS",
+                       help="queue depth below which the fleet shrinks")
+        p.add_argument("--scale-interval", type=float, default=0.002,
+                       metavar="SECONDS",
+                       help="autoscaler evaluation cadence (simulated)")
+        p.add_argument("--scale-cooldown", type=float, default=0.02,
+                       metavar="SECONDS",
+                       help="post-event decision freeze, both directions")
+        p.add_argument("--load-cycle", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="demand-wave period of the fleet workload: "
+                            "the second half of each cycle stretches "
+                            "arrival gaps (with --fleet; 0 disables)")
+        p.add_argument("--load-calm", type=float, default=4.0,
+                       metavar="FACTOR",
+                       help="arrival-gap stretch during calm half-cycles "
+                            "(with --fleet)")
 
     p_serve = sub.add_parser(
         "serve", help="run the resilient GEMM serving layer"
@@ -426,7 +460,8 @@ def _run_serving(args, check_clean: bool) -> int:
     from repro.persist import dump_json_atomic
     from repro.serve import GemmService, ServiceConfig, SoakConfig, run_soak
 
-    async_mode = args.async_mode or args.tenants is not None
+    fleet_mode = bool(args.fleet or args.fleet_json or args.scale_log)
+    async_mode = args.async_mode or args.tenants is not None or fleet_mode
     injector = None
     if args.inject_faults:
         plan = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
@@ -458,7 +493,7 @@ def _run_serving(args, check_clean: bool) -> int:
     )
     print(service.ladder.describe())
     if async_mode:
-        report = _run_async_soak(args, service)
+        report = _run_async_soak(args, service, fleet_mode)
     else:
         report = run_soak(
             service, SoakConfig(requests=args.requests, seed=args.seed)
@@ -477,6 +512,18 @@ def _run_serving(args, check_clean: bool) -> int:
     if args.bench_json and hasattr(report, "aggregate_gflops"):
         report.save(args.bench_json)
         print(f"bench         : {args.bench_json}")
+    if args.fleet_json and hasattr(report, "episodes"):
+        report.save(args.fleet_json)
+        print(f"fleet bench   : {args.fleet_json}")
+    if args.scale_log and hasattr(report, "scale_events"):
+        dump_json_atomic(args.scale_log, {
+            "format": "repro-fleet-scale-log/1",
+            "cooldown_s": report.cooldown_s,
+            "events": report.scale_events,
+            "flap_pairs": report.flap_pairs,
+        }, indent=2)
+        print(f"scale log     : {args.scale_log} "
+              f"({len(report.scale_events)} events)")
     if args.tenant_latency_json and hasattr(report, "per_tenant"):
         dump_json_atomic(
             args.tenant_latency_json,
@@ -514,7 +561,7 @@ def _run_serving(args, check_clean: bool) -> int:
     return 0
 
 
-def _run_async_soak(args, service):
+def _run_async_soak(args, service, fleet_mode: bool = False):
     """The --async workload: N tenants over the default load mix."""
     from dataclasses import replace
 
@@ -539,7 +586,32 @@ def _run_async_soak(args, service):
         tenants=loads,
         interarrival_s=args.interarrival,
         max_batch=args.max_batch,
+        # The fleet manager suspends/resumes devices itself; a scheduled
+        # hot swap against a parked device would test the collision.
+        hot_swap_at=0.0 if fleet_mode else AsyncSoakConfig.hot_swap_at,
+        # Only the churn soak cycles demand: a flat overload leaves the
+        # autoscaler nothing to track but a single grow-to-max ramp.
+        load_cycle_s=args.load_cycle if fleet_mode else 0.0,
+        load_calm_factor=args.load_calm if fleet_mode else 1.0,
     )
+    if fleet_mode:
+        from repro.serve import (
+            AutoscaleConfig,
+            FleetConfig,
+            FleetSoakConfig,
+            run_fleet_soak,
+        )
+
+        fleet = FleetConfig(autoscale=AutoscaleConfig(
+            max_devices=args.max_devices,
+            grow_queue_depth=args.grow_depth,
+            shrink_queue_depth=args.shrink_depth,
+            eval_interval_s=args.scale_interval,
+            cooldown_s=args.scale_cooldown,
+        ))
+        return run_fleet_soak(
+            service, FleetSoakConfig(soak=config, fleet=fleet)
+        )
     return run_async_soak(service, config)
 
 

@@ -23,7 +23,15 @@ from repro.devices.specs import (
     LocalMemType,
 )
 
-__all__ = ["CATALOG", "EVALUATED_DEVICES", "get_device_spec", "list_device_names"]
+__all__ = [
+    "CATALOG",
+    "DEVICE_ZONES",
+    "EVALUATED_DEVICES",
+    "devices_in_zone",
+    "get_device_spec",
+    "get_device_zone",
+    "list_device_names",
+]
 
 
 TAHITI = DeviceSpec(
@@ -459,6 +467,34 @@ EVALUATED_DEVICES: List[str] = [
     "sandybridge",
     "bulldozer",
 ]
+
+
+#: Failure-domain ("zone") membership for correlated-chaos modelling.
+#: Devices sharing a zone share a power/driver/interconnect blast
+#: radius: a ``zone_outage`` fault takes all of them down together and
+#: a ``brownout`` degrades them together (see ``repro.clsim.faults``).
+#: The grouping follows the vendor driver stacks of Table I — one AMD
+#: GPU zone, one NVIDIA GPU zone, one host-CPU zone.
+DEVICE_ZONES: Dict[str, str] = {
+    "tahiti": "zone-amd",
+    "cayman": "zone-amd",
+    "cypress": "zone-amd",
+    "kepler": "zone-nvidia",
+    "fermi": "zone-nvidia",
+    "gtx680": "zone-nvidia",
+    "sandybridge": "zone-cpu",
+    "bulldozer": "zone-cpu",
+}
+
+
+def get_device_zone(name: str) -> str:
+    """Return the failure zone of a device (``"default"`` if unmapped)."""
+    return DEVICE_ZONES.get(name.strip().lower(), "default")
+
+
+def devices_in_zone(zone: str) -> List[str]:
+    """Return the catalog codenames belonging to a zone, sorted."""
+    return sorted(d for d, z in DEVICE_ZONES.items() if z == zone)
 
 
 def get_device_spec(name: str) -> DeviceSpec:

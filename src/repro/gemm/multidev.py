@@ -118,22 +118,16 @@ class MultiDeviceGemm:
         if len({s.codename for s in self.specs}) != len(self.specs):
             raise ReproError("duplicate devices in the fleet")
         self.precision = precision
+        #: Output element type is fixed by precision at construction so a
+        #: later ``retire_device`` down to an empty fleet (host-reference
+        #: fallback) still knows what to allocate.
+        self.dtype = np.dtype(np.float32 if precision == "s" else np.float64)
         self.fault_injector = fault_injector
+        self._routine_kwargs = dict(routine_kwargs)
         self.routines: Dict[str, GemmRoutine] = {}
         self._weights: Dict[str, float] = {}
         for spec in self.specs:
-            p = (params or {}).get(spec.codename) or pretuned_params(
-                spec.codename, precision
-            )
-            self.routines[spec.codename] = GemmRoutine(
-                spec, p, fault_injector=fault_injector, **routine_kwargs
-            )
-            # Load-balancing weight: tuned throughput at the base size.
-            base = 4096 if spec.is_gpu else 1536
-            n = max(p.lcm, (base // p.lcm) * p.lcm)
-            self._weights[spec.codename] = estimate_kernel_time(
-                spec, p, n, n, n, noise=False
-            ).gflops
+            self._build_member(spec, (params or {}).get(spec.codename))
         self._lost_counter = (
             self.obs.counter(
                 "multidev_device_lost_total",
@@ -143,10 +137,59 @@ class MultiDeviceGemm:
             if self.obs.enabled else None
         )
 
+    def _build_member(
+        self, spec: DeviceSpec, params: Optional[KernelParams] = None
+    ) -> None:
+        """Create the routine and load-balancing weight for one device."""
+        p = params or pretuned_params(spec.codename, self.precision)
+        self.routines[spec.codename] = GemmRoutine(
+            spec, p, fault_injector=self.fault_injector, **self._routine_kwargs
+        )
+        # Load-balancing weight: tuned throughput at the base size.
+        base = 4096 if spec.is_gpu else 1536
+        n = max(p.lcm, (base // p.lcm) * p.lcm)
+        self._weights[spec.codename] = estimate_kernel_time(
+            spec, p, n, n, n, noise=False
+        ).gflops
+
     @property
     def weights(self) -> Dict[str, float]:
         """Tuned-throughput weights the column split follows."""
         return dict(self._weights)
+
+    def admit_device(
+        self,
+        device: Union[str, DeviceSpec],
+        params: Optional[KernelParams] = None,
+    ) -> DeviceSpec:
+        """Add a device to the fleet; later calls re-partition over it.
+
+        The new member's column share follows the same tuned-throughput
+        weight rule as construction.  Raises :class:`ReproError` if the
+        device is already a member.
+        """
+        spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+        if any(s.codename == spec.codename for s in self.specs):
+            raise ReproError(f"device {spec.codename!r} already in the fleet")
+        self._build_member(spec, params)
+        self.specs.append(spec)
+        return spec
+
+    def retire_device(self, device: str) -> None:
+        """Remove a device; its share is re-normalised over the rest.
+
+        Retiring the last member is allowed — calls then serve entirely
+        through the host-reference fallback.  Raises :class:`KeyError`
+        if the device is not a member.
+        """
+        if not any(s.codename == device for s in self.specs):
+            raise KeyError(
+                f"device {device!r} not in the fleet: "
+                f"{[s.codename for s in self.specs]}"
+            )
+        self.specs = [s for s in self.specs if s.codename != device]
+        del self.routines[device]
+        del self._weights[device]
 
     def partition(self, N: int) -> List[Tuple[str, int, int]]:
         """Split the N columns proportionally to device throughput."""
@@ -193,7 +236,7 @@ class MultiDeviceGemm:
         if beta != 0.0 and c is None:
             raise ReproError("beta != 0 requires a C operand")
 
-        out = np.empty((M, N), dtype=self.routines[self.specs[0].codename].dtype)
+        out = np.empty((M, N), dtype=self.dtype)
         shares: List[DeviceShare] = []
         lost: List[str] = []
         esize = out.dtype.itemsize

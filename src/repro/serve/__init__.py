@@ -35,6 +35,17 @@ the CLI entry points.
 """
 
 from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.fleet import (
+    AutoscaleConfig,
+    Autoscaler,
+    DeviceHealth,
+    DeviceLifecycle,
+    DeviceState,
+    FleetConfig,
+    FleetManager,
+    HealthConfig,
+    ScaleEvent,
+)
 from repro.serve.incident import Incident, IncidentLog, ServiceCounters
 from repro.serve.ladder import DegradationLadder, Rung
 from repro.serve.sched import (
@@ -54,10 +65,13 @@ from repro.serve.soak import (
     DEFAULT_TENANT_LOADS,
     AsyncSoakConfig,
     AsyncSoakReport,
+    FleetSoakConfig,
+    FleetSoakReport,
     SoakConfig,
     SoakReport,
     TenantLoad,
     run_async_soak,
+    run_fleet_soak,
     run_soak,
 )
 from repro.serve.verify import FreivaldsCheck, FreivaldsVerifier
@@ -66,18 +80,29 @@ __all__ = [
     "AsyncScheduler",
     "AsyncSoakConfig",
     "AsyncSoakReport",
+    "AutoscaleConfig",
+    "Autoscaler",
     "BatchingAccount",
     "BreakerState",
     "CircuitBreaker",
     "DEFAULT_TENANT_LOADS",
     "DegradationLadder",
+    "DeviceHealth",
+    "DeviceLifecycle",
+    "DeviceState",
+    "FleetConfig",
+    "FleetManager",
+    "FleetSoakConfig",
+    "FleetSoakReport",
     "FreivaldsCheck",
     "FreivaldsVerifier",
     "GemmCall",
     "GemmService",
+    "HealthConfig",
     "Incident",
     "IncidentLog",
     "Rung",
+    "ScaleEvent",
     "SchedulerConfig",
     "ServeResult",
     "ServiceConfig",
@@ -87,5 +112,6 @@ __all__ = [
     "TenantLoad",
     "Ticket",
     "run_async_soak",
+    "run_fleet_soak",
     "run_soak",
 ]

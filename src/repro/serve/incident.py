@@ -44,6 +44,14 @@ INCIDENT_KINDS = (
     "shed_retry",       # a previously shed request was re-admitted
     "hot_swap",         # a serving kernel was hot-swapped in place
     "drain",            # the scheduler drained gracefully
+    # -- elastic fleet lifecycle (see repro.serve.fleet) ----------------
+    "fleet_admit",      # a device's rungs were admitted to the ladder
+    "fleet_suspend",    # a device was parked off the ladder (suspected)
+    "fleet_resume",     # a parked device was restored to the ladder
+    "fleet_retire",     # a device was removed permanently
+    "fleet_scale",      # the autoscaler grew or shrank the fleet
+    "fleet_suspect",    # the failure detector suspected a device
+    "fleet_recover",    # a suspected device passed its recovery probes
 )
 
 
@@ -114,6 +122,10 @@ class ServiceCounters:
     cancelled: int = 0
     #: Serving kernels replaced in place by a hot swap.
     hot_swaps: int = 0
+    # -- elastic fleet accounting (see repro.serve.fleet) ----------------
+    #: Devices admitted to / retired from the serving ladder.
+    fleet_admits: int = 0
+    fleet_retires: int = 0
     #: Responses per ladder rung name ("tuned", "pretuned", "direct",
     #: "reference"), e.g. {"tuned": 950, "reference": 3}.
     served_by_rung: Dict[str, int] = field(default_factory=dict)
@@ -126,6 +138,7 @@ class ServiceCounters:
         "corruption_caught", "quarantined", "readmitted", "canaries_run",
         "deadline_missed", "static_rejects", "batches", "batched_members",
         "sharded", "hedges", "cancelled", "hot_swaps",
+        "fleet_admits", "fleet_retires",
     )
 
     def bind_registry(self, registry, prefix: str = "serve") -> None:

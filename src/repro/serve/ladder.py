@@ -144,38 +144,103 @@ class DegradationLadder:
             for d in devices
         ]
         for spec in specs:
-            try:
-                shipped = pretuned_params(spec.codename, precision)
-            except KeyError:
-                shipped = None
-            primary = (params or {}).get(spec.codename) or shipped
-            if primary is None:
-                continue  # nothing tuned for this device at this precision
-
-            def make_factory(spec=spec, p=primary, cls=GemmRoutine):
-                return lambda injector: cls(
-                    spec, p, fault_injector=injector, **routine_kwargs
-                )
-
-            self.rungs.append(Rung(
-                "tuned", spec.codename, precision, primary,
-                make_factory(), spec=spec, host_gflops=host_gflops,
-            ))
-            if shipped is not None and shipped != primary:
-                self.rungs.append(Rung(
-                    "pretuned", spec.codename, precision, shipped,
-                    make_factory(p=shipped), spec=spec,
-                    host_gflops=host_gflops,
-                ))
-            self.rungs.append(Rung(
-                "direct", spec.codename, precision, direct_params(primary),
-                make_factory(cls=DirectGemmRoutine), spec=spec,
-                host_gflops=host_gflops,
-            ))
+            self.rungs.extend(
+                self._build_device_rungs(spec, (params or {}).get(spec.codename))
+            )
         # The unconditional last resort: the host cannot fault or corrupt.
         self.rungs.append(Rung(
             "reference", "", precision, None, None, host_gflops=host_gflops,
         ))
+
+    def _build_device_rungs(
+        self, spec: DeviceSpec, explicit: Optional[KernelParams] = None
+    ) -> List[Rung]:
+        """The tuned/pretuned/direct rung group for one device.
+
+        Empty when the device has nothing tuned at this precision — such
+        a device cannot serve and the fleet manager must not admit it.
+        """
+        from repro.tuner.pretuned import pretuned_params
+
+        precision = self.precision
+        host_gflops = self.host_gflops
+        routine_kwargs = self._routine_kwargs
+        try:
+            shipped = pretuned_params(spec.codename, precision)
+        except KeyError:
+            shipped = None
+        primary = explicit or shipped
+        if primary is None:
+            return []  # nothing tuned for this device at this precision
+
+        def make_factory(spec=spec, p=primary, cls=GemmRoutine):
+            return lambda injector: cls(
+                spec, p, fault_injector=injector, **routine_kwargs
+            )
+
+        rungs = [Rung(
+            "tuned", spec.codename, precision, primary,
+            make_factory(), spec=spec, host_gflops=host_gflops,
+        )]
+        if shipped is not None and shipped != primary:
+            rungs.append(Rung(
+                "pretuned", spec.codename, precision, shipped,
+                make_factory(p=shipped), spec=spec,
+                host_gflops=host_gflops,
+            ))
+        rungs.append(Rung(
+            "direct", spec.codename, precision, direct_params(primary),
+            make_factory(cls=DirectGemmRoutine), spec=spec,
+            host_gflops=host_gflops,
+        ))
+        return rungs
+
+    def device_rungs(self, device: str) -> List[Rung]:
+        """All rungs serving ``device``, in ladder order."""
+        return [r for r in self.rungs if r.device == device]
+
+    def add_device(
+        self,
+        device: Union[str, DeviceSpec],
+        params: Optional[KernelParams] = None,
+    ) -> List[Rung]:
+        """Build and append a device's rung group (before the host rung).
+
+        Newly admitted devices rank *after* the incumbents — the ladder
+        prefers devices that have been serving longest — but always
+        before the host reference.  Returns the new rungs (empty if the
+        device has nothing tuned, in which case nothing is added).
+        Raises ``ValueError`` if the device already has rungs.
+        """
+        spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+        if self.device_rungs(spec.codename):
+            raise ValueError(f"device {spec.codename!r} already on the ladder")
+        rungs = self._build_device_rungs(spec, params)
+        self.insert_device(rungs)
+        return rungs
+
+    def insert_device(self, rungs: Sequence[Rung]) -> None:
+        """Re-insert a previously removed rung group before the host rung.
+
+        Used on device resume: the parked :class:`Rung` objects keep
+        their built routines, so recovery does not pay construction
+        again.
+        """
+        index = len(self.rungs) - 1  # the host reference rung is last
+        self.rungs[index:index] = list(rungs)
+
+    def remove_device(self, device: str) -> List[Rung]:
+        """Splice out and return all rungs serving ``device``.
+
+        The returned group can be parked (suspected/draining devices)
+        and later restored with :meth:`insert_device`.  Removing a
+        device with no rungs returns ``[]``; the host reference rung is
+        never removable.
+        """
+        removed = self.device_rungs(device)
+        if removed:
+            self.rungs = [r for r in self.rungs if r.device != device]
+        return removed
 
     def primary_rung(self, device: str) -> Rung:
         """The ``tuned`` rung serving ``device`` (KeyError if absent)."""

@@ -126,7 +126,10 @@ class Ticket:
     sharded: bool = False
     #: Shed events this request survived before being served.
     sheds: int = 0
-    #: Set when the final shed was fatal (status "shed").
+    #: Backoff hint from the most recent shed decision — the fair
+    #: queue's estimate of when capacity frees up.  Set on *every* shed
+    #: (a served-after-retry ticket keeps the hint it last backed off
+    #: on), so async callers see the backoff schedule, not just a flag.
     retry_after_s: Optional[float] = None
 
     @property
@@ -362,6 +365,9 @@ class AsyncScheduler:
             self._admit_due_arrivals()
             if self.queues.queued == 0:
                 return True  # time progressed; retries may still be due
+        # Window-correlated faults (zone outages, brownouts) decide by
+        # simulated time: hand the service the clock before dispatch.
+        self.service.set_fault_clock(self.now)
         self._apply_due_swaps()
         request = self.queues.select()
         self._gauge(request.tenant)
@@ -404,6 +410,10 @@ class AsyncScheduler:
         state.shed_events += 1
         self.service.counters.shed += 1
         request.ticket.sheds += 1
+        # Every shed surfaces its backoff hint on the ticket (and the
+        # tenant's hint ledger), not just the fatal one.
+        request.ticket.retry_after_s = retry_after
+        state.record_retry_hint(retry_after)
         self.service.log.record(
             request.rid, "shed",
             detail=(f"tenant {request.tenant}: queue full "
@@ -420,7 +430,6 @@ class AsyncScheduler:
         else:
             state.hard_shed += 1
             request.ticket.status = "shed"
-            request.ticket.retry_after_s = retry_after
             request.ticket.completed_s = self.now
             if self.on_complete is not None:
                 self.on_complete(request.ticket, request)
@@ -483,8 +492,39 @@ class AsyncScheduler:
     def _shardable(self, request: QueuedRequest) -> bool:
         call = request.call
         return (self.fleet is not None
+                and len(self.fleet.specs) >= 2
                 and call.transa == "N" and call.transb == "N"
                 and max(request.shape) >= self.config.shard_dim)
+
+    def sync_fleet(self) -> None:
+        """Reconcile the shard fleet with the service's serving ladder.
+
+        The fleet manager calls this after membership changes: devices
+        whose ``tuned`` rung left the ladder are retired from the shard
+        fleet (their column shares re-normalise over the survivors) and
+        newly serving devices are admitted.  A fleet that shrinks below
+        two devices is kept but stops sharding (:meth:`_shardable`);
+        one that was never built (single-device start) is built the
+        first time two tuned devices are serving.
+        """
+        if not self.config.shard:
+            return
+        devices: List[str] = []
+        params = {}
+        for rung in self.service.ladder.rungs:
+            if rung.name == "tuned" and rung.device not in devices:
+                devices.append(rung.device)
+                params[rung.device] = rung.params
+        if self.fleet is None:
+            if len(devices) >= 2:
+                self.fleet = self._build_fleet()
+            return
+        members = {s.codename for s in self.fleet.specs}
+        for device in sorted(members - set(devices)):
+            self.fleet.retire_device(device)
+        for device in devices:
+            if device not in members:
+                self.fleet.admit_device(device, params[device])
 
     def _risky_devices(self) -> Tuple[str, ...]:
         return tuple(

@@ -96,6 +96,9 @@ class TenantState:
     invalid: int = 0
     max_wait_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list)
+    #: ``retry_after_s`` hints handed out on this tenant's sheds, in
+    #: shed order — the backoff schedule async callers were shown.
+    retry_hints_s: List[float] = field(default_factory=list)
 
     def __post_init__(self):
         self.hedges_left = self.config.hedge_budget
@@ -108,6 +111,9 @@ class TenantState:
         self.served += 1
         self.max_wait_s = max(self.max_wait_s, wait_s)
         self.latencies_s.append(latency_s)
+
+    def record_retry_hint(self, retry_after_s: float) -> None:
+        self.retry_hints_s.append(retry_after_s)
 
 
 class FairQueue:

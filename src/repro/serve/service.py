@@ -285,9 +285,13 @@ class GemmService:
             self._wait_hist = None
         #: rung.key -> consecutive canary passes since quarantine.
         self._quarantined: Dict[str, int] = {}
+        #: device -> parked rung group (suspected/draining devices keep
+        #: their built routines off the ladder until resumed or retired).
+        self._parked: Dict[str, List[Rung]] = {}
         #: rung.key -> violated rule id, for rungs the static verifier
         #: refuses to serve through (see :mod:`repro.analyze`).  Filled
-        #: once at construction: rung kernels never change afterwards.
+        #: at construction and again per admitted device: a rung's
+        #: kernel never changes while it is on the ladder.
         self._static_rejected: Dict[str, str] = self._verify_rungs()
         self._tick = 0
         self._backlog_s = 0.0
@@ -303,11 +307,18 @@ class GemmService:
         refusal is incident-logged (request_id -1: a service-lifetime
         decision, not a per-request one) and counted.
         """
+        rejected: Dict[str, str] = {}
+        self._verify_rung_group(self.ladder.rungs, rejected)
+        return rejected
+
+    def _verify_rung_group(
+        self, rungs: Sequence[Rung], rejected: Dict[str, str]
+    ) -> None:
+        """Run the static gate over ``rungs``, recording refusals."""
         from repro.analyze.verifier import StaticVerifier
 
         verifiers: Dict[str, StaticVerifier] = {}
-        rejected: Dict[str, str] = {}
-        for rung in self.ladder.rungs:
+        for rung in rungs:
             if rung.is_reference or rung.params is None:
                 continue
             verifier = verifiers.setdefault(
@@ -321,7 +332,6 @@ class GemmService:
                     -1, "static_reject", device=rung.device, rung=rung.name,
                     detail=f"{rule}: {rung.params.summary()}",
                 )
-        return rejected
 
     # -- deterministic decisions ---------------------------------------
     def _unit(self, label: str, request_id: int) -> float:
@@ -333,6 +343,19 @@ class GemmService:
         if self._base_injector is None:
             return None
         return self._base_injector.salted(salt)
+
+    def set_fault_clock(self, now_s: float) -> None:
+        """Advance the fault plan's simulated clock.
+
+        Window-correlated fault kinds (``zone_outage``, ``brownout``)
+        decide by *time*, not per-request hashing; the async scheduler
+        calls this each step so every injector the service re-salts from
+        here on carries the current simulated instant.  A no-op without
+        a fault plan or with a plan of purely per-request kinds.
+        """
+        if self._base_injector is not None and hasattr(
+                self._base_injector, "at_time"):
+            self._base_injector = self._base_injector.at_time(now_s)
 
     @property
     def quarantined(self) -> Tuple[str, ...]:
@@ -955,6 +978,105 @@ class GemmService:
         )
         return rung
 
+    # -- fleet membership -----------------------------------------------
+    @property
+    def serving_devices(self) -> Tuple[str, ...]:
+        """Devices with live rungs on the ladder, in ladder order."""
+        seen: List[str] = []
+        for rung in self.ladder.rungs:
+            if rung.device and rung.device not in seen:
+                seen.append(rung.device)
+        return tuple(seen)
+
+    @property
+    def parked_devices(self) -> Tuple[str, ...]:
+        """Devices suspended off the ladder (suspected/draining)."""
+        return tuple(sorted(self._parked))
+
+    def admit_device(self, device, params=None, request_id: int = -1):
+        """Bring a new device onto the serving ladder.
+
+        The device's rung group is built, statically verified (refused
+        kernels are recorded exactly like construction-time ones), and
+        appended after the incumbents; a circuit breaker is created for
+        it.  Returns the new rungs — empty when the device has nothing
+        tuned at this precision, in which case nothing is admitted.
+        """
+        rungs = self.ladder.add_device(device, params)
+        if not rungs:
+            self.log.record(
+                request_id, "fleet_admit", device=str(device),
+                detail="refused: nothing tuned at this precision",
+                trace_id=self._trace_id,
+            )
+            return rungs
+        self._verify_rung_group(rungs, self._static_rejected)
+        name = rungs[0].device
+        if name not in self.breakers:
+            self.breakers[name] = CircuitBreaker(
+                name,
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_ticks=self.config.breaker_cooldown,
+                probe_successes=self.config.breaker_probe_successes,
+            )
+        self.counters.fleet_admits += 1
+        self.log.record(
+            request_id, "fleet_admit", device=name,
+            detail=f"{len(rungs)} rungs admitted",
+            trace_id=self._trace_id,
+        )
+        return rungs
+
+    def suspend_device(self, device: str, request_id: int = -1,
+                       reason: str = "suspected") -> None:
+        """Park a device's rungs off the ladder (routing removal only).
+
+        The rung objects — and their built routines — are kept, so
+        :meth:`resume_device` restores service without paying kernel
+        construction again.  Suspending a device that is already parked
+        or has no rungs is a no-op.
+        """
+        rungs = self.ladder.remove_device(device)
+        if not rungs:
+            return
+        self._parked[device] = rungs
+        self.log.record(
+            request_id, "fleet_suspend", device=device, detail=reason,
+            trace_id=self._trace_id,
+        )
+
+    def resume_device(self, device: str, request_id: int = -1) -> None:
+        """Restore a parked device's rungs to the ladder."""
+        rungs = self._parked.pop(device, None)
+        if not rungs:
+            return
+        self.ladder.insert_device(rungs)
+        self.log.record(
+            request_id, "fleet_resume", device=device,
+            detail=f"{len(rungs)} rungs restored",
+            trace_id=self._trace_id,
+        )
+
+    def retire_device(self, device: str, request_id: int = -1,
+                      reason: str = "drained") -> None:
+        """Remove a device permanently (ladder + parked + quarantine).
+
+        The breaker object is kept — a later re-admission of the same
+        codename inherits its failure history, which is exactly what a
+        flapping device deserves.
+        """
+        removed = self.ladder.remove_device(device)
+        removed.extend(self._parked.pop(device, []))
+        for rung in removed:
+            self._quarantined.pop(rung.key, None)
+            self._static_rejected.pop(rung.key, None)
+        if removed:
+            self.counters.fleet_retires += 1
+            self.log.record(
+                request_id, "fleet_retire", device=device, detail=reason,
+                trace_id=self._trace_id,
+            )
+
     # -- quarantine and canaries ---------------------------------------
     def _maybe_canaries(self, tick: int, rid: int) -> None:
         cfg = self.config
@@ -988,7 +1110,11 @@ class GemmService:
         tol = 1e-4 if self.precision == "s" else 1e-10
         rungs = {rung.key: rung for rung in self.ladder.rungs}
         for key in sorted(self._quarantined):
-            rung = rungs[key]
+            rung = rungs.get(key)
+            if rung is None:
+                # The rung's device is parked (suspected/warming): the
+                # fleet manager probes it; quarantine state waits here.
+                continue
             self.counters.canaries_run += 1
             injector = self._salted_injector(f"canary:{tick}:{key}")
             with self.obs.span(f"canary:{key}") as cspan:

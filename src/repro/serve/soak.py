@@ -15,9 +15,10 @@ and the end-to-end wrong-answer count, and persists crash-safe through
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from repro.serve.service import GemmService
 __all__ = [
     "SoakConfig", "SoakReport", "run_soak",
     "TenantLoad", "AsyncSoakConfig", "AsyncSoakReport", "run_async_soak",
+    "FleetSoakConfig", "FleetSoakReport", "run_fleet_soak",
     "DEFAULT_TENANT_LOADS",
 ]
 
@@ -241,6 +243,14 @@ class AsyncSoakConfig:
     trajectory_buckets: int = 20
     #: Coalescing cap forwarded to the scheduler.
     max_batch: int = 16
+    #: Deterministic demand cycle: during the second half of every
+    #: ``load_cycle_s`` of simulated time, arrival gaps stretch by
+    #: ``load_calm_factor``.  0 disables (constant offered load) — the
+    #: churn soak enables it so the autoscaler has real demand swings to
+    #: track instead of a uniformly overloaded queue it can only grow
+    #: into.
+    load_cycle_s: float = 0.0
+    load_calm_factor: float = 1.0
 
 
 #: Fixed latency-histogram bucket bounds (milliseconds) for the
@@ -375,8 +385,23 @@ class AsyncSoakReport:
         return "\n".join(lines)
 
 
+def _calm_stretch(t: float, cycle_s: float, calm_factor: float) -> float:
+    """Arrival-gap multiplier at simulated time ``t``.
+
+    The first half of every ``cycle_s`` runs at full offered load, the
+    second half stretches gaps by ``calm_factor`` — a square demand
+    wave, phase-locked across tenants because it is a pure function of
+    the simulated clock.
+    """
+    if cycle_s <= 0.0 or calm_factor <= 1.0:
+        return 1.0
+    phase = (t % cycle_s) / cycle_s
+    return calm_factor if phase >= 0.5 else 1.0
+
+
 def _tenant_stream(load: TenantLoad, count: int, horizon_s: float,
-                   rng: np.random.Generator, dtype):
+                   rng: np.random.Generator, dtype,
+                   cycle_s: float = 0.0, calm_factor: float = 1.0):
     """Yield ``(arrival_s, load, problem)`` for one tenant, in arrival
     order; operands materialise lazily (one problem ahead per tenant)."""
     if count <= 0:
@@ -399,7 +424,8 @@ def _tenant_stream(load: TenantLoad, count: int, horizon_s: float,
         b = rng.standard_normal((k, n) if transb == "N" else (n, k)).astype(dtype)
         c = rng.standard_normal((m, n)).astype(dtype) if use_beta else None
         yield (t, load, (a, b, c, alpha, beta, transa, transb))
-        t += gap * float(rng.uniform(0.2, 1.8))
+        t += (gap * float(rng.uniform(0.2, 1.8))
+              * _calm_stretch(t, cycle_s, calm_factor))
 
 
 def _tenant_counts(tenants: Sequence[TenantLoad], requests: int) -> List[int]:
@@ -418,6 +444,8 @@ def _tenant_counts(tenants: Sequence[TenantLoad], requests: int) -> List[int]:
 
 def run_async_soak(
     service: GemmService, config: Optional[AsyncSoakConfig] = None,
+    fleet_manager_factory: Optional[Callable] = None,
+    served_sink: Optional[List[Tuple[float, float]]] = None,
 ) -> AsyncSoakReport:
     """Drive the async scheduler with a seeded multi-tenant workload.
 
@@ -428,6 +456,14 @@ def run_async_soak(
     served response against the host reference, and drains gracefully.
     Returns the :class:`AsyncSoakReport` whose ``as_dict()`` is the
     ``BENCH_serving.json`` payload.
+
+    ``fleet_manager_factory`` (used by :func:`run_fleet_soak`) is called
+    with the built scheduler and must return an object with
+    ``observe(ticket, request)`` and ``tick(now_s)`` — the fleet manager
+    is ticked after every scheduler step so autoscaling and failure
+    detection run *during* the soak, not on its ashes.  ``served_sink``
+    collects ``(completed_s, latency_s)`` per served request for
+    post-hoc trajectory analysis (recovery accounting).
     """
     from repro.serve.sched import AsyncScheduler, SchedulerConfig
 
@@ -442,6 +478,8 @@ def run_async_soak(
         SchedulerConfig(max_batch=config.max_batch),
         obs=service.obs,
     )
+    manager = (fleet_manager_factory(scheduler)
+               if fleet_manager_factory is not None else None)
 
     horizon_s = config.requests * config.interarrival_s
     counts = _tenant_counts(config.tenants, config.requests)
@@ -449,6 +487,7 @@ def run_async_soak(
         _tenant_stream(
             load, counts[i], horizon_s,
             np.random.default_rng([config.seed, i]), dtype,
+            config.load_cycle_s, config.load_calm_factor,
         )
         for i, load in enumerate(config.tenants)
     ]
@@ -478,6 +517,8 @@ def run_async_soak(
 
     def on_complete(ticket, request) -> None:
         nonlocal wrong, worst_error
+        if manager is not None:
+            manager.observe(ticket, request)
         problem = operands.pop(ticket.rid, None)
         if ticket.status == "shed":
             shed_times.append(scheduler.now)
@@ -496,6 +537,8 @@ def run_async_soak(
         served_events.append(
             (ticket.completed_s, ticket.latency_s, 2.0 * M * N * K)
         )
+        if served_sink is not None:
+            served_sink.append((ticket.completed_s, ticket.latency_s))
         ticket.result.c = None  # release the response matrix
 
     scheduler.on_complete = on_complete
@@ -517,6 +560,8 @@ def run_async_soak(
             pending = next(merged, None)
         if scheduler.step():
             progressed = True
+            if manager is not None:
+                manager.tick(scheduler.now)
         if not progressed:
             if pending is not None:
                 # Idle gap: jump the clock to the next arrival.
@@ -524,6 +569,8 @@ def run_async_soak(
             else:
                 break
     scheduler.drain()
+    if manager is not None:
+        manager.tick(scheduler.now)
 
     # -- aggregate and per-tenant report --------------------------------
     duration = scheduler.now
@@ -535,6 +582,7 @@ def run_async_soak(
         name = state.config.name
         if state.submitted > 0 and state.served == 0:
             starved.append(name)
+        hints = list(getattr(state, "retry_hints_s", ()))
         per_tenant[name] = {
             "submitted": state.submitted,
             "served": state.served,
@@ -548,6 +596,13 @@ def run_async_soak(
             "p99_ms": _percentile(state.latencies_s, 99) * 1e3,
             "max_wait_ms": state.max_wait_s * 1e3,
             "latency_hist_ms": _histogram_ms(state.latencies_s),
+            # Backpressure hints handed out on shed (Ticket.retry_after_s):
+            # how often this tenant was told to back off, and how hard.
+            "retry_hints": {
+                "count": len(hints),
+                "mean_ms": (sum(hints) / len(hints) * 1e3) if hints else 0.0,
+                "max_ms": max(hints) * 1e3 if hints else 0.0,
+            },
         }
 
     buckets = max(1, config.trajectory_buckets)
@@ -591,4 +646,233 @@ def run_async_soak(
         incident_kinds=service.log.kind_counts(),
         trajectory=trajectory,
         failures=failures,
+    )
+
+
+# ======================================================================
+# The churn soak: async soak + live fleet manager (see repro.serve.fleet)
+# ======================================================================
+
+@dataclass(frozen=True)
+class FleetSoakConfig:
+    """One churn soak: an async soak run under an active fleet manager.
+
+    The hot-swap is disabled by default here — the fleet manager itself
+    suspends and resumes devices throughout the run, and a scheduled
+    swap against a device the manager happens to have parked would test
+    the collision, not elasticity.  The workload defaults to a cycled
+    demand wave (``load_cycle_s``) for the same reason: a uniformly
+    overloaded queue only ever asks the autoscaler to grow; the calm
+    half-cycles are what make shrink-then-regrow churn reachable.
+    """
+
+    soak: AsyncSoakConfig = field(
+        default_factory=lambda: AsyncSoakConfig(
+            hot_swap_at=0.0, load_cycle_s=0.25, load_calm_factor=4.0,
+        )
+    )
+    #: Fleet-manager knobs; None takes the FleetConfig defaults.
+    fleet: Optional[object] = None
+    #: Recovery bar: after a fault episode ends, the windowed p99 must
+    #: return to within this factor of the pre-episode steady state.
+    recovery_factor: float = 2.0
+    #: Width of the sliding p99 window used for recovery accounting.
+    recovery_window_s: float = 0.02
+
+
+@dataclass
+class FleetSoakReport:
+    """Outcome of one churn soak (the ``BENCH_fleet.json`` payload)."""
+
+    FORMAT = "repro-bench-fleet/1"
+
+    #: The underlying async-soak report (correctness, fairness, latency).
+    serving: AsyncSoakReport
+    #: Autoscaler evaluations that ran during the soak.
+    evaluations: int
+    scale_events: List[Dict]
+    grow_events: int
+    shrink_events: int
+    cooldown_s: float
+    #: Opposite-direction event pairs inside one cooldown window — the
+    #: autoscaler's construction makes this impossible; MUST be empty.
+    flap_pairs: List[Dict]
+    #: Per-device final state, health, and full lifecycle transitions.
+    devices: Dict[str, Dict]
+    final_serving: List[str]
+    #: Correlated fault episodes (ground truth from the injector) with
+    #: measured p99 recovery after each.
+    episodes: List[Dict]
+
+    @property
+    def clean(self) -> bool:
+        return self.serving.clean and not self.flap_pairs
+
+    # Forwarders so report consumers (CLI gating) need not special-case.
+    @property
+    def wrong_answers(self) -> int:
+        return self.serving.wrong_answers
+
+    @property
+    def starved_tenants(self) -> List[str]:
+        return self.serving.starved_tenants
+
+    def as_dict(self) -> Dict:
+        return {
+            "format": self.FORMAT,
+            "serving": self.serving.as_dict(),
+            "fleet": {
+                "evaluations": self.evaluations,
+                "scale_events": self.scale_events,
+                "grow_events": self.grow_events,
+                "shrink_events": self.shrink_events,
+                "cooldown_s": self.cooldown_s,
+                "flap_pairs": self.flap_pairs,
+                "devices": self.devices,
+                "final_serving": self.final_serving,
+                "episodes": self.episodes,
+            },
+        }
+
+    def save(self, path: str) -> str:
+        return dump_json_atomic(path, self.as_dict(), indent=2)
+
+    def render(self) -> str:
+        lines = [self.serving.render()]
+        lines.append(
+            f"fleet: {len(self.scale_events)} scale events "
+            f"({self.grow_events} grow, {self.shrink_events} shrink) over "
+            f"{self.evaluations} evaluations, {len(self.flap_pairs)} flap "
+            f"pairs, serving at end: {', '.join(self.final_serving) or '-'}"
+        )
+        for name in sorted(self.devices):
+            dev = self.devices[name]
+            lines.append(
+                f"  {name:12s} {dev['state']:12s} "
+                f"score {dev['health_score']:.3f}  "
+                f"{len(dev['transitions'])} transitions"
+            )
+        for ep in self.episodes:
+            span = f"{ep['start_s'] * 1e3:.1f}-{ep['end_s'] * 1e3:.1f} ms"
+            if ep["recovered_after_s"] is not None:
+                rec = f"p99 recovered in {ep['recovered_after_s'] * 1e3:.1f} ms"
+            else:
+                rec = "p99 recovery not observed in run"
+            lines.append(
+                f"  episode {ep['kind']} @ {ep['zone']} [{span}]: {rec}"
+            )
+        return "\n".join(lines)
+
+
+def _episode_recovery(
+    service: GemmService,
+    series: List[Tuple[float, float]],
+    until_s: float,
+    factor: float,
+    window_s: float,
+) -> List[Dict]:
+    """Ground-truth fault episodes + measured p99 recovery after each.
+
+    Episodes come from the injector's :meth:`active_windows` — the same
+    deterministic schedule the faults themselves were rolled from, so
+    this is accounting, not detection.  For each episode the steady
+    state is the p99 of the ``window_s`` of completions before it began;
+    recovery is the first post-episode window whose p99 is back within
+    ``factor`` of that (windows with no completions are skipped — an
+    outage can stall completions entirely).
+    """
+    injector = getattr(service, "_base_injector", None)
+    if injector is None or not hasattr(injector, "active_windows"):
+        return []
+    from repro.devices.catalog import DEVICE_ZONES
+
+    times = [t for t, _ in series]  # completion-ordered (simulated clock)
+    lats = [lat for _, lat in series]
+
+    def window_p99(lo: float, hi: float) -> float:
+        i = bisect.bisect_right(times, lo)
+        j = bisect.bisect_right(times, hi)
+        return _percentile(lats[i:j], 99)
+
+    episodes: List[Dict] = []
+    zones = sorted(set(DEVICE_ZONES.values()))
+    for kind in ("zone_outage", "brownout"):
+        for zone in zones:
+            for start, end in injector.active_windows(kind, zone, until_s):
+                steady = window_p99(start - window_s, start)
+                end = min(end, until_s)
+                recovered_after: Optional[float] = None
+                if steady > 0:
+                    t = end
+                    while t < until_s:
+                        p99 = window_p99(t, t + window_s)
+                        if 0 < p99 <= factor * steady:
+                            recovered_after = t + window_s - end
+                            break
+                        t += window_s
+                episodes.append({
+                    "kind": kind,
+                    "zone": zone,
+                    "start_s": start,
+                    "end_s": end,
+                    "steady_p99_ms": steady * 1e3,
+                    "recovery_factor": factor,
+                    "recovered_after_s": recovered_after,
+                    "recovered": recovered_after is not None,
+                })
+    episodes.sort(key=lambda ep: (ep["start_s"], ep["kind"], ep["zone"]))
+    return episodes
+
+
+def run_fleet_soak(
+    service: GemmService, config: Optional[FleetSoakConfig] = None,
+) -> FleetSoakReport:
+    """Run the churn soak: async workload under an active fleet manager.
+
+    The manager autoscales, suspects, probes, and recovers devices while
+    the workload runs (and the fault plan fires); afterwards the report
+    joins the serving outcome with the fleet's scale events, lifecycle
+    transitions, anti-flap audit, and per-episode p99 recovery times.
+    Everything is a pure function of the seeds, so the saved
+    ``BENCH_fleet.json`` is bit-identical across reruns.
+    """
+    from repro.serve.fleet import FleetManager
+
+    config = config or FleetSoakConfig()
+    holder: Dict[str, object] = {}
+
+    def factory(scheduler):
+        holder["manager"] = FleetManager(scheduler, config.fleet)
+        return holder["manager"]
+
+    series: List[Tuple[float, float]] = []
+    serving = run_async_soak(
+        service, config.soak,
+        fleet_manager_factory=factory, served_sink=series,
+    )
+    manager = holder["manager"]
+    now = serving.duration_s
+    summary = manager.summary(now)
+    events = list(manager.scale_events)
+    cooldown = manager.config.autoscale.cooldown_s
+    flap_pairs = [
+        {"first": first.to_dict(), "second": second.to_dict()}
+        for first, second in zip(events, events[1:])
+        if (second.t_s - first.t_s < cooldown
+            and second.direction != first.direction)
+    ]
+    return FleetSoakReport(
+        serving=serving,
+        evaluations=summary["evaluations"],
+        scale_events=[event.to_dict() for event in events],
+        grow_events=sum(1 for e in events if e.direction == "grow"),
+        shrink_events=sum(1 for e in events if e.direction == "shrink"),
+        cooldown_s=cooldown,
+        flap_pairs=flap_pairs,
+        devices=summary["devices"],
+        final_serving=summary["final_serving"],
+        episodes=_episode_recovery(
+            service, series, now,
+            config.recovery_factor, config.recovery_window_s,
+        ),
     )

@@ -1,0 +1,183 @@
+"""Correlated window faults: zone outages and brownouts.
+
+The window kinds decide per ``(zone, window epoch)`` — not per device,
+key, attempt, or salt — so every device in a zone fails *together* and
+retrying inside the window cannot clear it.  ``active_windows`` is the
+deterministic ground-truth schedule the churn soak's recovery
+accounting is stated against, so it must agree exactly with the
+per-request decisions.
+"""
+
+import pytest
+
+from repro.clsim.faults import (
+    CANNED_PLANS,
+    WINDOW_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+from repro.devices.catalog import DEVICE_ZONES, devices_in_zone, get_device_zone
+from repro.errors import DeviceLostError
+
+
+def _outage_plan(**overrides) -> FaultPlan:
+    defaults = dict(kind="zone_outage", rate=0.3, window_s=0.05,
+                    duration_windows=2)
+    defaults.update(overrides)
+    return FaultPlan(seed=3, rules=(FaultRule(**defaults),))
+
+
+class TestParsing:
+    def test_zone_spec_parses_as_zone_not_device(self):
+        plan = FaultPlan.parse("zone_outage:0.04:zone-amd")
+        (rule,) = plan.rules
+        assert rule.kind == "zone_outage"
+        assert rule.zone == "zone-amd"
+        assert rule.device is None
+
+    def test_device_spec_still_parses_as_device(self):
+        plan = FaultPlan.parse("launch:0.5:bulldozer")
+        (rule,) = plan.rules
+        assert rule.device == "bulldozer"
+        assert rule.zone is None
+
+    @pytest.mark.parametrize("spec", ["build:-0.1", "launch:1.5",
+                                      "zone_outage:2:zone-amd"])
+    def test_out_of_range_rate_rejected_with_clear_error(self, spec):
+        with pytest.raises(ValueError, match=r"rate must be in \[0, 1\]"):
+            FaultPlan.parse(spec)
+
+    def test_non_numeric_rate_rejected(self):
+        with pytest.raises(ValueError, match="not a number"):
+            FaultPlan.parse("launch:lots")
+
+    def test_rule_constructor_validates_rate_too(self):
+        with pytest.raises(ValueError, match=r"rate must be in \[0, 1\]"):
+            FaultRule(kind="launch", rate=1.2)
+
+    def test_window_rule_validates_window_shape(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="zone_outage", rate=0.1, window_s=0.0)
+        with pytest.raises(ValueError):
+            FaultRule(kind="brownout", rate=0.1, duration_windows=0)
+
+    def test_fleet_chaos_canned_plan_has_correlated_rules(self):
+        plan = CANNED_PLANS["fleet-chaos"]
+        kinds = {rule.kind for rule in plan.rules}
+        assert set(WINDOW_KINDS) <= kinds
+
+    def test_plan_round_trips_zone_fields(self):
+        plan = _outage_plan(zone="zone-amd")
+        clone = FaultPlan.from_dict(plan.to_dict())
+        (rule,) = clone.rules
+        assert (rule.zone, rule.window_s, rule.duration_windows) == (
+            "zone-amd", 0.05, 2
+        )
+
+
+class TestZoneCatalog:
+    def test_every_evaluated_device_has_a_zone(self):
+        for device, zone in DEVICE_ZONES.items():
+            assert get_device_zone(device) == zone
+            assert device in devices_in_zone(zone)
+
+    def test_unknown_device_falls_back_to_default_zone(self):
+        assert get_device_zone("no-such-chip") == "default"
+
+
+class TestCorrelation:
+    def test_same_zone_devices_agree_at_every_instant(self):
+        inj = FaultInjector(_outage_plan())
+        amd = devices_in_zone("zone-amd")
+        assert len(amd) >= 2
+        for step in range(200):
+            frozen = inj.at_time(step * 0.01)
+            decisions = {
+                frozen.fires("zone_outage", device, f"k{step}") is not None
+                for device in amd
+            }
+            assert len(decisions) == 1, f"zone split at step {step}"
+
+    def test_salt_key_and_attempt_do_not_reroll_windows(self):
+        inj = FaultInjector(_outage_plan()).at_time(0.33)
+        base = inj.fires("zone_outage", "tahiti", "k0") is not None
+        assert (inj.salted("retry|7").fires(
+            "zone_outage", "tahiti", "other", attempt=5) is not None) == base
+
+    def test_zones_decide_independently(self):
+        inj = FaultInjector(_outage_plan())
+        horizon = 5.0
+        amd = inj.active_windows("zone_outage", "zone-amd", horizon)
+        nvidia = inj.active_windows("zone_outage", "zone-nvidia", horizon)
+        assert amd and nvidia
+        assert amd != nvidia
+
+    def test_zone_scoped_rule_spares_other_zones(self):
+        inj = FaultInjector(_outage_plan(zone="zone-amd", rate=1.0))
+        frozen = inj.at_time(0.01)
+        with pytest.raises(DeviceLostError, match="zone zone-amd outage"):
+            frozen.check_launch("tahiti", "k")
+        frozen.check_launch("kepler", "k")  # zone-nvidia: unaffected
+
+
+class TestWindows:
+    def test_episodes_last_their_duration(self):
+        rule_windows = 3
+        inj = FaultInjector(_outage_plan(duration_windows=rule_windows,
+                                         rate=0.15))
+        episodes = inj.active_windows("zone_outage", "zone-amd", 10.0)
+        assert episodes
+        for start, end in episodes:
+            assert end - start >= rule_windows * 0.05 - 1e-12
+
+    def test_active_windows_match_pointwise_decisions(self):
+        inj = FaultInjector(_outage_plan())
+        horizon = 3.0
+        episodes = inj.active_windows("zone_outage", "zone-amd", horizon)
+
+        def in_episode(t):
+            return any(start <= t < end for start, end in episodes)
+
+        for step in range(int(horizon / 0.01)):
+            t = step * 0.01 + 0.001
+            fired = inj.at_time(t).fires(
+                "zone_outage", "tahiti", "k") is not None
+            assert fired == in_episode(t), f"mismatch at t={t}"
+
+    def test_episodes_are_merged_and_sorted(self):
+        inj = FaultInjector(_outage_plan(rate=0.6))
+        episodes = inj.active_windows("zone_outage", "zone-amd", 5.0)
+        for (_, end), (start, _) in zip(episodes, episodes[1:]):
+            assert start > end  # strictly disjoint after merging
+
+    def test_schedule_is_deterministic_per_seed(self):
+        a = FaultInjector(_outage_plan())
+        b = FaultInjector(_outage_plan())
+        assert (a.active_windows("zone_outage", "zone-amd", 5.0)
+                == b.active_windows("zone_outage", "zone-amd", 5.0))
+        other = FaultInjector(_outage_plan().with_seed(99))
+        assert (a.active_windows("zone_outage", "zone-amd", 20.0)
+                != other.active_windows("zone_outage", "zone-amd", 20.0))
+
+
+class TestBrownout:
+    def test_brownout_multiplies_timing_inside_window(self):
+        inj = FaultInjector(FaultPlan(seed=3, rules=(
+            FaultRule(kind="brownout", rate=0.3, magnitude=6.0,
+                      window_s=0.05, duration_windows=2),
+        )))
+        episodes = inj.active_windows("brownout", "zone-amd", 5.0)
+        assert episodes
+        inside = (episodes[0][0] + episodes[0][1]) / 2
+        assert inj.at_time(inside).timing_factor("tahiti", "k") == 6.0
+        gap = episodes[0][1] + 1e-6
+        if not any(s <= gap < e for s, e in episodes):
+            assert inj.at_time(gap).timing_factor("tahiti", "k") == 1.0
+
+    def test_brownout_compounds_with_timing_spike(self):
+        inj = FaultInjector(FaultPlan(seed=3, rules=(
+            FaultRule(kind="timing", rate=1.0, magnitude=2.0),
+            FaultRule(kind="brownout", rate=1.0, magnitude=6.0),
+        )))
+        assert inj.at_time(0.01).timing_factor("tahiti", "k") == 12.0

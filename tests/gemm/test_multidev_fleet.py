@@ -1,0 +1,108 @@
+"""Dynamic fleet membership of :class:`MultiDeviceGemm`.
+
+The elastic fleet manager admits and retires devices mid-run, so the
+column partition must tile ``[0, N)`` exactly for *any* membership and
+*any* throughput weights — including the degenerate single-device
+fleet and the fleet a retirement just shrank.  Hypothesis drives the
+property; the membership tests pin the admit/retire contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.gemm.multidev import MultiDeviceGemm
+from repro.gemm.reference import relative_error
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return MultiDeviceGemm(["tahiti", "cayman", "fermi"], precision="s",
+                           measurement_noise=False)
+
+
+def _assert_tiles_exactly(bounds, n):
+    assert bounds[0][1] == 0
+    assert bounds[-1][2] == n
+    for (_, _, stop), (_, start, _) in zip(bounds, bounds[1:]):
+        assert stop == start
+    for _, start, stop in bounds:
+        assert 0 <= start <= stop <= n
+
+
+class TestPartitionProperty:
+    @given(n=st.integers(1, 5000))
+    @settings(max_examples=120, deadline=None)
+    def test_partition_tiles_exactly(self, fleet, n):
+        _assert_tiles_exactly(fleet.partition(n), n)
+
+    @given(
+        n=st.integers(1, 5000),
+        weights=st.lists(st.floats(1e-3, 1e6, allow_nan=False,
+                                   allow_infinity=False),
+                         min_size=3, max_size=3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_partition_tiles_exactly_under_any_weights(self, fleet, n,
+                                                       weights):
+        saved = dict(fleet.weights)
+        try:
+            for device, weight in zip(sorted(saved), weights):
+                fleet.weights[device] = weight
+            _assert_tiles_exactly(fleet.partition(n), n)
+        finally:
+            fleet.weights.update(saved)
+
+    @given(n=st.integers(1, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_single_device_partition_is_the_whole_range(self, n):
+        solo = MultiDeviceGemm(["tahiti"], precision="s",
+                               measurement_noise=False)
+        assert solo.partition(n) == [("tahiti", 0, n)]
+
+    @given(n=st.integers(1, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_tiles_exactly_after_retirement(self, n):
+        pair = MultiDeviceGemm(["tahiti", "cayman"], precision="s",
+                               measurement_noise=False)
+        pair.retire_device("cayman")
+        _assert_tiles_exactly(pair.partition(n), n)
+        assert pair.partition(n) == [("tahiti", 0, n)]
+
+
+class TestMembership:
+    def test_admit_then_compute_uses_new_member(self, rng):
+        pair = MultiDeviceGemm(["tahiti"], precision="s",
+                               measurement_noise=False)
+        spec = pair.admit_device("cayman")
+        assert spec.codename == "cayman"
+        assert [s.codename for s in pair.specs] == ["tahiti", "cayman"]
+        a = rng.standard_normal((96, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 700)).astype(np.float32)
+        result = pair(a, b)
+        assert relative_error(result.c, a @ b) < 5e-4
+        assert {d for d, _, _ in pair.partition(700)} == {"tahiti", "cayman"}
+
+    def test_admit_duplicate_rejected(self):
+        pair = MultiDeviceGemm(["tahiti", "cayman"], precision="s",
+                               measurement_noise=False)
+        with pytest.raises(ReproError, match="already"):
+            pair.admit_device("cayman")
+
+    def test_retire_unknown_rejected(self):
+        solo = MultiDeviceGemm(["tahiti"], precision="s",
+                               measurement_noise=False)
+        with pytest.raises(KeyError):
+            solo.retire_device("kepler")
+
+    def test_retire_and_readmit_round_trip(self, rng):
+        pair = MultiDeviceGemm(["tahiti", "cayman"], precision="s",
+                               measurement_noise=False)
+        pair.retire_device("tahiti")
+        assert [s.codename for s in pair.specs] == ["cayman"]
+        pair.admit_device("tahiti")
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 500)).astype(np.float32)
+        assert relative_error(pair(a, b).c, a @ b) < 5e-4
