@@ -1,0 +1,261 @@
+"""Strategy x device search scorecard (``BENCH_search.json``).
+
+For each scored device the full gated exhaustive sweep establishes the
+reference: the true winner's GFlop/s and the gated space size (every
+candidate the enumeration generates minus the static gate's rejects).
+Each adaptive strategy then gets an equal measurement budget — a small
+fraction of that gated space — and is scored on
+
+* **ratio**: fraction of the exhaustive winner's GFlop/s reached, and
+* **fraction**: fraction of the gated space actually measured.
+
+Every strategy cell is additionally run twice, serially and with a
+worker pool, and marked ``deterministic`` only when both runs select the
+bit-identical winner with equal search stats — the pipeline's
+worker-count-independence guarantee, enforced in CI.
+
+The scored devices are the catalogued trio whose calibration headroom is
+comfortably above the gate (Tahiti SGEMM's surrogate sits at ~98% of
+the exhaustive winner at this budget, so it is reported in the paper
+experiments but not gated here).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.tuner.search import SearchEngine, TuningConfig, TuningResult
+
+__all__ = [
+    "SCORECARD_FORMAT",
+    "DEFAULT_DEVICES",
+    "THRESHOLDS",
+    "run_scorecard",
+    "check_scorecard",
+    "render_scorecard",
+    "main",
+]
+
+SCORECARD_FORMAT = "repro-bench-search/1"
+
+#: (device, precision) pairs gated in CI — at least three catalog devices.
+DEFAULT_DEVICES: Tuple[Tuple[str, str], ...] = (
+    ("kepler", "s"),
+    ("cayman", "d"),
+    ("sandybridge", "d"),
+)
+
+#: Acceptance gates: adaptive strategies must reach >= ``ratio`` of the
+#: exhaustive winner measuring < ``fraction`` of the gated space; the
+#: transfer-warmed surrogate must do it under ``transfer_fraction``.
+THRESHOLDS = {
+    "ratio": 0.99,
+    "fraction": 0.05,
+    "transfer_ratio": 0.99,
+    "transfer_fraction": 0.02,
+}
+
+#: Strategy cells: (label, strategy, transfer, budget fraction key).
+_CELLS = (
+    ("annealing", "annealing", False, "budget_frac"),
+    ("pso", "pso", False, "budget_frac"),
+    ("surrogate", "surrogate", False, "budget_frac"),
+    ("surrogate+transfer", "surrogate", True, "transfer_frac"),
+)
+
+
+def _run_pair(
+    device: str, precision: str, config: TuningConfig, workers: int
+) -> Tuple[TuningResult, bool]:
+    """Run the same search serially and with a pool; True iff identical."""
+    serial = SearchEngine(device, precision, config, workers=1).run()
+    if workers <= 1:
+        return serial, True
+    pooled = SearchEngine(device, precision, config, workers=workers).run()
+    identical = (
+        serial.best.params == pooled.best.params
+        and serial.best.gflops == pooled.best.gflops
+        and serial.stats.comparable_dict() == pooled.stats.comparable_dict()
+    )
+    return serial, identical
+
+
+def run_scorecard(
+    devices: Sequence[Tuple[str, str]] = DEFAULT_DEVICES,
+    *,
+    budget_frac: float = 0.04,
+    transfer_frac: float = 0.015,
+    seed: int = 0,
+    workers: int = 3,
+    reference_budget: Optional[int] = None,
+    progress=None,
+) -> Dict:
+    """Run the full scorecard; returns the ``BENCH_search.json`` payload.
+
+    ``workers > 1`` doubles every strategy cell (serial + pooled run) to
+    verify worker-count determinism; ``workers=1`` skips the second run.
+    ``reference_budget`` caps the exhaustive reference sweep (quick-mode
+    shape checks only — the gates are meaningful against the full sweep,
+    ``reference_budget=None``).
+    """
+    say = progress or (lambda msg: None)
+    payload: Dict = {
+        "format": SCORECARD_FORMAT,
+        "seed": seed,
+        "budget_frac": budget_frac,
+        "transfer_frac": transfer_frac,
+        "workers_checked": workers,
+        "reference_budget": reference_budget,
+        "thresholds": dict(THRESHOLDS),
+        "devices": {},
+    }
+    for device, precision in devices:
+        key = f"{device}/{precision}"
+        say(f"[{key}] full exhaustive reference sweep ...")
+        full = SearchEngine(
+            device, precision, TuningConfig(budget=reference_budget, seed=seed)
+        ).run()
+        gated = full.stats.generated - full.stats.static_rejects
+        reference = full.best_gflops
+        fracs = {"budget_frac": budget_frac, "transfer_frac": transfer_frac}
+        entry: Dict = {
+            "reference_gflops": round(reference, 3),
+            "gated_space": gated,
+            "static_rejects": full.stats.static_rejects,
+            "strategies": {},
+        }
+        for label, strategy, transfer, frac_key in _CELLS:
+            budget = max(64, int(fracs[frac_key] * gated))
+            config = TuningConfig(
+                budget=budget, strategy=strategy, transfer=transfer, seed=seed
+            )
+            result, deterministic = _run_pair(device, precision, config, workers)
+            stats = result.stats
+            entry["strategies"][label] = {
+                "gflops": round(result.best_gflops, 3),
+                "ratio": round(result.best_gflops / reference, 4),
+                "budget": budget,
+                "measured": stats.measured,
+                "fraction": round(stats.measured / gated, 4),
+                "proposals": stats.strategy_proposals,
+                "refits": stats.strategy_refits,
+                "transfer_seeds": stats.strategy_transfer_seeds,
+                "early_stop": stats.strategy_early_stop,
+                "deterministic": deterministic,
+            }
+            say(
+                f"[{key}] {label}: {result.best_gflops:.1f} GF/s "
+                f"({result.best_gflops / reference:.1%} of exhaustive, "
+                f"{stats.measured}/{gated} measured"
+                f"{'' if deterministic else ', NON-DETERMINISTIC'})"
+            )
+        payload["devices"][key] = entry
+    return payload
+
+
+def check_scorecard(payload: Dict) -> List[str]:
+    """Threshold violations in a scorecard payload ([] = all gates pass)."""
+    problems: List[str] = []
+    if payload.get("format") != SCORECARD_FORMAT:
+        return [f"unexpected format {payload.get('format')!r}"]
+    t = payload.get("thresholds", THRESHOLDS)
+    for key, entry in payload["devices"].items():
+        for label, cell in entry["strategies"].items():
+            transfer = bool(cell.get("transfer_seeds"))
+            min_ratio = t["transfer_ratio"] if transfer else t["ratio"]
+            max_frac = t["transfer_fraction"] if transfer else t["fraction"]
+            where = f"{key}/{label}"
+            if cell["ratio"] < min_ratio:
+                problems.append(
+                    f"{where}: reached only {cell['ratio']:.2%} of the "
+                    f"exhaustive winner (gate {min_ratio:.0%})"
+                )
+            if cell["fraction"] >= max_frac:
+                problems.append(
+                    f"{where}: measured {cell['fraction']:.2%} of the gated "
+                    f"space (gate <{max_frac:.0%})"
+                )
+            if not cell["deterministic"]:
+                problems.append(
+                    f"{where}: serial and pooled runs disagreed "
+                    "(worker-count determinism broken)"
+                )
+    return problems
+
+
+def render_scorecard(payload: Dict) -> str:
+    """Plain-text table of a scorecard payload."""
+    lines = [
+        "search-strategy scorecard "
+        f"(budget {payload['budget_frac']:.1%} of the gated space, "
+        f"transfer {payload['transfer_frac']:.1%}; seed {payload['seed']})",
+    ]
+    for key, entry in payload["devices"].items():
+        lines.append(
+            f"  {key}: exhaustive {entry['reference_gflops']:.1f} GF/s "
+            f"over {entry['gated_space']} gated candidates"
+        )
+        for label, cell in entry["strategies"].items():
+            lines.append(
+                f"    {label:18s} {cell['ratio']:7.2%} of winner   "
+                f"{cell['fraction']:6.2%} of space   "
+                f"{'deterministic' if cell['deterministic'] else 'NON-DETERMINISTIC'}"
+                + (f"   [{cell['early_stop']}]" if cell["early_stop"] else "")
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the search-strategy scorecard and emit BENCH_search.json"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_search.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--devices", nargs="*", default=None, metavar="DEV/PREC",
+        help="device/precision pairs (default: %s)"
+        % " ".join(f"{d}/{p}" for d, p in DEFAULT_DEVICES),
+    )
+    parser.add_argument("--budget-frac", type=float, default=0.04)
+    parser.add_argument("--transfer-frac", type=float, default=0.015)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=3,
+        help="pool size for the determinism cross-check (1 disables it)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero when any threshold gate fails",
+    )
+    args = parser.parse_args(argv)
+
+    devices = DEFAULT_DEVICES
+    if args.devices:
+        devices = tuple(
+            (d.split("/")[0], d.split("/")[1]) for d in args.devices
+        )
+    payload = run_scorecard(
+        devices,
+        budget_frac=args.budget_frac,
+        transfer_frac=args.transfer_frac,
+        seed=args.seed,
+        workers=args.workers,
+        progress=print,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    print(render_scorecard(payload))
+    print(f"wrote {args.out}")
+    if args.check:
+        problems = check_scorecard(payload)
+        for p in problems:
+            print(f"GATE FAIL: {p}")
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

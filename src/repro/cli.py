@@ -45,6 +45,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="stage-1 candidate budget, or 'full' for the whole space",
     )
     p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--strategy", default="exhaustive",
+                        choices=["exhaustive", "random", "annealing", "pso",
+                                 "surrogate"],
+                        help="stage-1 search strategy (see "
+                             "docs/search_strategies.md)")
+    p_tune.add_argument("--transfer", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="warm-start the strategy from tuned winners of "
+                             "the nearest catalogued devices "
+                             "(--no-transfer disables)")
     p_tune.add_argument("--shape", nargs=3, type=int, metavar=("M", "N", "K"),
                         help="tune for a rectangular target shape")
     p_tune.add_argument("--images", action="store_true",
@@ -364,6 +374,8 @@ def _cmd_tune(args) -> int:
         seed=args.seed,
         problem_shape=tuple(args.shape) if args.shape else None,
         refine_rounds=0 if args.no_refine else 1,
+        strategy=args.strategy,
+        transfer=args.transfer,
     )
     restrictions = SpaceRestrictions(
         forced_images=True if args.images else None,
@@ -417,7 +429,23 @@ def _cmd_tune(args) -> int:
         print(f"saved         : {args.save}")
     if args.stats_json:
         # CI's chaos job archives these counters as its run artifact.
-        dump_json_atomic(args.stats_json, result.stats.as_dict(), indent=2)
+        payload = result.stats.as_dict()
+        if result.stats.strategy_importance:
+            # The surrogate's learned importances in the same shape as
+            # the one-at-a-time sensitivity report (analysis module).
+            from repro.tuner.analysis import surrogate_sensitivities
+
+            payload["strategy_sensitivity"] = [
+                {
+                    "family": row.family,
+                    "loss": row.loss(result.best_gflops),
+                    "features": row.variants,
+                }
+                for row in surrogate_sensitivities(
+                    result.stats.strategy_importance, result.best_gflops
+                )
+            ]
+        dump_json_atomic(args.stats_json, payload, indent=2)
         print(f"stats         : {args.stats_json}")
     if obs is not None:
         from repro.obs import save_metrics, save_traces

@@ -31,6 +31,8 @@ __all__ = [
     "get_device_spec",
     "get_device_zone",
     "list_device_names",
+    "nearest_devices",
+    "spec_features",
 ]
 
 
@@ -516,3 +518,60 @@ def list_device_names(evaluated_only: bool = False) -> List[str]:
     if evaluated_only:
         return list(EVALUATED_DEVICES)
     return sorted(CATALOG)
+
+
+def spec_features(spec: DeviceSpec) -> List[float]:
+    """Numeric feature vector for spec-space device similarity.
+
+    The axes are the published-specification quantities that shape which
+    kernel configurations win (Table I plus the execution-width facts):
+    throughput ratios, memory system, and the local-memory/SIMD
+    character that separates the paper's device families.  Logs compress
+    the orders-of-magnitude spread so one axis cannot dominate.
+    """
+    import math
+
+    m = spec.model
+    return [
+        math.log2(spec.clock_ghz),
+        math.log2(spec.compute_units),
+        math.log2(spec.peak_sp_gflops),
+        math.log2(max(spec.peak_dp_gflops, 1.0)),
+        math.log2(spec.bandwidth_gbs),
+        # Compute/bandwidth balance decides blocking depth.
+        math.log2(spec.peak_sp_gflops / spec.bandwidth_gbs),
+        math.log2(max(spec.local_mem_kb, 1.0)),
+        1.0 if spec.local_mem_type is LocalMemType.SCRATCHPAD else 0.0,
+        1.0 if spec.device_type is DeviceType.CPU else 0.0,
+        math.log2(m.wavefront_size),
+        math.log2(m.simd_width_sp),
+        math.log2(m.max_workgroup_size),
+    ]
+
+
+def nearest_devices(name: str, k: int = 3) -> List[str]:
+    """The ``k`` catalogued devices most similar to ``name``, closest
+    first, by z-scored Euclidean distance in :func:`spec_features`
+    space.  This is the transfer-tuning neighbour table: a new device
+    warm-starts its search from the tuned winners of these neighbours.
+    """
+    target = get_device_spec(name).codename
+    names = sorted(CATALOG)
+    table = {n: spec_features(CATALOG[n]) for n in names}
+    dims = len(table[target])
+    means = [sum(table[n][d] for n in names) / len(names) for d in range(dims)]
+    stds = []
+    for d in range(dims):
+        var = sum((table[n][d] - means[d]) ** 2 for n in names) / len(names)
+        stds.append(var ** 0.5 or 1.0)
+
+    def dist(other: str) -> float:
+        return sum(
+            ((table[target][d] - table[other][d]) / stds[d]) ** 2
+            for d in range(dims)
+        )
+
+    ranked = sorted(
+        (n for n in names if n != target), key=lambda n: (dist(n), n)
+    )
+    return ranked[: max(0, k)]

@@ -25,6 +25,12 @@ from repro.tuner.cache import CachedMeasurement, CacheStats, MeasurementCache
 from repro.tuner.parallel import CandidateEvaluator, EvalOutcome, EvalTask
 from repro.tuner.results import ResultsDatabase, TunedKernelRecord
 from repro.tuner.pretuned import pretuned_params, PRETUNED
+from repro.tuner.strategies import (
+    STRATEGIES,
+    SearchStrategy,
+    make_strategy,
+    transfer_seeds,
+)
 
 __all__ = [
     "SearchEngine",
@@ -43,4 +49,8 @@ __all__ = [
     "TunedKernelRecord",
     "pretuned_params",
     "PRETUNED",
+    "STRATEGIES",
+    "SearchStrategy",
+    "make_strategy",
+    "transfer_seeds",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "KernelAnalysis",
     "analyze_kernel",
     "render_stats",
+    "surrogate_sensitivities",
 ]
 
 
@@ -74,6 +75,27 @@ def render_stats(stats: TuningStats) -> str:
         lines.append(
             f"  checkpoints  : {stats.checkpoints} written, "
             f"{stats.resumed} candidates resumed"
+        )
+    if stats.strategy_proposals or stats.strategy != "exhaustive":
+        line = (
+            f"  strategy     : {stats.strategy} "
+            f"({stats.strategy_proposals} proposals"
+        )
+        if stats.strategy_refits:
+            line += f", {stats.strategy_refits} model refits"
+        if stats.strategy_transfer_seeds:
+            line += f", {stats.strategy_transfer_seeds} transfer seeds"
+        line += ")"
+        if stats.strategy_early_stop:
+            line += f"; early stop: {stats.strategy_early_stop}"
+        lines.append(line)
+    if stats.strategy_importance:
+        ranked = sorted(
+            stats.strategy_importance.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        lines.append(
+            "  model import.: "
+            + ", ".join(f"{family} {weight:.0%}" for family, weight in ranked[:5])
         )
     lines.append(
         f"  stage timing : stage1 {stats.stage1_s:.2f}s, "
@@ -175,6 +197,41 @@ class KernelAnalysis:
                 f"worst {s.worst_variant_gflops:8.1f}, {s.variants} variants)"
             )
         return "\n".join(lines)
+
+
+def surrogate_sensitivities(
+    importance: Dict[str, float], reference: float
+) -> List[ParameterSensitivity]:
+    """The surrogate's learned feature importance as sensitivity rows.
+
+    The regression forest's per-family variance-reduction shares
+    (:meth:`SurrogateStrategy.family_importance`) are re-expressed in
+    the same :class:`ParameterSensitivity` shape the one-at-a-time sweep
+    produces, scaled against ``reference`` GFlop/s so that
+    ``row.loss(reference)`` equals the family's importance share.  That
+    puts the *model's* view of which parameters matter side by side with
+    the *measured* view, directly comparable against the paper's
+    Section III/IV claims.
+    """
+    from repro.tuner.strategies.encoding import FEATURE_FAMILIES
+
+    feature_counts: Dict[str, int] = {}
+    for family in FEATURE_FAMILIES.values():
+        feature_counts[family] = feature_counts.get(family, 0) + 1
+    rows = []
+    for family, weight in sorted(
+        importance.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        scaled = reference * (1.0 - min(1.0, max(0.0, weight)))
+        rows.append(
+            ParameterSensitivity(
+                family=family,
+                best_variant_gflops=scaled,
+                worst_variant_gflops=scaled,
+                variants=feature_counts.get(family, 0),
+            )
+        )
+    return rows
 
 
 def analyze_kernel(

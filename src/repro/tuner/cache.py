@@ -28,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.codegen.emitter import GENERATOR_VERSION
 from repro.codegen.params import KernelParams
@@ -80,26 +80,44 @@ class CachedMeasurement:
     #: Compiler diagnostics captured with a ``"build"`` failure, so warm
     #: runs replay the log without rebuilding the kernel.
     build_log: Optional[str] = None
+    #: The full parameter vector (``KernelParams.to_dict()``) behind the
+    #: digest in the key.  Optional — the digest suffices for replay —
+    #: but with it a warm cache becomes *training data*: the surrogate
+    #: strategy learns from these rows without re-measuring anything.
+    params: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
         return self.failure is None
 
     def to_jsonable(self):
-        if self.ok:
+        if self.ok and self.params is None:
             return self.gflops
-        d = {"failure": self.failure}
+        d: Dict = {}
+        if self.ok:
+            d["gflops"] = self.gflops
+        else:
+            d["failure"] = self.failure
         if self.build_log is not None:
             d["build_log"] = self.build_log
+        if self.params is not None:
+            d["params"] = self.params
         return d
 
     @classmethod
     def from_jsonable(cls, raw) -> "CachedMeasurement":
         if isinstance(raw, dict):
             log = raw.get("build_log")
+            params = raw.get("params")
+            if "failure" in raw:
+                return cls(
+                    failure=str(raw["failure"]),
+                    build_log=str(log) if log is not None else None,
+                    params=dict(params) if params is not None else None,
+                )
             return cls(
-                failure=str(raw["failure"]),
-                build_log=str(log) if log is not None else None,
+                gflops=float(raw["gflops"]),
+                params=dict(params) if params is not None else None,
             )
         return cls(gflops=float(raw))
 
@@ -169,6 +187,37 @@ class MeasurementCache:
     ) -> None:
         self._entries[self.key(device, precision, params, M, N, K, noise)] = measurement
         self.stats.stores += 1
+
+    def training_rows(
+        self, device: str, precision: str, noise: bool = True
+    ) -> List[Tuple[KernelParams, Optional[float]]]:
+        """Surrogate training rows recoverable from this cache.
+
+        Returns every entry for ``(device, precision, noise)`` that
+        stored its full parameter vector, as ``(params, gflops-or-None)``
+        pairs — ``None`` marks a cached failure, which teaches the model
+        where the space is infeasible.  Entries measured at several
+        shapes collapse to one row keeping the best rate.  Digest-only
+        entries (written before parameter storage existed) are skipped.
+        """
+        prefix = f"{device}|{precision}|"
+        suffix = f"|{'n' if noise else 'exact'}"
+        best: Dict[str, Tuple[KernelParams, Optional[float]]] = {}
+        for key in sorted(self._entries):
+            if not (key.startswith(prefix) and key.endswith(suffix)):
+                continue
+            entry = self._entries[key]
+            if entry.params is None:
+                continue
+            digest = key.split("|")[2]
+            params = KernelParams.from_dict(entry.params)
+            score = entry.gflops if entry.ok else None
+            prior = best.get(digest)
+            if prior is None or (
+                score is not None and (prior[1] is None or score > prior[1])
+            ):
+                best[digest] = (params, score)
+        return [best[d] for d in sorted(best)]
 
     # -- persistence -----------------------------------------------------
     def save(self, path: Optional[str] = None) -> str:

@@ -300,18 +300,37 @@ class CandidateEvaluator:
 
     # -- evaluation ------------------------------------------------------
     def evaluate(self, tasks: Sequence[EvalTask]) -> List[EvalOutcome]:
-        """Evaluate a batch, returning outcomes in task order."""
+        """Evaluate a batch, returning outcomes in task order.
+
+        Duplicate tasks within the batch (same params and shape — e.g.
+        overlapping warm-start lists from a search strategy) are
+        evaluated once and the outcome fanned out: every evaluation path
+        is a pure function of ``(spec, task, injector, config)``, so the
+        copies are indistinguishable from re-runs.
+        """
         if not tasks:
             return []
-        if self.workers == 1 or len(tasks) == 1:
-            return [self._evaluate_one(t) for t in tasks]
-        pool = self._ensure_pool()
-        work = [
-            (self.spec, t, self.noise, self.injector, self.resilience)
-            for t in tasks
-        ]
-        # Executor.map preserves input order regardless of completion order.
-        return list(pool.map(_evaluate_star, work))
+        unique: dict = {}
+        slots: List[int] = []  # per-task index into work_tasks
+        work_tasks: List[EvalTask] = []
+        for t in tasks:
+            key = (t.params.cache_key(), t.shape)
+            if key not in unique:
+                unique[key] = len(work_tasks)
+                work_tasks.append(t)
+            slots.append(unique[key])
+        if self.workers == 1 or len(work_tasks) == 1:
+            results = [self._evaluate_one(t) for t in work_tasks]
+        else:
+            pool = self._ensure_pool()
+            work = [
+                (self.spec, t, self.noise, self.injector, self.resilience)
+                for t in work_tasks
+            ]
+            # Executor.map preserves input order regardless of completion
+            # order.
+            results = list(pool.map(_evaluate_star, work))
+        return [results[i] for i in slots]
 
     def _evaluate_one(self, task: EvalTask) -> EvalOutcome:
         if self.resilient:

@@ -37,6 +37,25 @@ class TunedKernelRecord:
     size: int
     search_stats: Optional[Dict] = None
 
+    @property
+    def strategy(self) -> str:
+        """Which search strategy produced this winner.
+
+        Read from the stored stats; records persisted before pluggable
+        strategies existed are, by construction, exhaustive sweeps.
+        """
+        if self.search_stats is None:
+            return "exhaustive"
+        return str(self.search_stats.get("strategy", "exhaustive"))
+
+    @property
+    def transferred(self) -> bool:
+        """Whether cross-device transfer warm-start fed the search."""
+        return bool(
+            self.search_stats
+            and self.search_stats.get("strategy_transfer_seeds", 0)
+        )
+
     def to_dict(self) -> Dict:
         d = {
             "device": self.device,

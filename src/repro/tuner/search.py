@@ -20,7 +20,6 @@ table stakes:
 from __future__ import annotations
 
 import hashlib
-import itertools
 import json
 import os
 import time
@@ -31,7 +30,7 @@ import numpy as np
 
 from repro.analyze.verifier import StaticVerifier
 from repro.codegen.params import KernelParams
-from repro.codegen.space import SpaceRestrictions, enumerate_space
+from repro.codegen.space import SpaceRestrictions
 from repro.devices.catalog import get_device_spec
 from repro.devices.specs import DeviceSpec
 from repro.errors import (
@@ -102,6 +101,13 @@ class TuningConfig:
     seed: int = 0
     measurement_noise: bool = True
     include_seeds: bool = True
+    #: Stage-1 candidate stream (see :mod:`repro.tuner.strategies`):
+    #: ``exhaustive`` (the paper's enumerative sweep), ``random``,
+    #: ``annealing``, ``pso``, or ``surrogate``.
+    strategy: str = "exhaustive"
+    #: Warm-start the strategy from the tuned winners of the device's
+    #: nearest catalogued neighbours (cross-device transfer tuning).
+    transfer: bool = False
 
 
 @dataclass
@@ -138,6 +144,18 @@ class TuningStats:
     resumed: int = 0
     #: Checkpoint files written during this search.
     checkpoints: int = 0
+    #: Which stage-1 strategy drove the search (TuningConfig.strategy).
+    strategy: str = "exhaustive"
+    #: Candidates the strategy proposed / model refits it performed.
+    strategy_proposals: int = 0
+    strategy_refits: int = 0
+    #: Warm-start candidates injected by cross-device transfer tuning.
+    strategy_transfer_seeds: int = 0
+    #: Why the strategy ended stage 1 before its budget ("" otherwise).
+    strategy_early_stop: str = ""
+    #: Surrogate feature importance folded into the sensitivity-report
+    #: families (empty for model-free strategies).
+    strategy_importance: Dict[str, float] = field(default_factory=dict)
     elapsed_s: float = 0.0
     stage1_s: float = 0.0
     refine_s: float = 0.0
@@ -151,7 +169,8 @@ class TuningStats:
         "generated", "measured", "failed_generation", "failed_build",
         "failed_launch", "failed_validation", "failed_transient", "refined",
         "retries", "timeouts", "quarantined", "cache_hits", "cache_misses",
-        "resumed", "checkpoints",
+        "resumed", "checkpoints", "strategy_proposals", "strategy_refits",
+        "strategy_transfer_seeds",
     )
 
     def bind_registry(self, registry, prefix: str = "tuner") -> None:
@@ -265,6 +284,8 @@ class TuningStats:
             kwargs["faults_by_class"] = dict(kwargs["faults_by_class"])
         if "static_rejects_by_rule" in kwargs:
             kwargs["static_rejects_by_rule"] = dict(kwargs["static_rejects_by_rule"])
+        if "strategy_importance" in kwargs:
+            kwargs["strategy_importance"] = dict(kwargs["strategy_importance"])
         return cls(**kwargs)
 
 
@@ -587,6 +608,9 @@ class SearchEngine:
                     CachedMeasurement(
                         gflops=outcome.gflops, failure=outcome.failure,
                         build_log=outcome.build_log,
+                        # Carrying the full vector turns the cache into
+                        # surrogate training data for future runs.
+                        params=outcome.params.to_dict(),
                     ),
                     self.config.measurement_noise,
                 )
@@ -726,68 +750,134 @@ class SearchEngine:
             self.stats.bind_registry(self.obs.metrics)
 
     # ------------------------------------------------------------------
+    def _make_strategy(self):
+        """Build the configured stage-1 strategy (see
+        :mod:`repro.tuner.strategies`), wiring in transfer warm-start
+        candidates and warm-cache prior rows."""
+        from repro.codegen.space import seed_candidates
+        from repro.tuner.strategies import ParamSpace, make_strategy, transfer_seeds
+
+        space = ParamSpace(self.spec, self.precision, self.restrictions)
+        name = self.config.strategy
+        budget = self.config.budget if self.config.budget is not None else 10**9
+        kwargs: Dict = {"seed": self.config.seed, "budget": budget}
+        if name == "exhaustive":
+            # The extracted enumerative sweep carries its own seed
+            # handling (curated seeds stream first); warm-start and
+            # prior would be redundant.
+            kwargs.update(
+                per_blocking=self.config.per_blocking,
+                include_seeds=self.config.include_seeds,
+            )
+        else:
+            warm: List[KernelParams] = []
+            seen = set()
+            if self.config.transfer:
+                for p in transfer_seeds(space):
+                    if p.cache_key() not in seen:
+                        seen.add(p.cache_key())
+                        warm.append(p)
+            self.stats.strategy_transfer_seeds = len(warm)
+            if self.config.include_seeds:
+                for p in seed_candidates(self.spec, self.precision):
+                    if p.cache_key() not in seen:
+                        seen.add(p.cache_key())
+                        warm.append(p)
+            kwargs["warm_start"] = warm
+            if self.cache is not None:
+                kwargs["prior"] = self.cache.training_rows(
+                    self.spec.codename, self.precision,
+                    self.config.measurement_noise,
+                )
+        strategy = make_strategy(name, space, **kwargs)
+        self.stats.strategy = strategy.name
+        return strategy
+
     def _stage1(
         self,
         progress: Optional[Callable[[int, MeasuredKernel], None]],
         checkpoint: Optional[Dict],
     ) -> List[MeasuredKernel]:
+        from repro.tuner.strategies.base import Observation
+
         scored: List[MeasuredKernel] = []
         consumed = 0
+        strategy = self._make_strategy()
         if checkpoint is not None:
             self._restore_stats(checkpoint)
             scored = [MeasuredKernel.from_dict(d) for d in checkpoint["scored"]]
             consumed = int(checkpoint["consumed"])
             self.stats.resumed += consumed
-        candidates = enumerate_space(
-            self.spec,
-            self.precision,
-            self.restrictions,
-            limit=self.config.budget,
-            per_blocking=self.config.per_blocking,
-            seed=self.config.seed,
-            include_seeds=self.config.include_seeds,
-        )
-        if consumed:
-            # The enumeration is deterministic: fast-forward past the
-            # candidates the checkpoint already covers.
-            next(itertools.islice(candidates, consumed - 1, consumed), None)
+            state = checkpoint.get("strategy_state")
+            if state is not None:
+                strategy.load_state_dict(state)
+            else:
+                # Pre-strategy checkpoint: only the enumerative stream
+                # can reconstruct its position from the count alone.
+                strategy.load_state_dict({"proposed": consumed})
+
+        def _flush(stage1_extra: Dict) -> None:
+            stage1_extra.update(
+                consumed=consumed,
+                scored=[mk.to_dict() for mk in scored],
+                strategy_state=strategy.state_dict(),
+            )
+            self._write_checkpoint("stage1", stage1_extra)
+
         since_checkpoint = 0
         while True:
-            batch = list(itertools.islice(candidates, _CHUNK))
+            batch = strategy.ask(_CHUNK)
             if not batch:
                 break
-            tasks = [
-                EvalTask(p, self.base_shape(p)) for p in self._gate_batch(batch)
-            ]
+            observations: Dict[Tuple, Observation] = {}
+            admitted: List[KernelParams] = []
+            for params in batch:
+                rule = self._verifier.gate(params) if self._verifier else None
+                if rule is None:
+                    admitted.append(params)
+                else:
+                    self.stats.generated += 1
+                    self.stats.count_static_reject(rule)
+                    observations[params.cache_key()] = Observation(
+                        params, failure=f"static:{rule}"
+                    )
+            tasks = [EvalTask(p, self.base_shape(p)) for p in admitted]
             for outcome in self._evaluate_batch(tasks):
                 self.stats.generated += 1
                 self._tally_resilience(outcome)
                 if not outcome.ok:
                     self._tally_failure(outcome)
+                    observations[outcome.params.cache_key()] = Observation(
+                        outcome.params, failure=outcome.failure
+                    )
                     continue
                 self.stats.measured += 1
+                observations[outcome.params.cache_key()] = Observation(
+                    outcome.params, gflops=outcome.gflops
+                )
                 if not self._allowed(outcome.params):
                     continue
                 mk = MeasuredKernel(outcome.params, max(outcome.shape), outcome.gflops)
                 scored.append(mk)
                 if progress is not None:
                     progress(self.stats.measured, mk)
+            strategy.tell([observations[p.cache_key()] for p in batch])
             consumed += len(batch)
             since_checkpoint += len(batch)
+            self.stats.strategy_proposals = strategy.proposed
+            self.stats.strategy_refits = strategy.refits
             if self.checkpoint_path and since_checkpoint >= self.checkpoint_every:
-                self._write_checkpoint(
-                    "stage1",
-                    {"consumed": consumed, "scored": [mk.to_dict() for mk in scored]},
-                )
+                _flush({})
                 since_checkpoint = 0
             if self.abort_after is not None and consumed >= self.abort_after:
-                self._write_checkpoint(
-                    "stage1",
-                    {"consumed": consumed, "scored": [mk.to_dict() for mk in scored]},
-                )
+                _flush({})
                 raise SearchInterrupted(
                     f"stage-1 search aborted after {consumed} candidates"
                 )
+        self.stats.strategy_early_stop = strategy.early_stop_reason
+        importance = getattr(strategy, "family_importance", None)
+        if importance is not None:
+            self.stats.strategy_importance = importance()
         # Retroactive exclusion: a candidate quarantined by a later batch
         # must not survive on the strength of an earlier clean score.
         scored = [mk for mk in scored if self._allowed(mk.params)]

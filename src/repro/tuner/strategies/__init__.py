@@ -1,0 +1,69 @@
+"""Pluggable stage-1 search strategies for the tuner.
+
+See :mod:`repro.tuner.strategies.base` for the ask/tell contract and
+:mod:`repro.tuner.strategies.transfer` for cross-device warm-starting.
+The registry below is what the CLI's ``--strategy`` flag and
+:class:`~repro.tuner.search.SearchEngine` resolve names through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.tuner.strategies.annealing import AnnealingStrategy
+from repro.tuner.strategies.base import (
+    Observation,
+    SearchStrategy,
+    derive_rng,
+)
+from repro.tuner.strategies.encoding import FEATURE_FAMILIES, ParamSpace
+from repro.tuner.strategies.exhaustive import ExhaustiveStrategy
+from repro.tuner.strategies.forest import RegressionForest
+from repro.tuner.strategies.pso import PSOStrategy
+from repro.tuner.strategies.random_search import RandomStrategy
+from repro.tuner.strategies.surrogate import SurrogateStrategy
+from repro.tuner.strategies.transfer import transfer_seeds
+
+__all__ = [
+    "FEATURE_FAMILIES",
+    "Observation",
+    "ParamSpace",
+    "RegressionForest",
+    "STRATEGIES",
+    "SearchStrategy",
+    "derive_rng",
+    "make_strategy",
+    "transfer_seeds",
+    "AnnealingStrategy",
+    "ExhaustiveStrategy",
+    "PSOStrategy",
+    "RandomStrategy",
+    "SurrogateStrategy",
+]
+
+STRATEGIES: Dict[str, Type[SearchStrategy]] = {
+    cls.name: cls
+    for cls in (
+        ExhaustiveStrategy,
+        RandomStrategy,
+        AnnealingStrategy,
+        PSOStrategy,
+        SurrogateStrategy,
+    )
+}
+
+
+def make_strategy(name: str, space: ParamSpace, **kwargs) -> SearchStrategy:
+    """Instantiate a registered strategy by name.
+
+    Raises ``KeyError`` listing the registry on a miss, mirroring the
+    device-catalog lookup style.
+    """
+    try:
+        cls = STRATEGIES[name.strip().lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown search strategy {name!r}; "
+            f"available: {sorted(STRATEGIES)}"
+        ) from None
+    return cls(space, **kwargs)

@@ -1,0 +1,178 @@
+"""Batch-synchronous simulated annealing over the encoded space.
+
+CLTune-style SA adapted to a batched evaluator: several independent
+chains walk the index space; every ``ask`` emits one neighbourhood move
+per chain, and ``tell`` applies the Metropolis acceptance rule per chain
+with a geometrically cooling temperature.  Chains start from the
+warm-start points (curated seeds, transfer winners) so the walk begins
+in known-good basins, and periodically restart from the global best to
+escape dead regions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.params import KernelParams
+from repro.tuner.strategies.base import (
+    SearchStrategy,
+    derive_rng,
+    rng_state_from_json,
+    rng_state_to_json,
+)
+from repro.tuner.strategies.encoding import ParamSpace
+
+__all__ = ["AnnealingStrategy"]
+
+_MAX_MISSES = 64
+
+
+class AnnealingStrategy(SearchStrategy):
+    name = "annealing"
+
+    def __init__(
+        self,
+        space: ParamSpace,
+        *,
+        seed: int = 0,
+        budget: int = 4000,
+        warm_start: Sequence[KernelParams] = (),
+        prior: Sequence[Tuple[KernelParams, float]] = (),
+        chains: int = 12,
+        t_start: float = 0.20,
+        t_end: float = 0.005,
+        restart_every: int = 12,
+    ):
+        super().__init__(
+            space, seed=seed, budget=budget, warm_start=warm_start, prior=prior
+        )
+        self.chains = max(1, chains)
+        self.t_start = t_start
+        self.t_end = t_end
+        self.restart_every = restart_every
+        self._rng = derive_rng(self.name, seed)
+        self.generation = 0
+        #: Estimated number of generations the budget affords (cooling
+        #: schedule denominator).
+        self._horizon = max(1, budget // self.chains)
+        #: Per-chain (position indices, energy) — energy is -gflops so
+        #: lower is better; None until the chain's start is measured.
+        self._positions: List[Optional[List[int]]] = [None] * self.chains
+        self._energies: List[float] = [math.inf] * self.chains
+        #: Proposals of the in-flight batch: (chain, indices) per params.
+        self._pending: List[Tuple[int, List[int]]] = []
+        self._warm_queue = list(self.warm_start)
+
+    # ------------------------------------------------------------------
+    def _temperature(self) -> float:
+        frac = min(1.0, self.generation / self._horizon)
+        return self.t_start * (self.t_end / self.t_start) ** frac
+
+    def _fresh_point(self, near: Optional[List[int]]) -> Optional[Tuple[List[int], KernelParams]]:
+        """A valid unseen point: a neighbour of ``near``, or random."""
+        for _ in range(_MAX_MISSES):
+            idx = (
+                self.space.perturb(self._rng, near, strength=2)
+                if near is not None
+                else self.space.random_point(self._rng)
+            )
+            params = self.space.decode(idx)
+            if params is not None and not self.seen(params):
+                return idx, params
+        return None
+
+    def ask(self, n: int) -> List[KernelParams]:
+        batch: List[KernelParams] = []
+        keys = set()
+        self._pending = []
+        # Known-good starting points first; chains adopt them on tell.
+        while self._warm_queue and len(batch) < n:
+            p = self._warm_queue.pop(0)
+            if not self.seen(p) and p.cache_key() not in keys:
+                keys.add(p.cache_key())
+                self._pending.append((-1, self.space.encode(p)))
+                batch.append(p)
+        chain = 0
+        stuck = 0
+        while len(batch) < n and stuck < self.chains:
+            c = chain % self.chains
+            chain += 1
+            near = self._positions[c]
+            if self.generation and self.restart_every and (
+                self.generation % self.restart_every == 0
+            ) and self._best is not None and c == 0:
+                # Periodic restart: drag the worst chain to the best
+                # observed point's neighbourhood.
+                worst = max(range(self.chains), key=lambda i: self._energies[i])
+                self._positions[worst] = self.space.encode(self._best[1])
+                self._energies[worst] = -self._best[0]
+                near = self._positions[c]
+            found = self._fresh_point(near)
+            if found is None or found[1].cache_key() in keys:
+                stuck += 1
+                continue
+            stuck = 0
+            idx, params = found
+            keys.add(params.cache_key())
+            self._pending.append((c, idx))
+            batch.append(params)
+        if not batch:
+            self.early_stop_reason = "all chains exhausted their neighbourhoods"
+        return self._take(batch)
+
+    def tell(self, observations) -> None:
+        super().tell(observations)
+        temp = self._temperature()
+        scale = max(1.0, abs(self._best[0]) if self._best else 1.0)
+        for (chain, idx), obs in zip(self._pending, observations):
+            energy = -obs.gflops if obs.ok else math.inf
+            if chain < 0:
+                # Warm-start point: seed the currently-worst chain if it
+                # improves on it.
+                chain = max(range(self.chains), key=lambda i: self._energies[i])
+                if energy < self._energies[chain]:
+                    self._positions[chain] = idx
+                    self._energies[chain] = energy
+                continue
+            current = self._energies[chain]
+            if energy < current:
+                accept = True
+            elif math.isinf(energy) or temp <= 0:
+                accept = False
+            else:
+                accept = self._rng.random() < math.exp(
+                    -(energy - current) / (temp * scale)
+                )
+            if accept:
+                self._positions[chain] = idx
+                self._energies[chain] = energy
+        self._pending = []
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state.update(
+            rng=rng_state_to_json(self._rng),
+            generation=self.generation,
+            positions=self._positions,
+            energies=[None if math.isinf(e) else e for e in self._energies],
+            warm_queue=[p.to_dict() for p in self._warm_queue],
+        )
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._rng.setstate(rng_state_from_json(state["rng"]))
+        self.generation = int(state.get("generation", 0))
+        self._positions = [
+            list(p) if p is not None else None for p in state.get("positions", [])
+        ] or [None] * self.chains
+        self._energies = [
+            math.inf if e is None else float(e) for e in state.get("energies", [])
+        ] or [math.inf] * self.chains
+        self._warm_queue = [
+            KernelParams.from_dict(d) for d in state.get("warm_queue", [])
+        ]
+        self._pending = []

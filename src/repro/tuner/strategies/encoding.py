@@ -1,0 +1,312 @@
+"""Index-space encoding of the kernel parameter space.
+
+The adaptive strategies (annealing, PSO, surrogate) need a geometry to
+move in: :class:`ParamSpace` lays the Section-III parameters out as a
+fixed list of axes, each with an ordered value pool, so a candidate is a
+vector of pool indices.  Moves are index steps, positions decode back to
+validated :class:`KernelParams` (or ``None`` where the structural
+constraints reject the combination — the same "failed in code
+generation" class the enumerative search discards), and the surrogate
+derives its numeric feature vector from the same axes.
+
+The pools mirror the enumerator's (:mod:`repro.codegen.space`) plus the
+refinement steps (:mod:`repro.tuner.refine`), restricted by the active
+:class:`SpaceRestrictions` so ablation searches cannot escape their
+ablated space through a clever strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.layouts import Layout
+from repro.codegen.params import KernelParams, StrideMode
+from repro.codegen.space import (
+    SpaceRestrictions,
+    _seed_admissible,
+)
+from repro.devices.specs import DeviceSpec
+from repro.errors import ParameterError
+
+__all__ = ["ParamSpace", "FEATURE_FAMILIES"]
+
+_MWG_NWG = (16, 24, 32, 48, 64, 96, 128)
+_KWG = (8, 16, 24, 32, 48, 64, 96, 192)
+_DIMC = (4, 8, 16, 24, 32)
+_KWI = (1, 2, 4, 8, 16, 24)
+_VW = (1, 2, 4, 8)
+_STAGING = (0, 8, 16, 32, 64)
+
+_STRIDES = (
+    StrideMode(False, False),
+    StrideMode(True, False),
+    StrideMode(False, True),
+    StrideMode(True, True),
+)
+_SHARED = ((False, False), (False, True), (True, False), (True, True))
+_LAYOUT_PAIRS = (
+    (Layout.ROW, Layout.ROW),
+    (Layout.CBL, Layout.CBL),
+    (Layout.RBL, Layout.RBL),
+    (Layout.CBL, Layout.RBL),
+    (Layout.RBL, Layout.CBL),
+)
+
+
+def _pow2(values: Sequence[int]) -> Tuple[int, ...]:
+    return tuple(v for v in values if v == 0 or (v & (v - 1)) == 0)
+
+
+#: Maps surrogate feature names to the report families of
+#: :mod:`repro.tuner.analysis` (the paper's Section IV-A taxonomy), so
+#: the model's importances can be cross-read against the sensitivity
+#: report.
+FEATURE_FAMILIES: Dict[str, str] = {
+    "log_mwg": "blocking",
+    "log_nwg": "blocking",
+    "log_kwg": "blocking",
+    "log_mdimc": "workgroup shape",
+    "log_ndimc": "workgroup shape",
+    "log_kwi": "unrolling",
+    "log_vw": "vector width",
+    "stride_m": "stride mode",
+    "stride_n": "stride mode",
+    "shared_a": "local memory",
+    "shared_b": "local memory",
+    "log_mdima": "local memory",
+    "log_ndimb": "local memory",
+    "local_kb": "local memory",
+    "layout_a_block": "layouts",
+    "layout_b_block": "layouts",
+    "alg_ba": "algorithm",
+    "alg_pl": "algorithm",
+    "alg_db": "algorithm",
+    "log_mwi": "blocking",
+    "log_nwi": "blocking",
+    "log_wg": "workgroup shape",
+    "private_el": "blocking",
+    "use_images": "memory objects",
+}
+
+
+class ParamSpace:
+    """The encoded search space for one (device, precision, restrictions).
+
+    Axes (in order): ``mwg nwg kwg mdimc ndimc kwi vw stride shared
+    mdima ndimb layout algorithm``.  The image/guard flags are pinned by
+    the restrictions (``forced_images`` / ``forced_guarded``) rather
+    than searched — matching the enumerator, which only spans them when
+    an ablation asks for it.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        precision: str,
+        restrictions: Optional[SpaceRestrictions] = None,
+    ):
+        self.spec = spec
+        self.precision = precision
+        self.restrictions = restrictions or SpaceRestrictions()
+        r = self.restrictions
+
+        mwg_pool, kwg_pool, dimc_pool, kwi_pool = _MWG_NWG, _KWG, _DIMC, _KWI
+        staging_pool = _STAGING
+        if r.power_of_two_only:
+            mwg_pool, kwg_pool = _pow2(mwg_pool), _pow2(kwg_pool)
+            dimc_pool, kwi_pool = _pow2(dimc_pool), _pow2(kwi_pool)
+            staging_pool = _pow2(staging_pool)
+        if not r.allow_staging_reshape:
+            staging_pool = (0,)
+
+        strides = tuple(
+            s for s in _STRIDES if r.allow_nonunit_stride or not (s.m or s.n)
+        )
+        shared = tuple(
+            s for s in _SHARED if r.allow_dual_shared or not (s[0] and s[1])
+        )
+        if r.forced_shared is not None:
+            shared = (r.forced_shared,)
+        layouts = tuple(
+            lp for lp in _LAYOUT_PAIRS
+            if lp[0] in r.layouts and lp[1] in r.layouts
+        )
+        if r.forced_layouts is not None:
+            layouts = (r.forced_layouts,)
+        algorithms = tuple(r.algorithms)
+        if r.forced_algorithm is not None:
+            algorithms = (r.forced_algorithm,)
+
+        self.use_images = bool(r.forced_images)
+        self.guard_edges = bool(r.forced_guarded)
+        if self.use_images or self.guard_edges:
+            layouts = ((Layout.ROW, Layout.ROW),)
+
+        #: ``(name, value pool)`` in canonical order.  Numeric axes hold
+        #: sorted ints; categorical axes hold richer objects.
+        self.axes: List[Tuple[str, Tuple]] = [
+            ("mwg", mwg_pool),
+            ("nwg", mwg_pool),
+            ("kwg", kwg_pool),
+            ("mdimc", dimc_pool),
+            ("ndimc", dimc_pool),
+            ("kwi", tuple(v for v in kwi_pool)),
+            ("vw", tuple(v for v in _VW if v in r.vector_widths)),
+            ("stride", strides),
+            ("shared", shared),
+            ("mdima", staging_pool),
+            ("ndimb", staging_pool),
+            ("layout", layouts),
+            ("algorithm", algorithms),
+        ]
+        #: Axis names considered ordinal (index distance is meaningful).
+        self.numeric_axes = frozenset(
+            ("mwg", "nwg", "kwg", "mdimc", "ndimc", "kwi", "vw",
+             "mdima", "ndimb")
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.axes)
+
+    def axis_sizes(self) -> List[int]:
+        return [len(pool) for _, pool in self.axes]
+
+    # -- decoding --------------------------------------------------------
+    def decode(self, indices: Sequence[int]) -> Optional[KernelParams]:
+        """Indices -> validated params, or ``None`` if the point is not
+        constructible / feasible / inside the restricted space."""
+        values = {}
+        for (name, pool), i in zip(self.axes, indices):
+            if not (0 <= i < len(pool)):
+                return None
+            values[name] = pool[i]
+        sha, shb = values["shared"]
+        la, lb = values["layout"]
+        try:
+            params = KernelParams(
+                precision=self.precision,
+                mwg=values["mwg"], nwg=values["nwg"], kwg=values["kwg"],
+                mdimc=values["mdimc"], ndimc=values["ndimc"],
+                kwi=values["kwi"], vw=values["vw"],
+                stride=values["stride"],
+                shared_a=sha, shared_b=shb,
+                mdima=values["mdima"] if sha else 0,
+                ndimb=values["ndimb"] if shb else 0,
+                layout_a=la, layout_b=lb,
+                algorithm=values["algorithm"],
+                use_images=self.use_images,
+                guard_edges=self.guard_edges,
+            )
+        except ParameterError:
+            return None
+        if params.local_memory_bytes() > self.spec.local_mem_bytes:
+            return None
+        if params.workgroup_size > self.spec.model.max_workgroup_size:
+            return None
+        if not _seed_admissible(params, self.restrictions):
+            return None
+        return params
+
+    def admissible(self, params: KernelParams) -> bool:
+        """Whether a params vector lies inside this (restricted) space."""
+        if params.precision != self.precision:
+            return False
+        if params.local_memory_bytes() > self.spec.local_mem_bytes:
+            return False
+        if params.workgroup_size > self.spec.model.max_workgroup_size:
+            return False
+        return _seed_admissible(params, self.restrictions)
+
+    # -- encoding --------------------------------------------------------
+    def encode(self, params: KernelParams) -> List[int]:
+        """Params -> nearest index vector (numeric axes snap to the
+        closest pool value; categorical axes fall back to index 0 when
+        the exact option is outside the restricted pools)."""
+        raw = {
+            "mwg": params.mwg, "nwg": params.nwg, "kwg": params.kwg,
+            "mdimc": params.mdimc, "ndimc": params.ndimc,
+            "kwi": params.kwi, "vw": params.vw,
+            "stride": params.stride,
+            "shared": (params.shared_a, params.shared_b),
+            "mdima": params.mdima, "ndimb": params.ndimb,
+            "layout": (params.layout_a, params.layout_b),
+            "algorithm": params.algorithm,
+        }
+        out = []
+        for name, pool in self.axes:
+            value = raw[name]
+            if name in self.numeric_axes:
+                out.append(
+                    min(range(len(pool)), key=lambda i: abs(pool[i] - value))
+                )
+            else:
+                out.append(pool.index(value) if value in pool else 0)
+        return out
+
+    # -- sampling / moves ------------------------------------------------
+    def random_point(self, rng) -> List[int]:
+        return [rng.randrange(len(pool)) for _, pool in self.axes]
+
+    def random_params(self, rng, attempts: int = 64) -> Optional[KernelParams]:
+        """A random *valid* point (or ``None`` after ``attempts`` misses)."""
+        for _ in range(attempts):
+            params = self.decode(self.random_point(rng))
+            if params is not None:
+                return params
+        return None
+
+    def perturb(self, rng, indices: Sequence[int], strength: int = 1) -> List[int]:
+        """One neighbourhood move: step 1..``strength`` axes.
+
+        Numeric axes move one pool position up or down (the refinement
+        module's "one step along the axis"); categorical axes re-draw.
+        """
+        out = list(indices)
+        n_moves = 1 + rng.randrange(max(1, strength))
+        axes = rng.sample(range(len(self.axes)), k=min(n_moves, len(self.axes)))
+        for a in axes:
+            name, pool = self.axes[a]
+            if len(pool) <= 1:
+                continue
+            if name in self.numeric_axes:
+                step = rng.choice((-1, 1))
+                out[a] = min(len(pool) - 1, max(0, out[a] + step))
+            else:
+                choices = [i for i in range(len(pool)) if i != out[a]]
+                out[a] = rng.choice(choices)
+        return out
+
+    # -- surrogate features ----------------------------------------------
+    FEATURE_NAMES: Tuple[str, ...] = tuple(FEATURE_FAMILIES)
+
+    def features(self, params: KernelParams) -> List[float]:
+        """Numeric feature vector for the regression forest."""
+        log2 = math.log2
+        return [
+            log2(params.mwg),
+            log2(params.nwg),
+            log2(params.kwg),
+            log2(params.mdimc),
+            log2(params.ndimc),
+            log2(params.kwi),
+            log2(params.vw),
+            1.0 if params.stride.m else 0.0,
+            1.0 if params.stride.n else 0.0,
+            1.0 if params.shared_a else 0.0,
+            1.0 if params.shared_b else 0.0,
+            log2(params.effective_mdima) if params.shared_a else -1.0,
+            log2(params.effective_ndimb) if params.shared_b else -1.0,
+            params.local_memory_bytes() / 1024.0,
+            1.0 if params.layout_a.is_block_major else 0.0,
+            1.0 if params.layout_b.is_block_major else 0.0,
+            1.0 if params.algorithm.value == "BA" else 0.0,
+            1.0 if params.algorithm.value == "PL" else 0.0,
+            1.0 if params.algorithm.value == "DB" else 0.0,
+            log2(params.mwi),
+            log2(params.nwi),
+            log2(params.workgroup_size),
+            float(params.private_elements()),
+            1.0 if params.use_images else 0.0,
+        ]

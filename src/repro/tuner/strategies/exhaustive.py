@@ -1,0 +1,69 @@
+"""The paper's enumerative sweep, expressed as a strategy.
+
+This is the extracted default: the deterministic heuristic enumeration
+of :func:`repro.codegen.space.enumerate_space`, streamed batch by batch.
+It ignores observations entirely — the stream is fixed up front — which
+is exactly what makes its checkpoints so cheap: the only state is how
+many candidates have been consumed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from repro.codegen.params import KernelParams
+from repro.codegen.space import enumerate_space
+from repro.tuner.strategies.base import SearchStrategy
+from repro.tuner.strategies.encoding import ParamSpace
+
+__all__ = ["ExhaustiveStrategy"]
+
+
+class ExhaustiveStrategy(SearchStrategy):
+    """Propose every enumerated candidate, in enumeration order."""
+
+    name = "exhaustive"
+
+    def __init__(
+        self,
+        space: ParamSpace,
+        *,
+        seed: int = 0,
+        budget: int = 4000,
+        warm_start: Sequence[KernelParams] = (),
+        prior: Sequence[Tuple[KernelParams, float]] = (),
+        per_blocking: int = 8,
+        include_seeds: bool = True,
+    ):
+        super().__init__(
+            space, seed=seed, budget=budget, warm_start=warm_start, prior=prior
+        )
+        self.per_blocking = per_blocking
+        self.include_seeds = include_seeds
+        self._stream = self._make_stream()
+
+    def _make_stream(self):
+        return enumerate_space(
+            self.space.spec,
+            self.space.precision,
+            self.space.restrictions,
+            limit=self.budget,
+            per_blocking=self.per_blocking,
+            seed=self.seed,
+            include_seeds=self.include_seeds,
+        )
+
+    def ask(self, n: int) -> List[KernelParams]:
+        return self._take(list(itertools.islice(self._stream, n)))
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        # The enumeration is deterministic: fast-forward the fresh
+        # stream past the candidates already proposed.
+        self._stream = self._make_stream()
+        if self.proposed:
+            next(
+                itertools.islice(self._stream, self.proposed - 1, self.proposed),
+                None,
+            )

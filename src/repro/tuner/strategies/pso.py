@@ -1,0 +1,166 @@
+"""Discrete particle-swarm optimisation over the encoded space.
+
+The CLTune PSO variant adapted to integer axes: each particle holds an
+index-vector position plus its personal best; every generation, each
+axis of each particle moves toward the personal best, the global best,
+or explores (one index step for ordinal axes, a re-draw for categorical
+ones) with fixed mixing probabilities.  One generation = one ``ask``
+batch, so the swarm maps directly onto the parallel evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.params import KernelParams
+from repro.tuner.strategies.base import (
+    SearchStrategy,
+    derive_rng,
+    rng_state_from_json,
+    rng_state_to_json,
+)
+from repro.tuner.strategies.encoding import ParamSpace
+
+__all__ = ["PSOStrategy"]
+
+_MAX_MISSES = 64
+
+
+class PSOStrategy(SearchStrategy):
+    name = "pso"
+
+    def __init__(
+        self,
+        space: ParamSpace,
+        *,
+        seed: int = 0,
+        budget: int = 4000,
+        warm_start: Sequence[KernelParams] = (),
+        prior: Sequence[Tuple[KernelParams, float]] = (),
+        particles: int = 16,
+        w_inertia: float = 0.35,
+        w_personal: float = 0.30,
+        w_global: float = 0.25,
+    ):
+        super().__init__(
+            space, seed=seed, budget=budget, warm_start=warm_start, prior=prior
+        )
+        self.particles = max(2, particles)
+        self.w_inertia = w_inertia
+        self.w_personal = w_personal
+        self.w_global = w_global
+        self._rng = derive_rng(self.name, seed)
+        #: position / personal-best (indices, gflops) per particle.
+        self._pos: List[Optional[List[int]]] = [None] * self.particles
+        self._pbest: List[Optional[Tuple[List[int], float]]] = [None] * self.particles
+        self._gbest: Optional[Tuple[List[int], float]] = None
+        self._pending: List[Tuple[int, List[int]]] = []
+        self._warm_queue = list(self.warm_start)
+
+    # ------------------------------------------------------------------
+    def _move(self, particle: int) -> List[int]:
+        pos = self._pos[particle]
+        pbest = self._pbest[particle]
+        out: List[int] = []
+        for a, (name, pool) in enumerate(self.space.axes):
+            r = self._rng.random()
+            if r < self.w_inertia and pos is not None:
+                out.append(pos[a])
+            elif r < self.w_inertia + self.w_personal and pbest is not None:
+                out.append(pbest[0][a])
+            elif (
+                r < self.w_inertia + self.w_personal + self.w_global
+                and self._gbest is not None
+            ):
+                out.append(self._gbest[0][a])
+            elif pos is not None and name in self.space.numeric_axes:
+                step = self._rng.choice((-1, 1))
+                out.append(min(len(pool) - 1, max(0, pos[a] + step)))
+            else:
+                out.append(self._rng.randrange(len(pool)))
+        return out
+
+    def _fresh_move(self, particle: int) -> Optional[Tuple[List[int], KernelParams]]:
+        for _ in range(_MAX_MISSES):
+            idx = self._move(particle)
+            params = self.space.decode(idx)
+            if params is not None and not self.seen(params):
+                return idx, params
+        return None
+
+    def ask(self, n: int) -> List[KernelParams]:
+        batch: List[KernelParams] = []
+        keys = set()
+        self._pending = []
+        while self._warm_queue and len(batch) < n:
+            p = self._warm_queue.pop(0)
+            if not self.seen(p) and p.cache_key() not in keys:
+                keys.add(p.cache_key())
+                self._pending.append((-1, self.space.encode(p)))
+                batch.append(p)
+        particle = 0
+        stuck = 0
+        while len(batch) < n and stuck < self.particles:
+            i = particle % self.particles
+            particle += 1
+            found = self._fresh_move(i)
+            if found is None or found[1].cache_key() in keys:
+                stuck += 1
+                continue
+            stuck = 0
+            idx, params = found
+            keys.add(params.cache_key())
+            self._pending.append((i, idx))
+            batch.append(params)
+        if not batch:
+            self.early_stop_reason = "swarm converged (no fresh moves)"
+        return self._take(batch)
+
+    def tell(self, observations) -> None:
+        super().tell(observations)
+        # Seed unplaced particles round-robin from warm-start outcomes.
+        warm_cursor = [
+            i for i, placed in enumerate(self._pos) if placed is None
+        ]
+        for (particle, idx), obs in zip(self._pending, observations):
+            score = obs.gflops if obs.ok else None
+            if particle < 0:
+                particle = warm_cursor.pop(0) if warm_cursor else 0
+            self._pos[particle] = idx
+            if score is not None:
+                if self._pbest[particle] is None or score > self._pbest[particle][1]:
+                    self._pbest[particle] = (idx, score)
+                if self._gbest is None or score > self._gbest[1]:
+                    self._gbest = (idx, score)
+        self._pending = []
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state.update(
+            rng=rng_state_to_json(self._rng),
+            pos=self._pos,
+            pbest=[
+                None if pb is None else [pb[0], pb[1]] for pb in self._pbest
+            ],
+            gbest=None if self._gbest is None else [self._gbest[0], self._gbest[1]],
+            warm_queue=[p.to_dict() for p in self._warm_queue],
+        )
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._rng.setstate(rng_state_from_json(state["rng"]))
+        self._pos = [
+            list(p) if p is not None else None for p in state.get("pos", [])
+        ] or [None] * self.particles
+        self._pbest = [
+            None if pb is None else (list(pb[0]), float(pb[1]))
+            for pb in state.get("pbest", [])
+        ] or [None] * self.particles
+        gb = state.get("gbest")
+        self._gbest = None if gb is None else (list(gb[0]), float(gb[1]))
+        self._warm_queue = [
+            KernelParams.from_dict(d) for d in state.get("warm_queue", [])
+        ]
+        self._pending = []

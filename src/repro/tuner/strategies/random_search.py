@@ -1,0 +1,83 @@
+"""Uniform random search over the encoded space.
+
+The baseline every adaptive strategy must beat: warm-start points first
+(curated seeds, transfer winners), then independent uniform draws from
+the valid region of :class:`ParamSpace`, deduplicated against everything
+already proposed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.codegen.params import KernelParams
+from repro.tuner.strategies.base import (
+    SearchStrategy,
+    derive_rng,
+    rng_state_from_json,
+    rng_state_to_json,
+)
+from repro.tuner.strategies.encoding import ParamSpace
+
+__all__ = ["RandomStrategy"]
+
+#: Consecutive failed draw attempts before concluding the valid space is
+#: effectively exhausted at this budget.
+_MAX_MISSES = 512
+
+
+class RandomStrategy(SearchStrategy):
+    name = "random"
+
+    def __init__(
+        self,
+        space: ParamSpace,
+        *,
+        seed: int = 0,
+        budget: int = 4000,
+        warm_start: Sequence[KernelParams] = (),
+        prior: Sequence[Tuple[KernelParams, float]] = (),
+    ):
+        super().__init__(
+            space, seed=seed, budget=budget, warm_start=warm_start, prior=prior
+        )
+        self._rng = derive_rng(self.name, seed)
+        self._warm_cursor = 0
+
+    def ask(self, n: int) -> List[KernelParams]:
+        batch: List[KernelParams] = []
+        keys = set()
+
+        def fresh(p: KernelParams) -> bool:
+            k = p.cache_key()
+            if k in keys or self.seen(p):
+                return False
+            keys.add(k)
+            return True
+
+        while self._warm_cursor < len(self.warm_start) and len(batch) < n:
+            p = self.warm_start[self._warm_cursor]
+            self._warm_cursor += 1
+            if fresh(p):
+                batch.append(p)
+        misses = 0
+        while len(batch) < n and misses < _MAX_MISSES:
+            p = self.space.decode(self.space.random_point(self._rng))
+            if p is not None and fresh(p):
+                batch.append(p)
+            else:
+                misses += 1
+        if misses >= _MAX_MISSES and not batch:
+            self.early_stop_reason = "sampling exhausted the valid space"
+        return self._take(batch)
+
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state["rng"] = rng_state_to_json(self._rng)
+        state["warm_cursor"] = self._warm_cursor
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._rng.setstate(rng_state_from_json(state["rng"]))
+        self._warm_cursor = int(state.get("warm_cursor", 0))

@@ -1,0 +1,285 @@
+"""Surrogate-guided search: regression forest + expected improvement.
+
+The Falch & Elster approach, adapted to the tuner's batch evaluator:
+
+1. Train a :class:`RegressionForest` on every configuration observed so
+   far — measured GFlop/s for successes, zero for failures — including
+   *prior* rows recovered from a warm :class:`MeasurementCache` and the
+   transfer warm-start winners, which cost no budget.
+2. Each ``ask`` refits the model, scores a deterministic candidate pool
+   (random valid points plus perturbations of the incumbents) by
+   expected improvement over the best observed GFlop/s, and proposes the
+   top-EI batch, reserving a slice for pure exploration.
+3. Early-stop when the pool's best expected improvement stays below a
+   small fraction of the incumbent for several consecutive batches —
+   the predicted gain has flattened, so remaining budget is returned
+   unspent.
+
+Feature importances fall out of the forest's split gains and are
+reported through the same family taxonomy as the sensitivity report
+(:mod:`repro.tuner.analysis`), so the model's learned structure can be
+read against the paper's Section III/IV claims.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.params import KernelParams
+from repro.tuner.strategies.base import (
+    SearchStrategy,
+    derive_rng,
+    rng_state_from_json,
+    rng_state_to_json,
+)
+from repro.tuner.strategies.encoding import FEATURE_FAMILIES, ParamSpace
+from repro.tuner.strategies.forest import RegressionForest
+
+__all__ = ["SurrogateStrategy"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _norm_cdf(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / _SQRT2))
+
+
+def _norm_pdf(z: float) -> float:
+    return math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+
+
+class SurrogateStrategy(SearchStrategy):
+    name = "surrogate"
+
+    def __init__(
+        self,
+        space: ParamSpace,
+        *,
+        seed: int = 0,
+        budget: int = 4000,
+        warm_start: Sequence[KernelParams] = (),
+        prior: Sequence[Tuple[KernelParams, Optional[float]]] = (),
+        min_train: int = 24,
+        pool_size: int = 384,
+        explore_frac: float = 0.2,
+        ei_xi: float = 0.002,
+        flat_tol: float = 0.002,
+        patience: int = 3,
+        trees: int = 24,
+        depth: int = 9,
+    ):
+        super().__init__(
+            space, seed=seed, budget=budget, warm_start=warm_start, prior=prior
+        )
+        self.min_train = min_train
+        self.pool_size = pool_size
+        self.explore_frac = explore_frac
+        self.ei_xi = ei_xi
+        self.flat_tol = flat_tol
+        self.patience = patience
+        self.trees = trees
+        self.depth = depth
+        self._rng = derive_rng(self.name, seed)
+        self._forest: Optional[RegressionForest] = None
+        self._flat_streak = 0
+        self._warm_cursor = 0
+        #: Training rows: every (params, gflops-or-None) ever told, plus
+        #: the prior rows (admissible only — foreign-space rows would
+        #: teach the model about points it can never propose).
+        self._observed: List[Tuple[KernelParams, Optional[float]]] = [
+            (p, g) for p, g in self.prior if space.admissible(p)
+        ]
+
+    # -- model -----------------------------------------------------------
+    def _training_set(self) -> Tuple[List[List[float]], List[float]]:
+        X, y = [], []
+        for params, gflops in self._observed:
+            X.append(self.space.features(params))
+            y.append(gflops if gflops is not None else 0.0)
+        return X, y
+
+    def ensure_fitted(self) -> bool:
+        """Fit the forest on the current training rows (True if usable).
+
+        Each refit derives a fresh RNG from ``(seed, refit index)``, so
+        model *k* is a pure function of the seed and the rows it saw —
+        which is what lets a resumed search rebuild the identical model.
+        """
+        X, y = self._training_set()
+        if len(X) < 2:
+            return False
+        self._forest = RegressionForest(
+            n_trees=self.trees,
+            max_depth=self.depth,
+            rng=derive_rng("surrogate-fit", self.seed, self.refits),
+        )
+        self._forest.fit(X, y)
+        self.refits += 1
+        return True
+
+    def predict(self, params: KernelParams) -> Tuple[float, float]:
+        """Model (mean, std) for one configuration; requires a fit."""
+        if self._forest is None or not self._forest.fitted:
+            raise RuntimeError("surrogate model is not fitted")
+        return self._forest.predict(self.space.features(params))
+
+    def rank(self, candidates: Sequence[KernelParams]) -> List[KernelParams]:
+        """Candidates sorted by predicted GFlop/s, best first."""
+        scored = [
+            (-self.predict(p)[0], i, p) for i, p in enumerate(candidates)
+        ]
+        scored.sort(key=lambda t: (t[0], t[1]))
+        return [p for _, _, p in scored]
+
+    def feature_importance(self) -> Dict[str, float]:
+        """Per-feature importance (variance reduction), by feature name."""
+        if self._forest is None or not self._forest.fitted:
+            return {}
+        return dict(
+            zip(self.space.FEATURE_NAMES, self._forest.feature_importances())
+        )
+
+    def family_importance(self) -> Dict[str, float]:
+        """Feature importances folded into the sensitivity-report
+        families (blocking, local memory, ...)."""
+        out: Dict[str, float] = {}
+        for feat, weight in self.feature_importance().items():
+            family = FEATURE_FAMILIES[feat]
+            out[family] = out.get(family, 0.0) + weight
+        return out
+
+    # -- acquisition -----------------------------------------------------
+    def _expected_improvement(self, params: KernelParams, best_y: float) -> float:
+        mean, std = self._forest.predict(self.space.features(params))
+        gap = mean - best_y - self.ei_xi * max(best_y, 1.0)
+        if std <= 1e-12:
+            return max(0.0, gap)
+        z = gap / std
+        return gap * _norm_cdf(z) + std * _norm_pdf(z)
+
+    def _candidate_pool(self) -> List[KernelParams]:
+        pool: List[KernelParams] = []
+        keys = set()
+
+        def add(p: Optional[KernelParams]) -> None:
+            if p is None or self.seen(p):
+                return
+            k = p.cache_key()
+            if k not in keys:
+                keys.add(k)
+                pool.append(p)
+
+        # Perturbations of the incumbents keep the pool anchored to the
+        # promising basins.
+        incumbents = sorted(
+            (row for row in self._observed if row[1] is not None),
+            key=lambda row: row[1],
+            reverse=True,
+        )[:8]
+        for params, _ in incumbents:
+            idx = self.space.encode(params)
+            for strength in (1, 1, 2, 2, 3):
+                add(self.space.decode(self.space.perturb(self._rng, idx, strength)))
+        misses = 0
+        while len(pool) < self.pool_size and misses < 4 * self.pool_size:
+            p = self.space.decode(self.space.random_point(self._rng))
+            before = len(pool)
+            add(p)
+            misses += before == len(pool)
+        return pool
+
+    # -- ask/tell --------------------------------------------------------
+    def ask(self, n: int) -> List[KernelParams]:
+        if self.early_stop_reason:
+            return []
+        batch: List[KernelParams] = []
+        keys = set()
+
+        def fresh(p: KernelParams) -> bool:
+            k = p.cache_key()
+            if k in keys or self.seen(p):
+                return False
+            keys.add(k)
+            return True
+
+        while self._warm_cursor < len(self.warm_start) and len(batch) < n:
+            p = self.warm_start[self._warm_cursor]
+            self._warm_cursor += 1
+            if fresh(p):
+                batch.append(p)
+        if len(self._observed) < self.min_train:
+            # Cold model: spend the batch on uniform exploration.
+            misses = 0
+            while len(batch) < n and misses < 512:
+                p = self.space.decode(self.space.random_point(self._rng))
+                if p is not None and fresh(p):
+                    batch.append(p)
+                else:
+                    misses += 1
+            return self._take(batch)
+
+        if not self.ensure_fitted():
+            return self._take(batch)
+        best = self.best_observed
+        best_y = best[0] if best is not None else max(
+            (g for _, g in self._observed if g is not None), default=0.0
+        )
+        pool = self._candidate_pool()
+        scored = sorted(
+            ((self._expected_improvement(p, best_y), i, p) for i, p in enumerate(pool)),
+            key=lambda t: (-t[0], t[1]),
+        )
+        if scored and scored[0][0] < self.flat_tol * max(best_y, 1e-9):
+            self._flat_streak += 1
+            if self._flat_streak >= self.patience:
+                self.early_stop_reason = "predicted gain flattened"
+                return self._take(batch)
+        else:
+            self._flat_streak = 0
+        explore = max(1, int(n * self.explore_frac)) if n > 1 else 0
+        for _, _, p in scored:
+            if len(batch) >= n - explore:
+                break
+            if fresh(p):
+                batch.append(p)
+        misses = 0
+        while len(batch) < n and misses < 256:
+            p = self.space.decode(self.space.random_point(self._rng))
+            if p is not None and fresh(p):
+                batch.append(p)
+            else:
+                misses += 1
+        return self._take(batch)
+
+    def tell(self, observations) -> None:
+        super().tell(observations)
+        for obs in observations:
+            self._observed.append((obs.params, obs.gflops if obs.ok else None))
+
+    # -- checkpointing ---------------------------------------------------
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state.update(
+            rng=rng_state_to_json(self._rng),
+            flat_streak=self._flat_streak,
+            warm_cursor=self._warm_cursor,
+            observed=[
+                [p.to_dict(), g] for p, g in self._observed
+            ],
+        )
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._rng.setstate(rng_state_from_json(state["rng"]))
+        self._flat_streak = int(state.get("flat_streak", 0))
+        self._warm_cursor = int(state.get("warm_cursor", 0))
+        self._observed = [
+            (KernelParams.from_dict(d), None if g is None else float(g))
+            for d, g in state.get("observed", [])
+        ]
+        # The model itself is not serialised: the next ``ask`` refits
+        # from the restored rows, and ``refits`` (restored by the base
+        # class) keeps the fit-RNG derivation aligned.
+        self._forest = None

@@ -1,0 +1,67 @@
+"""Cross-device transfer warm-start.
+
+A new device rarely starts from nothing: real auto-tuners seed their
+search with configurations that won on related hardware.  This module
+turns the spec-space neighbour table of :mod:`repro.devices.catalog`
+into concrete warm-start candidates — the shipped tuned winners
+(:mod:`repro.tuner.pretuned`) of the target's closest catalogued
+neighbours, plus their immediate parameter neighbourhoods, filtered to
+the target's admissible space.
+
+When the catalog holds no usable neighbour (unknown device, no pretuned
+entry at this precision, winners inadmissible under the active
+restrictions) the result is simply an empty list: the strategy falls
+back to its un-warmed behaviour, no error raised.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.params import KernelParams
+from repro.devices.catalog import CATALOG, nearest_devices
+from repro.tuner.pretuned import pretuned_params
+from repro.tuner.strategies.encoding import ParamSpace
+
+__all__ = ["transfer_seeds"]
+
+
+def transfer_seeds(
+    space: ParamSpace,
+    *,
+    neighbours: int = 3,
+    include_neighborhood: bool = True,
+) -> List[KernelParams]:
+    """Warm-start candidates for ``space`` from its nearest neighbours.
+
+    Ordered closest-neighbour-first, deduplicated, admissible-only.
+    ``include_neighborhood`` additionally yields each winner's one-step
+    parameter neighbours (the transferred optimum is rarely *exactly*
+    right on new hardware, but usually close).
+    """
+    codename = space.spec.codename
+    if codename not in CATALOG:
+        return []
+    out: List[KernelParams] = []
+    seen = set()
+
+    def add(params: KernelParams) -> None:
+        key = params.cache_key()
+        if key not in seen and space.admissible(params):
+            seen.add(key)
+            out.append(params)
+
+    for neighbour in nearest_devices(codename, k=neighbours):
+        try:
+            winner = pretuned_params(neighbour, space.precision)
+        except KeyError:
+            continue
+        add(winner)
+        if include_neighborhood:
+            from repro.tuner.refine import admissible_neighbors
+
+            for nearby in admissible_neighbors(
+                winner, space.spec, space.restrictions
+            ):
+                add(nearby)
+    return out
