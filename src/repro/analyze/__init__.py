@@ -52,8 +52,12 @@ from repro.analyze.verifier import (
     analyze_params,
     analyze_space_sample,
 )
+# Imported last: repro.analyze.host depends on repro.analyze.diagnostics,
+# which the lines above have already initialised.
+from repro.analyze import host
 
 __all__ = [
+    "host",
     "AnalysisReport",
     "Diagnostic",
     "Severity",

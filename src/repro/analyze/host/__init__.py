@@ -1,0 +1,158 @@
+"""Host-layer invariant analyzer (``repro lint``).
+
+PR 5's static verifier proves *generated kernels* safe; this package
+turns the same discipline on the **Python host layer** — the tuner,
+scheduler, fleet manager and persistence code where the repo's headline
+guarantees (bit-identical winners across worker counts, bit-identical
+soak artifacts per seed, crash-safe state files) actually live.  It is
+an AST lint over the repo's own sources with pluggable rules for the
+project's hard invariants:
+
+=====================  =================================================
+rule id                invariant
+=====================  =================================================
+host.time.wallclock    no wall-clock reads outside the stats-timing set
+host.rng.unseeded      all randomness derives from an explicit seed
+host.persist.raw-write artifact writes go through :mod:`repro.persist`
+host.race.unlocked-attr  thread-shared state mutates under a held lock
+host.lock.order        one global lock-acquisition order (no inversions)
+host.obs.span-leak     spans open only via ``with`` (no error-path leaks)
+host.obs.counter-dec   counters are monotone
+host.except.bare       no bare ``except:``
+host.except.swallow    no silent discard of transient faults
+=====================  =================================================
+
+Suppression is explicit and auditable: an inline
+``# repro: allow(rule-id)`` pragma on (or directly above) the finding's
+line, or an entry in the checked-in baseline file
+(``tools/host-lint-baseline.json``) that fingerprints the exact line it
+grandfathers.  CI gates the tree at **zero unsuppressed findings**.
+
+The runtime counterpart lives in :mod:`repro.testing.sanitize`: a
+determinism sanitizer that patches the same wall-clock/RNG entry points
+these rules flag, and a dynamic lock-order recorder asserting the
+acquisition graph this lint proves acyclic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analyze.host.concurrency import LockOrderRule, UnlockedSharedMutationRule
+from repro.analyze.host.determinism import (
+    WALLCLOCK_ALLOWED_SUFFIXES,
+    UnseededRngRule,
+    WallClockRule,
+)
+from repro.analyze.host.engine import (
+    BASELINE_FORMAT,
+    LINT_FORMAT,
+    Baseline,
+    Finding,
+    HostLintResult,
+    HostRule,
+    line_digest,
+    load_tree,
+    run_rules,
+)
+from repro.analyze.host.exceptions import BareExceptRule, SwallowTransientRule
+from repro.analyze.host.model import LintSource, parse_source
+from repro.analyze.host.obs_hygiene import CounterDecrementRule, SpanLeakRule
+from repro.analyze.host.persistence import RawWriteRule
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "HostLintResult",
+    "HostRule",
+    "LintSource",
+    "LINT_FORMAT",
+    "BASELINE_FORMAT",
+    "DEFAULT_BASELINE_PATH",
+    "WALLCLOCK_ALLOWED_SUFFIXES",
+    "default_rules",
+    "rule_catalog",
+    "lint_text",
+    "lint_sources",
+    "lint_paths",
+    "lint_tree",
+    "line_digest",
+    "parse_source",
+]
+
+#: Repo-relative location of the checked-in baseline (used when the CLI
+#: runs from the repository root and no --baseline is given).
+DEFAULT_BASELINE_PATH = os.path.join("tools", "host-lint-baseline.json")
+
+
+def default_rules() -> Tuple[HostRule, ...]:
+    """Fresh instances of every host rule (rules keep per-run state)."""
+    return (
+        WallClockRule(),
+        UnseededRngRule(),
+        RawWriteRule(),
+        UnlockedSharedMutationRule(),
+        LockOrderRule(),
+        SpanLeakRule(),
+        CounterDecrementRule(),
+        BareExceptRule(),
+        SwallowTransientRule(),
+    )
+
+
+def rule_catalog() -> List[Tuple[str, str]]:
+    """(rule id, description) pairs, sorted by id."""
+    return sorted((r.rule_id, r.description) for r in default_rules())
+
+
+def lint_sources(
+    sources: Sequence[LintSource],
+    baseline: Optional[Baseline] = None,
+    only_rules: Optional[Sequence[str]] = None,
+) -> HostLintResult:
+    return run_rules(sources, default_rules(), baseline=baseline,
+                     only_rules=only_rules)
+
+
+def lint_text(
+    text: str,
+    relpath: str = "repro/fixture.py",
+    only_rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> HostLintResult:
+    """Lint one in-memory source (the tamper-regression entry point)."""
+    return lint_sources([parse_source(text, relpath)], baseline=baseline,
+                        only_rules=only_rules)
+
+
+def _package_root() -> str:
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    baseline: Optional[Baseline] = None,
+    only_rules: Optional[Sequence[str]] = None,
+) -> HostLintResult:
+    """Lint explicit files/directories (relpaths keep their basenames)."""
+    sources: List[LintSource] = []
+    for path in paths:
+        prefix = ""
+        if os.path.isdir(path):
+            prefix = os.path.basename(os.path.abspath(path))
+        sources.extend(load_tree(path, package_prefix=prefix))
+    return lint_sources(sources, baseline=baseline, only_rules=only_rules)
+
+
+def lint_tree(
+    root: Optional[str] = None,
+    baseline: Optional[Baseline] = None,
+    only_rules: Optional[Sequence[str]] = None,
+) -> HostLintResult:
+    """Lint the whole installed ``repro`` package (the CI gate)."""
+    root = root or _package_root()
+    sources = load_tree(root, package_prefix="repro")
+    return lint_sources(sources, baseline=baseline, only_rules=only_rules)

@@ -1,0 +1,271 @@
+"""Concurrency rules: locked shared mutation and lock-order consistency.
+
+``host.race.unlocked-attr``
+    A class that *owns concurrency* — it starts ``threading.Thread``s,
+    constructs ``concurrent.futures`` executors, or declares a lock
+    attribute via ``threading.Lock()``/``RLock()`` — promises that its
+    instance state may be reached from more than one thread.  Inside
+    such classes, every mutation of ``self``-attributes outside
+    ``__init__``/``__new__`` (plain assignment, augmented assignment,
+    and subscript stores on a ``self`` attribute) must happen lexically
+    under ``with self.<...lock...>:``.  Construction is exempt because
+    ``__init__`` happens-before any sharing.
+
+``host.lock.order``
+    Records every *nested* lock acquisition (``with a: ... with b:``)
+    as a directed edge a→b and reports any cycle in the whole-tree
+    graph — the static shadow of the dynamic
+    :class:`repro.testing.sanitize.LockOrderRecorder`.  Two code paths
+    that acquire the same two locks in opposite orders can deadlock
+    under the exact thread interleaving the chaos suites create.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analyze.host.engine import Finding, HostRule
+from repro.analyze.host.model import LintSource, canonical_name
+
+__all__ = ["UnlockedSharedMutationRule", "LockOrderRule"]
+
+_THREAD_FACTORIES = frozenset({
+    "threading.Thread",
+    "threading.Timer",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+})
+
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+})
+
+
+def _is_lockish(attr: str) -> bool:
+    return "lock" in attr.lower()
+
+
+def _self_attr(node: ast.expr, self_name: str) -> Optional[str]:
+    """``self.x`` (or ``self.x[k]``) -> ``"x"``; anything else -> None."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def _method_self_name(fn: ast.AST) -> Optional[str]:
+    """The receiver parameter name, or None for static/argless methods."""
+    for deco in getattr(fn, "decorator_list", ()):
+        if isinstance(deco, ast.Name) and deco.id == "staticmethod":
+            return None
+    args = fn.args.posonlyargs + fn.args.args
+    return args[0].arg if args else None
+
+
+class UnlockedSharedMutationRule(HostRule):
+    rule_id = "host.race.unlocked-attr"
+    description = (
+        "instance attributes of thread-owning classes mutated outside a "
+        "held self-lock"
+    )
+
+    def check(self, src: LintSource) -> Iterable[Finding]:
+        for cls in ast.walk(src.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(src, cls)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, src: LintSource, cls: ast.ClassDef) -> Iterable[Finding]:
+        methods = [
+            n for n in cls.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        owns_concurrency = False
+        lock_attrs: Set[str] = set()
+        for method in methods:
+            self_name = _method_self_name(method)
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = canonical_name(node.func, src.imports)
+                if name in _THREAD_FACTORIES:
+                    owns_concurrency = True
+            if not self_name:
+                continue
+            for node in ast.walk(method):
+                # `self.<attr> = threading.Lock()` declares shared state.
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    name = canonical_name(node.value.func, src.imports)
+                    if name in _LOCK_FACTORIES:
+                        for t in node.targets:
+                            attr = _self_attr(t, self_name)
+                            if attr:
+                                lock_attrs.add(attr)
+                                owns_concurrency = True
+        if not owns_concurrency:
+            return
+        for method in methods:
+            if method.name in ("__init__", "__new__", "__del__"):
+                continue
+            self_name = _method_self_name(method)
+            if not self_name:
+                continue
+            yield from self._check_method(
+                src, cls.name, method, self_name, lock_attrs
+            )
+
+    def _check_method(
+        self,
+        src: LintSource,
+        cls_name: str,
+        method: ast.AST,
+        self_name: str,
+        lock_attrs: Set[str],
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        def holds_lock(item: ast.withitem) -> bool:
+            expr = item.context_expr
+            # `with self._lock:` and `with self._lock.acquire_timeout():`
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            attr = _self_attr(expr, self_name)
+            if attr and (_is_lockish(attr) or attr in lock_attrs):
+                return True
+            if isinstance(expr, ast.Attribute) and _is_lockish(expr.attr):
+                return True
+            return False
+
+        def visit(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                now_locked = locked or any(holds_lock(i) for i in node.items)
+                for child in node.body:
+                    visit(child, now_locked)
+                return
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for t in targets:
+                attr = _self_attr(t, self_name)
+                if attr and not locked and attr not in lock_attrs:
+                    findings.append(Finding(
+                        rule=self.rule_id,
+                        relpath=src.relpath,
+                        line=node.lineno,
+                        message=(
+                            f"{cls_name}.{method.name} mutates self.{attr} "
+                            "without holding a self lock, but the class "
+                            "shares state with threads/executors; wrap the "
+                            "mutation in `with self.<lock>:` or justify "
+                            "with a pragma"
+                        ),
+                        witness={
+                            "class": cls_name,
+                            "method": method.name,
+                            "attribute": attr,
+                        },
+                    ))
+            for child in ast.iter_child_nodes(node):
+                visit(child, locked)
+
+        for stmt in method.body:
+            visit(stmt, False)
+        return findings
+
+
+class LockOrderRule(HostRule):
+    rule_id = "host.lock.order"
+    description = (
+        "no two code paths may acquire the same pair of locks in "
+        "opposite nesting orders (deadlock inversion)"
+    )
+
+    def __init__(self) -> None:
+        #: (outer-label, inner-label) -> first witnessing (path, line).
+        self.edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    def check(self, src: LintSource) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                for fn in node.body:
+                    if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._scan_function(src, node.name, fn)
+        for fn in src.tree.body:
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(src, "", fn)
+        return ()
+
+    def _lock_label(
+        self, src: LintSource, scope: str, fn: ast.AST, expr: ast.expr
+    ) -> Optional[str]:
+        if isinstance(expr, ast.Call):
+            return None  # e.g. `with threading.Lock():` — a fresh lock
+        if not isinstance(expr, (ast.Name, ast.Attribute)):
+            return None
+        seg = src.segment(expr)
+        if not seg or not _is_lockish(seg):
+            return None
+        self_name = _method_self_name(fn) if scope else None
+        attr = _self_attr(expr, self_name) if self_name else None
+        if attr:
+            return f"{scope}.{attr}"
+        return seg
+
+    def _scan_function(self, src: LintSource, scope: str, fn: ast.AST) -> None:
+        def visit(node: ast.AST, held: List[str]) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired = []
+                for item in node.items:
+                    label = self._lock_label(src, scope, fn, item.context_expr)
+                    if label is not None:
+                        for outer in held:
+                            if outer != label:
+                                self.edges.setdefault(
+                                    (outer, label),
+                                    (src.relpath, node.lineno),
+                                )
+                        acquired.append(label)
+                for child in node.body:
+                    visit(child, held + acquired)
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for stmt in fn.body:
+            visit(stmt, [])
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> Iterable[Finding]:
+        reported: Set[Tuple[str, str]] = set()
+        for (a, b), (path, line) in sorted(self.edges.items()):
+            if (b, a) in self.edges and (b, a) not in reported:
+                reported.add((a, b))
+                other_path, other_line = self.edges[(b, a)]
+                yield Finding(
+                    rule=self.rule_id,
+                    relpath=path,
+                    line=line,
+                    message=(
+                        f"lock order inversion: {a} -> {b} here but "
+                        f"{b} -> {a} at {other_path}:{other_line}; pick one "
+                        "global order (deadlock risk)"
+                    ),
+                    witness={
+                        "first": f"{a}->{b}",
+                        "second": f"{b}->{a}",
+                        "second_site": f"{other_path}:{other_line}",
+                    },
+                )

@@ -1,0 +1,173 @@
+"""Determinism rules: no wall-clock reads, no unseeded randomness.
+
+The repo's headline guarantee — bit-identical tuning winners, soak
+reports, and bench artifacts per seed — only holds if the host layer
+never consults a source of nondeterminism.  Two rules enforce that:
+
+``host.time.wallclock``
+    flags every read of a wall/monotonic clock (``time.time``,
+    ``perf_counter``, ``datetime.now``, ...) outside the allowlisted
+    stats-timing set (``tuner/search.py`` times its *stages* for the
+    operator-facing ``TuningStats``; those numbers are labelled
+    wall-clock observability and never feed a decision).  ``time.sleep``
+    is deliberately not flagged: delaying does not read the clock into
+    program state.
+
+``host.rng.unseeded``
+    flags randomness that does not flow from an explicit seed: the
+    module-level ``random.*`` functions (hidden shared global state),
+    ``random.Random()`` with no seed, numpy's legacy global RNG
+    (``np.random.rand`` and friends), ``np.random.default_rng()`` with
+    no seed, ``uuid.uuid4``, ``os.urandom`` and the ``secrets`` module.
+    ``random.Random(seed)`` / ``default_rng(seed)`` instances are the
+    sanctioned pattern and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from repro.analyze.host.engine import Finding, HostRule
+from repro.analyze.host.model import LintSource, canonical_name
+
+__all__ = ["WallClockRule", "UnseededRngRule", "WALLCLOCK_ALLOWED_SUFFIXES"]
+
+#: Modules where wall-clock reads are sanctioned: the tuner's per-stage
+#: stats timings (operator observability, never decision inputs).
+WALLCLOCK_ALLOWED_SUFFIXES: Tuple[str, ...] = ("repro/tuner/search.py",)
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: ``random.<fn>`` module-level calls that use the interpreter's hidden
+#: shared Random instance (including ``seed``: mutating global state is
+#: exactly what makes parallel runs order-dependent).
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "getrandbits",
+    "randbytes", "seed",
+})
+
+#: numpy legacy global-state RNG entry points.
+_NUMPY_GLOBAL_FUNCS = frozenset({
+    "rand", "randn", "random", "random_sample", "randint", "choice",
+    "shuffle", "permutation", "standard_normal", "seed", "uniform",
+    "normal", "bytes",
+})
+
+_ALWAYS_NONDETERMINISTIC = frozenset({
+    "uuid.uuid4",
+    "os.urandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.randbelow",
+    "secrets.choice",
+    "random.SystemRandom",
+})
+
+
+class WallClockRule(HostRule):
+    rule_id = "host.time.wallclock"
+    description = (
+        "no wall-clock reads outside the allowlisted stats-timing set — "
+        "simulated-clock code paths must be bit-reproducible"
+    )
+
+    def __init__(self, allowed_suffixes: Tuple[str, ...] = WALLCLOCK_ALLOWED_SUFFIXES):
+        self.allowed_suffixes = allowed_suffixes
+
+    def check(self, src: LintSource) -> Iterable[Finding]:
+        if any(src.relpath.endswith(sfx) for sfx in self.allowed_suffixes):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_name(node.func, src.imports)
+            if name in _WALL_CLOCK_CALLS:
+                yield Finding(
+                    rule=self.rule_id,
+                    relpath=src.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"wall-clock read {name}() breaks seed-determinism; "
+                        "use the simulated clock / logical ticks, or add the "
+                        "module to the stats-timing allowlist"
+                    ),
+                    witness={"call": name},
+                )
+
+
+class UnseededRngRule(HostRule):
+    rule_id = "host.rng.unseeded"
+    description = (
+        "all randomness must derive from an explicit seed argument — no "
+        "module-level random.*, unseeded Random()/default_rng(), uuid4, "
+        "or os.urandom"
+    )
+
+    def check(self, src: LintSource) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_name(node.func, src.imports)
+            if name is None:
+                continue
+            reason = self._violates(name, node)
+            if reason:
+                yield Finding(
+                    rule=self.rule_id,
+                    relpath=src.relpath,
+                    line=node.lineno,
+                    message=reason,
+                    witness={"call": name},
+                )
+
+    @staticmethod
+    def _violates(name: str, node: ast.Call) -> str:
+        unseeded = not node.args and not node.keywords
+        if name in _ALWAYS_NONDETERMINISTIC:
+            return (
+                f"{name}() is inherently nondeterministic; derive values "
+                "from the run seed instead"
+            )
+        if name.startswith("random."):
+            tail = name.split(".", 1)[1]
+            if tail in _GLOBAL_RANDOM_FUNCS:
+                return (
+                    f"module-level {name}() uses the hidden shared RNG; "
+                    "thread a seeded random.Random(seed) instance instead"
+                )
+            if tail == "Random" and unseeded:
+                return (
+                    "random.Random() without a seed draws OS entropy; pass "
+                    "an explicit seed (see repro.tuner.strategies.derive_rng)"
+                )
+        if name.startswith("numpy.random.") or name.startswith("np.random."):
+            tail = name.rsplit(".", 1)[1]
+            if tail in _NUMPY_GLOBAL_FUNCS:
+                return (
+                    f"legacy numpy global RNG {name}() is shared mutable "
+                    "state; use np.random.default_rng(seed)"
+                )
+            if tail in ("default_rng", "RandomState") and unseeded:
+                return (
+                    f"{name}() without a seed draws OS entropy; pass an "
+                    "explicit seed"
+                )
+        return ""

@@ -1,0 +1,263 @@
+"""Rule engine for the host-layer lint.
+
+The engine walks a file set, runs every :class:`HostRule` over each
+parsed :class:`~repro.analyze.host.model.LintSource`, lets tree-scoped
+rules (the lock-order checker) finalize after the last file, and then
+splits the raw findings three ways:
+
+* **active** — unsuppressed violations; any of these fails the lint;
+* **pragma-suppressed** — covered by an inline ``# repro: allow(rule)``;
+* **baseline-suppressed** — matched by an entry in the checked-in
+  baseline file (rule id + path + a digest of the offending line, so a
+  baseline entry dies with the line it grandfathers).
+
+Findings are rendered through the same
+:class:`~repro.analyze.diagnostics.Diagnostic` /
+:class:`~repro.analyze.diagnostics.AnalysisReport` machinery as the
+kernel verifier, so ``repro lint --json`` and ``repro analyze --json``
+artifacts share their grammar.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analyze.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analyze.host.model import LintSource, parse_source
+
+__all__ = [
+    "Finding",
+    "HostRule",
+    "Baseline",
+    "HostLintResult",
+    "run_rules",
+    "LINT_FORMAT",
+    "BASELINE_FORMAT",
+]
+
+LINT_FORMAT = "repro-host-lint/1"
+BASELINE_FORMAT = "repro-host-lint-baseline/1"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One raw rule hit, before suppression."""
+
+    rule: str
+    relpath: str
+    line: int
+    message: str
+    witness: Mapping[str, object] = field(default_factory=dict)
+    severity: Severity = Severity.ERROR
+
+    def to_diagnostic(self) -> Diagnostic:
+        witness = {"path": self.relpath, "line": self.line}
+        witness.update(self.witness)
+        return Diagnostic(
+            rule=self.rule,
+            severity=self.severity,
+            message=self.message,
+            witness=witness,
+        )
+
+    def render(self) -> str:
+        return f"{self.relpath}:{self.line}: {self.rule}: {self.message}"
+
+
+class HostRule:
+    """Base class for host-layer lint rules.
+
+    ``check`` yields findings for one file; ``finalize`` yields findings
+    that need the whole tree (rules are instantiated fresh per run, so
+    accumulating state across ``check`` calls is safe).
+    """
+
+    #: Stable dot-namespaced id (``host.<area>.<rule>``).
+    rule_id: str = ""
+    #: One-line description for the catalog / CLI listing.
+    description: str = ""
+
+    def check(self, src: LintSource) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+
+def line_digest(stripped_line: str) -> str:
+    """Baseline fingerprint of one physical source line."""
+    return hashlib.blake2b(stripped_line.encode(), digest_size=8).hexdigest()
+
+
+class Baseline:
+    """Checked-in grandfather list for pre-existing findings.
+
+    Each entry pins ``(rule, path, digest-of-line)``: editing or moving
+    the offending line invalidates the entry, so the baseline can only
+    shrink — new violations never hide behind it.
+    """
+
+    def __init__(self, entries: Sequence[Mapping[str, str]] = ()) -> None:
+        self._entries = {
+            (str(e["rule"]), str(e["path"]), str(e["digest"])) for e in entries
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("format") != BASELINE_FORMAT:
+            raise ValueError(f"{path} is not a host-lint baseline file")
+        return cls(payload.get("entries", ()))
+
+    @staticmethod
+    def entry_for(finding: Finding, src: LintSource) -> Dict[str, str]:
+        """The baseline entry that would suppress ``finding``."""
+        return {
+            "rule": finding.rule,
+            "path": finding.relpath,
+            "digest": line_digest(src.line_digest_input(finding.line)),
+        }
+
+    def covers(self, finding: Finding, src: LintSource) -> bool:
+        entry = self.entry_for(finding, src)
+        return (entry["rule"], entry["path"], entry["digest"]) in self._entries
+
+
+@dataclass
+class HostLintResult:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed_pragma: List[Finding] = field(default_factory=list)
+    suppressed_baseline: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Clean: zero unsuppressed findings (the CI gate)."""
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def to_reports(self) -> List[AnalysisReport]:
+        """Per-file :class:`AnalysisReport` grouping of active findings."""
+        by_file: Dict[str, List[Finding]] = {}
+        for f in self.findings:
+            by_file.setdefault(f.relpath, []).append(f)
+        reports = []
+        for relpath in sorted(by_file):
+            report = AnalysisReport(
+                subject=relpath, checked_rules=self.rules,
+            )
+            report.extend([f.to_diagnostic() for f in by_file[relpath]])
+            reports.append(report)
+        return reports
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": LINT_FORMAT,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules),
+            "findings": len(self.findings),
+            "findings_by_rule": self.by_rule(),
+            "suppressed_pragma": len(self.suppressed_pragma),
+            "suppressed_baseline": len(self.suppressed_baseline),
+            "reports": [r.to_dict() for r in self.to_reports()],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self, verbose: bool = False) -> str:
+        lines = []
+        for f in self.findings:
+            lines.append(f.render())
+        if verbose:
+            for f in self.suppressed_pragma:
+                lines.append(f"{f.render()} [suppressed: pragma]")
+            for f in self.suppressed_baseline:
+                lines.append(f"{f.render()} [suppressed: baseline]")
+        status = "CLEAN" if self.ok else f"{len(self.findings)} violation(s)"
+        lines.append(
+            f"host lint: {status} — {self.files_scanned} files, "
+            f"{len(self.rules)} rules, "
+            f"{len(self.suppressed_pragma)} pragma-suppressed, "
+            f"{len(self.suppressed_baseline)} baseline-suppressed"
+        )
+        return "\n".join(lines)
+
+
+def run_rules(
+    sources: Sequence[LintSource],
+    rules: Sequence[HostRule],
+    baseline: Optional[Baseline] = None,
+    only_rules: Optional[Sequence[str]] = None,
+) -> HostLintResult:
+    """Run ``rules`` over ``sources`` and split findings by suppression."""
+    by_path = {src.relpath: src for src in sources}
+    raw: List[Finding] = []
+    for src in sources:
+        for rule in rules:
+            raw.extend(rule.check(src))
+    for rule in rules:
+        raw.extend(rule.finalize())
+    if only_rules is not None:
+        wanted = set(only_rules)
+        raw = [f for f in raw if f.rule in wanted]
+    raw.sort(key=lambda f: (f.relpath, f.line, f.rule))
+
+    result = HostLintResult(
+        files_scanned=len(sources),
+        rules=tuple(sorted(r.rule_id for r in rules)),
+    )
+    for f in raw:
+        src = by_path.get(f.relpath)
+        allowed = src.allowed_rules_at(f.line) if src else frozenset()
+        if f.rule in allowed or "all" in allowed:
+            result.suppressed_pragma.append(f)
+        elif baseline is not None and src is not None and baseline.covers(f, src):
+            result.suppressed_baseline.append(f)
+        else:
+            result.findings.append(f)
+    return result
+
+
+def load_tree(root: str, package_prefix: str = "") -> List[LintSource]:
+    """Parse every ``*.py`` under ``root`` into lint sources.
+
+    ``package_prefix`` seeds the reported relpath (linting the installed
+    ``repro`` package directory reports paths as ``repro/...``).
+    """
+    sources: List[LintSource] = []
+    root = os.path.abspath(root)
+    if os.path.isfile(root):
+        rel = os.path.join(package_prefix, os.path.basename(root))
+        with open(root, encoding="utf-8") as fh:
+            sources.append(parse_source(fh.read(), rel))
+        return sources
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.join(
+                package_prefix, os.path.relpath(path, root)
+            ).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as fh:
+                sources.append(parse_source(fh.read(), rel))
+    return sources

@@ -1,0 +1,112 @@
+"""Exception-discipline rules: faults must never vanish silently.
+
+``host.except.bare``
+    A bare ``except:`` catches ``SystemExit``/``KeyboardInterrupt`` and
+    every injected fault; always an error.
+
+``host.except.swallow``
+    A handler whose caught types *cover*
+    :class:`~repro.errors.TransientError` /
+    :class:`~repro.errors.DeviceLostError` (``Exception``,
+    ``BaseException``, ``ReproError``, ``CLError``, or the transient
+    types themselves) and whose body is pure control flow (``pass`` /
+    ``continue`` / ``break``) swallows a fault without re-raising,
+    classifying, or logging it.  Handlers that re-raise, return a
+    failure value, assign an outcome, or call anything (incident log,
+    counter, fallback) are considered to have handled the fault — the
+    rule targets the silent-discard pattern specifically, because that
+    is the one the resilience layer's accounting can never see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analyze.host.engine import Finding, HostRule
+from repro.analyze.host.model import LintSource, attribute_tail
+
+__all__ = ["BareExceptRule", "SwallowTransientRule"]
+
+#: Exception names that cover TransientError/DeviceLostError (by the
+#: repro hierarchy: TransientError < CLError < ReproError < Exception).
+_COVERING = frozenset({
+    "BaseException", "Exception", "ReproError", "CLError",
+    "TransientError", "DeviceLostError",
+})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> List[str]:
+    node = handler.type
+    if node is None:
+        return []
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        tail = attribute_tail(expr)
+        if tail:
+            names.append(tail)
+    return names
+
+
+def _is_silent(body: List[ast.stmt]) -> bool:
+    """True when the handler neither raises, returns, assigns nor calls."""
+    acting = (
+        ast.Raise, ast.Return, ast.Call, ast.Assign, ast.AugAssign,
+        ast.AnnAssign, ast.NamedExpr, ast.Yield, ast.YieldFrom, ast.Delete,
+    )
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, acting):
+                return False
+    return True
+
+
+class BareExceptRule(HostRule):
+    rule_id = "host.except.bare"
+    description = "no bare `except:` — it catches KeyboardInterrupt and all"
+
+    def check(self, src: LintSource) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding(
+                    rule=self.rule_id,
+                    relpath=src.relpath,
+                    line=node.lineno,
+                    message=(
+                        "bare `except:` catches SystemExit/KeyboardInterrupt "
+                        "and every injected fault; name the exceptions"
+                    ),
+                )
+
+
+class SwallowTransientRule(HostRule):
+    rule_id = "host.except.swallow"
+    description = (
+        "no blanket handler may silently discard TransientError/"
+        "DeviceLostError — re-raise, classify, or log the incident"
+    )
+
+    def check(self, src: LintSource) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                continue  # host.except.bare owns this case
+            caught = _caught_names(node)
+            covering = sorted(set(caught) & _COVERING)
+            if not covering:
+                continue
+            if not _is_silent(node.body):
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                relpath=src.relpath,
+                line=node.lineno,
+                message=(
+                    f"handler for {', '.join(covering)} silently discards "
+                    "transient faults (body is pure control flow); re-raise, "
+                    "record an incident, or narrow the exception types"
+                ),
+                witness={"caught": ", ".join(caught)},
+            )

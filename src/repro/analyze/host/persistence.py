@@ -1,0 +1,77 @@
+"""Crash-safe persistence rule: no raw write-mode ``open`` calls.
+
+Every artifact the system persists must go through
+:mod:`repro.persist` (write-tmp → fsync → atomic rename, checksummed),
+so a SIGKILL at any instant leaves either the old complete file or the
+new complete file — never a torn one.  A bare ``open(path, "w")``
+anywhere else silently reintroduces the torn-write window that PR 2
+closed; this rule makes that a lint error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Tuple
+
+from repro.analyze.host.engine import Finding, HostRule
+from repro.analyze.host.model import LintSource, attribute_tail, canonical_name
+
+__all__ = ["RawWriteRule"]
+
+#: The one module allowed to open files for writing: the atomic-rename
+#: implementation itself.
+_ALLOWED_SUFFIXES: Tuple[str, ...] = ("repro/persist.py",)
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _write_mode(node: ast.Call) -> Optional[str]:
+    """The call's mode string when it requests write access, else None."""
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if _WRITE_MODE_CHARS & set(mode.value):
+            return mode.value
+    return None
+
+
+class RawWriteRule(HostRule):
+    rule_id = "host.persist.raw-write"
+    description = (
+        "write-mode open() outside repro/persist.py — artifacts must be "
+        "written via atomic_write/dump_json_atomic (crash safety)"
+    )
+
+    def __init__(self, allowed_suffixes: Tuple[str, ...] = _ALLOWED_SUFFIXES):
+        self.allowed_suffixes = allowed_suffixes
+
+    def check(self, src: LintSource) -> Iterable[Finding]:
+        if any(src.relpath.endswith(sfx) for sfx in self.allowed_suffixes):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_name(node.func, src.imports)
+            is_open = name in ("open", "io.open") or (
+                name is None and attribute_tail(node.func) == "open"
+            )
+            if not is_open:
+                continue
+            mode = _write_mode(node)
+            if mode is None:
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                relpath=src.relpath,
+                line=node.lineno,
+                message=(
+                    f"raw open(..., {mode!r}) bypasses crash-safe "
+                    "persistence; write through repro.persist.atomic_write "
+                    "/ atomic_write_bytes / dump_json_atomic"
+                ),
+                witness={"mode": mode},
+            )

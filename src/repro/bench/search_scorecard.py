@@ -26,6 +26,7 @@ import argparse
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.persist import atomic_write
 from repro.tuner.search import SearchEngine, TuningConfig, TuningResult
 
 __all__ = [
@@ -245,8 +246,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         progress=print,
     )
-    with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=1)
+    atomic_write(args.out, json.dumps(payload, indent=1))
     print(render_scorecard(payload))
     print(f"wrote {args.out}")
     if args.check:

@@ -333,6 +333,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-run interpreter operation budget")
     p_spec.add_argument("--json", metavar="OUT.json", dest="out_json",
                         help="write the disagreement/coverage report as JSON")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the host-layer invariant analyzer over repro's own "
+             "Python sources",
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: the "
+                             "installed repro package)")
+    p_lint.add_argument("--json", metavar="OUT.json", dest="out_json",
+                        help="write the machine-readable report as JSON")
+    p_lint.add_argument("--rule", action="append", dest="rules",
+                        metavar="RULE-ID",
+                        help="restrict to this rule id (repeatable)")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="grandfather-list file (default: "
+                             "tools/host-lint-baseline.json when present)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    p_lint.add_argument("--verbose", action="store_true",
+                        help="also print suppressed findings")
     return parser
 
 
@@ -358,6 +381,13 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_tune(args) -> int:
+    from repro.testing.sanitize import sanitize_from_env
+
+    with sanitize_from_env():
+        return _tune_impl(args)
+
+
+def _tune_impl(args) -> int:
     from repro.clsim.faults import FaultInjector, FaultPlan
     from repro.codegen.space import SpaceRestrictions
     from repro.devices import get_device_spec
@@ -644,11 +674,17 @@ def _run_async_soak(args, service, fleet_mode: bool = False):
 
 
 def _cmd_serve(args) -> int:
-    return _run_serving(args, check_clean=False)
+    from repro.testing.sanitize import sanitize_from_env
+
+    with sanitize_from_env():
+        return _run_serving(args, check_clean=False)
 
 
 def _cmd_soak(args) -> int:
-    return _run_serving(args, check_clean=True)
+    from repro.testing.sanitize import sanitize_from_env
+
+    with sanitize_from_env():
+        return _run_serving(args, check_clean=True)
 
 
 def _demo_observability(seed: int, requests: int = 0):
@@ -757,11 +793,11 @@ def _cmd_bench(args) -> int:
 def _finish_analyze(reports, args) -> int:
     """Render static-analysis reports, persist --json, set the exit code."""
     from repro.analyze import render_reports, reports_to_json
+    from repro.persist import atomic_write
 
     print(render_reports(reports, verbose=args.verbose))
     if args.out_json:
-        with open(args.out_json, "w", encoding="utf-8") as fh:
-            fh.write(reports_to_json(reports))
+        atomic_write(args.out_json, reports_to_json(reports))
         print(f"report        : {args.out_json}")
     return 0 if all(r.ok for r in reports) else 1
 
@@ -877,6 +913,42 @@ def _cmd_spec(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import os
+
+    from repro.analyze.host import (
+        DEFAULT_BASELINE_PATH,
+        Baseline,
+        lint_paths,
+        lint_tree,
+        rule_catalog,
+    )
+    from repro.persist import atomic_write
+
+    if args.list_rules:
+        for rule_id, description in rule_catalog():
+            print(f"{rule_id:24s} {description}")
+        return 0
+    baseline = None
+    if not args.no_baseline:
+        path = args.baseline or (
+            DEFAULT_BASELINE_PATH
+            if os.path.exists(DEFAULT_BASELINE_PATH) else None
+        )
+        if path:
+            baseline = Baseline.load(path)
+    if args.paths:
+        result = lint_paths(args.paths, baseline=baseline,
+                            only_rules=args.rules)
+    else:
+        result = lint_tree(baseline=baseline, only_rules=args.rules)
+    if args.out_json:
+        atomic_write(args.out_json, result.to_json())
+        print(f"report: {args.out_json}")
+    print(result.render(verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "tune": _cmd_tune,
@@ -890,6 +962,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "emit": _cmd_emit,
     "spec": _cmd_spec,
+    "lint": _cmd_lint,
 }
 
 

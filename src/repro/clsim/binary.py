@@ -25,6 +25,7 @@ from repro.clsim.context import Context
 from repro.clsim.program import Program
 from repro.codegen.emitter import META_PREFIX
 from repro.errors import BuildError
+from repro.persist import atomic_write_bytes
 
 __all__ = ["get_program_binary", "program_from_binary", "BinaryCache"]
 
@@ -114,10 +115,7 @@ class BinaryCache:
         self._memory[key] = binary
         path = self._path(key)
         if path:
-            tmp = path + ".tmp"
-            with open(tmp, "wb") as fh:
-                fh.write(binary)
-            os.replace(tmp, path)
+            atomic_write_bytes(path, binary)
 
     def get_or_build(self, context: Context, source: str) -> Program:
         device = context.device.codename

@@ -25,6 +25,7 @@ __all__ = [
     "DeviceLostError",
     "MeasurementTimeout",
     "CorruptStateError",
+    "DeterminismViolation",
     "TuningError",
     "SearchInterrupted",
     "InvalidRequestError",
@@ -126,6 +127,20 @@ class CorruptStateError(ReproError):
     integrity checks — truncated JSON, a torn write, or a checksum
     mismatch.  Loaders quarantine the offending file and resume from
     scratch instead of crashing (see :mod:`repro.persist`)."""
+
+
+class DeterminismViolation(ReproError):
+    """Repro code read a nondeterminism source under the sanitizer.
+
+    Raised by :class:`repro.testing.sanitize.DeterminismSanitizer` when
+    code inside the ``repro`` package calls a patched wall-clock or
+    global-RNG entry point (``time.time``, ``random.random``,
+    ``uuid.uuid4``, ...) outside the allowlisted stats-timing set.  The
+    static counterpart is ``repro lint``'s ``host.time.wallclock`` /
+    ``host.rng.unseeded`` rules; the sanitizer catches what static
+    analysis cannot see (dynamic dispatch, getattr, third-party
+    callbacks).
+    """
 
 
 class InvalidRequestError(ReproError, ValueError):

@@ -21,7 +21,7 @@ from repro.analyze.verifier import StaticVerifier
 from repro.codegen.params import KernelParams
 from repro.devices.catalog import get_device_spec
 from repro.devices.specs import DeviceSpec
-from repro.errors import CLError, ReproError
+from repro.errors import BuildError, LaunchError, ParameterError, ReproError
 from repro.gemm.direct import direct_params
 from repro.gemm.routine import GemmResult, GemmRoutine, predict_implementation
 from repro.gemm.direct import DirectGemmRoutine
@@ -183,7 +183,9 @@ class KernelSelector:
                 for direct, p in options:
                     try:
                         t = _predict_total(self.spec, p, probe, direct)
-                    except (CLError, ReproError):
+                    except (ParameterError, BuildError, LaunchError):
+                        # The pure perf model rejects an infeasible
+                        # (params, size) pair; never a transient fault.
                         continue
                     if best is None or t < best[0]:
                         best = (t, p, direct)
@@ -268,7 +270,7 @@ class KernelSelector:
     # -- persistence ---------------------------------------------------------
     def save(self, path: str) -> str:
         """Write the selection table to JSON (how a library would ship it)."""
-        import json
+        from repro.persist import dump_json_atomic
 
         payload = {
             "format": "repro-kernel-selector/1",
@@ -283,9 +285,7 @@ class KernelSelector:
                 for entry in self.table
             ],
         }
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-        return path
+        return dump_json_atomic(path, payload, indent=2)
 
     @classmethod
     def load(cls, path: str, obs=None, **routine_kwargs) -> "KernelSelector":

@@ -16,7 +16,7 @@ from typing import Dict, List, Tuple, Union
 from repro.codegen.params import KernelParams
 from repro.devices.catalog import get_device_spec
 from repro.devices.specs import DeviceSpec
-from repro.errors import CLError, ReproError
+from repro.errors import BuildError, LaunchError, ParameterError, ReproError
 from repro.perfmodel.model import estimate_kernel_time
 
 __all__ = ["WhatIfResult", "whatif", "scaling_sweep"]
@@ -122,7 +122,9 @@ def scaling_sweep(
         try:
             variant = _variant(spec, {field: base_value * scale})
             bd = estimate_kernel_time(variant, params, M, N, K, noise=False)
-        except (CLError, ReproError, ValueError):
+        except (ParameterError, BuildError, LaunchError, ValueError):
+            # Scaling a device field can make the variant infeasible for
+            # these params; the pure model raises no transient faults.
             continue
         points.append((scale, bd.gflops))
     return points

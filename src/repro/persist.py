@@ -27,6 +27,8 @@ from typing import Optional
 __all__ = [
     "CHECKSUM_KEY",
     "payload_checksum",
+    "atomic_write",
+    "atomic_write_bytes",
     "dump_json_atomic",
     "load_json_checked",
     "quarantine_file",
@@ -48,6 +50,52 @@ def payload_checksum(payload: dict) -> str:
     return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
 
 
+def _fsync_dir(path: str) -> None:
+    """Persist the directory entry so the rename itself survives."""
+    dirname = os.path.dirname(os.path.abspath(path))
+    try:
+        dir_fd = os.open(dirname, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> str:
+    """Atomically write raw bytes at ``path`` (write-tmp/fsync/rename).
+
+    The byte-level primitive behind every persisted artifact: a crash
+    mid-write leaves the previous file intact, a crash mid-rename is
+    resolved by the filesystem (``os.replace`` is atomic), and the fsync
+    bounds the window in which a completed rename can still lose data
+    to the page cache.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        _fsync_dir(path)
+    return path
+
+
+def atomic_write(
+    path: str, text: str, encoding: str = "utf-8", fsync: bool = True
+) -> str:
+    """Atomically write a text artifact (reports, rendered JSON, tables).
+
+    The crash-safe replacement for ``open(path, "w")`` — the host-layer
+    lint (``host.persist.raw-write``) rejects raw write-mode opens
+    everywhere outside this module.
+    """
+    return atomic_write_bytes(path, text.encode(encoding), fsync=fsync)
+
+
 def dump_json_atomic(
     path: str,
     payload: dict,
@@ -57,35 +105,16 @@ def dump_json_atomic(
 ) -> str:
     """Atomically persist ``payload`` as JSON at ``path``.
 
-    Write-tmp -> flush -> fsync -> rename: a crash mid-write leaves the
-    previous file intact, a crash mid-rename is resolved by the
-    filesystem (``os.replace`` is atomic), and the fsync bounds the
-    window in which a completed rename can still lose data to the page
-    cache.  With ``checksum`` (default), an integrity digest is embedded
-    under :data:`CHECKSUM_KEY` for :func:`load_json_checked` to verify.
+    Serialisation happens before any file is touched; the write itself
+    goes through :func:`atomic_write`.  With ``checksum`` (default), an
+    integrity digest is embedded under :data:`CHECKSUM_KEY` for
+    :func:`load_json_checked` to verify.
     """
     if checksum:
         payload = dict(payload)
         payload[CHECKSUM_KEY] = payload_checksum(payload)
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=indent, sort_keys=True)
-        fh.flush()
-        if fsync:
-            os.fsync(fh.fileno())
-    os.replace(tmp, path)
-    if fsync:
-        # Persist the directory entry too, so the rename itself survives.
-        dirname = os.path.dirname(os.path.abspath(path))
-        try:
-            dir_fd = os.open(dirname, os.O_RDONLY)
-        except OSError:  # pragma: no cover - exotic filesystems
-            return path
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-    return path
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    return atomic_write(path, text, fsync=fsync)
 
 
 def quarantine_file(path: str) -> str:

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.codegen.params import KernelParams
 from repro.devices.catalog import get_device_spec
 from repro.devices.specs import DeviceSpec
-from repro.errors import CLError, ReproError
+from repro.errors import BuildError, LaunchError, ParameterError
 from repro.perfmodel.model import estimate_kernel_time
 from repro.tuner.refine import neighbors
 from repro.tuner.search import TuningStats
@@ -258,7 +258,9 @@ def analyze_kernel(
         n = max(n, variant.algorithm.min_k_iterations * variant.kwg)
         try:
             bd = estimate_kernel_time(spec, variant, n, n, n, noise=False)
-        except (CLError, ReproError):
+        except (ParameterError, BuildError, LaunchError):
+            # An infeasible neighbor, rejected by the pure perf model;
+            # transient faults cannot originate here.
             continue
         per_family.setdefault(family, []).append(bd.gflops)
 

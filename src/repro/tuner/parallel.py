@@ -18,6 +18,7 @@ plain data rather than exceptions.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -271,6 +272,11 @@ class CandidateEvaluator:
         if injector is not None and resilience is None:
             self.resilience = ResilienceConfig()
         self._pool: Optional[Executor] = None
+        # Guards lazy pool creation/teardown: evaluate() may be called
+        # from a fleet worker thread while another thread closes the
+        # evaluator (chaos soak churn), and an unguarded check-then-set
+        # can leak a second executor.
+        self._pool_lock = threading.Lock()
 
     @property
     def resilient(self) -> bool:
@@ -278,19 +284,23 @@ class CandidateEvaluator:
 
     # -- lifecycle -------------------------------------------------------
     def _ensure_pool(self) -> Executor:
-        if self._pool is None:
-            if self.kind == "process":
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            else:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="repro-tune"
-                )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                if self.kind == "process":
+                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                else:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.workers, thread_name_prefix="repro-tune"
+                    )
+            return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            # Shut down outside the lock: worker threads finishing their
+            # last task must not deadlock against a closer holding it.
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "CandidateEvaluator":
         return self

@@ -100,6 +100,11 @@ def call_with_timeout(
     """
     if timeout_s is None:
         return fn()
+    # Lock-free by design (audited against host.race.unlocked-attr):
+    # `result`/`error` are locals shared with exactly one runner thread,
+    # each side only appends, and the reads below are ordered after the
+    # writes by the join() happens-before edge.  A timed-out runner may
+    # still append later, but its list is never read again.
     result: List[T] = []
     error: List[BaseException] = []
 

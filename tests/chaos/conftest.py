@@ -1,0 +1,29 @@
+"""Chaos-suite fixtures: arm the runtime sanitizers under CI.
+
+With ``REPRO_SANITIZE`` set (the chaos CI job exports it), every test in
+this suite runs under the determinism sanitizer — a wall-clock or
+global-RNG read from repro code raises instead of silently de-seeding a
+"bit-identical winners" assertion — and under the lock-order recorder,
+which fails the test if any two repro locks were ever taken in opposite
+nesting orders.  Without the variable both fixtures are no-ops, so local
+runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_determinism_and_lock_order():
+    if not os.environ.get("REPRO_SANITIZE", ""):
+        yield
+        return
+    from repro.testing.sanitize import DeterminismSanitizer, LockOrderRecorder
+
+    recorder = LockOrderRecorder()
+    with recorder, DeterminismSanitizer():
+        yield
+    recorder.assert_consistent()

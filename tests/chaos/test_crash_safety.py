@@ -102,6 +102,40 @@ class TestKillDuringWrite:
             assert not os.path.exists(path + ".corrupt")
 
 
+_TEXT_WRITER = """
+import itertools, sys
+sys.path.insert(0, {src!r})
+from repro.persist import atomic_write
+path = sys.argv[1]
+for i in itertools.count():
+    atomic_write(path, f"generation {{i}}\\n" + "y" * 8192 + "\\nEND\\n")
+"""
+
+
+class TestKillDuringTextWrite:
+    def test_sigkill_mid_atomic_write_never_tears(self, tmp_path):
+        """Same as above for ``atomic_write`` (the migration target of
+        every former raw ``open(..., "w")`` site): after a SIGKILL at an
+        arbitrary instant the file is always one complete generation —
+        it carries the trailing sentinel, never a prefix."""
+        path = str(tmp_path / "report.md")
+        script = _TEXT_WRITER.format(src=os.path.abspath(SRC))
+        for round_no in range(4):
+            proc = subprocess.Popen([sys.executable, "-c", script, path])
+            try:
+                deadline = time.time() + 10.0
+                while not os.path.exists(path) and time.time() < deadline:
+                    time.sleep(0.005)
+                time.sleep(0.02 + 0.03 * round_no)
+            finally:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait()
+            text = open(path, encoding="utf-8").read()
+            assert text.startswith("generation "), "file torn by SIGKILL"
+            assert text.endswith("\nEND\n"), "file torn by SIGKILL"
+            assert "y" * 8192 in text
+
+
 class TestCacheCrashTolerance:
     def test_zero_byte_cache_loads_empty(self, tmp_path):
         path = str(tmp_path / "cache.json")

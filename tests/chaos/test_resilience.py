@@ -189,3 +189,25 @@ class TestResilientEvaluation:
         if out.faults:
             assert set(out.faults) == {"timing"}
             assert out.gflops == clean.gflops
+
+
+class TestLockOrderUnderParallelEvaluation:
+    def test_threaded_evaluator_has_no_lock_inversions(self, tahiti):
+        """Dynamic witness for the `host.lock.order` static rule: a
+        threaded batch evaluation (pool creation, shared-cache access,
+        quarantine updates) acquires repro locks in one global order."""
+        from repro.testing.sanitize import LockOrderRecorder
+        from repro.tuner.parallel import CandidateEvaluator
+
+        recorder = LockOrderRecorder()
+        with recorder:
+            tasks = [
+                EvalTask(make_params(), (64, 64, 64)),
+                EvalTask(make_params(mwg=32), (64, 64, 64)),
+                EvalTask(make_params(nwg=32), (64, 64, 64)),
+            ]
+            with CandidateEvaluator(tahiti, workers=2,
+                                    injector=_plan(rate=0.3)) as ev:
+                outcomes = ev.evaluate(tasks)
+        assert len(outcomes) == len(tasks)
+        recorder.assert_consistent()

@@ -1,0 +1,28 @@
+"""Serving-suite fixtures: arm the runtime sanitizers under CI.
+
+Mirrors ``tests/chaos/conftest.py``: with ``REPRO_SANITIZE`` set, each
+test runs under the determinism sanitizer and the lock-order recorder
+from :mod:`repro.testing.sanitize`; unset, the fixture is a no-op.  The
+async scheduler is where a stray wall-clock read would be most damaging
+— its fairness and latency accounting run entirely on the simulated
+clock, so real time leaking in breaks bit-identical soak artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_determinism_and_lock_order():
+    if not os.environ.get("REPRO_SANITIZE", ""):
+        yield
+        return
+    from repro.testing.sanitize import DeterminismSanitizer, LockOrderRecorder
+
+    recorder = LockOrderRecorder()
+    with recorder, DeterminismSanitizer():
+        yield
+    recorder.assert_consistent()

@@ -84,3 +84,159 @@ class TestRandomParams:
     def test_deterministic(self):
         spec = get_device_spec("kepler")
         assert random_params(spec, "d", seed=9) == random_params(spec, "d", seed=9)
+
+
+class TestDeterminismSanitizer:
+    """repro.testing.sanitize: the runtime counterpart of `repro lint`."""
+
+    def _run_as_repro_code(self, body, filename_tail):
+        """Execute ``body`` with a frame whose filename sits under the
+        installed repro package — how the sanitizer attributes calls."""
+        import os
+
+        import repro
+
+        pkg = os.path.dirname(os.path.abspath(repro.__file__))
+        code = compile(body, os.path.join(pkg, filename_tail), "exec")
+        exec(code, {})
+
+    def test_outside_callers_pass_through(self):
+        import random
+        import time
+
+        from repro.testing.sanitize import DeterminismSanitizer
+
+        with DeterminismSanitizer() as sanitizer:
+            assert time.time() > 0
+            assert 0.0 <= random.random() < 1.0
+        assert sanitizer.violations == []
+
+    def test_repro_wallclock_read_raises(self):
+        from repro.errors import DeterminismViolation
+        from repro.testing.sanitize import DeterminismSanitizer
+
+        with DeterminismSanitizer() as sanitizer:
+            with pytest.raises(DeterminismViolation, match="time.time"):
+                self._run_as_repro_code(
+                    "import time\ntime.time()\n", "serve/fake.py")
+        assert sanitizer.violations[0][0] == "time.time"
+
+    def test_repro_global_rng_raises(self):
+        from repro.errors import DeterminismViolation
+        from repro.testing.sanitize import DeterminismSanitizer
+
+        with DeterminismSanitizer():
+            with pytest.raises(DeterminismViolation, match="uuid.uuid4"):
+                self._run_as_repro_code(
+                    "import uuid\nuuid.uuid4()\n", "tuner/fake.py")
+
+    def test_allowlisted_stats_file_passes(self):
+        from repro.testing.sanitize import DeterminismSanitizer
+
+        with DeterminismSanitizer() as sanitizer:
+            self._run_as_repro_code(
+                "import time\ntime.perf_counter()\n", "tuner/search.py")
+        assert sanitizer.violations == []
+
+    def test_patches_are_reverted_on_exit(self):
+        import time
+
+        from repro.testing.sanitize import DeterminismSanitizer
+
+        original = time.time
+        with DeterminismSanitizer():
+            assert time.time is not original
+        assert time.time is original
+
+    def test_nested_sanitizer_is_passive(self):
+        import time
+
+        from repro.testing.sanitize import DeterminismSanitizer
+
+        original = time.time
+        with DeterminismSanitizer():
+            outer_wrapper = time.time
+            with DeterminismSanitizer():
+                # No double wrapping: the inner context must not stack a
+                # second wrapper (which would mis-attribute callers).
+                assert time.time is outer_wrapper
+            assert time.time is outer_wrapper
+        assert time.time is original
+
+    def test_env_gate(self, monkeypatch):
+        from contextlib import nullcontext
+
+        from repro.testing.sanitize import DeterminismSanitizer, sanitize_from_env
+
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert isinstance(sanitize_from_env(), nullcontext)
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert isinstance(sanitize_from_env(), nullcontext)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert isinstance(sanitize_from_env(), DeterminismSanitizer)
+
+
+class TestLockOrderRecorder:
+    def _run_as_repro_code(self, body, filename_tail):
+        import os
+
+        import repro
+
+        pkg = os.path.dirname(os.path.abspath(repro.__file__))
+        code = compile(body, os.path.join(pkg, filename_tail), "exec")
+        exec(code, {})
+
+    def test_inversion_detected(self):
+        from repro.testing.sanitize import LockOrderRecorder
+
+        recorder = LockOrderRecorder()
+        with recorder:
+            self._run_as_repro_code(
+                "import threading\n"
+                "a = threading.Lock()\n"
+                "b = threading.Lock()\n"
+                "with a:\n    with b:\n        pass\n"
+                "with b:\n    with a:\n        pass\n",
+                "serve/fake_locks.py")
+        assert len(recorder.inversions()) == 1
+        with pytest.raises(AssertionError, match="inversions"):
+            recorder.assert_consistent()
+
+    def test_consistent_order_passes(self):
+        from repro.testing.sanitize import LockOrderRecorder
+
+        recorder = LockOrderRecorder()
+        with recorder:
+            self._run_as_repro_code(
+                "import threading\n"
+                "a = threading.Lock()\n"
+                "b = threading.Lock()\n"
+                "with a:\n    with b:\n        pass\n"
+                "with a:\n    with b:\n        pass\n",
+                "serve/fake_locks.py")
+        assert recorder.edges
+        assert recorder.inversions() == []
+        recorder.assert_consistent()
+
+    def test_non_repro_locks_not_instrumented(self):
+        import threading
+
+        from repro.testing.sanitize import LockOrderRecorder
+
+        recorder = LockOrderRecorder()
+        with recorder:
+            # Created from this (test) frame: stays a plain lock.
+            lock = threading.Lock()
+            with lock:
+                pass
+        assert recorder.edges == {}
+
+    def test_factories_restored_on_exit(self):
+        import threading
+
+        from repro.testing.sanitize import LockOrderRecorder
+
+        original = threading.Lock
+        with LockOrderRecorder():
+            assert threading.Lock is not original
+        assert threading.Lock is original
